@@ -1,0 +1,107 @@
+package karl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchThreshold answers the TKAQ for every query. workers > 1 evaluates
+// in parallel over engine clones (workers ≤ 0 selects GOMAXPROCS). The
+// result slice is index-aligned with queries; the first error aborts the
+// batch.
+func (e *Engine) BatchThreshold(queries [][]float64, tau float64, workers int) ([]bool, error) {
+	out := make([]bool, len(queries))
+	err := e.batch(queries, workers, func(eng *Engine, i int) error {
+		v, err := eng.Threshold(queries[i], tau)
+		out[i] = v
+		return err
+	})
+	return out, err
+}
+
+// BatchApproximate answers the eKAQ for every query, index-aligned.
+func (e *Engine) BatchApproximate(queries [][]float64, eps float64, workers int) ([]float64, error) {
+	out := make([]float64, len(queries))
+	err := e.batch(queries, workers, func(eng *Engine, i int) error {
+		v, err := eng.Approximate(queries[i], eps)
+		out[i] = v
+		return err
+	})
+	return out, err
+}
+
+// BatchAggregate computes the exact aggregate for every query.
+func (e *Engine) BatchAggregate(queries [][]float64, workers int) ([]float64, error) {
+	out := make([]float64, len(queries))
+	err := e.batch(queries, workers, func(eng *Engine, i int) error {
+		v, err := eng.Aggregate(queries[i])
+		out[i] = v
+		return err
+	})
+	return out, err
+}
+
+// batch fans queries across worker clones. Each worker owns a clone, so
+// the engines' scratch state is never shared.
+func (e *Engine) batch(queries [][]float64, workers int, fn func(eng *Engine, i int) error) error {
+	if len(queries) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 1 {
+		for i := range queries {
+			if err := fn(e, i); err != nil {
+				return fmt.Errorf("karl: batch query %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= len(queries) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("karl: batch query %d: %w", i, err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := e.Clone()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				if err := fn(eng, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,100 @@
+// Command karl-predict classifies vectors with a saved SVM model (from
+// karl-train -out). Input rows are whitespace-separated vectors on stdin
+// or -in; each output line is the predicted label (+1/-1), optionally with
+// the decision value.
+//
+// Usage:
+//
+//	karl-train -mode 2class -demo -out model.karl
+//	karl-predict -model model.karl -values < queries.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"karl"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "saved SVM model file (required)")
+		in        = flag.String("in", "", "input vectors (default stdin)")
+		values    = flag.Bool("values", false, "also print decision values")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "karl-predict: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := karl.ReadSVM(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		inf, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer inf.Close()
+		r = inf
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		q := make([]float64, len(fields))
+		for i, fv := range fields {
+			v, err := strconv.ParseFloat(fv, 64)
+			if err != nil {
+				fatal(fmt.Errorf("line %d: parse %q: %w", line, fv, err))
+			}
+			q[i] = v
+		}
+		positive, err := model.Classify(q)
+		if err != nil {
+			fatal(fmt.Errorf("line %d: %w", line, err))
+		}
+		label := -1
+		if positive {
+			label = 1
+		}
+		if *values {
+			d, err := model.Decision(q)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "%+d %.6g\n", label, d)
+		} else {
+			fmt.Fprintf(w, "%+d\n", label)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "karl-predict: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command karl-serve exposes a KARL engine over HTTP/JSON.
+//
+// Usage:
+//
+//	karl-serve -model engine.karl -addr :8080        # saved engine file
+//	karl-serve -points data.txt -gamma 2 -addr :8080 # build from vectors
+//
+// Endpoints:
+//
+//	GET  /v1/info
+//	POST /v1/aggregate   {"q":[...]}
+//	POST /v1/threshold   {"q":[...],"tau":1.5}
+//	POST /v1/approximate {"q":[...],"eps":0.1}
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"karl"
+	"karl/internal/server"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "", "saved engine file (from Engine.WriteTo / karl-train)")
+		points = flag.String("points", "", "whitespace-separated vectors to index directly")
+		gamma  = flag.Float64("gamma", 1, "Gaussian gamma when building from -points")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var eng *karl.Engine
+	var err error
+	switch {
+	case *model != "":
+		f, err2 := os.Open(*model)
+		if err2 != nil {
+			log.Fatalf("karl-serve: %v", err2)
+		}
+		eng, err = karl.ReadEngine(f)
+		f.Close()
+	case *points != "":
+		eng, err = buildFromFile(*points, *gamma)
+	default:
+		fmt.Fprintln(os.Stderr, "karl-serve: need -model or -points")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("karl-serve: %v", err)
+	}
+
+	srv, err := server.New(eng)
+	if err != nil {
+		log.Fatalf("karl-serve: %v", err)
+	}
+	log.Printf("serving %d points (%d dims, %v kernel) on %s",
+		eng.Len(), eng.Dims(), eng.Kernel().Kind, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func buildFromFile(path string, gamma float64) (*karl.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows [][]float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		row := make([]float64, len(fields))
+		for i, fv := range fields {
+			v, err := strconv.ParseFloat(fv, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", fv, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return karl.Build(rows, karl.Gaussian(gamma))
+}

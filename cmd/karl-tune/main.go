@@ -1,0 +1,94 @@
+// Command karl-tune reports the throughput of every (index, leaf capacity)
+// candidate for a workload on a synthetic stand-in dataset — the data
+// behind Figure 7 and Table VIII — and prints the configuration the
+// offline tuner would pick.
+//
+// Usage:
+//
+//	karl-tune -dataset home -tau-mode mu
+//	karl-tune -dataset nsl-kdd -queries 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"karl/internal/bound"
+	"karl/internal/dataset"
+	"karl/internal/kernel"
+	"karl/internal/scan"
+	"karl/internal/tuning"
+)
+
+func main() {
+	var (
+		name    = flag.String("dataset", "home", "synthetic stand-in dataset name")
+		queries = flag.Int("queries", 100, "sampled query count")
+		maxN    = flag.Int("maxn", 20000, "dataset size cap")
+		scale   = flag.Float64("scale", 1.0/64, "dataset scale")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		eps     = flag.Float64("eps", 0, "run an eKAQ workload with this relative error instead of TKAQ")
+		method  = flag.String("method", "karl", "bounding method: karl or sota")
+	)
+	flag.Parse()
+
+	spec, err := dataset.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := dataset.Generate(spec, dataset.Options{Scale: *scale, MaxN: *maxN, Queries: *queries, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	kern := kernel.NewGaussian(ds.Gamma)
+	w := tuning.Workload{Kernel: kern, Method: bound.KARL}
+	if *method == "sota" {
+		w.Method = bound.SOTA
+	}
+	if *eps > 0 {
+		w.Mode = tuning.Approximate
+		w.Eps = *eps
+	} else {
+		w.Mode = tuning.Threshold
+		w.Tau = ds.Tau
+		if ds.Tau == 0 { // Type I: τ = μ over the query set
+			sc, err := scan.NewScanner(ds.Points, ds.Weights, kern)
+			if err != nil {
+				fatal(err)
+			}
+			var mu float64
+			for i := 0; i < ds.Queries.Rows; i++ {
+				mu += sc.Aggregate(ds.Queries.Row(i))
+			}
+			w.Tau = mu / float64(ds.Queries.Rows)
+		}
+	}
+
+	results, err := tuning.Offline(ds.Points, ds.Weights, w, ds.Queries, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset=%s n=%d d=%d method=%v workload=%s\n",
+		*name, ds.Points.Rows, ds.Points.Cols, w.Method, workloadString(w))
+	fmt.Printf("%-10s %8s %14s %12s\n", "index", "leaf", "queries/sec", "build")
+	for _, r := range results {
+		fmt.Printf("%-10s %8d %14.1f %12v\n",
+			r.Candidate.Kind, r.Candidate.LeafCap, r.Throughput, r.BuildTime.Round(1000))
+	}
+	best := results[0]
+	fmt.Printf("\nrecommended: %s with leaf capacity %d (%.1f queries/sec)\n",
+		best.Candidate.Kind, best.Candidate.LeafCap, best.Throughput)
+}
+
+func workloadString(w tuning.Workload) string {
+	if w.Mode == tuning.Approximate {
+		return fmt.Sprintf("eKAQ(eps=%.3g)", w.Eps)
+	}
+	return fmt.Sprintf("TKAQ(tau=%.5g)", w.Tau)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "karl-tune: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,218 @@
+package karl
+
+import (
+	"errors"
+	"fmt"
+
+	"karl/internal/kernel"
+	"karl/internal/vec"
+)
+
+// DynamicEngine supports the online kernel learning scenario the paper's
+// in-situ section motivates: the point set grows while queries are being
+// served. New points land in a side buffer that every query evaluates
+// exactly; when the buffer outgrows a fraction of the indexed set, the
+// index is rebuilt to absorb it. Answers are always exact with respect to
+// the full current point set.
+type DynamicEngine struct {
+	kern Kernel
+	opts []Option
+
+	base *Engine // nil until the first rebuild
+
+	buf  *vec.Matrix // pending points (grown geometrically)
+	bufW []float64
+	bufN int
+
+	// rebuildFrac triggers a rebuild when bufN > rebuildFrac·base.Len()
+	// (and bufN ≥ minRebuild).
+	rebuildFrac float64
+	rebuilds    int
+}
+
+// minRebuild is the smallest buffer that triggers an automatic rebuild;
+// below it the exact buffer scan is cheaper than reindexing.
+const minRebuild = 256
+
+// NewDynamic creates an empty dynamic engine. opts are applied at every
+// rebuild (WithWeights is rejected — weights arrive with Insert).
+func NewDynamic(kern Kernel, opts ...Option) (*DynamicEngine, error) {
+	if err := kern.Validate(); err != nil {
+		return nil, err
+	}
+	probe := buildConfig{}
+	for _, opt := range opts {
+		opt(&probe)
+	}
+	if probe.weights != nil {
+		return nil, errors.New("karl: pass weights through Insert, not WithWeights")
+	}
+	return &DynamicEngine{kern: kern, opts: opts, rebuildFrac: 0.25}, nil
+}
+
+// Len returns the number of points currently represented (indexed plus
+// buffered).
+func (d *DynamicEngine) Len() int {
+	n := d.bufN
+	if d.base != nil {
+		n += d.base.Len()
+	}
+	return n
+}
+
+// Rebuilds reports how many times the index has been rebuilt.
+func (d *DynamicEngine) Rebuilds() int { return d.rebuilds }
+
+// Insert adds one weighted point. The first insert fixes the
+// dimensionality.
+func (d *DynamicEngine) Insert(p []float64, w float64) error {
+	if len(p) == 0 {
+		return errors.New("karl: empty point")
+	}
+	if d.buf == nil {
+		if d.base != nil && len(p) != d.base.Dims() {
+			return fmt.Errorf("karl: point has %d dims, engine has %d", len(p), d.base.Dims())
+		}
+		d.buf = vec.NewMatrix(64, len(p))
+	}
+	if len(p) != d.buf.Cols {
+		return fmt.Errorf("karl: point has %d dims, engine has %d", len(p), d.buf.Cols)
+	}
+	if d.bufN == d.buf.Rows {
+		grown := vec.NewMatrix(d.buf.Rows*2, d.buf.Cols)
+		copy(grown.Data, d.buf.Data)
+		d.buf = grown
+	}
+	copy(d.buf.Row(d.bufN), p)
+	d.bufW = append(d.bufW, w)
+	d.bufN++
+	if d.shouldRebuild() {
+		return d.Rebuild()
+	}
+	return nil
+}
+
+func (d *DynamicEngine) shouldRebuild() bool {
+	if d.bufN < minRebuild {
+		return false
+	}
+	if d.base == nil {
+		return true
+	}
+	return float64(d.bufN) > d.rebuildFrac*float64(d.base.Len())
+}
+
+// Rebuild absorbs the buffer into a fresh index immediately.
+func (d *DynamicEngine) Rebuild() error {
+	if d.bufN == 0 {
+		return nil
+	}
+	total := d.bufN
+	dims := d.buf.Cols
+	if d.base != nil {
+		total += d.base.Len()
+	}
+	m := vec.NewMatrix(total, dims)
+	w := make([]float64, total)
+	n := 0
+	if d.base != nil {
+		tree := d.base.tree
+		for i := 0; i < tree.Len(); i++ {
+			copy(m.Row(n), tree.Points.Row(i))
+			w[n] = tree.Weight(i)
+			n++
+		}
+	}
+	for i := 0; i < d.bufN; i++ {
+		copy(m.Row(n), d.buf.Row(i))
+		w[n] = d.bufW[i]
+		n++
+	}
+	opts := append(append([]Option{}, d.opts...), WithWeights(w))
+	eng, err := buildMatrix(m, d.kern, opts...)
+	if err != nil {
+		return err
+	}
+	d.base = eng
+	d.buf = vec.NewMatrix(64, dims)
+	d.bufW = d.bufW[:0]
+	d.bufN = 0
+	d.rebuilds++
+	return nil
+}
+
+// bufferAggregate evaluates the pending points exactly.
+func (d *DynamicEngine) bufferAggregate(q []float64) float64 {
+	var s float64
+	p := kernel.Params(d.kern)
+	for i := 0; i < d.bufN; i++ {
+		s += d.bufW[i] * p.Eval(q, d.buf.Row(i))
+	}
+	return s
+}
+
+func (d *DynamicEngine) checkQuery(q []float64) error {
+	if d.Len() == 0 {
+		return errors.New("karl: dynamic engine is empty")
+	}
+	dims := 0
+	if d.base != nil {
+		dims = d.base.Dims()
+	} else {
+		dims = d.buf.Cols
+	}
+	if len(q) != dims {
+		return fmt.Errorf("karl: query has %d dims, engine has %d", len(q), dims)
+	}
+	return nil
+}
+
+// Aggregate computes the exact aggregate over indexed plus buffered
+// points.
+func (d *DynamicEngine) Aggregate(q []float64) (float64, error) {
+	if err := d.checkQuery(q); err != nil {
+		return 0, err
+	}
+	s := d.bufferAggregate(q)
+	if d.base != nil {
+		base, err := d.base.Aggregate(q)
+		if err != nil {
+			return 0, err
+		}
+		s += base
+	}
+	return s, nil
+}
+
+// Threshold answers the TKAQ over the full current point set: the buffer
+// is folded into the threshold, so the indexed part still prunes.
+func (d *DynamicEngine) Threshold(q []float64, tau float64) (bool, error) {
+	if err := d.checkQuery(q); err != nil {
+		return false, err
+	}
+	bufSum := d.bufferAggregate(q)
+	if d.base == nil {
+		return bufSum > tau, nil
+	}
+	return d.base.Threshold(q, tau-bufSum)
+}
+
+// Approximate answers the eKAQ over the full current point set. With
+// non-negative weights the relative-error guarantee carries over (the
+// buffer contributes exactly); with mixed-sign weights the error is
+// relative to the indexed portion, which can exceed eps relative to the
+// total when the two parts nearly cancel.
+func (d *DynamicEngine) Approximate(q []float64, eps float64) (float64, error) {
+	if err := d.checkQuery(q); err != nil {
+		return 0, err
+	}
+	bufSum := d.bufferAggregate(q)
+	if d.base == nil {
+		return bufSum, nil
+	}
+	base, err := d.base.Approximate(q, eps)
+	if err != nil {
+		return 0, err
+	}
+	return base + bufSum, nil
+}

@@ -1,0 +1,159 @@
+package karl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDynamicValidation(t *testing.T) {
+	if _, err := NewDynamic(Gaussian(-1)); err == nil {
+		t.Fatal("bad kernel accepted")
+	}
+	if _, err := NewDynamic(Gaussian(1), WithWeights([]float64{1})); err == nil {
+		t.Fatal("WithWeights accepted")
+	}
+}
+
+func TestDynamicEmptyQueriesFail(t *testing.T) {
+	d, err := NewDynamic(Gaussian(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Aggregate([]float64{1}); err == nil {
+		t.Fatal("query on empty engine accepted")
+	}
+	if d.Len() != 0 {
+		t.Fatal("empty engine has non-zero length")
+	}
+}
+
+func TestDynamicInsertValidation(t *testing.T) {
+	d, _ := NewDynamic(Gaussian(1))
+	if err := d.Insert(nil, 1); err == nil {
+		t.Fatal("empty point accepted")
+	}
+	if err := d.Insert([]float64{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert([]float64{1}, 1); err == nil {
+		t.Fatal("dimension change accepted")
+	}
+	if _, err := d.Aggregate([]float64{1}); err == nil {
+		t.Fatal("wrong-dim query accepted")
+	}
+}
+
+// TestDynamicMatchesStatic inserts points one by one and checks, at several
+// checkpoints, that every query answer equals a from-scratch static build.
+func TestDynamicMatchesStatic(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	d, err := NewDynamic(Gaussian(6), WithIndex(KDTree, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts [][]float64
+	var ws []float64
+	checkpoints := map[int]bool{1: true, 63: true, 64: true, 255: true, 256: true, 900: true, 2000: true}
+	for n := 1; n <= 2000; n++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		w := rng.NormFloat64() // mixed signs
+		pts = append(pts, p)
+		ws = append(ws, w)
+		if err := d.Insert(p, w); err != nil {
+			t.Fatal(err)
+		}
+		if !checkpoints[n] {
+			continue
+		}
+		if d.Len() != n {
+			t.Fatalf("Len = %d want %d", d.Len(), n)
+		}
+		static, err := Build(pts, Gaussian(6), WithWeights(ws), WithIndex(KDTree, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 5; qi++ {
+			q := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			want, _ := static.Aggregate(q)
+			got, err := d.Aggregate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("n=%d: Aggregate %v want %v", n, got, want)
+			}
+			tau := want * 1.01
+			gotTh, err := d.Threshold(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantTh := want > tau; gotTh != wantTh && math.Abs(want-tau) > 1e-9 {
+				t.Fatalf("n=%d: Threshold %v want %v", n, gotTh, wantTh)
+			}
+		}
+	}
+	if d.Rebuilds() == 0 {
+		t.Fatal("2000 inserts should have triggered at least one rebuild")
+	}
+}
+
+func TestDynamicApproximateGuaranteePositiveWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	d, _ := NewDynamic(Gaussian(4))
+	var pts [][]float64
+	for n := 0; n < 1500; n++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		pts = append(pts, p)
+		if err := d.Insert(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	static, _ := Build(pts, Gaussian(4))
+	for qi := 0; qi < 20; qi++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		exact, _ := static.Aggregate(q)
+		got, err := d.Approximate(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact == 0 {
+			continue
+		}
+		if rel := math.Abs(got-exact) / exact; rel > 0.1+1e-9 {
+			t.Fatalf("rel error %v", rel)
+		}
+	}
+}
+
+func TestDynamicManualRebuild(t *testing.T) {
+	d, _ := NewDynamic(Gaussian(2))
+	for i := 0; i < 10; i++ {
+		if err := d.Insert([]float64{float64(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Rebuilds() != 0 {
+		t.Fatal("tiny buffer should not auto-rebuild")
+	}
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d", d.Rebuilds())
+	}
+	// Rebuild with empty buffer is a no-op.
+	if err := d.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rebuilds() != 1 {
+		t.Fatal("empty rebuild should not count")
+	}
+	got, err := d.Aggregate([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Fatalf("Aggregate = %v", got)
+	}
+}

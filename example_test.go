@@ -1,0 +1,65 @@
+package karl_test
+
+import (
+	"fmt"
+
+	"karl"
+)
+
+// grid4 is a tiny deterministic dataset: a 4×4 lattice in [0,1]².
+func grid4() [][]float64 {
+	var pts [][]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			pts = append(pts, []float64{float64(i) / 3, float64(j) / 3})
+		}
+	}
+	return pts
+}
+
+func ExampleBuild() {
+	eng, err := karl.Build(grid4(), karl.Gaussian(1))
+	if err != nil {
+		panic(err)
+	}
+	q := []float64{0.5, 0.5}
+	exact, _ := eng.Aggregate(q)
+	over, _ := eng.Threshold(q, 10)
+	fmt.Printf("F(q) = %.4f, F(q) > 10: %v\n", exact, over)
+	// Output: F(q) = 12.2697, F(q) > 10: true
+}
+
+func ExampleEngine_Approximate() {
+	eng, err := karl.Build(grid4(), karl.Gaussian(1))
+	if err != nil {
+		panic(err)
+	}
+	exact, _ := eng.Aggregate([]float64{0, 0})
+	approx, _ := eng.Approximate([]float64{0, 0}, 0.1)
+	within := approx >= 0.9*exact && approx <= 1.1*exact
+	fmt.Printf("within ±10%%: %v\n", within)
+	// Output: within ±10%: true
+}
+
+func ExampleNewKDE() {
+	kde, err := karl.NewKDEWithGamma(grid4(), 4)
+	if err != nil {
+		panic(err)
+	}
+	center, _ := kde.Density([]float64{0.5, 0.5}, 0.05)
+	corner, _ := kde.Density([]float64{-1, -1}, 0.05)
+	fmt.Printf("center denser than far corner: %v\n", center > corner)
+	// Output: center denser than far corner: true
+}
+
+func ExampleNewSVM() {
+	// A hand-built decision function: one support vector at the origin.
+	m, err := karl.NewSVM([][]float64{{0, 0}}, []float64{1}, 0.5, karl.Gaussian(1))
+	if err != nil {
+		panic(err)
+	}
+	near, _ := m.Classify([]float64{0.2, 0})
+	far, _ := m.Classify([]float64{3, 0})
+	fmt.Printf("near: %v, far: %v\n", near, far)
+	// Output: near: true, far: false
+}

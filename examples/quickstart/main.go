@@ -1,0 +1,87 @@
+// Quickstart: index a weighted point set and run the two query types of
+// the paper — threshold (TKAQ) and approximate (eKAQ) kernel aggregation —
+// then peek at the pruning statistics that explain KARL's speedups.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"karl"
+)
+
+func main() {
+	// A clustered dataset: three blobs in [0,1]².
+	rng := rand.New(rand.NewSource(42))
+	const n = 10000
+	points := make([][]float64, n)
+	for i := range points {
+		cx, cy := 0.2, 0.2
+		switch i % 3 {
+		case 1:
+			cx, cy = 0.8, 0.3
+		case 2:
+			cx, cy = 0.5, 0.8
+		}
+		points[i] = []float64{cx + rng.NormFloat64()*0.05, cy + rng.NormFloat64()*0.05}
+	}
+
+	// Build a KARL engine with a Gaussian kernel.
+	eng, err := karl.Build(points, karl.Gaussian(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d points in %d dimensions\n", eng.Len(), eng.Dims())
+
+	q := []float64{0.21, 0.19} // inside the first blob
+
+	// Exact aggregation (reference).
+	exact, err := eng.Aggregate(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact F(q)       = %.2f\n", exact)
+
+	// TKAQ: is the aggregate above a threshold? KARL answers without
+	// computing F exactly — see how few points it touches.
+	over, stats, err := eng.ThresholdStats(q, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("F(q) > 1000      = %v  (scanned %d of %d points, %d iterations)\n",
+		over, stats.PointsScanned, eng.Len(), stats.Iterations)
+
+	// eKAQ: approximate F within ±5%.
+	approx, stats, err := eng.ApproximateStats(q, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("F(q) ± 5%%        = %.2f (true error %.2f%%, scanned %d points)\n",
+		approx, 100*abs(approx-exact)/exact, stats.PointsScanned)
+
+	// The same queries with the prior state-of-the-art bounds touch far
+	// more of the tree.
+	sota, err := karl.Build(points, karl.Gaussian(50), karl.WithMethod(karl.MethodSOTA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, sotaStats, err := sota.ThresholdStats(q, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SOTA bounds used %d iterations for the same TKAQ (KARL: %d)\n",
+		sotaStats.Iterations, statsIter(eng, q))
+}
+
+func statsIter(eng *karl.Engine, q []float64) int {
+	_, st, _ := eng.ThresholdStats(q, 1000)
+	return st.Iterations
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module karl
+
+go 1.22

@@ -1,0 +1,108 @@
+// Package balltree builds the ball-tree variant of KARL's hierarchical
+// index (Uhlmann's metric tree / Moore's anchors construction as used by
+// Scikit-learn): nodes are bounded by centroid balls and split by the
+// farthest-pair heuristic.
+package balltree
+
+import (
+	"fmt"
+
+	"karl/internal/geom"
+	"karl/internal/index"
+	"karl/internal/vec"
+)
+
+// Build constructs a ball-tree over points with the given per-point weights
+// (nil for unit weights) and leaf capacity. The matrix is referenced, not
+// copied.
+func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, error) {
+	if points == nil || points.Rows == 0 {
+		return nil, fmt.Errorf("balltree: empty point set")
+	}
+	if leafCap < 1 {
+		return nil, fmt.Errorf("balltree: leaf capacity must be >= 1, got %d", leafCap)
+	}
+	if weights != nil && len(weights) != points.Rows {
+		return nil, fmt.Errorf("balltree: %d weights for %d points", len(weights), points.Rows)
+	}
+	t := &index.Tree{
+		Kind:    index.BallTree,
+		Points:  points,
+		Weights: weights,
+		Idx:     make([]int, points.Rows),
+		LeafCap: leafCap,
+	}
+	for i := range t.Idx {
+		t.Idx[i] = i
+	}
+	b := builder{t: t}
+	t.Root = b.build(0, points.Rows, 0)
+	t.Height = b.height
+	t.Nodes = b.nodes
+	t.ComputeAggregates()
+	return t, nil
+}
+
+type builder struct {
+	t      *index.Tree
+	height int
+	nodes  int
+}
+
+func (b *builder) build(start, end, depth int) *index.Node {
+	b.nodes++
+	if depth+1 > b.height {
+		b.height = depth + 1
+	}
+	t := b.t
+	ball := geom.BoundRowsBall(t.Points, t.Idx, start, end)
+	n := &index.Node{Vol: ball, Start: start, End: end, Depth: depth}
+	if end-start <= t.LeafCap || ball.Radius == 0 {
+		// Zero radius means all points coincide; splitting cannot help.
+		return n
+	}
+	mid := b.partition(start, end, ball.Center)
+	if mid == start || mid == end {
+		// Degenerate split (e.g. heavy duplication); keep an oversized leaf
+		// rather than recurse forever.
+		return n
+	}
+	n.Left = b.build(start, mid, depth+1)
+	n.Right = b.build(mid, end, depth+1)
+	return n
+}
+
+// partition implements the farthest-pair split: pick the point a farthest
+// from the node centroid, then the point c farthest from a, and route every
+// point to whichever anchor is closer. Returns the boundary position; the
+// range [start,mid) holds the points closer to a.
+func (b *builder) partition(start, end int, centroid []float64) int {
+	t := b.t
+	row := func(i int) []float64 { return t.Points.Row(t.Idx[i]) }
+	far := func(from []float64) int {
+		best, bestD := start, -1.0
+		for i := start; i < end; i++ {
+			if d := vec.Dist2(from, row(i)); d > bestD {
+				best, bestD = i, d
+			}
+		}
+		return best
+	}
+	a := vec.Clone(row(far(centroid)))
+	c := vec.Clone(row(far(a)))
+	lo, hi := start, end-1
+	for lo <= hi {
+		for lo <= hi && vec.Dist2(a, row(lo)) <= vec.Dist2(c, row(lo)) {
+			lo++
+		}
+		for lo <= hi && vec.Dist2(a, row(hi)) > vec.Dist2(c, row(hi)) {
+			hi--
+		}
+		if lo < hi {
+			t.Idx[lo], t.Idx[hi] = t.Idx[hi], t.Idx[lo]
+			lo++
+			hi--
+		}
+	}
+	return lo
+}

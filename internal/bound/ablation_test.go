@@ -1,0 +1,46 @@
+package bound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl/internal/geom"
+	"karl/internal/kernel"
+)
+
+func TestAblationMethodStrings(t *testing.T) {
+	if KARLLowerOnly.String() != "KARL-LB-only" || KARLUpperOnly.String() != "KARL-UB-only" {
+		t.Fatal("ablation Method.String mismatch")
+	}
+}
+
+// TestAblationBoundsComposition verifies the hybrid methods compose exactly
+// the advertised halves and remain valid.
+func TestAblationBoundsComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	k := kernel.NewGaussian(1.5)
+	for trial := 0; trial < 60; trial++ {
+		tc := makeCase(rng, 1+rng.Intn(25), 1+rng.Intn(5), math.Pow(10, rng.Float64()*2-1))
+		for _, vol := range []geom.Volume{tc.rect, tc.ball} {
+			sLB, sUB := ClassBounds(SOTA, k, tc.qc, vol, &tc.agg)
+			kLB, kUB := ClassBounds(KARL, k, tc.qc, vol, &tc.agg)
+			loLB, loUB := ClassBounds(KARLLowerOnly, k, tc.qc, vol, &tc.agg)
+			upLB, upUB := ClassBounds(KARLUpperOnly, k, tc.qc, vol, &tc.agg)
+			if loLB != kLB || loUB != sUB {
+				t.Fatalf("KARLLowerOnly = [%v,%v], want [%v,%v]", loLB, loUB, kLB, sUB)
+			}
+			if upLB != sLB || upUB != kUB {
+				t.Fatalf("KARLUpperOnly = [%v,%v], want [%v,%v]", upLB, upUB, sLB, kUB)
+			}
+			exact := tc.exact(k)
+			tol := 1e-9 * (1 + math.Abs(exact))
+			for _, m := range []Method{KARLLowerOnly, KARLUpperOnly} {
+				lb, ub := ClassBounds(m, k, tc.qc, vol, &tc.agg)
+				if lb > exact+tol || ub < exact-tol {
+					t.Fatalf("%v: [%v,%v] excludes %v", m, lb, ub, exact)
+				}
+			}
+		}
+	}
+}

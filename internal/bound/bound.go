@@ -1,0 +1,311 @@
+// Package bound implements the lower/upper bound functions that drive
+// kernel aggregation pruning: the state-of-the-art (SOTA) bounds of
+// Gray & Moore / Gan & Bailis, which evaluate the kernel at the node's
+// extreme distances, and KARL's linear bound functions (Section III of the
+// paper), which bound the outer scalar function by straight lines over the
+// node's scalar interval and aggregate them in O(d).
+//
+// The central observation that keeps every KARL bound O(d): a linear bound
+// L(x) = m·x + c aggregates as Σ w_i·L(x_i) = W·L(x̄) where x̄ is the
+// weighted mean of the scalar arguments, and x̄ is available from the
+// precomputed node statistics of index.Agg (Lemmas 2 and 5). So each bound
+// below reduces to evaluating one well-chosen linear function at x̄:
+//
+//   - Upper bound, convex region: the chord over [a,b] (Lemma 3, Figure 4).
+//   - Lower bound, convex region: the optimal tangent — Theorems 1–2 show
+//     the best tangency point is t = x̄, collapsing to W·f(x̄) (Jensen).
+//   - Odd-degree polynomial and sigmoid kernels have one inflection point;
+//     on an interval straddling it the bound line pivots on an endpoint and
+//     rotates until tangent to the curved side (Section IV-B, Figure 8),
+//     with the chord as the degenerate fallback.
+package bound
+
+import (
+	"fmt"
+	"math"
+
+	"karl/internal/geom"
+	"karl/internal/index"
+	"karl/internal/kernel"
+	"karl/internal/vec"
+)
+
+// Method selects the bounding technique.
+type Method int
+
+const (
+	// SOTA evaluates the kernel at the node's extreme scalar values
+	// (Section II-B): lb = W·min f, ub = W·max f over the interval.
+	SOTA Method = iota
+	// KARL uses the linear bound functions of Section III.
+	KARL
+	// KARLLowerOnly is an ablation: KARL's optimal-tangent lower bound
+	// paired with SOTA's upper bound. It isolates the contribution of the
+	// paper's Theorem 1/2 tangent construction.
+	KARLLowerOnly
+	// KARLUpperOnly is an ablation: KARL's chord upper bound paired with
+	// SOTA's lower bound. It isolates the contribution of the Lemma 3
+	// chord construction.
+	KARLUpperOnly
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case SOTA:
+		return "SOTA"
+	case KARL:
+		return "KARL"
+	case KARLLowerOnly:
+		return "KARL-LB-only"
+	case KARLUpperOnly:
+		return "KARL-UB-only"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// QueryCtx carries the per-query values shared by every node bound
+// computation. Build it once per query with NewQueryCtx.
+type QueryCtx struct {
+	Q     []float64
+	Norm2 float64 // ‖q‖²
+}
+
+// NewQueryCtx precomputes the reusable query terms.
+func NewQueryCtx(q []float64) *QueryCtx {
+	return &QueryCtx{Q: q, Norm2: vec.Norm2(q)}
+}
+
+// Interval returns the scalar interval [a,b] of x over the volume for the
+// given kernel: γ·[mindist², maxdist²] for the Gaussian, γ·[IPmin,IPmax]+β
+// for dot-product kernels (γ > 0 preserves order).
+func Interval(k kernel.Params, qc *QueryCtx, vol geom.Volume) (a, b float64) {
+	if k.DistanceBased() {
+		return k.Gamma * vol.MinDist2(qc.Q), k.Gamma * vol.MaxDist2(qc.Q)
+	}
+	return k.Gamma*vol.IPMin(qc.Q) + k.Beta, k.Gamma*vol.IPMax(qc.Q) + k.Beta
+}
+
+// mean returns the weighted mean x̄ of the scalar arguments over one sign
+// class, clamped into [a,b] to absorb floating-point drift. Returns
+// (0,false) for an empty class.
+func mean(k kernel.Params, qc *QueryCtx, agg *index.Agg, a, b float64) (float64, bool) {
+	if agg.Count == 0 || agg.W <= 0 {
+		return 0, false
+	}
+	var xbar float64
+	if k.DistanceBased() {
+		xbar = k.Gamma * agg.WeightedDist2Sum(qc.Q, qc.Norm2) / agg.W
+	} else {
+		xbar = k.Gamma*agg.WeightedDotSum(qc.Q)/agg.W + k.Beta
+	}
+	return math.Min(math.Max(xbar, a), b), true
+}
+
+// ClassBounds bounds the one-sign-class aggregation Σ |w_i|·K(q,p_i) over a
+// node: lb ≤ Σ ≤ ub. The weights in agg are non-negative by construction.
+func ClassBounds(m Method, k kernel.Params, qc *QueryCtx, vol geom.Volume, agg *index.Agg) (lb, ub float64) {
+	if agg.Count == 0 {
+		return 0, 0
+	}
+	a, b := Interval(k, qc, vol)
+	switch m {
+	case SOTA:
+		lo, hi := outerRange(k, a, b)
+		return agg.W * lo, agg.W * hi
+	case KARLLowerOnly:
+		kLB, _ := ClassBounds(KARL, k, qc, vol, agg)
+		_, sUB := ClassBounds(SOTA, k, qc, vol, agg)
+		return kLB, sUB
+	case KARLUpperOnly:
+		sLB, _ := ClassBounds(SOTA, k, qc, vol, agg)
+		_, kUB := ClassBounds(KARL, k, qc, vol, agg)
+		return sLB, kUB
+	case KARL:
+		xbar, ok := mean(k, qc, agg, a, b)
+		if !ok {
+			return 0, 0
+		}
+		lo, hi := linearBoundsAt(k, a, b, xbar)
+		// The paper proves KARL tighter than SOTA for the Gaussian kernel
+		// (Lemmas 3–4); for the pivot-rotation bounds of Section IV-B a
+		// rotated line can locally dip outside the endpoint range, so clamp
+		// against the (already computed endpoint) SOTA bounds to make
+		// KARL's bounds never looser for any kernel.
+		sLo, sHi := outerRange(k, a, b)
+		lo = math.Max(lo, sLo)
+		hi = math.Min(hi, sHi)
+		return agg.W * lo, agg.W * hi
+	default:
+		panic("bound: unknown method")
+	}
+}
+
+// NodeBounds bounds the full signed aggregation of a node, combining the
+// positive and negative weight classes per Section IV-A:
+// lb = lb⁺ − ub⁻, ub = ub⁺ − lb⁻.
+func NodeBounds(m Method, k kernel.Params, qc *QueryCtx, n *index.Node) (lb, ub float64) {
+	lbP, ubP := ClassBounds(m, k, qc, n.Vol, &n.Pos)
+	if n.Neg.Count == 0 {
+		return lbP, ubP
+	}
+	lbN, ubN := ClassBounds(m, k, qc, n.Vol, &n.Neg)
+	return lbP - ubN, ubP - lbN
+}
+
+// outerRange returns the min and max of the outer kernel function over
+// [a,b] — the SOTA bounds per unit weight.
+func outerRange(k kernel.Params, a, b float64) (lo, hi float64) {
+	switch k.Kind {
+	case kernel.Gaussian, kernel.Epanechnikov, kernel.Quartic:
+		// All three are decreasing in the scalar argument.
+		return k.Outer(b), k.Outer(a)
+	case kernel.Sigmoid:
+		// tanh is increasing.
+		return math.Tanh(a), math.Tanh(b)
+	case kernel.Polynomial:
+		fa, fb := k.Outer(a), k.Outer(b)
+		if k.Degree%2 == 1 {
+			// Odd degree is increasing.
+			return fa, fb
+		}
+		// Even degree: minimum at 0 when the interval straddles it.
+		hi = math.Max(fa, fb)
+		if a <= 0 && 0 <= b {
+			return 0, hi
+		}
+		return math.Min(fa, fb), hi
+	default:
+		panic("bound: unknown kernel")
+	}
+}
+
+// linearBoundsAt returns the values at x̄ of KARL's tightest linear lower
+// and upper bound functions for the outer function over [a,b]. Because
+// every linear bound aggregates to W·L(x̄), these two numbers are all the
+// caller needs.
+func linearBoundsAt(k kernel.Params, a, b, xbar float64) (lo, hi float64) {
+	f := k.Outer
+	if b-a <= degenerateWidth*(1+math.Abs(a)+math.Abs(b)) {
+		v := f(xbar)
+		return v, v
+	}
+	switch k.Kind {
+	case kernel.Gaussian, kernel.Epanechnikov, kernel.Quartic:
+		// exp(−x), max(0,1−x) and max(0,1−x)² are convex everywhere.
+		return jensenLo(f, xbar), chordAt(f, a, b, xbar)
+	case kernel.Polynomial:
+		if k.Degree%2 == 0 {
+			// Even degree is convex everywhere.
+			return jensenLo(f, xbar), chordAt(f, a, b, xbar)
+		}
+		return inflectBounds(k, a, b, xbar, true)
+	case kernel.Sigmoid:
+		return inflectBounds(k, a, b, xbar, false)
+	default:
+		panic("bound: unknown kernel")
+	}
+}
+
+// degenerateWidth is the relative interval width below which the chord and
+// tangent constructions become numerically meaningless; the interval is
+// then treated as a point.
+const degenerateWidth = 1e-12
+
+// jensenLo is the optimal-tangent lower bound of a convex f evaluated at
+// the tangency point x̄ itself: tangent-at-x̄ evaluated at x̄ is f(x̄)
+// (Theorems 1 and 2).
+func jensenLo(f func(float64) float64, xbar float64) float64 { return f(xbar) }
+
+// chordAt evaluates the chord of f over [a,b] at x.
+func chordAt(f func(float64) float64, a, b, x float64) float64 {
+	fa, fb := f(a), f(b)
+	return fa + (fb-fa)*(x-a)/(b-a)
+}
+
+// inflectBounds handles outer functions with a single inflection point at
+// x = 0 and monotone increase: odd-degree polynomials (concave then convex,
+// convexRight=true) and tanh (convex then concave, convexRight=false).
+// Returns the lower and upper linear bound values at x̄.
+func inflectBounds(k kernel.Params, a, b, xbar float64, convexRight bool) (lo, hi float64) {
+	f, fp := k.Outer, k.OuterDeriv
+	switch {
+	case a >= 0:
+		if convexRight {
+			// Fully convex region.
+			return jensenLo(f, xbar), chordAt(f, a, b, xbar)
+		}
+		// Fully concave region: mirror of the convex case.
+		return chordAt(f, a, b, xbar), f(xbar)
+	case b <= 0:
+		if convexRight {
+			// Fully concave region.
+			return chordAt(f, a, b, xbar), f(xbar)
+		}
+		return jensenLo(f, xbar), chordAt(f, a, b, xbar)
+	}
+	// Mixed interval a < 0 < b: one bound comes from the convex-side rule
+	// evaluated via a pivot-rotation line, the other likewise (Figure 8).
+	if convexRight {
+		// Upper bound: pivot at (b, f(b)), tangency on the concave side
+		// [a, 0]; rotate-down construction.
+		hi = pivotLineAt(f, fp, b, a, 0, a, b, xbar, true)
+		// Lower bound: pivot at (a, f(a)), tangency on the convex side
+		// [0, b]; rotate-up construction.
+		lo = pivotLineAt(f, fp, a, 0, b, a, b, xbar, false)
+		return lo, hi
+	}
+	// tanh: upper bound pivots at (a, f(a)) with tangency on the concave
+	// side [0, b]; lower bound pivots at (b, f(b)) with tangency on the
+	// convex side [a, 0].
+	hi = pivotLineAt(f, fp, a, 0, b, a, b, xbar, true)
+	lo = pivotLineAt(f, fp, b, a, 0, a, b, xbar, false)
+	return lo, hi
+}
+
+// pivotLineAt constructs the line through (pivot, f(pivot)) that is tangent
+// to f at some t in the curved search interval [searchLo, searchHi], and
+// evaluates it at x. When no tangency exists inside the search interval the
+// binding constraint is the opposite endpoint, so the chord over [a, b] is
+// the correct (and valid) line. upper selects which side of the residual
+// tangency error is safe: an upper-bound line must satisfy
+// L_t(pivot) ≥ f(pivot), a lower-bound line the reverse, so after bisection
+// the bracket endpoint with the correctly-signed residual is used.
+func pivotLineAt(f, fp func(float64) float64, pivot, searchLo, searchHi, a, b, x float64, upper bool) float64 {
+	// g(t) = L_t(pivot) − f(pivot) where L_t is the tangent of f at t.
+	g := func(t float64) float64 { return f(t) + fp(t)*(pivot-t) - f(pivot) }
+	lineAt := func(t float64) float64 { return f(t) + fp(t)*(x-t) }
+	gLo, gHi := g(searchLo), g(searchHi)
+	if gLo == 0 {
+		return lineAt(searchLo)
+	}
+	if gHi == 0 {
+		return lineAt(searchHi)
+	}
+	if (gLo > 0) == (gHi > 0) {
+		// No tangency in the curved region: the binding slope constraint is
+		// the far endpoint, so the chord over the full interval is both
+		// valid and tightest.
+		return chordAt(f, a, b, x)
+	}
+	lo, hi := searchLo, searchHi
+	for i := 0; i < tangencyIters; i++ {
+		mid := 0.5 * (lo + hi)
+		if (g(mid) > 0) == (gLo > 0) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Land on the side whose residual keeps the line valid.
+	t := lo
+	if (g(t) >= 0) != upper {
+		t = hi
+	}
+	return lineAt(t)
+}
+
+// tangencyIters bounds the bisection for the pivot-rotation tangency; 60
+// halvings reach float64 resolution on any practical interval.
+const tangencyIters = 60

@@ -1,0 +1,99 @@
+package bound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl/internal/geom"
+	"karl/internal/kernel"
+)
+
+// truncatedKernels are the compact-support KDE kernels added beyond the
+// paper's three.
+var truncatedKernels = []kernel.Params{
+	kernel.NewEpanechnikov(0.5),
+	kernel.NewEpanechnikov(3),
+	kernel.NewQuartic(0.5),
+	kernel.NewQuartic(3),
+}
+
+// TestTruncatedKernelBoundValidity extends the central soundness property
+// to the Epanechnikov and quartic kernels, whose kink at x = 1 is the
+// interesting case.
+func TestTruncatedKernelBoundValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(30)
+		d := 1 + rng.Intn(5)
+		spread := math.Pow(10, rng.Float64()*2-1)
+		tc := makeCase(rng, n, d, spread)
+		for _, k := range truncatedKernels {
+			exact := tc.exact(k)
+			tol := 1e-9 * (1 + math.Abs(exact))
+			for _, vol := range []geom.Volume{tc.rect, tc.ball} {
+				for _, m := range []Method{SOTA, KARL} {
+					lb, ub := ClassBounds(m, k, tc.qc, vol, &tc.agg)
+					if lb > exact+tol || ub < exact-tol {
+						t.Fatalf("trial %d %v %v: [%v,%v] excludes %v",
+							trial, m, k.Kind, lb, ub, exact)
+					}
+				}
+				// KARL never looser than SOTA here either.
+				sLB, sUB := ClassBounds(SOTA, k, tc.qc, vol, &tc.agg)
+				kLB, kUB := ClassBounds(KARL, k, tc.qc, vol, &tc.agg)
+				if kLB < sLB-tol || kUB > sUB+tol {
+					t.Fatalf("trial %d %v: KARL [%v,%v] looser than SOTA [%v,%v]",
+						trial, k.Kind, kLB, kUB, sLB, sUB)
+				}
+			}
+		}
+	}
+}
+
+// TestTruncatedKernelExactWhenOutOfSupport verifies the strongest pruning
+// case: a node entirely outside the kernel support has bounds [0,0] under
+// both methods.
+func TestTruncatedKernelExactWhenOutOfSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	tc := makeCase(rng, 20, 3, 0.1)
+	// Query far away: γ·mindist² > 1 for sure.
+	for j := range tc.q {
+		tc.q[j] = 100
+	}
+	tc.qc = NewQueryCtx(tc.q)
+	for _, k := range truncatedKernels {
+		for _, m := range []Method{SOTA, KARL} {
+			lb, ub := ClassBounds(m, k, tc.qc, tc.rect, &tc.agg)
+			if lb != 0 || ub != 0 {
+				t.Fatalf("%v %v: out-of-support bounds [%v,%v], want [0,0]", m, k.Kind, lb, ub)
+			}
+		}
+	}
+}
+
+// TestEpanechnikovExactInsideLinearRegion checks the special sharpness of
+// the linear kernel: when the node interval stays inside the support
+// (x_max < 1), the chord IS the function, so KARL's upper bound equals the
+// exact aggregate, and so does the Jensen lower bound.
+func TestEpanechnikovExactInsideLinearRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	for trial := 0; trial < 40; trial++ {
+		tc := makeCase(rng, 1+rng.Intn(20), 1+rng.Intn(4), 0.05)
+		// Query close to the cluster so all scalars stay below 1.
+		copy(tc.q, tc.pts.Row(0))
+		tc.qc = NewQueryCtx(tc.q)
+		k := kernel.NewEpanechnikov(0.01) // tiny γ keeps x ≪ 1
+		a, b := Interval(k, tc.qc, tc.rect)
+		if b >= 1 {
+			continue // geometry too wide this trial; the property needs x<1
+		}
+		_ = a
+		exact := tc.exact(k)
+		lb, ub := ClassBounds(KARL, k, tc.qc, tc.rect, &tc.agg)
+		tol := 1e-9 * (1 + math.Abs(exact))
+		if math.Abs(lb-exact) > tol || math.Abs(ub-exact) > tol {
+			t.Fatalf("trial %d: linear-region bounds [%v,%v] not exact %v", trial, lb, ub, exact)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"karl/internal/bound"
+	"karl/internal/kdtree"
+	"karl/internal/kernel"
+)
+
+// TestAblationIterationOrdering runs the same TKAQ workload under the four
+// bounding methods and checks the expected dominance in total refinement
+// work: full KARL needs no more iterations than either single-sided
+// ablation, and every ablation needs no more than SOTA. (Per-query paths
+// can diverge — priorities differ — so the assertion is on workload
+// totals.)
+func TestAblationIterationOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	n, d := 6000, 5
+	m := makeClustered(rng, n, d, 5, 0.03)
+	tr, err := kdtree.Build(m, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.NewGaussian(10)
+	methods := []bound.Method{bound.SOTA, bound.KARL, bound.KARLLowerOnly, bound.KARLUpperOnly}
+	totals := map[bound.Method]int{}
+	engines := map[bound.Method]*Engine{}
+	for _, method := range methods {
+		e, err := New(tr, k, WithMethod(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[method] = e
+	}
+	exactEng := engines[bound.KARL]
+	for qi := 0; qi < 30; qi++ {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		exact, _ := exactEng.Exact(q)
+		tau := exact * 1.05
+		var answers []bool
+		for _, method := range methods {
+			got, st, err := engines[method].Threshold(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totals[method] += st.Iterations
+			answers = append(answers, got)
+		}
+		for i := 1; i < len(answers); i++ {
+			if answers[i] != answers[0] {
+				t.Fatalf("q %d: methods disagree: %v", qi, answers)
+			}
+		}
+	}
+	if totals[bound.KARL] > totals[bound.KARLLowerOnly] || totals[bound.KARL] > totals[bound.KARLUpperOnly] {
+		t.Fatalf("full KARL (%d iters) should not exceed ablations (LB-only %d, UB-only %d)",
+			totals[bound.KARL], totals[bound.KARLLowerOnly], totals[bound.KARLUpperOnly])
+	}
+	if totals[bound.KARLLowerOnly] > totals[bound.SOTA] || totals[bound.KARLUpperOnly] > totals[bound.SOTA] {
+		t.Fatalf("ablations (LB-only %d, UB-only %d) should not exceed SOTA (%d)",
+			totals[bound.KARLLowerOnly], totals[bound.KARLUpperOnly], totals[bound.SOTA])
+	}
+	t.Logf("iterations: SOTA=%d LB-only=%d UB-only=%d KARL=%d",
+		totals[bound.SOTA], totals[bound.KARLLowerOnly], totals[bound.KARLUpperOnly], totals[bound.KARL])
+}

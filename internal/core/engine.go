@@ -1,0 +1,236 @@
+// Package core implements KARL's query engine — the paper's primary
+// contribution. It evaluates threshold kernel aggregation queries (TKAQ)
+// and approximate kernel aggregation queries (eKAQ) by best-first
+// refinement over a hierarchical index (the framework of Section II-B,
+// Table V), parameterized by the bounding method: the state-of-the-art
+// min/max-distance bounds or KARL's linear bound functions (Section III).
+//
+// All three weighting types are supported transparently: node aggregates
+// carry separate positive and negative weight classes, and bound.NodeBounds
+// performs the P⁺/P⁻ decomposition of Section IV-A, so a 2-class SVM model
+// (Type III) runs through the same loop as kernel density estimation
+// (Type I).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"karl/internal/bound"
+	"karl/internal/index"
+	"karl/internal/kernel"
+	"karl/internal/pqueue"
+)
+
+// Engine answers kernel aggregation queries over one indexed point set.
+// Engines are cheap to construct; the expensive state (the index) is
+// shared. An Engine is not safe for concurrent use — clone one per
+// goroutine (the clones share the tree).
+type Engine struct {
+	tree   *index.Tree
+	kern   kernel.Params
+	method bound.Method
+
+	// maxDepth, when positive, treats nodes at that depth as leaves. This
+	// simulates the truncated tree T_i used by the in-situ online tuning of
+	// Section III-C without rebuilding anything.
+	maxDepth int
+
+	queue pqueue.Queue[entry]
+}
+
+// entry is a queued index node together with the bound contribution it
+// currently adds to the global bounds, so the pop path need not recompute
+// them.
+type entry struct {
+	n      *index.Node
+	lb, ub float64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMethod selects the bounding technique (default bound.KARL).
+func WithMethod(m bound.Method) Option { return func(e *Engine) { e.method = m } }
+
+// WithMaxDepth truncates refinement at the given depth (0 = unlimited),
+// simulating the top-i-level tree of the in-situ scenario.
+func WithMaxDepth(depth int) Option { return func(e *Engine) { e.maxDepth = depth } }
+
+// New creates an engine over a built index.
+func New(tree *index.Tree, kern kernel.Params, opts ...Option) (*Engine, error) {
+	if tree == nil || tree.Root == nil {
+		return nil, errors.New("core: nil or empty index")
+	}
+	if err := kern.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{tree: tree, kern: kern, method: bound.KARL}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Clone returns an engine sharing the same tree and configuration but with
+// independent scratch state, for use from another goroutine.
+func (e *Engine) Clone() *Engine {
+	return &Engine{tree: e.tree, kern: e.kern, method: e.method, maxDepth: e.maxDepth}
+}
+
+// Tree exposes the underlying index (read-only by convention).
+func (e *Engine) Tree() *index.Tree { return e.tree }
+
+// Kernel returns the engine's kernel parameters.
+func (e *Engine) Kernel() kernel.Params { return e.kern }
+
+// Method returns the engine's bounding method.
+func (e *Engine) Method() bound.Method { return e.method }
+
+// Stats reports the work one query performed.
+type Stats struct {
+	// Iterations is the number of priority-queue pops (Table V steps).
+	Iterations int
+	// NodesExpanded counts internal nodes whose children were scored.
+	NodesExpanded int
+	// PointsScanned counts points evaluated exactly at leaves.
+	PointsScanned int
+	// LB and UB are the final global bounds when the query terminated.
+	LB, UB float64
+}
+
+// checkQuery validates the query point dimensionality.
+func (e *Engine) checkQuery(q []float64) error {
+	if len(q) != e.tree.Dims() {
+		return fmt.Errorf("core: query has %d dims, index has %d", len(q), e.tree.Dims())
+	}
+	return nil
+}
+
+// atFrontier reports whether refinement must stop at this node and evaluate
+// it exactly: true for leaves and for nodes at the simulated depth limit.
+func (e *Engine) atFrontier(n *index.Node) bool {
+	return n.IsLeaf() || (e.maxDepth > 0 && n.Depth >= e.maxDepth)
+}
+
+// exactNode computes the exact signed aggregation of a frontier node.
+func (e *Engine) exactNode(q []float64, n *index.Node) float64 {
+	t := e.tree
+	return kernel.AggregateRange(e.kern, q, t.Points, t.Weights, t.Idx, n.Start, n.End)
+}
+
+// refine runs the best-first loop until done returns true or the bounds are
+// exact. It returns the final bounds. done is probed after initialization
+// and after every iteration.
+func (e *Engine) refine(q []float64, done func(lb, ub float64) bool, stats *Stats, trace func(lb, ub float64)) (lb, ub float64) {
+	qc := bound.NewQueryCtx(q)
+	e.queue.Reset()
+
+	push := func(n *index.Node) (nlb, nub float64) {
+		if e.atFrontier(n) {
+			v := e.exactNode(q, n)
+			stats.PointsScanned += n.Count()
+			return v, v
+		}
+		nlb, nub = bound.NodeBounds(e.method, e.kern, qc, n)
+		e.queue.Push(entry{n, nlb, nub}, nub-nlb)
+		return nlb, nub
+	}
+
+	lb, ub = push(e.tree.Root)
+	if trace != nil {
+		trace(lb, ub)
+	}
+	for !done(lb, ub) {
+		en, _, ok := e.queue.Pop()
+		if !ok {
+			return lb, ub // bounds are exact
+		}
+		stats.Iterations++
+		stats.NodesExpanded++
+		// Replace this node's contribution with its children's.
+		llb, lub := push(en.n.Left)
+		rlb, rub := push(en.n.Right)
+		lb += llb + rlb - en.lb
+		ub += lub + rub - en.ub
+		if trace != nil {
+			trace(lb, ub)
+		}
+	}
+	return lb, ub
+}
+
+// Exact computes F_P(q) exactly through the index storage (equivalent to a
+// scan; used for verification and as the refinement fallback).
+func (e *Engine) Exact(q []float64) (float64, error) {
+	if err := e.checkQuery(q); err != nil {
+		return 0, err
+	}
+	t := e.tree
+	return kernel.AggregateRange(e.kern, q, t.Points, t.Weights, t.Idx, 0, t.Len()), nil
+}
+
+// Threshold answers the TKAQ: whether F_P(q) > tau (Problem 1).
+func (e *Engine) Threshold(q []float64, tau float64) (bool, Stats, error) {
+	var stats Stats
+	if err := e.checkQuery(q); err != nil {
+		return false, stats, err
+	}
+	lb, ub := e.refine(q, func(lb, ub float64) bool {
+		return lb > tau || ub <= tau
+	}, &stats, nil)
+	stats.LB, stats.UB = lb, ub
+	return lb > tau, stats, nil
+}
+
+// Approximate answers the eKAQ (Problem 2): a value within relative error
+// eps of F_P(q). The paper's termination test ub ≤ (1+ε)·lb applies to
+// non-negative aggregations (Types I and II); with mixed-sign weights the
+// criterion generalizes to (ub−lb)(1+ε) ≤ 2ε·|mid|, which gives the same
+// guarantee relative to the true value, and refinement falls back to the
+// exact answer when neither triggers.
+func (e *Engine) Approximate(q []float64, eps float64) (float64, Stats, error) {
+	var stats Stats
+	if err := e.checkQuery(q); err != nil {
+		return 0, stats, err
+	}
+	if eps <= 0 {
+		return 0, stats, fmt.Errorf("core: eps must be positive, got %v", eps)
+	}
+	lb, ub := e.refine(q, func(lb, ub float64) bool {
+		if lb >= 0 {
+			return ub <= (1+eps)*lb
+		}
+		mid := math.Abs(lb+ub) / 2
+		return (ub-lb)*(1+eps) <= 2*eps*mid
+	}, &stats, nil)
+	stats.LB, stats.UB = lb, ub
+	return (lb + ub) / 2, stats, nil
+}
+
+// TracePoint is one refinement step of a bound trace.
+type TracePoint struct {
+	Iteration int
+	LB, UB    float64
+}
+
+// TraceThreshold records the global lower/upper bounds after every
+// refinement iteration of a TKAQ until it terminates (Figure 6 of the
+// paper). maxIter caps the trace length (0 = unlimited).
+func (e *Engine) TraceThreshold(q []float64, tau float64, maxIter int) ([]TracePoint, error) {
+	if err := e.checkQuery(q); err != nil {
+		return nil, err
+	}
+	var stats Stats
+	var pts []TracePoint
+	e.refine(q, func(lb, ub float64) bool {
+		if maxIter > 0 && len(pts) >= maxIter {
+			return true
+		}
+		return lb > tau || ub <= tau
+	}, &stats, func(lb, ub float64) {
+		pts = append(pts, TracePoint{Iteration: len(pts), LB: lb, UB: ub})
+	})
+	return pts, nil
+}

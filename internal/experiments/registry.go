@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment, printing its table/figure to out.
+type Runner func(cfg Config, out io.Writer) error
+
+// Registry maps experiment IDs (as listed in DESIGN.md §4) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1": func(cfg Config, out io.Writer) error {
+			_, err := Fig1DensityMap(cfg, out)
+			return err
+		},
+		"fig6": func(cfg Config, out io.Writer) error {
+			_, err := Fig6BoundTrace(cfg, out)
+			return err
+		},
+		"fig7": func(cfg Config, out io.Writer) error {
+			_, err := Fig7LeafCapacity(cfg, out)
+			return err
+		},
+		"tab7": func(cfg Config, out io.Writer) error {
+			_, err := Table7(cfg, out)
+			return err
+		},
+		"fig9": func(cfg Config, out io.Writer) error {
+			_, err := Fig9ThresholdSweep(cfg, out)
+			return err
+		},
+		"fig10": func(cfg Config, out io.Writer) error {
+			_, err := Fig10EpsilonSweep(cfg, out)
+			return err
+		},
+		"fig11": func(cfg Config, out io.Writer) error {
+			_, err := Fig11SizeSweep(cfg, out)
+			return err
+		},
+		"fig12": func(cfg Config, out io.Writer) error {
+			_, err := Fig12DimSweep(cfg, out)
+			return err
+		},
+		"fig13": func(cfg Config, out io.Writer) error {
+			_, err := Fig13Tightness(cfg, out)
+			return err
+		},
+		"tab8": func(cfg Config, out io.Writer) error {
+			_, err := Table8OfflineTuning(cfg, out)
+			return err
+		},
+		"tab9": func(cfg Config, out io.Writer) error {
+			_, err := Table9InSitu(cfg, out)
+			return err
+		},
+		"tab10": func(cfg Config, out io.Writer) error {
+			_, err := Table10Polynomial(cfg, out)
+			return err
+		},
+	}
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config, out io.Writer) error {
+	r, ok := Registry()[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(cfg, out)
+}

@@ -1,0 +1,263 @@
+// Package index defines the hierarchical index representation shared by the
+// kd-tree and ball-tree builders (Figure 2 of the paper): binary trees whose
+// nodes carry a bounding volume, a contiguous range of point indices, and
+// the precomputed weighted aggregates (Lemmas 2 and 5) that let KARL
+// evaluate its linear bound functions in O(d) per node.
+package index
+
+import (
+	"fmt"
+
+	"karl/internal/geom"
+	"karl/internal/vec"
+)
+
+// Agg holds the per-node weighted aggregates for one sign class of weights.
+// For the positive class, W = Σ w_i, A = Σ w_i·p_i, B = Σ w_i·‖p_i‖² over
+// points with w_i > 0; the negative class aggregates |w_i| over points with
+// w_i < 0 (Section IV-A's P⁺/P⁻ decomposition). These are exactly the terms
+// a_P, b_P, w_P of Lemma 5, which make FL_P(q, Lin_{m,c}) an O(d)
+// computation.
+type Agg struct {
+	Count int       // number of points in this sign class
+	W     float64   // Σ |w_i|
+	A     []float64 // Σ |w_i|·p_i
+	B     float64   // Σ |w_i|·‖p_i‖²
+}
+
+// add accumulates one weighted point (w already made non-negative).
+func (a *Agg) add(w float64, p []float64) {
+	a.Count++
+	a.W += w
+	if a.A == nil {
+		a.A = make([]float64, len(p))
+	}
+	vec.Axpy(a.A, w, p)
+	a.B += w * vec.Norm2(p)
+}
+
+// merge accumulates another aggregate (child into parent).
+func (a *Agg) merge(b *Agg) {
+	a.Count += b.Count
+	a.W += b.W
+	a.B += b.B
+	if b.A == nil {
+		return
+	}
+	if a.A == nil {
+		a.A = make([]float64, len(b.A))
+	}
+	vec.AddTo(a.A, b.A)
+}
+
+// WeightedDist2Sum returns Σ |w_i|·dist(q, p_i)² over the class in O(d)
+// using the expansion ‖q−p‖² = ‖q‖² − 2q·p + ‖p‖² (Lemma 2). qNorm2 is the
+// caller-computed ‖q‖², hoisted because it is shared across every node a
+// query touches.
+func (a *Agg) WeightedDist2Sum(q []float64, qNorm2 float64) float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.W*qNorm2 - 2*vec.Dot(q, a.A) + a.B
+}
+
+// WeightedDotSum returns Σ |w_i|·(q·p_i) over the class in O(d), the
+// analogous primitive for dot-product kernels (Section IV-B).
+func (a *Agg) WeightedDotSum(q []float64) float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return vec.Dot(q, a.A)
+}
+
+// Node is one entry of the hierarchical index. Leaf nodes have nil children
+// and own the points idx[Start:End]; internal nodes own the union of their
+// children's ranges.
+type Node struct {
+	Vol         geom.Volume
+	Start, End  int // range into Tree.Idx
+	Left, Right *Node
+	Depth       int
+	Pos, Neg    Agg
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil }
+
+// Count returns the number of points under the node.
+func (n *Node) Count() int { return n.End - n.Start }
+
+// Kind identifies the index structure family.
+type Kind int
+
+const (
+	// KDTree splits on the widest dimension at the median and bounds nodes
+	// with rectangles.
+	KDTree Kind = iota
+	// BallTree splits on a farthest-pair heuristic and bounds nodes with
+	// balls.
+	BallTree
+	// VPTree splits at the median distance to a vantage point and bounds
+	// nodes with spherical annuli (an extension beyond the paper's two
+	// index structures).
+	VPTree
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KDTree:
+		return "kd-tree"
+	case BallTree:
+		return "ball-tree"
+	case VPTree:
+		return "vp-tree"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Tree is a built index over a weighted point set. Points is referenced,
+// not copied; Idx is the permutation that makes every node's points
+// contiguous. Weights may be nil (unit weights, Type I with w=1).
+type Tree struct {
+	Kind    Kind
+	Points  *vec.Matrix
+	Weights []float64
+	Idx     []int
+	Root    *Node
+	LeafCap int
+	Height  int // number of levels; a single root-leaf tree has height 1
+	Nodes   int
+}
+
+// Weight returns the weight of point i (1 when Weights is nil).
+func (t *Tree) Weight(i int) float64 {
+	if t.Weights == nil {
+		return 1
+	}
+	return t.Weights[i]
+}
+
+// Dims returns the dataset dimensionality.
+func (t *Tree) Dims() int { return t.Points.Cols }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.Points.Rows }
+
+// ComputeAggregates fills every node's Pos/Neg aggregates bottom-up.
+// Builders call it once after the structure is in place.
+func (t *Tree) ComputeAggregates() { t.computeAggregates(t.Root) }
+
+// computeAggregates fills Pos/Neg for the subtree rooted at n, leaf-up.
+func (t *Tree) computeAggregates(n *Node) {
+	if n.IsLeaf() {
+		for i := n.Start; i < n.End; i++ {
+			pi := t.Idx[i]
+			w := t.Weight(pi)
+			p := t.Points.Row(pi)
+			if w >= 0 {
+				n.Pos.add(w, p)
+			} else {
+				n.Neg.add(-w, p)
+			}
+		}
+		return
+	}
+	t.computeAggregates(n.Left)
+	t.computeAggregates(n.Right)
+	n.Pos.merge(&n.Left.Pos)
+	n.Pos.merge(&n.Right.Pos)
+	n.Neg.merge(&n.Left.Neg)
+	n.Neg.merge(&n.Right.Neg)
+}
+
+// Walk visits every node in pre-order.
+func (t *Tree) Walk(fn func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		fn(n)
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(t.Root)
+}
+
+// LevelNodes returns the nodes that form the frontier of the simulated tree
+// T_level — every node at exactly the given depth plus any shallower leaf.
+// Level 0 is the root alone. This implements the in-situ tuning view of
+// Section III-C, where the top-i-level tree is simulated on the full tree.
+func (t *Tree) LevelNodes(level int) []*Node {
+	var out []*Node
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Depth == level || n.IsLeaf() && n.Depth < level {
+			out = append(out, n)
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(t.Root)
+	return out
+}
+
+// validateNode recursively checks structural invariants; used by tests and
+// by the builders' debug mode.
+func (t *Tree) validate(n *Node, tol float64) error {
+	if n == nil {
+		return nil
+	}
+	if n.Start >= n.End {
+		return fmt.Errorf("index: node with empty range [%d,%d)", n.Start, n.End)
+	}
+	for i := n.Start; i < n.End; i++ {
+		if !n.Vol.Contains(t.Points.Row(t.Idx[i]), tol) {
+			return fmt.Errorf("index: point %d escapes its node volume", t.Idx[i])
+		}
+	}
+	if n.IsLeaf() {
+		if n.Right != nil {
+			return fmt.Errorf("index: half-internal node")
+		}
+		return nil
+	}
+	if n.Right == nil {
+		return fmt.Errorf("index: half-internal node")
+	}
+	if n.Left.Start != n.Start || n.Left.End != n.Right.Start || n.Right.End != n.End {
+		return fmt.Errorf("index: child ranges [%d,%d)+[%d,%d) do not tile [%d,%d)",
+			n.Left.Start, n.Left.End, n.Right.Start, n.Right.End, n.Start, n.End)
+	}
+	if err := t.validate(n.Left, tol); err != nil {
+		return err
+	}
+	return t.validate(n.Right, tol)
+}
+
+// Validate checks the structural invariants of the whole tree: child ranges
+// tile parents, every point lies inside its node volumes, and the root
+// covers the full permutation.
+func (t *Tree) Validate(tol float64) error {
+	if t.Root == nil {
+		return fmt.Errorf("index: nil root")
+	}
+	if t.Root.Start != 0 || t.Root.End != t.Points.Rows {
+		return fmt.Errorf("index: root range [%d,%d) does not cover %d points",
+			t.Root.Start, t.Root.End, t.Points.Rows)
+	}
+	seen := make([]bool, t.Points.Rows)
+	for _, pi := range t.Idx {
+		if seen[pi] {
+			return fmt.Errorf("index: point %d appears twice in permutation", pi)
+		}
+		seen[pi] = true
+	}
+	return t.validate(t.Root, tol)
+}

@@ -1,0 +1,216 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl/internal/geom"
+	"karl/internal/vec"
+)
+
+func TestKindString(t *testing.T) {
+	if KDTree.String() != "kd-tree" || BallTree.String() != "ball-tree" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(5).String() != "Kind(5)" {
+		t.Fatal("unknown Kind.String mismatch")
+	}
+}
+
+func TestAggAddMerge(t *testing.T) {
+	var a Agg
+	a.add(2, []float64{1, 0})
+	a.add(3, []float64{0, 2})
+	if a.Count != 2 || a.W != 5 {
+		t.Fatalf("Count/W = %d/%v", a.Count, a.W)
+	}
+	if !vec.Equal(a.A, []float64{2, 6}, 1e-12) {
+		t.Fatalf("A = %v", a.A)
+	}
+	if want := 2*1.0 + 3*4.0; math.Abs(a.B-want) > 1e-12 {
+		t.Fatalf("B = %v want %v", a.B, want)
+	}
+	var b Agg
+	b.add(1, []float64{1, 1})
+	a.merge(&b)
+	if a.Count != 3 || a.W != 6 || !vec.Equal(a.A, []float64{3, 7}, 1e-12) {
+		t.Fatalf("merge: %+v", a)
+	}
+	// Merging an empty aggregate is a no-op.
+	before := a
+	var empty Agg
+	a.merge(&empty)
+	if a.Count != before.Count || a.W != before.W {
+		t.Fatal("merging empty changed aggregate")
+	}
+}
+
+func TestWeightedSumsMatchBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(30)
+		d := 1 + rng.Intn(5)
+		var a Agg
+		pts := make([][]float64, n)
+		ws := make([]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = rng.NormFloat64()
+			}
+			ws[i] = rng.Float64() + 0.01
+			a.add(ws[i], pts[i])
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		var wantDist, wantDot float64
+		for i := range pts {
+			wantDist += ws[i] * vec.Dist2(q, pts[i])
+			wantDot += ws[i] * vec.Dot(q, pts[i])
+		}
+		gotDist := a.WeightedDist2Sum(q, vec.Norm2(q))
+		if math.Abs(gotDist-wantDist) > 1e-9*(1+math.Abs(wantDist)) {
+			t.Fatalf("trial %d: WeightedDist2Sum = %v want %v", trial, gotDist, wantDist)
+		}
+		gotDot := a.WeightedDotSum(q)
+		if math.Abs(gotDot-wantDot) > 1e-9*(1+math.Abs(wantDot)) {
+			t.Fatalf("trial %d: WeightedDotSum = %v want %v", trial, gotDot, wantDot)
+		}
+	}
+}
+
+func TestEmptyAggSumsAreZero(t *testing.T) {
+	var a Agg
+	if a.WeightedDist2Sum([]float64{1}, 1) != 0 || a.WeightedDotSum([]float64{1}) != 0 {
+		t.Fatal("empty aggregate should contribute zero")
+	}
+}
+
+// buildManualTree constructs a small two-leaf tree by hand so the Tree
+// helpers can be tested without a builder.
+func buildManualTree() *Tree {
+	m := vec.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}, {11, 0}})
+	t := &Tree{
+		Kind:   KDTree,
+		Points: m,
+		Idx:    []int{0, 1, 2, 3},
+	}
+	left := &Node{Vol: geom.BoundRows(m, t.Idx, 0, 2), Start: 0, End: 2, Depth: 1}
+	right := &Node{Vol: geom.BoundRows(m, t.Idx, 2, 4), Start: 2, End: 4, Depth: 1}
+	root := &Node{Vol: geom.BoundRows(m, t.Idx, 0, 4), Start: 0, End: 4, Left: left, Right: right}
+	t.Root = root
+	t.Height = 2
+	t.Nodes = 3
+	t.ComputeAggregates()
+	return t
+}
+
+func TestComputeAggregatesUnitWeights(t *testing.T) {
+	tr := buildManualTree()
+	if tr.Root.Pos.Count != 4 || tr.Root.Pos.W != 4 {
+		t.Fatalf("root agg = %+v", tr.Root.Pos)
+	}
+	if !vec.Equal(tr.Root.Pos.A, []float64{22, 0}, 1e-12) {
+		t.Fatalf("root A = %v", tr.Root.Pos.A)
+	}
+	if tr.Root.Neg.Count != 0 {
+		t.Fatal("unit weights should have empty Neg")
+	}
+	if tr.Root.Left.Pos.Count != 2 {
+		t.Fatalf("left count = %d", tr.Root.Left.Pos.Count)
+	}
+}
+
+func TestComputeAggregatesSignedWeights(t *testing.T) {
+	m := vec.FromRows([][]float64{{1, 0}, {0, 1}, {2, 2}})
+	tr := &Tree{
+		Kind:    KDTree,
+		Points:  m,
+		Weights: []float64{2, -3, 1},
+		Idx:     []int{0, 1, 2},
+	}
+	tr.Root = &Node{Vol: geom.BoundRows(m, tr.Idx, 0, 3), Start: 0, End: 3}
+	tr.ComputeAggregates()
+	if tr.Root.Pos.Count != 2 || tr.Root.Pos.W != 3 {
+		t.Fatalf("Pos = %+v", tr.Root.Pos)
+	}
+	if tr.Root.Neg.Count != 1 || tr.Root.Neg.W != 3 {
+		t.Fatalf("Neg = %+v", tr.Root.Neg)
+	}
+	if !vec.Equal(tr.Root.Neg.A, []float64{0, 3}, 1e-12) {
+		t.Fatalf("Neg.A = %v", tr.Root.Neg.A)
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	tr := buildManualTree()
+	var count int
+	tr.Walk(func(n *Node) { count++ })
+	if count != 3 {
+		t.Fatalf("Walk visited %d nodes, want 3", count)
+	}
+}
+
+func TestLevelNodes(t *testing.T) {
+	tr := buildManualTree()
+	if got := tr.LevelNodes(0); len(got) != 1 || got[0] != tr.Root {
+		t.Fatalf("level 0 = %v", got)
+	}
+	if got := tr.LevelNodes(1); len(got) != 2 {
+		t.Fatalf("level 1 has %d nodes, want 2", len(got))
+	}
+	// Deeper than the tree: leaves are returned once each.
+	if got := tr.LevelNodes(5); len(got) != 2 {
+		t.Fatalf("level 5 has %d nodes, want 2 leaves", len(got))
+	}
+	// Frontier counts must always cover all points exactly once.
+	for level := 0; level < 6; level++ {
+		var total int
+		for _, n := range tr.LevelNodes(level) {
+			total += n.Count()
+		}
+		if total != tr.Len() {
+			t.Fatalf("level %d frontier covers %d points, want %d", level, total, tr.Len())
+		}
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := buildManualTree()
+	if err := tr.Validate(1e-12); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	// Corrupt the permutation: duplicate an index.
+	tr.Idx[0] = tr.Idx[1]
+	if err := tr.Validate(1e-12); err == nil {
+		t.Fatal("duplicate permutation entry accepted")
+	}
+	tr = buildManualTree()
+	// Corrupt a child range.
+	tr.Root.Left.End = 3
+	if err := tr.Validate(1e-9); err == nil {
+		t.Fatal("non-tiling child ranges accepted")
+	}
+	tr = buildManualTree()
+	tr.Root = nil
+	if err := tr.Validate(1e-12); err == nil {
+		t.Fatal("nil root accepted")
+	}
+}
+
+func TestWeightHelper(t *testing.T) {
+	tr := buildManualTree()
+	if tr.Weight(2) != 1 {
+		t.Fatal("nil weights should read as 1")
+	}
+	tr.Weights = []float64{5, 6, 7, 8}
+	if tr.Weight(2) != 7 {
+		t.Fatal("Weight should read the slice")
+	}
+	if tr.Dims() != 2 || tr.Len() != 4 {
+		t.Fatalf("Dims/Len = %d/%d", tr.Dims(), tr.Len())
+	}
+}

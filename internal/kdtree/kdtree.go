@@ -1,0 +1,123 @@
+// Package kdtree builds the kd-tree variant of KARL's hierarchical index
+// (Section II-B, Figure 2): widest-dimension median splits, axis-aligned
+// bounding rectangles recomputed from the actual points, and per-node
+// weighted aggregates for O(d) bound evaluation.
+package kdtree
+
+import (
+	"fmt"
+
+	"karl/internal/geom"
+	"karl/internal/index"
+	"karl/internal/vec"
+)
+
+// Build constructs a kd-tree over points with the given per-point weights
+// (nil for unit weights) and leaf capacity. The matrix is referenced, not
+// copied. leafCap < 1 is an error; weights, when present, must match the
+// point count.
+func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, error) {
+	if points == nil || points.Rows == 0 {
+		return nil, fmt.Errorf("kdtree: empty point set")
+	}
+	if leafCap < 1 {
+		return nil, fmt.Errorf("kdtree: leaf capacity must be >= 1, got %d", leafCap)
+	}
+	if weights != nil && len(weights) != points.Rows {
+		return nil, fmt.Errorf("kdtree: %d weights for %d points", len(weights), points.Rows)
+	}
+	t := &index.Tree{
+		Kind:    index.KDTree,
+		Points:  points,
+		Weights: weights,
+		Idx:     make([]int, points.Rows),
+		LeafCap: leafCap,
+	}
+	for i := range t.Idx {
+		t.Idx[i] = i
+	}
+	b := builder{t: t}
+	t.Root = b.build(0, points.Rows, 0)
+	t.Height = b.height
+	t.Nodes = b.nodes
+	t.ComputeAggregates()
+	return t, nil
+}
+
+type builder struct {
+	t      *index.Tree
+	height int
+	nodes  int
+}
+
+func (b *builder) build(start, end, depth int) *index.Node {
+	b.nodes++
+	if depth+1 > b.height {
+		b.height = depth + 1
+	}
+	t := b.t
+	rect := geom.BoundRows(t.Points, t.Idx, start, end)
+	n := &index.Node{Vol: rect, Start: start, End: end, Depth: depth}
+	if end-start <= t.LeafCap {
+		return n
+	}
+	dim, width := rect.WidestDim()
+	if width == 0 {
+		// All points identical in every dimension; splitting cannot make
+		// progress, so keep an oversized leaf.
+		return n
+	}
+	mid := (start + end) / 2
+	b.selectNth(start, end, mid, dim)
+	// Guard against a degenerate partition when many coordinates equal the
+	// median: ensure both sides are non-empty (selectNth already guarantees
+	// mid strictly inside (start,end)).
+	n.Left = b.build(start, mid, depth+1)
+	n.Right = b.build(mid, end, depth+1)
+	return n
+}
+
+// selectNth partially sorts idx[start:end) by the given coordinate so that
+// the element at position nth is in its sorted place (quickselect with
+// median-of-three pivots).
+func (b *builder) selectNth(start, end, nth, dim int) {
+	t := b.t
+	key := func(i int) float64 { return t.Points.Row(t.Idx[i])[dim] }
+	lo, hi := start, end-1
+	for lo < hi {
+		// Median-of-three pivot selection for resilience to sorted inputs.
+		mid := lo + (hi-lo)/2
+		if key(mid) < key(lo) {
+			t.Idx[mid], t.Idx[lo] = t.Idx[lo], t.Idx[mid]
+		}
+		if key(hi) < key(lo) {
+			t.Idx[hi], t.Idx[lo] = t.Idx[lo], t.Idx[hi]
+		}
+		if key(hi) < key(mid) {
+			t.Idx[hi], t.Idx[mid] = t.Idx[mid], t.Idx[hi]
+		}
+		pivot := key(mid)
+		i, j := lo, hi
+		for i <= j {
+			for key(i) < pivot {
+				i++
+			}
+			for key(j) > pivot {
+				j--
+			}
+			if i <= j {
+				t.Idx[i], t.Idx[j] = t.Idx[j], t.Idx[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case nth <= j:
+			hi = j
+		case nth >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl/internal/index"
+	"karl/internal/vec"
+)
+
+func randMatrix(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil, nil, 4); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := Build(vec.NewMatrix(0, 3), nil, 4); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	m := vec.NewMatrix(5, 2)
+	if _, err := Build(m, nil, 0); err == nil {
+		t.Fatal("leafCap=0 accepted")
+	}
+	if _, err := Build(m, []float64{1, 2}, 4); err == nil {
+		t.Fatal("weight length mismatch accepted")
+	}
+}
+
+func TestBuildSinglePoint(t *testing.T) {
+	m := vec.FromRows([][]float64{{1, 2, 3}})
+	tr, err := Build(m, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() || tr.Height != 1 || tr.Nodes != 1 {
+		t.Fatalf("single point tree: height=%d nodes=%d", tr.Height, tr.Nodes)
+	}
+	if err := tr.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildAllDuplicates(t *testing.T) {
+	m := vec.NewMatrix(100, 3)
+	for i := 0; i < 100; i++ {
+		copy(m.Row(i), []float64{1, 1, 1})
+	}
+	tr, err := Build(m, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates cannot be split: one oversized leaf, no infinite recursion.
+	if !tr.Root.IsLeaf() {
+		t.Fatal("expected a single oversized leaf for duplicate points")
+	}
+	if err := tr.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildStructureAndAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(400)
+		d := 1 + rng.Intn(8)
+		leafCap := 1 + rng.Intn(32)
+		m := randMatrix(rng, n, d)
+		var w []float64
+		if trial%2 == 0 {
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.NormFloat64() // mixed signs exercise Pos/Neg
+			}
+		}
+		tr, err := Build(m, w, leafCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(1e-9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkLeafCaps(t, tr)
+		checkRootAggregates(t, tr)
+	}
+}
+
+// checkLeafCaps verifies every leaf holds at most LeafCap points unless it
+// is a degenerate duplicate-point leaf.
+func checkLeafCaps(t *testing.T, tr *index.Tree) {
+	t.Helper()
+	tr.Walk(func(n *index.Node) {
+		if !n.IsLeaf() {
+			return
+		}
+		if n.Count() > tr.LeafCap {
+			// Permitted only when the node has zero width (duplicates).
+			first := tr.Points.Row(tr.Idx[n.Start])
+			for i := n.Start + 1; i < n.End; i++ {
+				if !vec.Equal(first, tr.Points.Row(tr.Idx[i]), 0) {
+					t.Fatalf("oversized leaf with %d distinct points (cap %d)", n.Count(), tr.LeafCap)
+				}
+			}
+		}
+	})
+}
+
+// checkRootAggregates verifies the root aggregates equal the brute-force
+// sums over the full point set.
+func checkRootAggregates(t *testing.T, tr *index.Tree) {
+	t.Helper()
+	var posW, posB, negW, negB float64
+	posA := make([]float64, tr.Dims())
+	negA := make([]float64, tr.Dims())
+	var posCount, negCount int
+	for i := 0; i < tr.Len(); i++ {
+		w := tr.Weight(i)
+		p := tr.Points.Row(i)
+		if w >= 0 {
+			posCount++
+			posW += w
+			vec.Axpy(posA, w, p)
+			posB += w * vec.Norm2(p)
+		} else {
+			negCount++
+			negW += -w
+			vec.Axpy(negA, -w, p)
+			negB += -w * vec.Norm2(p)
+		}
+	}
+	r := tr.Root
+	if r.Pos.Count != posCount || r.Neg.Count != negCount {
+		t.Fatalf("root counts %d/%d want %d/%d", r.Pos.Count, r.Neg.Count, posCount, negCount)
+	}
+	tol := 1e-9 * (1 + math.Abs(posB) + math.Abs(negB))
+	if math.Abs(r.Pos.W-posW) > tol || math.Abs(r.Pos.B-posB) > tol {
+		t.Fatalf("root Pos W/B mismatch")
+	}
+	if posCount > 0 && !vec.Equal(r.Pos.A, posA, tol) {
+		t.Fatalf("root Pos.A mismatch: %v vs %v", r.Pos.A, posA)
+	}
+	if negCount > 0 && (math.Abs(r.Neg.W-negW) > tol || !vec.Equal(r.Neg.A, negA, tol)) {
+		t.Fatalf("root Neg mismatch")
+	}
+}
+
+func TestMedianSplitBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m := randMatrix(rng, 1024, 4)
+	tr, err := Build(m, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With n=1024 and leafCap=1, median splits give height exactly 11.
+	if tr.Height != 11 {
+		t.Fatalf("height = %d want 11", tr.Height)
+	}
+	// Every internal node splits exactly in half (even counts).
+	tr.Walk(func(n *index.Node) {
+		if n.IsLeaf() {
+			return
+		}
+		l, r := n.Left.Count(), n.Right.Count()
+		if l != r && l != r+1 && r != l+1 {
+			t.Fatalf("unbalanced split %d/%d", l, r)
+		}
+	})
+}
+
+func TestHeightShrinksWithLeafCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	m := randMatrix(rng, 500, 3)
+	t1, _ := Build(m.Clone(), nil, 1)
+	t64, _ := Build(m.Clone(), nil, 64)
+	if t64.Height >= t1.Height {
+		t.Fatalf("leafCap=64 height %d should be < leafCap=1 height %d", t64.Height, t1.Height)
+	}
+}
+
+func TestPointsNotCopied(t *testing.T) {
+	m := vec.FromRows([][]float64{{0, 0}, {1, 1}, {2, 2}})
+	tr, err := Build(m, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Points != m {
+		t.Fatal("Build must reference, not copy, the matrix")
+	}
+}

@@ -1,0 +1,193 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"karl/internal/vec"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Gaussian: "gaussian", Polynomial: "polynomial", Sigmoid: "sigmoid", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewGaussian(0.5).Validate(); err != nil {
+		t.Fatalf("valid gaussian rejected: %v", err)
+	}
+	if err := NewGaussian(0).Validate(); err == nil {
+		t.Fatal("gamma=0 accepted")
+	}
+	if err := NewPolynomial(1, 0, 0).Validate(); err == nil {
+		t.Fatal("degree=0 accepted")
+	}
+	if err := NewPolynomial(1, 1, 3).Validate(); err != nil {
+		t.Fatalf("valid polynomial rejected: %v", err)
+	}
+	if err := NewSigmoid(0.1, -1).Validate(); err != nil {
+		t.Fatalf("valid sigmoid rejected: %v", err)
+	}
+	if err := (Params{Kind: Kind(7), Gamma: 1}).Validate(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGaussianEvalKnown(t *testing.T) {
+	p := NewGaussian(0.5)
+	q := []float64{0, 0}
+	x := []float64{1, 1} // dist² = 2 → exp(−1)
+	if got, want := p.Eval(q, x), math.Exp(-1); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Eval = %v want %v", got, want)
+	}
+	// Same point → kernel value 1.
+	if got := p.Eval(q, q); got != 1 {
+		t.Fatalf("Eval(q,q) = %v want 1", got)
+	}
+}
+
+func TestPolynomialEvalKnown(t *testing.T) {
+	p := NewPolynomial(2, 1, 3)
+	q := []float64{1, 2}
+	x := []float64{3, 4} // q·x = 11 → (2·11+1)³ = 23³
+	if got, want := p.Eval(q, x), 23.0*23*23; got != want {
+		t.Fatalf("Eval = %v want %v", got, want)
+	}
+}
+
+func TestSigmoidEvalKnown(t *testing.T) {
+	p := NewSigmoid(1, 0)
+	q := []float64{1, 0}
+	x := []float64{1, 0}
+	if got, want := p.Eval(q, x), math.Tanh(1); got != want {
+		t.Fatalf("Eval = %v want %v", got, want)
+	}
+}
+
+func TestPowIntMatchesMathPow(t *testing.T) {
+	f := func(xRaw float64, nRaw uint8) bool {
+		x := math.Mod(xRaw, 10)
+		n := int(nRaw % 9)
+		got := powInt(x, n)
+		want := math.Pow(x, float64(n))
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowIntNegativeExponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	powInt(2, -1)
+}
+
+func TestOuterDerivNumerically(t *testing.T) {
+	params := []Params{
+		NewGaussian(1),
+		NewPolynomial(1, 0, 2),
+		NewPolynomial(1, 0, 3),
+		NewPolynomial(1, 0, 5),
+		NewSigmoid(1, 0),
+	}
+	rng := rand.New(rand.NewSource(3))
+	const h = 1e-6
+	for _, p := range params {
+		for trial := 0; trial < 50; trial++ {
+			x := rng.NormFloat64() * 2
+			want := (p.Outer(x+h) - p.Outer(x-h)) / (2 * h)
+			got := p.OuterDeriv(x)
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("%v: OuterDeriv(%v) = %v, numeric %v", p.Kind, x, got, want)
+			}
+		}
+	}
+}
+
+func TestScalarFactorization(t *testing.T) {
+	// Eval must equal Outer∘Scalar for all kernels on random pairs.
+	rng := rand.New(rand.NewSource(5))
+	params := []Params{NewGaussian(0.7), NewPolynomial(0.3, 1, 3), NewSigmoid(0.2, -0.5)}
+	for _, p := range params {
+		for trial := 0; trial < 30; trial++ {
+			d := 1 + rng.Intn(8)
+			q, x := make([]float64, d), make([]float64, d)
+			for j := 0; j < d; j++ {
+				q[j], x[j] = rng.NormFloat64(), rng.NormFloat64()
+			}
+			if got, want := p.Eval(q, x), p.Outer(p.Scalar(q, x)); got != want {
+				t.Fatalf("%v: Eval %v != Outer(Scalar) %v", p.Kind, got, want)
+			}
+		}
+	}
+}
+
+func TestAggregateMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := vec.NewMatrix(40, 5)
+	w := make([]float64, 40)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	q := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	p := NewGaussian(1.5)
+	var want float64
+	for i := 0; i < m.Rows; i++ {
+		want += w[i] * p.Eval(q, m.Row(i))
+	}
+	if got := Aggregate(p, q, m, w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Aggregate = %v want %v", got, want)
+	}
+	// nil weights = unit weights.
+	var wantUnit float64
+	for i := 0; i < m.Rows; i++ {
+		wantUnit += p.Eval(q, m.Row(i))
+	}
+	if got := Aggregate(p, q, m, nil); math.Abs(got-wantUnit) > 1e-12 {
+		t.Fatalf("Aggregate(nil) = %v want %v", got, wantUnit)
+	}
+}
+
+func TestAggregateRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := vec.NewMatrix(20, 3)
+	w := make([]float64, 20)
+	idx := make([]int, 20)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	for i := range w {
+		w[i] = rng.Float64() + 0.1
+		idx[i] = i
+	}
+	rng.Shuffle(20, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	q := []float64{0.5, 0.5, 0.5}
+	p := NewGaussian(2)
+	// Full range must equal Aggregate regardless of permutation.
+	if got, want := AggregateRange(p, q, m, w, idx, 0, 20), Aggregate(p, q, m, w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("full range = %v want %v", got, want)
+	}
+	// Split ranges must sum to the full range.
+	a := AggregateRange(p, q, m, w, idx, 0, 7)
+	b := AggregateRange(p, q, m, w, idx, 7, 20)
+	if got, want := a+b, Aggregate(p, q, m, w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("split sum = %v want %v", got, want)
+	}
+	// Empty range contributes nothing.
+	if got := AggregateRange(p, q, m, w, idx, 5, 5); got != 0 {
+		t.Fatalf("empty range = %v want 0", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package pca implements principal component analysis through a dense
+// Jacobi eigensolver, used by the Figure 12 experiment to sweep
+// dimensionality exactly as the paper does for mnist (PCA reduction).
+package pca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"karl/internal/vec"
+)
+
+// Model holds a fitted PCA basis.
+type Model struct {
+	// Mean is the per-column mean removed before projection.
+	Mean []float64
+	// Components holds the principal axes as rows, sorted by decreasing
+	// eigenvalue.
+	Components *vec.Matrix
+	// Eigenvalues are the variances along each component, sorted
+	// decreasingly.
+	Eigenvalues []float64
+}
+
+// Fit computes the full PCA basis of the data (all min(n−1,d) meaningful
+// components are retained; callers pick how many to use at Transform time).
+func Fit(data *vec.Matrix) (*Model, error) {
+	if data == nil || data.Rows < 2 {
+		return nil, errors.New("pca: need at least two rows")
+	}
+	n, d := data.Rows, data.Cols
+	mean, _ := data.ColumnStats()
+	// Covariance matrix (population normalization; the basis is identical).
+	cov := make([]float64, d*d)
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		for a := 0; a < d; a++ {
+			da := row[a] - mean[a]
+			for b := a; b < d; b++ {
+				cov[a*d+b] += da * (row[b] - mean[b])
+			}
+		}
+	}
+	inv := 1 / float64(n)
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			cov[a*d+b] *= inv
+			cov[b*d+a] = cov[a*d+b]
+		}
+	}
+	eigVals, eigVecs, err := jacobiEigen(cov, d)
+	if err != nil {
+		return nil, err
+	}
+	// Sort by decreasing eigenvalue.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return eigVals[order[i]] > eigVals[order[j]] })
+	m := &Model{Mean: mean, Components: vec.NewMatrix(d, d), Eigenvalues: make([]float64, d)}
+	for r, idx := range order {
+		m.Eigenvalues[r] = eigVals[idx]
+		comp := m.Components.Row(r)
+		for c := 0; c < d; c++ {
+			comp[c] = eigVecs[c*d+idx] // eigenvectors are columns of eigVecs
+		}
+	}
+	return m, nil
+}
+
+// Transform projects data onto the first k components.
+func (m *Model) Transform(data *vec.Matrix, k int) (*vec.Matrix, error) {
+	d := len(m.Mean)
+	if data == nil || data.Cols != d {
+		return nil, fmt.Errorf("pca: data has wrong dimensionality")
+	}
+	if k < 1 || k > m.Components.Rows {
+		return nil, fmt.Errorf("pca: k=%d outside [1,%d]", k, m.Components.Rows)
+	}
+	out := vec.NewMatrix(data.Rows, k)
+	centered := make([]float64, d)
+	for i := 0; i < data.Rows; i++ {
+		row := data.Row(i)
+		for j := 0; j < d; j++ {
+			centered[j] = row[j] - m.Mean[j]
+		}
+		dst := out.Row(i)
+		for c := 0; c < k; c++ {
+			dst[c] = vec.Dot(centered, m.Components.Row(c))
+		}
+	}
+	return out, nil
+}
+
+// ExplainedVariance returns the fraction of total variance captured by the
+// first k components.
+func (m *Model) ExplainedVariance(k int) float64 {
+	var top, total float64
+	for i, v := range m.Eigenvalues {
+		if v > 0 {
+			total += v
+			if i < k {
+				top += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return top / total
+}
+
+// jacobiEigen diagonalizes a symmetric d×d matrix with cyclic Jacobi
+// rotations. Returns eigenvalues and the eigenvector matrix (eigenvectors
+// in columns).
+func jacobiEigen(a []float64, d int) (vals []float64, vecs []float64, err error) {
+	// Work on a copy; accumulate rotations in v (starts as identity).
+	m := append([]float64(nil), a...)
+	v := make([]float64, d*d)
+	for i := 0; i < d; i++ {
+		v[i*d+i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				off += m[p*d+q] * m[p*d+q]
+			}
+		}
+		if off < 1e-22*float64(d*d) {
+			vals = make([]float64, d)
+			for i := 0; i < d; i++ {
+				vals[i] = m[i*d+i]
+			}
+			return vals, v, nil
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				apq := m[p*d+q]
+				if apq == 0 {
+					continue
+				}
+				app, aqq := m[p*d+p], m[q*d+q]
+				theta := (aqq - app) / (2 * apq)
+				// Stable tangent of the rotation angle.
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation to rows/cols p and q of m.
+				for k := 0; k < d; k++ {
+					mkp, mkq := m[k*d+p], m[k*d+q]
+					m[k*d+p] = c*mkp - s*mkq
+					m[k*d+q] = s*mkp + c*mkq
+				}
+				for k := 0; k < d; k++ {
+					mpk, mqk := m[p*d+k], m[q*d+k]
+					m[p*d+k] = c*mpk - s*mqk
+					m[q*d+k] = s*mpk + c*mqk
+				}
+				// Accumulate into the eigenvector matrix.
+				for k := 0; k < d; k++ {
+					vkp, vkq := v[k*d+p], v[k*d+q]
+					v[k*d+p] = c*vkp - s*vkq
+					v[k*d+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	return nil, nil, errors.New("pca: Jacobi iteration did not converge")
+}

@@ -1,0 +1,187 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl/internal/vec"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Fit(vec.FromRows([][]float64{{1, 2}})); err == nil {
+		t.Fatal("single row accepted")
+	}
+}
+
+func TestKnownAxis(t *testing.T) {
+	// Points along the direction (1,1)/√2 with tiny orthogonal noise: the
+	// first component must align with that direction.
+	rng := rand.New(rand.NewSource(41))
+	n := 500
+	m := vec.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		tv := rng.NormFloat64() * 3
+		noise := rng.NormFloat64() * 0.01
+		m.Row(i)[0] = tv + noise
+		m.Row(i)[1] = tv - noise
+	}
+	model, err := Fit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := model.Components.Row(0)
+	// Alignment with (1,1)/√2, up to sign.
+	align := math.Abs(c0[0]+c0[1]) / math.Sqrt2
+	if align < 0.999 {
+		t.Fatalf("first component %v not aligned with (1,1): %v", c0, align)
+	}
+	if model.Eigenvalues[0] < 100*model.Eigenvalues[1] {
+		t.Fatalf("eigenvalue gap too small: %v", model.Eigenvalues)
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := vec.NewMatrix(200, 6)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	model, err := Fit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 6
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			dot := vec.Dot(model.Components.Row(a), model.Components.Row(b))
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("components %d·%d = %v want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestEigenvaluesSortedAndVariancePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n, d := 300, 5
+	m := vec.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	model, err := Fit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eigSum float64
+	for i, v := range model.Eigenvalues {
+		eigSum += v
+		if i > 0 && v > model.Eigenvalues[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", model.Eigenvalues)
+		}
+	}
+	// Trace preservation: Σλ = Σ per-column variance.
+	_, std := m.ColumnStats()
+	var trace float64
+	for _, s := range std {
+		trace += s * s
+	}
+	if math.Abs(eigSum-trace) > 1e-9*(1+trace) {
+		t.Fatalf("Σλ = %v, trace = %v", eigSum, trace)
+	}
+}
+
+func TestTransformPreservesDistancesFullRank(t *testing.T) {
+	// With k = d the projection is a rotation: pairwise distances survive.
+	rng := rand.New(rand.NewSource(44))
+	n, d := 60, 4
+	m := vec.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	model, _ := Fit(m)
+	proj, err := model.Transform(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		want := vec.Dist2(m.Row(i), m.Row(j))
+		got := vec.Dist2(proj.Row(i), proj.Row(j))
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("distance %d-%d changed: %v vs %v", i, j, got, want)
+		}
+	}
+}
+
+func TestTransformValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	m := vec.NewMatrix(10, 3)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	model, _ := Fit(m)
+	if _, err := model.Transform(nil, 2); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := model.Transform(vec.NewMatrix(5, 2), 2); err == nil {
+		t.Fatal("wrong dims accepted")
+	}
+	if _, err := model.Transform(m, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := model.Transform(m, 4); err == nil {
+		t.Fatal("k>d accepted")
+	}
+}
+
+func TestExplainedVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	n := 400
+	m := vec.NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		m.Row(i)[0] = rng.NormFloat64() * 10 // dominant axis
+		m.Row(i)[1] = rng.NormFloat64()
+		m.Row(i)[2] = rng.NormFloat64() * 0.1
+	}
+	model, _ := Fit(m)
+	ev1 := model.ExplainedVariance(1)
+	if ev1 < 0.95 {
+		t.Fatalf("first component explains %v, want > 0.95", ev1)
+	}
+	if full := model.ExplainedVariance(3); math.Abs(full-1) > 1e-12 {
+		t.Fatalf("full basis explains %v, want 1", full)
+	}
+	if model.ExplainedVariance(2) < ev1 {
+		t.Fatal("explained variance must be monotone in k")
+	}
+}
+
+func TestReconstructionFromProjection(t *testing.T) {
+	// Projecting and re-embedding with the full basis must reconstruct the
+	// centered data: x − mean = Σ_c proj_c · comp_c.
+	rng := rand.New(rand.NewSource(47))
+	n, d := 40, 4
+	m := vec.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	model, _ := Fit(m)
+	proj, _ := model.Transform(m, d)
+	for i := 0; i < n; i++ {
+		recon := vec.Clone(model.Mean)
+		for c := 0; c < d; c++ {
+			vec.Axpy(recon, proj.Row(i)[c], model.Components.Row(c))
+		}
+		if !vec.Equal(recon, m.Row(i), 1e-8) {
+			t.Fatalf("row %d reconstruction failed: %v vs %v", i, recon, m.Row(i))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package pqueue provides the max-priority queue that drives KARL's
+// best-first refinement (Table V of the paper): index entries are expanded
+// in decreasing order of their bound gap ub−lb, so each iteration removes
+// as much slack from the global bounds as possible.
+package pqueue
+
+// Queue is a binary max-heap of values with float64 priorities. The zero
+// value is ready to use.
+type Queue[T any] struct {
+	items []item[T]
+}
+
+type item[T any] struct {
+	value    T
+	priority float64
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push inserts value with the given priority.
+func (q *Queue[T]) Push(value T, priority float64) {
+	q.items = append(q.items, item[T]{value, priority})
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the item with the highest priority. ok is false
+// when the queue is empty.
+func (q *Queue[T]) Pop() (value T, priority float64, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.value, top.priority, true
+}
+
+// Peek returns the highest-priority item without removing it.
+func (q *Queue[T]) Peek() (value T, priority float64, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	return q.items[0].value, q.items[0].priority, true
+}
+
+// Reset empties the queue but keeps the backing storage for reuse.
+func (q *Queue[T]) Reset() { q.items = q.items[:0] }
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].priority >= q.items[i].priority {
+			return
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && q.items[l].priority > q.items[largest].priority {
+			largest = l
+		}
+		if r < n && q.items[r].priority > q.items[largest].priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		q.items[i], q.items[largest] = q.items[largest], q.items[i]
+		i = largest
+	}
+}

@@ -1,0 +1,116 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[string]
+	if q.Len() != 0 {
+		t.Fatal("zero value should be empty")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty should report !ok")
+	}
+	if _, _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty should report !ok")
+	}
+}
+
+func TestMaxOrder(t *testing.T) {
+	var q Queue[int]
+	prios := []float64{3, 1, 4, 1.5, 9, 2.6, 5}
+	for i, p := range prios {
+		q.Push(i, p)
+	}
+	sorted := append([]float64(nil), prios...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	for _, want := range sorted {
+		_, p, ok := q.Pop()
+		if !ok || p != want {
+			t.Fatalf("Pop priority = %v want %v", p, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue should drain")
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue[int]
+	q.Push(7, 1)
+	v, p, ok := q.Peek()
+	if !ok || v != 7 || p != 1 {
+		t.Fatalf("Peek = %v,%v,%v", v, p, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek removed an item")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i, float64(i))
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("Reset should empty the queue")
+	}
+	q.Push(1, 1)
+	if v, _, _ := q.Pop(); v != 1 {
+		t.Fatal("queue unusable after Reset")
+	}
+}
+
+func TestRandomizedHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	var q Queue[int]
+	var reference []float64
+	for op := 0; op < 5000; op++ {
+		if rng.Float64() < 0.6 || len(reference) == 0 {
+			p := rng.NormFloat64()
+			q.Push(op, p)
+			reference = append(reference, p)
+		} else {
+			_, p, ok := q.Pop()
+			if !ok {
+				t.Fatal("Pop failed with items present")
+			}
+			// p must equal the max of reference.
+			maxIdx := 0
+			for i, v := range reference {
+				if v > reference[maxIdx] {
+					maxIdx = i
+				}
+			}
+			if p != reference[maxIdx] {
+				t.Fatalf("op %d: popped %v want max %v", op, p, reference[maxIdx])
+			}
+			reference = append(reference[:maxIdx], reference[maxIdx+1:]...)
+		}
+	}
+}
+
+func TestDuplicatePriorities(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i, 1.0)
+	}
+	seen := make(map[int]bool)
+	for q.Len() > 0 {
+		v, p, _ := q.Pop()
+		if p != 1.0 {
+			t.Fatalf("priority corrupted: %v", p)
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("popped %d values, want 100", len(seen))
+	}
+}

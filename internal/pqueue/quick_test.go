@@ -1,0 +1,97 @@
+package pqueue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDrainIsSorted: pushing any priority multiset and draining must
+// yield the priorities in non-increasing order — the heap's defining
+// property, checked on quick-generated inputs.
+func TestQuickDrainIsSorted(t *testing.T) {
+	f := func(prios []float64) bool {
+		var q Queue[int]
+		for i, p := range prios {
+			q.Push(i, p)
+		}
+		if q.Len() != len(prios) {
+			return false
+		}
+		drained := make([]float64, 0, len(prios))
+		for {
+			_, p, ok := q.Pop()
+			if !ok {
+				break
+			}
+			drained = append(drained, p)
+		}
+		if len(drained) != len(prios) {
+			return false
+		}
+		want := append([]float64(nil), prios...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		for i := range want {
+			// NaN priorities break any ordering invariant; quick can
+			// generate them, and the queue's contract is float64
+			// comparisons, so mirror the semantics by comparing bit-equal
+			// positions only for non-NaN.
+			if want[i] != want[i] || drained[i] != drained[i] {
+				continue
+			}
+			if drained[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInterleavedOps: any interleaving of pushes and pops keeps the
+// popped priority equal to the running maximum.
+func TestQuickInterleavedOps(t *testing.T) {
+	f := func(ops []int8, prios []float64) bool {
+		var q Queue[int]
+		var ref []float64
+		pi := 0
+		for _, op := range ops {
+			if op >= 0 && pi < len(prios) {
+				p := prios[pi]
+				if p != p { // skip NaN; ordering is undefined
+					pi++
+					continue
+				}
+				pi++
+				q.Push(0, p)
+				ref = append(ref, p)
+				continue
+			}
+			_, p, ok := q.Pop()
+			if ok != (len(ref) > 0) {
+				return false
+			}
+			if !ok {
+				continue
+			}
+			maxIdx := 0
+			for i, v := range ref {
+				if v > ref[maxIdx] {
+					maxIdx = i
+				}
+			}
+			if p != ref[maxIdx] {
+				return false
+			}
+			ref = append(ref[:maxIdx], ref[maxIdx+1:]...)
+		}
+		return q.Len() == len(ref)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

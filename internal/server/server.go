@@ -1,0 +1,155 @@
+// Package server exposes a KARL engine over HTTP/JSON, so a trained model
+// (e.g. an SVM's support vectors, or a KDE point set) can serve threshold
+// and approximate kernel aggregation queries as a network service — the
+// deployment mode of the paper's motivating applications (network
+// intrusion detection, online classification).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"karl"
+)
+
+// Server wraps an engine with an HTTP handler. All endpoints accept and
+// return JSON. The engine is guarded by a mutex (engines are not
+// concurrency-safe); throughput-critical deployments should shard across
+// processes or use per-connection clones.
+type Server struct {
+	mu  sync.Mutex
+	eng *karl.Engine
+	mux *http.ServeMux
+}
+
+// New builds a server around an engine.
+func New(eng *karl.Engine) (*Server, error) {
+	if eng == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /v1/threshold", s.handleThreshold)
+	s.mux.HandleFunc("POST /v1/approximate", s.handleApproximate)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// InfoResponse describes the served model.
+type InfoResponse struct {
+	Points int     `json:"points"`
+	Dims   int     `json:"dims"`
+	Kernel string  `json:"kernel"`
+	Gamma  float64 `json:"gamma"`
+}
+
+// QueryRequest is the shared request body; Tau is used by /threshold and
+// Eps by /approximate.
+type QueryRequest struct {
+	Q   []float64 `json:"q"`
+	Tau float64   `json:"tau"`
+	Eps float64   `json:"eps"`
+}
+
+// ValueResponse carries a numeric result.
+type ValueResponse struct {
+	Value float64 `json:"value"`
+}
+
+// BoolResponse carries a decision result.
+type BoolResponse struct {
+	Over bool `json:"over"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	k := s.eng.Kernel()
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Points: s.eng.Len(),
+		Dims:   s.eng.Dims(),
+		Kernel: k.Kind.String(),
+		Gamma:  k.Gamma,
+	})
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	v, err := s.eng.Aggregate(req.Q)
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ValueResponse{v})
+}
+
+func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	over, err := s.eng.Threshold(req.Q, req.Tau)
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, BoolResponse{over})
+}
+
+func (s *Server) handleApproximate(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	if req.Eps <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"eps must be positive"})
+		return
+	}
+	s.mu.Lock()
+	v, err := s.eng.Approximate(req.Q, req.Eps)
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ValueResponse{v})
+}
+
+// decode parses the request body and validates the query vector.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request: %v", err)})
+		return req, false
+	}
+	if len(req.Q) != s.eng.Dims() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			fmt.Sprintf("query has %d dims, model has %d", len(req.Q), s.eng.Dims())})
+		return req, false
+	}
+	return req, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"karl"
+)
+
+func testEngine(t *testing.T) *karl.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	pts := make([][]float64, 500)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	eng, err := karl.Build(pts, karl.Gaussian(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestNewRejectsNil(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}
+
+func TestInfo(t *testing.T) {
+	s, err := New(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Points != 500 || info.Dims != 2 || info.Kernel != "gaussian" || info.Gamma != 5 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestAggregateEndpoint(t *testing.T) {
+	eng := testEngine(t)
+	s, _ := New(eng)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	q := []float64{0.5, 0.5}
+	resp, body := post(t, ts, "/v1/aggregate", QueryRequest{Q: q})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v ValueResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := eng.Aggregate(q)
+	if math.Abs(v.Value-want) > 1e-12 {
+		t.Fatalf("value %v want %v", v.Value, want)
+	}
+}
+
+func TestThresholdEndpoint(t *testing.T) {
+	eng := testEngine(t)
+	s, _ := New(eng)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	q := []float64{0.5, 0.5}
+	exact, _ := eng.Aggregate(q)
+	resp, body := post(t, ts, "/v1/threshold", QueryRequest{Q: q, Tau: exact * 0.9})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var b BoolResponse
+	if err := json.Unmarshal(body, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Over {
+		t.Fatal("expected over=true below the exact value")
+	}
+}
+
+func TestApproximateEndpoint(t *testing.T) {
+	eng := testEngine(t)
+	s, _ := New(eng)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	q := []float64{0.5, 0.5}
+	exact, _ := eng.Aggregate(q)
+	resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: 0.1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v ValueResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(v.Value-exact) / exact; rel > 0.1 {
+		t.Fatalf("rel error %v", rel)
+	}
+	// eps validation.
+	resp, _ = post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("eps=0 returned status %d", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s, _ := New(testEngine(t))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	// Wrong dimensionality.
+	resp, _ := post(t, ts, "/v1/aggregate", QueryRequest{Q: []float64{1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim mismatch returned %d", resp.StatusCode)
+	}
+	// Unknown fields rejected.
+	resp, err := http.Post(ts.URL+"/v1/aggregate", "application/json",
+		bytes.NewReader([]byte(`{"q":[0.5,0.5],"bogus":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field returned %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(ts.URL + "/v1/aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on POST endpoint returned %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	eng := testEngine(t)
+	s, _ := New(eng)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	want, _ := eng.Aggregate([]float64{0.5, 0.5})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			raw, _ := json.Marshal(QueryRequest{Q: []float64{0.5, 0.5}})
+			resp, err := http.Post(ts.URL+"/v1/aggregate", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var v ValueResponse
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				errs <- err
+				return
+			}
+			if math.Abs(v.Value-want) > 1e-12 {
+				errs <- nil
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent request failed: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"karl/internal/vec"
+)
+
+// MultiClassModel is a one-vs-one ensemble of 2-class SVMs — the
+// "multi-class kernel SVM" extension named in the paper's future-work
+// section. Each pairwise model is a kernel aggregation query, so every
+// binary vote can be served by KARL's TKAQ machinery.
+type MultiClassModel struct {
+	// Classes lists the distinct labels in ascending order.
+	Classes []int
+	// Models holds one binary model per unordered class pair, indexed by
+	// pairIndex.
+	Models []*Model
+}
+
+// pairIndex maps the pair (a,b), a<b over k classes to a flat index.
+func pairIndex(a, b, k int) int {
+	// Offset of row a in the strictly-upper-triangular enumeration.
+	return a*(2*k-a-1)/2 + (b - a - 1)
+}
+
+// TrainMulti trains a one-vs-one multi-class SVM on integer labels.
+func TrainMulti(x *vec.Matrix, labels []int, cfg Config) (*MultiClassModel, error) {
+	if x == nil || x.Rows == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	if len(labels) != x.Rows {
+		return nil, fmt.Errorf("svm: %d labels for %d points", len(labels), x.Rows)
+	}
+	classSet := map[int]bool{}
+	for _, l := range labels {
+		classSet[l] = true
+	}
+	if len(classSet) < 2 {
+		return nil, errors.New("svm: need at least two classes")
+	}
+	classes := make([]int, 0, len(classSet))
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	k := len(classes)
+	mm := &MultiClassModel{Classes: classes, Models: make([]*Model, k*(k-1)/2)}
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			// Gather the two classes' points; class a maps to +1.
+			var rows [][]float64
+			var y []float64
+			for i, l := range labels {
+				switch l {
+				case classes[a]:
+					rows = append(rows, x.Row(i))
+					y = append(y, 1)
+				case classes[b]:
+					rows = append(rows, x.Row(i))
+					y = append(y, -1)
+				}
+			}
+			sub := vec.FromRows(rows)
+			m, err := TrainTwoClass(sub, y, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair (%d,%d): %w", classes[a], classes[b], err)
+			}
+			mm.Models[pairIndex(a, b, k)] = m
+		}
+	}
+	return mm, nil
+}
+
+// Predict returns the majority-vote class for q; ties break toward the
+// smaller label, matching LibSVM.
+func (mm *MultiClassModel) Predict(q []float64) int {
+	k := len(mm.Classes)
+	votes := make([]int, k)
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			if mm.Models[pairIndex(a, b, k)].Predict(q) == 1 {
+				votes[a]++
+			} else {
+				votes[b]++
+			}
+		}
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return mm.Classes[best]
+}

@@ -1,0 +1,79 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"karl/internal/kernel"
+	"karl/internal/vec"
+)
+
+func TestPairIndex(t *testing.T) {
+	// For k classes the pairs (a,b), a<b must map to 0..k(k-1)/2-1 uniquely.
+	for k := 2; k <= 6; k++ {
+		seen := map[int]bool{}
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				idx := pairIndex(a, b, k)
+				if idx < 0 || idx >= k*(k-1)/2 {
+					t.Fatalf("k=%d pair (%d,%d) → %d out of range", k, a, b, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("k=%d pair (%d,%d) collides at %d", k, a, b, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+func TestTrainMultiValidation(t *testing.T) {
+	cfg := Config{Kernel: kernel.NewGaussian(1)}
+	if _, err := TrainMulti(nil, nil, cfg); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	x := vec.FromRows([][]float64{{0}, {1}})
+	if _, err := TrainMulti(x, []int{1}, cfg); err == nil {
+		t.Fatal("label count mismatch accepted")
+	}
+	if _, err := TrainMulti(x, []int{3, 3}, cfg); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestTrainMultiThreeBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	centers := [][]float64{{0, 0}, {3, 0}, {0, 3}}
+	n := 240
+	x := vec.NewMatrix(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c * 10 // non-contiguous labels exercise the mapping
+		x.Row(i)[0] = centers[c][0] + rng.NormFloat64()*0.3
+		x.Row(i)[1] = centers[c][1] + rng.NormFloat64()*0.3
+	}
+	mm, err := TrainMulti(x, labels, Config{Kernel: kernel.NewGaussian(1), C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Classes) != 3 || len(mm.Models) != 3 {
+		t.Fatalf("classes %v models %d", mm.Classes, len(mm.Models))
+	}
+	var correct int
+	for i := 0; i < n; i++ {
+		if mm.Predict(x.Row(i)) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.97 {
+		t.Fatalf("multi-class training accuracy %v < 0.97", acc)
+	}
+	// Fresh points near each center must classify to that center's label.
+	for c, ctr := range centers {
+		q := []float64{ctr[0] + 0.05, ctr[1] - 0.05}
+		if got := mm.Predict(q); got != c*10 {
+			t.Fatalf("query near center %d classified as %d", c, got)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package svm trains the support vector machine models whose decision
+// functions the paper accelerates: 2-class C-SVM (Type III weighting) and
+// 1-class ν-SVM (Type II weighting), plus a one-vs-one multi-class wrapper
+// (one of the paper's stated future-work directions).
+//
+// The trainer is a sequential minimal optimization (SMO) solver with
+// maximal-violating-pair working-set selection, the same family of
+// algorithm LibSVM uses. Training yields the support vectors, the weights
+// w_i (α_i·y_i for 2-class, α_i for 1-class), and the threshold ρ, so that
+// prediction is exactly the paper's TKAQ: classify q as positive/inlier iff
+// F_SV(q) = Σ w_i·K(q, sv_i) > ρ.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"karl/internal/kernel"
+	"karl/internal/vec"
+)
+
+// Config holds training parameters.
+type Config struct {
+	Kernel kernel.Params
+	// C is the 2-class soft-margin parameter (default 1).
+	C float64
+	// Nu is the 1-class ν parameter in (0,1] (default 0.5).
+	Nu float64
+	// Tol is the KKT violation tolerance (default 1e-3, LibSVM's default).
+	Tol float64
+	// MaxIter caps SMO iterations (default 200·n, a generous safety net).
+	MaxIter int
+	// CacheRows bounds the kernel row cache for large problems (default 256).
+	CacheRows int
+}
+
+func (c *Config) defaults(n int) {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Nu <= 0 || c.Nu > 1 {
+		c.Nu = 0.5
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200 * n
+		if c.MaxIter < 10000 {
+			c.MaxIter = 10000
+		}
+	}
+	if c.CacheRows <= 0 {
+		c.CacheRows = 256
+	}
+}
+
+// Model is a trained SVM in kernel aggregation form.
+type Model struct {
+	// SV holds the support vectors, one per row.
+	SV *vec.Matrix
+	// Weights holds w_i per support vector: α_i·y_i for 2-class models
+	// (mixed signs, Type III), α_i for 1-class models (positive, Type II).
+	Weights []float64
+	// Rho is the decision threshold: predict positive iff Σ w_i·K(q,sv_i) > Rho.
+	Rho float64
+	// Kernel records the kernel the model was trained with.
+	Kernel kernel.Params
+	// Iters is the number of SMO iterations performed.
+	Iters int
+	// KernelEvals counts kernel evaluations during training.
+	KernelEvals int
+}
+
+// Decision returns F_SV(q) − Rho.
+func (m *Model) Decision(q []float64) float64 {
+	return kernel.Aggregate(m.Kernel, q, m.SV, m.Weights) - m.Rho
+}
+
+// Predict returns +1 when the decision value is positive, −1 otherwise.
+// For 1-class models +1 means inlier.
+func (m *Model) Predict(q []float64) int {
+	if m.Decision(q) > 0 {
+		return 1
+	}
+	return -1
+}
+
+// TrainTwoClass trains a C-SVM on points x with labels y ∈ {−1,+1}.
+func TrainTwoClass(x *vec.Matrix, y []float64, cfg Config) (*Model, error) {
+	if x == nil || x.Rows == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	if len(y) != x.Rows {
+		return nil, fmt.Errorf("svm: %d labels for %d points", len(y), x.Rows)
+	}
+	var pos, neg bool
+	for _, yi := range y {
+		switch yi {
+		case 1:
+			pos = true
+		case -1:
+			neg = true
+		default:
+			return nil, fmt.Errorf("svm: label %v not in {-1,+1}", yi)
+		}
+	}
+	if !pos || !neg {
+		return nil, errors.New("svm: training set must contain both classes")
+	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults(x.Rows)
+	return solveTwoClass(x, y, cfg)
+}
+
+func solveTwoClass(x *vec.Matrix, y []float64, cfg Config) (*Model, error) {
+	n := x.Rows
+	cache := newKernelCache(x, cfg.Kernel, cfg.CacheRows)
+	alpha := make([]float64, n)
+	// G_i = ∂D/∂α_i with D(α) = ½·αᵀQα − eᵀα and Q_ij = y_i·y_j·K_ij;
+	// at α = 0, G_i = −1 with no kernel evaluations.
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = -1
+	}
+	c := cfg.C
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		// Maximal violating pair (WSS1):
+		// i maximizes −y_t·G_t over I_up, j minimizes it over I_low.
+		i, j := -1, -1
+		gmax, gmin := math.Inf(-1), math.Inf(1)
+		for t := 0; t < n; t++ {
+			v := -y[t] * g[t]
+			inUp := (y[t] > 0 && alpha[t] < c) || (y[t] < 0 && alpha[t] > 0)
+			inLow := (y[t] > 0 && alpha[t] > 0) || (y[t] < 0 && alpha[t] < c)
+			if inUp && v > gmax {
+				gmax, i = v, t
+			}
+			if inLow && v < gmin {
+				gmin, j = v, t
+			}
+		}
+		if i < 0 || j < 0 || gmax-gmin <= cfg.Tol {
+			break
+		}
+		ki := cache.row(i)
+		kj := cache.row(j)
+		quad := ki[i] + kj[j] - 2*ki[j]
+		if quad <= 0 {
+			quad = 1e-12
+		}
+		// Move along the feasible direction α_i += y_i·s, α_j −= y_j·s.
+		s := (gmax - gmin) / quad
+		sLo, sHi := math.Inf(-1), math.Inf(1)
+		clip := func(yv, a float64, plus bool) {
+			// Constrain a + sign·s ∈ [0, c] where sign = yv for i (plus)
+			// and −yv for j.
+			sign := yv
+			if !plus {
+				sign = -yv
+			}
+			if sign > 0 {
+				sHi = math.Min(sHi, c-a)
+				sLo = math.Max(sLo, -a)
+			} else {
+				sHi = math.Min(sHi, a)
+				sLo = math.Max(sLo, a-c)
+			}
+		}
+		clip(y[i], alpha[i], true)
+		clip(y[j], alpha[j], false)
+		if s > sHi {
+			s = sHi
+		}
+		if s < sLo {
+			s = sLo
+		}
+		if s == 0 {
+			break // numerically stuck; bounds already satisfied to tolerance
+		}
+		alpha[i] += y[i] * s
+		alpha[j] -= y[j] * s
+		for t := 0; t < n; t++ {
+			g[t] += y[t] * s * (ki[t] - kj[t])
+		}
+	}
+	// ρ = −b, averaged over free support vectors (KKT: b = −y_t·G_t there).
+	var rhoSum float64
+	var freeCount int
+	for t := 0; t < n; t++ {
+		if alpha[t] > 0 && alpha[t] < c {
+			rhoSum += y[t] * g[t]
+			freeCount++
+		}
+	}
+	var rho float64
+	if freeCount > 0 {
+		rho = rhoSum / float64(freeCount)
+	} else {
+		// No free SVs: midpoint of the violating-pair interval.
+		ub, lb := math.Inf(1), math.Inf(-1)
+		for t := 0; t < n; t++ {
+			v := y[t] * g[t]
+			inUp := (y[t] > 0 && alpha[t] < c) || (y[t] < 0 && alpha[t] > 0)
+			inLow := (y[t] > 0 && alpha[t] > 0) || (y[t] < 0 && alpha[t] < c)
+			if inUp && v < ub {
+				ub = v
+			}
+			if inLow && v > lb {
+				lb = v
+			}
+		}
+		rho = (ub + lb) / 2
+	}
+	return buildModel(x, alpha, y, rho, cfg, iters, cache.evals)
+}
+
+// TrainOneClass trains a ν-one-class SVM on points x (Schölkopf et al.).
+func TrainOneClass(x *vec.Matrix, cfg Config) (*Model, error) {
+	if x == nil || x.Rows == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults(x.Rows)
+	return solveOneClass(x, cfg)
+}
+
+func solveOneClass(x *vec.Matrix, cfg Config) (*Model, error) {
+	n := x.Rows
+	cache := newKernelCache(x, cfg.Kernel, cfg.CacheRows)
+	// Dual: minimize ½·αᵀKα subject to 0 ≤ α_i ≤ 1/(νn), Σα = 1.
+	upper := 1 / (cfg.Nu * float64(n))
+	alpha := make([]float64, n)
+	// LibSVM's initialization: fill the first ⌊νn⌋ points to the upper
+	// bound and give the remainder fraction to the next point.
+	remaining := 1.0
+	for i := 0; i < n && remaining > 0; i++ {
+		a := math.Min(upper, remaining)
+		alpha[i] = a
+		remaining -= a
+	}
+	// G_i = Σ_j α_j·K_ij.
+	g := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if alpha[j] == 0 {
+			continue
+		}
+		kj := cache.row(j)
+		for t := 0; t < n; t++ {
+			g[t] += alpha[j] * kj[t]
+		}
+	}
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		// Violating pair: i with the smallest gradient among raisable α,
+		// j with the largest gradient among lowerable α.
+		i, j := -1, -1
+		gmin, gmax := math.Inf(1), math.Inf(-1)
+		for t := 0; t < n; t++ {
+			if alpha[t] < upper && g[t] < gmin {
+				gmin, i = g[t], t
+			}
+			if alpha[t] > 0 && g[t] > gmax {
+				gmax, j = g[t], t
+			}
+		}
+		if i < 0 || j < 0 || gmax-gmin <= cfg.Tol {
+			break
+		}
+		ki := cache.row(i)
+		kj := cache.row(j)
+		quad := ki[i] + kj[j] - 2*ki[j]
+		if quad <= 0 {
+			quad = 1e-12
+		}
+		s := (gmax - gmin) / quad
+		s = math.Min(s, math.Min(upper-alpha[i], alpha[j]))
+		if s <= 0 {
+			break
+		}
+		alpha[i] += s
+		alpha[j] -= s
+		for t := 0; t < n; t++ {
+			g[t] += s * (ki[t] - kj[t])
+		}
+	}
+	// ρ: average gradient over free SVs; otherwise the feasibility interval
+	// midpoint.
+	var rhoSum float64
+	var freeCount int
+	for t := 0; t < n; t++ {
+		if alpha[t] > 0 && alpha[t] < upper {
+			rhoSum += g[t]
+			freeCount++
+		}
+	}
+	var rho float64
+	if freeCount > 0 {
+		rho = rhoSum / float64(freeCount)
+	} else {
+		lo, hi := math.Inf(-1), math.Inf(1)
+		for t := 0; t < n; t++ {
+			if alpha[t] == 0 && g[t] < hi {
+				hi = g[t]
+			}
+			if alpha[t] >= upper && g[t] > lo {
+				lo = g[t]
+			}
+		}
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		rho = (lo + hi) / 2
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return buildModel(x, alpha, ones, rho, cfg, iters, cache.evals)
+}
+
+// buildModel extracts the support vectors (α_i > svEps) into a compact
+// model with weights w_i = α_i·y_i.
+func buildModel(x *vec.Matrix, alpha, y []float64, rho float64, cfg Config, iters, evals int) (*Model, error) {
+	const svEps = 1e-12
+	var count int
+	for _, a := range alpha {
+		if a > svEps {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil, errors.New("svm: training produced no support vectors")
+	}
+	sv := vec.NewMatrix(count, x.Cols)
+	w := make([]float64, count)
+	k := 0
+	for i, a := range alpha {
+		if a <= svEps {
+			continue
+		}
+		copy(sv.Row(k), x.Row(i))
+		w[k] = a * y[i]
+		k++
+	}
+	return &Model{SV: sv, Weights: w, Rho: rho, Kernel: cfg.Kernel, Iters: iters, KernelEvals: evals}, nil
+}

@@ -1,0 +1,143 @@
+// Package vptree builds a vantage-point tree (Yianilos/Uhlmann metric
+// tree) as a third index structure beyond the paper's kd-tree and
+// ball-tree pair. Each node picks a vantage point, splits its points at
+// the median distance to it, and is bounded by the spherical annulus
+// (geom.Shell) of its distance range — often tighter than a centroid ball
+// on ring- or shell-shaped data such as SVM support vectors.
+package vptree
+
+import (
+	"fmt"
+
+	"karl/internal/geom"
+	"karl/internal/index"
+	"karl/internal/vec"
+)
+
+// Build constructs a vp-tree over points with the given per-point weights
+// (nil for unit weights) and leaf capacity. The matrix is referenced, not
+// copied.
+func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, error) {
+	if points == nil || points.Rows == 0 {
+		return nil, fmt.Errorf("vptree: empty point set")
+	}
+	if leafCap < 1 {
+		return nil, fmt.Errorf("vptree: leaf capacity must be >= 1, got %d", leafCap)
+	}
+	if weights != nil && len(weights) != points.Rows {
+		return nil, fmt.Errorf("vptree: %d weights for %d points", len(weights), points.Rows)
+	}
+	t := &index.Tree{
+		Kind:    index.VPTree,
+		Points:  points,
+		Weights: weights,
+		Idx:     make([]int, points.Rows),
+		LeafCap: leafCap,
+	}
+	for i := range t.Idx {
+		t.Idx[i] = i
+	}
+	b := builder{t: t, dists: make([]float64, points.Rows)}
+	t.Root = b.build(0, points.Rows, 0)
+	t.Height = b.height
+	t.Nodes = b.nodes
+	t.ComputeAggregates()
+	return t, nil
+}
+
+type builder struct {
+	t      *index.Tree
+	dists  []float64 // scratch: distance of idx[i] to the current vantage
+	height int
+	nodes  int
+}
+
+func (b *builder) build(start, end, depth int) *index.Node {
+	b.nodes++
+	if depth+1 > b.height {
+		b.height = depth + 1
+	}
+	t := b.t
+	// Vantage point: the first point of the range (ranges are reshuffled by
+	// parent splits, so this is effectively arbitrary and deterministic).
+	vp := t.Points.Row(t.Idx[start])
+	shell := geom.BoundRowsShell(vp, t.Points, t.Idx, start, end)
+	n := &index.Node{Vol: shell, Start: start, End: end, Depth: depth}
+	if end-start <= t.LeafCap || shell.RMax == shell.RMin {
+		// Leaf, or all points equidistant from the vantage (duplicates or a
+		// perfect sphere) — the median split cannot separate them.
+		return n
+	}
+	for i := start; i < end; i++ {
+		b.dists[i] = vec.Dist2(vp, t.Points.Row(t.Idx[i]))
+	}
+	mid := (start + end) / 2
+	b.selectNth(start, end, mid)
+	if b.dists[mid-1] == b.dists[mid] {
+		// Median ties: nudge the boundary so both sides are non-empty and
+		// strictly partitioned by distance where possible.
+		lo, hi := mid, mid
+		for lo > start+1 && b.dists[lo-1] == b.dists[mid] {
+			lo--
+		}
+		for hi < end-1 && b.dists[hi] == b.dists[mid] {
+			hi++
+		}
+		if hi < end-1 {
+			mid = hi
+		} else if lo > start+1 {
+			mid = lo
+		} else {
+			return n // all distances equal; keep as oversized leaf
+		}
+	}
+	n.Left = b.build(start, mid, depth+1)
+	n.Right = b.build(mid, end, depth+1)
+	return n
+}
+
+// selectNth partially sorts idx[start:end) (and the parallel dists) so the
+// element at nth is in sorted position by distance.
+func (b *builder) selectNth(start, end, nth int) {
+	idx, dists := b.t.Idx, b.dists
+	lo, hi := start, end-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if dists[mid] < dists[lo] {
+			dists[mid], dists[lo] = dists[lo], dists[mid]
+			idx[mid], idx[lo] = idx[lo], idx[mid]
+		}
+		if dists[hi] < dists[lo] {
+			dists[hi], dists[lo] = dists[lo], dists[hi]
+			idx[hi], idx[lo] = idx[lo], idx[hi]
+		}
+		if dists[hi] < dists[mid] {
+			dists[hi], dists[mid] = dists[mid], dists[hi]
+			idx[hi], idx[mid] = idx[mid], idx[hi]
+		}
+		pivot := dists[mid]
+		i, j := lo, hi
+		for i <= j {
+			for dists[i] < pivot {
+				i++
+			}
+			for dists[j] > pivot {
+				j--
+			}
+			if i <= j {
+				dists[i], dists[j] = dists[j], dists[i]
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case nth <= j:
+			hi = j
+		case nth >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package vptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"karl/internal/geom"
+	"karl/internal/index"
+	"karl/internal/vec"
+)
+
+func randMatrix(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(nil, nil, 4); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := Build(vec.NewMatrix(3, 2), nil, 0); err == nil {
+		t.Fatal("leafCap=0 accepted")
+	}
+	if _, err := Build(vec.NewMatrix(3, 2), []float64{1}, 2); err == nil {
+		t.Fatal("weight mismatch accepted")
+	}
+}
+
+func TestBuildSinglePoint(t *testing.T) {
+	m := vec.FromRows([][]float64{{1, 2}})
+	tr, err := Build(m, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() || tr.Kind != index.VPTree {
+		t.Fatal("unexpected single-point structure")
+	}
+	sh := tr.Root.Vol.(*geom.Shell)
+	if sh.RMin != 0 || sh.RMax != 0 {
+		t.Fatalf("degenerate shell = [%v,%v]", sh.RMin, sh.RMax)
+	}
+}
+
+func TestBuildDuplicatesTerminate(t *testing.T) {
+	m := vec.NewMatrix(64, 3)
+	for i := 0; i < 64; i++ {
+		copy(m.Row(i), []float64{2, 2, 2})
+	}
+	tr, err := Build(m, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() {
+		t.Fatal("duplicate points should form one oversized leaf")
+	}
+}
+
+func TestBuildEquidistantSphere(t *testing.T) {
+	// Points on a perfect circle around the first point's position cannot
+	// be median-split by distance; construction must still terminate.
+	m := vec.NewMatrix(33, 2)
+	// First point at origin (becomes the vantage).
+	for i := 1; i < 33; i++ {
+		angle := float64(i) * 0.2
+		m.Row(i)[0] = cos(angle)
+		m.Row(i)[1] = sin(angle)
+	}
+	if _, err := Build(m, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cos(x float64) float64 { return 1 - x*x/2 + x*x*x*x/24 } // crude but fine for the test
+func sin(x float64) float64 { return x - x*x*x/6 }
+
+func TestBuildStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(400)
+		d := 1 + rng.Intn(6)
+		leafCap := 1 + rng.Intn(24)
+		m := randMatrix(rng, n, d)
+		var w []float64
+		if trial%2 == 0 {
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+		}
+		tr, err := Build(m, w, leafCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(1e-9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tr.Root.Pos.Count+tr.Root.Neg.Count != n {
+			t.Fatalf("trial %d: aggregates cover %d of %d",
+				trial, tr.Root.Pos.Count+tr.Root.Neg.Count, n)
+		}
+	}
+}
+
+func TestShellsArePartitionedByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	m := randMatrix(rng, 512, 3)
+	tr, err := Build(m, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Walk(func(n *index.Node) {
+		if n.IsLeaf() {
+			return
+		}
+		// Relative to the parent's vantage point (its shell center), every
+		// left-child point must be at least as close as every right-child
+		// point — the median-split invariant, preserved under the
+		// children's own reordering because it is a set property.
+		vp := n.Vol.(*geom.Shell).Center
+		var leftMax float64
+		for i := n.Left.Start; i < n.Left.End; i++ {
+			if d := vec.Dist(vp, m.Row(tr.Idx[i])); d > leftMax {
+				leftMax = d
+			}
+		}
+		rightMin := vec.Dist(vp, m.Row(tr.Idx[n.Right.Start]))
+		for i := n.Right.Start; i < n.Right.End; i++ {
+			if d := vec.Dist(vp, m.Row(tr.Idx[i])); d < rightMin {
+				rightMin = d
+			}
+		}
+		if leftMax > rightMin+1e-9 {
+			t.Fatalf("split violated: left max %v > right min %v", leftMax, rightMin)
+		}
+	})
+}

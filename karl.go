@@ -1,0 +1,221 @@
+// Package karl is a Go implementation of KARL — the Kernel Aggregation
+// Rapid Library of Chan, Yiu and U, "KARL: Fast Kernel Aggregation
+// Queries" (ICDE 2019).
+//
+// KARL answers two query types over a weighted point set P:
+//
+//   - Threshold kernel aggregation (TKAQ): is F_P(q) = Σ w_i·K(q,p_i) > τ?
+//   - Approximate kernel aggregation (eKAQ): return F_P(q) within relative
+//     error ε.
+//
+// Both are served by best-first refinement over a hierarchical index
+// (kd-tree or ball-tree) using KARL's linear bound functions, which are
+// provably tighter than the classical min/max-distance bounds yet cost the
+// same O(d) per node. All three weighting schemes of the paper are
+// supported transparently: identical weights (kernel density estimation),
+// positive weights (1-class SVM) and mixed-sign weights (2-class SVM).
+//
+// # Quick start
+//
+//	eng, err := karl.Build(points, karl.Gaussian(2.0))
+//	hot, err := eng.Threshold(q, 150.0)   // TKAQ
+//	est, err := eng.Approximate(q, 0.1)   // eKAQ, ±10%
+//
+// Use BuildAuto for the paper's offline index auto-tuning, InSitu for the
+// online (in-situ) scenario, NewKDE for Scott's-rule density estimation,
+// and TrainOneClassSVM / TrainTwoClassSVM to go from raw training data to
+// an accelerated classifier in one call.
+package karl
+
+import (
+	"errors"
+	"fmt"
+
+	"karl/internal/balltree"
+	"karl/internal/bound"
+	"karl/internal/core"
+	"karl/internal/index"
+	"karl/internal/kdtree"
+	"karl/internal/kernel"
+	"karl/internal/vec"
+	"karl/internal/vptree"
+)
+
+// Kernel identifies a kernel function with its parameters.
+type Kernel = kernel.Params
+
+// Gaussian returns the Gaussian kernel exp(−γ·dist(q,p)²).
+func Gaussian(gamma float64) Kernel { return kernel.NewGaussian(gamma) }
+
+// Polynomial returns the polynomial kernel (γ·q·p + β)^degree.
+func Polynomial(gamma, beta float64, degree int) Kernel {
+	return kernel.NewPolynomial(gamma, beta, degree)
+}
+
+// Sigmoid returns the sigmoid kernel tanh(γ·q·p + β).
+func Sigmoid(gamma, beta float64) Kernel { return kernel.NewSigmoid(gamma, beta) }
+
+// Epanechnikov returns the compact-support kernel max(0, 1 − γ·dist²),
+// the mean-square-optimal KDE kernel (an extension beyond the paper's
+// three kernels; its piecewise-linear profile makes KARL's bounds exact
+// whenever a node's distance interval avoids the support boundary).
+func Epanechnikov(gamma float64) Kernel { return kernel.NewEpanechnikov(gamma) }
+
+// Quartic returns the biweight kernel max(0, 1 − γ·dist²)².
+func Quartic(gamma float64) Kernel { return kernel.NewQuartic(gamma) }
+
+// IndexKind selects the index structure.
+type IndexKind int
+
+const (
+	// KDTree indexes with axis-aligned rectangles (the default).
+	KDTree IndexKind = iota
+	// BallTree indexes with bounding hyperspheres.
+	BallTree
+	// VPTree indexes with vantage-point annuli — an extension beyond the
+	// paper's two index structures, often strong on shell-shaped data.
+	VPTree
+)
+
+// Method selects the bounding technique.
+type Method int
+
+const (
+	// MethodKARL uses the paper's linear bound functions (the default).
+	MethodKARL Method = iota
+	// MethodSOTA uses the prior state-of-the-art bounds, kept for
+	// comparison and benchmarking.
+	MethodSOTA
+)
+
+// Stats reports the work performed by one query.
+type Stats = core.Stats
+
+// Option configures Build.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	weights  []float64
+	kind     IndexKind
+	leafCap  int
+	method   Method
+	maxDepth int
+}
+
+// WithWeights attaches per-point weights w_i (any sign). Without it all
+// weights are 1 (Type I).
+func WithWeights(w []float64) Option { return func(c *buildConfig) { c.weights = w } }
+
+// WithIndex selects the index structure and leaf capacity (default:
+// kd-tree with leaf capacity 80).
+func WithIndex(kind IndexKind, leafCap int) Option {
+	return func(c *buildConfig) { c.kind, c.leafCap = kind, leafCap }
+}
+
+// WithMethod selects the bounding method (default MethodKARL).
+func WithMethod(m Method) Option { return func(c *buildConfig) { c.method = m } }
+
+// withMaxDepth truncates refinement depth; used by the in-situ tuner.
+func withMaxDepth(d int) Option { return func(c *buildConfig) { c.maxDepth = d } }
+
+// Engine answers kernel aggregation queries over one indexed dataset. An
+// Engine is not safe for concurrent use; create one per goroutine with
+// Clone (clones share the index).
+type Engine struct {
+	eng  *core.Engine
+	tree *index.Tree
+	kern Kernel
+}
+
+// Build indexes the points (rows of equal length) and returns a query
+// engine. The point data is copied.
+func Build(points [][]float64, kern Kernel, opts ...Option) (*Engine, error) {
+	if len(points) == 0 {
+		return nil, errors.New("karl: empty point set")
+	}
+	return buildMatrix(vec.FromRows(points), kern, opts...)
+}
+
+// buildMatrix is the internal entry point used by the adapters that already
+// hold a matrix.
+func buildMatrix(m *vec.Matrix, kern Kernel, opts ...Option) (*Engine, error) {
+	cfg := buildConfig{kind: KDTree, leafCap: 80, method: MethodKARL}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.leafCap < 1 {
+		return nil, fmt.Errorf("karl: leaf capacity %d out of range", cfg.leafCap)
+	}
+	var tree *index.Tree
+	var err error
+	switch cfg.kind {
+	case KDTree:
+		tree, err = kdtree.Build(m, cfg.weights, cfg.leafCap)
+	case BallTree:
+		tree, err = balltree.Build(m, cfg.weights, cfg.leafCap)
+	case VPTree:
+		tree, err = vptree.Build(m, cfg.weights, cfg.leafCap)
+	default:
+		return nil, fmt.Errorf("karl: unknown index kind %d", int(cfg.kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	coreOpts := []core.Option{core.WithMethod(methodOf(cfg.method))}
+	if cfg.maxDepth > 0 {
+		coreOpts = append(coreOpts, core.WithMaxDepth(cfg.maxDepth))
+	}
+	eng, err := core.New(tree, kern, coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, tree: tree, kern: kern}, nil
+}
+
+func methodOf(m Method) bound.Method {
+	if m == MethodSOTA {
+		return bound.SOTA
+	}
+	return bound.KARL
+}
+
+// Len returns the number of indexed points.
+func (e *Engine) Len() int { return e.tree.Len() }
+
+// Dims returns the dataset dimensionality.
+func (e *Engine) Dims() int { return e.tree.Dims() }
+
+// Kernel returns the engine's kernel.
+func (e *Engine) Kernel() Kernel { return e.kern }
+
+// Clone returns an engine that shares the index but owns its scratch
+// state, for use from another goroutine.
+func (e *Engine) Clone() *Engine {
+	return &Engine{eng: e.eng.Clone(), tree: e.tree, kern: e.kern}
+}
+
+// Aggregate computes F_P(q) exactly.
+func (e *Engine) Aggregate(q []float64) (float64, error) { return e.eng.Exact(q) }
+
+// Threshold answers the TKAQ: whether F_P(q) > tau.
+func (e *Engine) Threshold(q []float64, tau float64) (bool, error) {
+	ok, _, err := e.eng.Threshold(q, tau)
+	return ok, err
+}
+
+// ThresholdStats is Threshold plus the per-query work statistics.
+func (e *Engine) ThresholdStats(q []float64, tau float64) (bool, Stats, error) {
+	return e.eng.Threshold(q, tau)
+}
+
+// Approximate answers the eKAQ: a value within relative error eps of
+// F_P(q).
+func (e *Engine) Approximate(q []float64, eps float64) (float64, error) {
+	v, _, err := e.eng.Approximate(q, eps)
+	return v, err
+}
+
+// ApproximateStats is Approximate plus the per-query work statistics.
+func (e *Engine) ApproximateStats(q []float64, eps float64) (float64, Stats, error) {
+	return e.eng.Approximate(q, eps)
+}

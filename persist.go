@@ -1,0 +1,141 @@
+package karl
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"karl/internal/index"
+	"karl/internal/vec"
+)
+
+// persistVersion guards the on-disk format; bump on incompatible change.
+const persistVersion = 1
+
+// enginePayload is the gob wire format for an Engine: the data and build
+// parameters, not the index itself — construction is deterministic, so the
+// tree is rebuilt on load. This keeps files compact and the format stable
+// across internal index changes.
+type enginePayload struct {
+	Version int
+	Dims    int
+	Points  []float64 // row-major Dims-wide rows
+	Weights []float64 // nil for unit weights
+	Kernel  Kernel
+	Kind    IndexKind
+	LeafCap int
+	Method  Method
+}
+
+// svmPayload wraps an engine payload with the SVM decision threshold.
+type svmPayload struct {
+	Engine enginePayload
+	Rho    float64
+}
+
+// payload flattens an engine for serialization.
+func (e *Engine) payload() enginePayload {
+	tree := e.tree
+	kind := KDTree
+	switch tree.Kind {
+	case index.BallTree:
+		kind = BallTree
+	case index.VPTree:
+		kind = VPTree
+	}
+	method := MethodKARL
+	if e.eng.Method() == methodOf(MethodSOTA) {
+		method = MethodSOTA
+	}
+	pts := make([]float64, len(tree.Points.Data))
+	copy(pts, tree.Points.Data)
+	var w []float64
+	if tree.Weights != nil {
+		w = make([]float64, len(tree.Weights))
+		copy(w, tree.Weights)
+	}
+	return enginePayload{
+		Version: persistVersion,
+		Dims:    tree.Dims(),
+		Points:  pts,
+		Weights: w,
+		Kernel:  e.kern,
+		Kind:    kind,
+		LeafCap: tree.LeafCap,
+		Method:  method,
+	}
+}
+
+// restore rebuilds an engine from a payload.
+func (p enginePayload) restore() (*Engine, error) {
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("karl: unsupported engine format version %d", p.Version)
+	}
+	if p.Dims < 1 || len(p.Points) == 0 || len(p.Points)%p.Dims != 0 {
+		return nil, errors.New("karl: corrupt engine payload")
+	}
+	m := &vec.Matrix{Data: p.Points, Rows: len(p.Points) / p.Dims, Cols: p.Dims}
+	opts := []Option{WithIndex(p.Kind, p.LeafCap), WithMethod(p.Method)}
+	if p.Weights != nil {
+		if len(p.Weights) != m.Rows {
+			return nil, errors.New("karl: corrupt engine payload (weights)")
+		}
+		opts = append(opts, WithWeights(p.Weights))
+	}
+	return buildMatrix(m, p.Kernel, opts...)
+}
+
+// WriteTo serializes the engine (points, weights, kernel and index
+// configuration) to w. The index is rebuilt deterministically on load.
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(e.payload()); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadEngine deserializes an engine written by Engine.WriteTo.
+func ReadEngine(r io.Reader) (*Engine, error) {
+	var p enginePayload
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	return p.restore()
+}
+
+// WriteTo serializes a trained SVM (support vectors, weights, kernel, ρ).
+func (s *SVM) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	payload := svmPayload{Engine: s.eng.payload(), Rho: s.Rho}
+	if err := gob.NewEncoder(cw).Encode(payload); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadSVM deserializes an SVM written by SVM.WriteTo.
+func ReadSVM(r io.Reader) (*SVM, error) {
+	var p svmPayload
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	eng, err := p.Engine.restore()
+	if err != nil {
+		return nil, err
+	}
+	return &SVM{eng: eng, Rho: p.Rho, SupportVectors: eng.Len()}, nil
+}
+
+// countWriter tracks bytes written for the io.WriterTo-style signatures.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,139 @@
+package karl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestEngineRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := cloud(rng, 400, 3)
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	orig, err := Build(pts, Polynomial(0.5, 1, 3),
+		WithWeights(w), WithIndex(BallTree, 32), WithMethod(MethodSOTA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Dims() != orig.Dims() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", loaded.Len(), loaded.Dims(), orig.Len(), orig.Dims())
+	}
+	if loaded.Kernel() != orig.Kernel() {
+		t.Fatal("kernel changed")
+	}
+	// Identical answers on a batch of queries.
+	for i := 0; i < 30; i++ {
+		q := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		a, _ := orig.Aggregate(q)
+		b, _ := loaded.Aggregate(q)
+		if a != b {
+			t.Fatalf("Aggregate diverged: %v vs %v", a, b)
+		}
+		ta, _ := orig.Threshold(q, a*1.01)
+		tb, _ := loaded.Threshold(q, a*1.01)
+		if ta != tb {
+			t.Fatal("Threshold diverged")
+		}
+	}
+}
+
+func TestEngineRoundTripUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := cloud(rng, 100, 2)
+	orig, err := Build(pts, Gaussian(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.3, 0.3}
+	a, _ := orig.Aggregate(q)
+	b, _ := loaded.Aggregate(q)
+	if a != b {
+		t.Fatalf("diverged: %v vs %v", a, b)
+	}
+}
+
+func TestSVMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 150
+	pts := make([][]float64, n)
+	labels := make([]float64, n)
+	for i := range pts {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		labels[i] = sign
+		pts[i] = []float64{sign + rng.NormFloat64()*0.3, sign + rng.NormFloat64()*0.3}
+	}
+	orig, err := TrainTwoClassSVM(pts, labels, SVMConfig{Kernel: Gaussian(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSVM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Rho != orig.Rho || loaded.SupportVectors != orig.SupportVectors {
+		t.Fatalf("model metadata changed: ρ %v vs %v, SVs %d vs %d",
+			loaded.Rho, orig.Rho, loaded.SupportVectors, orig.SupportVectors)
+	}
+	for i := 0; i < 40; i++ {
+		q := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		a, _ := orig.Classify(q)
+		b, _ := loaded.Classify(q)
+		if a != b {
+			t.Fatalf("classification diverged at %v", q)
+		}
+	}
+}
+
+func TestReadEngineRejectsGarbage(t *testing.T) {
+	if _, err := ReadEngine(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadSVM(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadEngineRejectsBadVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts := cloud(rng, 50, 2)
+	eng, _ := Build(pts, Gaussian(1))
+	p := eng.payload()
+	p.Version = 99
+	var buf bytes.Buffer
+	if _, err := ReadEngine(&buf); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+	if _, err := p.restore(); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
