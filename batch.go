@@ -11,35 +11,73 @@ import (
 // result slice is index-aligned with queries; the first error aborts the
 // batch.
 func (e *Engine) BatchThreshold(queries [][]float64, tau float64, workers int) ([]bool, error) {
+	out, _, err := e.BatchThresholdStats(queries, tau, workers)
+	return out, err
+}
+
+// BatchThresholdStats is BatchThreshold plus the summed work statistics of
+// the whole batch (Iterations, NodesExpanded and PointsScanned accumulate
+// across queries; the LB/UB fields are per-query quantities and stay zero).
+func (e *Engine) BatchThresholdStats(queries [][]float64, tau float64, workers int) ([]bool, Stats, error) {
 	out := make([]bool, len(queries))
+	per := make([]Stats, len(queries))
 	err := e.batch(queries, workers, func(eng *Engine, i int) error {
-		v, err := eng.Threshold(queries[i], tau)
-		out[i] = v
+		v, st, err := eng.ThresholdStats(queries[i], tau)
+		out[i], per[i] = v, st
 		return err
 	})
-	return out, err
+	return out, sumStats(per), err
 }
 
 // BatchApproximate answers the eKAQ for every query, index-aligned.
 func (e *Engine) BatchApproximate(queries [][]float64, eps float64, workers int) ([]float64, error) {
+	out, _, err := e.BatchApproximateStats(queries, eps, workers)
+	return out, err
+}
+
+// BatchApproximateStats is BatchApproximate plus the summed work
+// statistics of the whole batch.
+func (e *Engine) BatchApproximateStats(queries [][]float64, eps float64, workers int) ([]float64, Stats, error) {
 	out := make([]float64, len(queries))
+	per := make([]Stats, len(queries))
 	err := e.batch(queries, workers, func(eng *Engine, i int) error {
-		v, err := eng.Approximate(queries[i], eps)
-		out[i] = v
+		v, st, err := eng.ApproximateStats(queries[i], eps)
+		out[i], per[i] = v, st
 		return err
 	})
-	return out, err
+	return out, sumStats(per), err
 }
 
 // BatchAggregate computes the exact aggregate for every query.
 func (e *Engine) BatchAggregate(queries [][]float64, workers int) ([]float64, error) {
+	out, _, err := e.BatchAggregateStats(queries, workers)
+	return out, err
+}
+
+// BatchAggregateStats is BatchAggregate plus the summed work statistics of
+// the whole batch (every query scans all points, so PointsScanned is
+// len(queries)·Len for a successful batch).
+func (e *Engine) BatchAggregateStats(queries [][]float64, workers int) ([]float64, Stats, error) {
 	out := make([]float64, len(queries))
+	per := make([]Stats, len(queries))
 	err := e.batch(queries, workers, func(eng *Engine, i int) error {
-		v, err := eng.Aggregate(queries[i])
-		out[i] = v
+		v, st, err := eng.AggregateStats(queries[i])
+		out[i], per[i] = v, st
 		return err
 	})
-	return out, err
+	return out, sumStats(per), err
+}
+
+// sumStats folds per-query statistics into batch totals. The LB/UB fields
+// are meaningless summed across queries and are left zero.
+func sumStats(per []Stats) Stats {
+	var total Stats
+	for _, st := range per {
+		total.Iterations += st.Iterations
+		total.NodesExpanded += st.NodesExpanded
+		total.PointsScanned += st.PointsScanned
+	}
+	return total
 }
 
 // batch fans queries across worker clones. Each worker owns a clone, so

@@ -3,6 +3,7 @@ package karl
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -66,6 +67,106 @@ func TestBatchEmptyAndErrors(t *testing.T) {
 	}
 	if _, err := eng.BatchApproximate(bad, 0.1, 1); err == nil {
 		t.Fatal("bad query accepted sequentially")
+	}
+}
+
+// TestBatchWorkerError pins the first-error-aborts contract: an invalid
+// query in the middle of a batch surfaces as an error naming that index,
+// for every worker-count regime.
+func TestBatchWorkerError(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	pts := cloud(rng, 200, 2)
+	eng, err := Build(pts, Gaussian(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := cloud(rng, 40, 2)
+	queries[17] = []float64{0.5} // dimension mismatch mid-batch
+	for _, workers := range []int{1, 4, 64} {
+		if _, err := eng.BatchAggregate(queries, workers); err == nil {
+			t.Fatalf("workers=%d: bad query accepted", workers)
+		} else if !strings.Contains(err.Error(), "query 17") {
+			t.Fatalf("workers=%d: error does not name the failing index: %v", workers, err)
+		}
+		if _, err := eng.BatchThreshold(queries, 1, workers); err == nil {
+			t.Fatalf("workers=%d: threshold bad query accepted", workers)
+		}
+		if _, err := eng.BatchApproximate(queries, 0.1, workers); err == nil {
+			t.Fatalf("workers=%d: approximate bad query accepted", workers)
+		}
+	}
+}
+
+// TestBatchWorkerClamping checks that workers ≤ 0 (GOMAXPROCS fallback)
+// and workers > len(queries) (clamped to the batch size) both complete
+// with results identical to the sequential path.
+func TestBatchWorkerClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	pts := cloud(rng, 150, 2)
+	eng, err := Build(pts, Gaussian(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := cloud(rng, 5, 2)
+	want, err := eng.BatchAggregate(queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, -2, 100} {
+		got, err := eng.BatchAggregate(queries, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(queries) {
+			t.Fatalf("workers=%d: %d results for %d queries", workers, len(got), len(queries))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d: %v want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchStatsAccumulate checks the summed work statistics of the
+// Stats-returning batch variants.
+func TestBatchStatsAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	pts := cloud(rng, 300, 2)
+	eng, err := Build(pts, Gaussian(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := cloud(rng, 6, 2)
+	_, st, err := eng.BatchAggregateStats(queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(queries) * eng.Len(); st.PointsScanned != want {
+		t.Fatalf("aggregate batch scanned %d points, want %d", st.PointsScanned, want)
+	}
+	_, st, err = eng.BatchApproximateStats(queries, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations+st.PointsScanned == 0 {
+		t.Fatalf("approximate batch reports no work: %+v", st)
+	}
+	if st.LB != 0 || st.UB != 0 {
+		t.Fatalf("summed stats must leave per-query LB/UB zero: %+v", st)
+	}
+	// A tau equal to one query's exact value forces real refinement (a
+	// far-off tau can be decided at the root with zero iterations).
+	exact0, err := eng.Aggregate(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err = eng.BatchThresholdStats(queries, exact0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations+st.PointsScanned == 0 {
+		t.Fatalf("threshold batch reports no work: %+v", st)
 	}
 }
 

@@ -8,20 +8,31 @@
 // Endpoints:
 //
 //	GET  /v1/info
+//	GET  /v1/stats
 //	POST /v1/aggregate   {"q":[...]}
 //	POST /v1/threshold   {"q":[...],"tau":1.5}
 //	POST /v1/approximate {"q":[...],"eps":0.1}
+//	POST /v1/batch       {"kind":"approximate","queries":[[...],...],"eps":0.1}
+//
+// Requests are served concurrently over a pool of engine clones sharing
+// one immutable index; SIGINT/SIGTERM drain in-flight requests before
+// exiting.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"karl"
 	"karl/internal/server"
@@ -29,10 +40,15 @@ import (
 
 func main() {
 	var (
-		model  = flag.String("model", "", "saved engine file (from Engine.WriteTo / karl-train)")
-		points = flag.String("points", "", "whitespace-separated vectors to index directly")
-		gamma  = flag.Float64("gamma", 1, "Gaussian gamma when building from -points")
-		addr   = flag.String("addr", ":8080", "listen address")
+		model    = flag.String("model", "", "saved engine file (from Engine.WriteTo / karl-train)")
+		points   = flag.String("points", "", "whitespace-separated vectors to index directly")
+		gamma    = flag.Float64("gamma", 1, "Gaussian gamma when building from -points")
+		addr     = flag.String("addr", ":8080", "listen address")
+		poolSize = flag.Int("pool", 0, "max idle engine clones retained (0 = 2·GOMAXPROCS)")
+		readTO   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTO  = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle-connection timeout")
+		drainTO  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -57,13 +73,45 @@ func main() {
 		log.Fatalf("karl-serve: %v", err)
 	}
 
-	srv, err := server.New(eng)
+	var opts []server.Option
+	if *poolSize > 0 {
+		opts = append(opts, server.WithPoolSize(*poolSize))
+	}
+	srv, err := server.New(eng, opts...)
 	if err != nil {
 		log.Fatalf("karl-serve: %v", err)
 	}
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		IdleTimeout:  *idleTO,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving %d points (%d dims, %v kernel) on %s",
 		eng.Len(), eng.Dims(), eng.Kernel().Kind, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("karl-serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down, draining for up to %v", *drainTO)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Fatalf("karl-serve: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("karl-serve: %v", err)
+		}
+	}
 }
 
 func buildFromFile(path string, gamma float64) (*karl.Engine, error) {

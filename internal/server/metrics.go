@@ -1,0 +1,74 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"karl"
+)
+
+// endpointMetrics accumulates per-endpoint counters with atomics, so the
+// lock-free request path never serializes on a stats mutex.
+type endpointMetrics struct {
+	requests      atomic.Int64
+	errors        atomic.Int64
+	queries       atomic.Int64 // individual queries (a batch counts each)
+	iterations    atomic.Int64
+	nodesExpanded atomic.Int64
+	pointsScanned atomic.Int64
+}
+
+// record folds one query's work statistics into the endpoint totals.
+func (m *endpointMetrics) record(n int, st karl.Stats) {
+	m.queries.Add(int64(n))
+	m.iterations.Add(int64(st.Iterations))
+	m.nodesExpanded.Add(int64(st.NodesExpanded))
+	m.pointsScanned.Add(int64(st.PointsScanned))
+}
+
+// snapshot returns a consistent-enough copy for /v1/stats (individual
+// counters are read atomically; cross-counter skew under load is fine for
+// monitoring).
+func (m *endpointMetrics) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:      m.requests.Load(),
+		Errors:        m.errors.Load(),
+		Queries:       m.queries.Load(),
+		Iterations:    m.iterations.Load(),
+		NodesExpanded: m.nodesExpanded.Load(),
+		PointsScanned: m.pointsScanned.Load(),
+	}
+}
+
+// metrics holds one counter block per query endpoint.
+type metrics struct {
+	aggregate   endpointMetrics
+	threshold   endpointMetrics
+	approximate endpointMetrics
+	batch       endpointMetrics
+}
+
+// EndpointStats is the JSON form of one endpoint's counters.
+type EndpointStats struct {
+	Requests      int64 `json:"requests"`
+	Errors        int64 `json:"errors"`
+	Queries       int64 `json:"queries"`
+	Iterations    int64 `json:"iterations"`
+	NodesExpanded int64 `json:"nodes_expanded"`
+	PointsScanned int64 `json:"points_scanned"`
+}
+
+// PoolStats describes the engine-clone pool.
+type PoolStats struct {
+	// Idle is the number of clones currently parked in the pool.
+	Idle int `json:"idle"`
+	// Capacity is the maximum number of parked clones.
+	Capacity int `json:"capacity"`
+	// Clones is the cumulative number of engine clones ever created.
+	Clones int64 `json:"clones"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Pool      PoolStats                `json:"pool"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}

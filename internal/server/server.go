@@ -3,43 +3,112 @@
 // and approximate kernel aggregation queries as a network service — the
 // deployment mode of the paper's motivating applications (network
 // intrusion detection, online classification).
+//
+// Concurrency model: engines are per-request, the index is shared and
+// immutable. Each request acquires a *karl.Engine clone from a bounded
+// pool (clones share the index but own their refinement scratch state), so
+// N in-flight requests refine on N independent engines with no global
+// lock anywhere on the query path.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"karl"
 )
 
 // Server wraps an engine with an HTTP handler. All endpoints accept and
-// return JSON. The engine is guarded by a mutex (engines are not
-// concurrency-safe); throughput-critical deployments should shard across
-// processes or use per-connection clones.
+// return JSON.
 type Server struct {
-	mu  sync.Mutex
-	eng *karl.Engine
-	mux *http.ServeMux
+	pool *enginePool
+	mux  *http.ServeMux
+	met  metrics
+	dims int
 }
 
-// New builds a server around an engine.
-func New(eng *karl.Engine) (*Server, error) {
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	poolSize int
+}
+
+// WithPoolSize bounds the number of idle engine clones kept for reuse
+// (default 2·GOMAXPROCS). Bursts beyond the bound still get a fresh clone
+// each — the pool caps retained memory, never concurrency.
+func WithPoolSize(n int) Option { return func(c *config) { c.poolSize = n } }
+
+// New builds a server around an engine. The engine itself is never
+// queried: it is the template the clone pool grows from, so the caller
+// may keep using it from one other goroutine.
+func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 	if eng == nil {
 		return nil, errors.New("server: nil engine")
 	}
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	cfg := config{poolSize: 2 * runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.poolSize < 1 {
+		return nil, fmt.Errorf("server: pool size %d out of range", cfg.poolSize)
+	}
+	s := &Server{
+		pool: newEnginePool(eng, cfg.poolSize),
+		mux:  http.NewServeMux(),
+		dims: eng.Dims(),
+	}
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("POST /v1/threshold", s.handleThreshold)
 	s.mux.HandleFunc("POST /v1/approximate", s.handleApproximate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// enginePool recycles engine clones over a shared immutable index. Acquire
+// never blocks: an empty pool clones the template, a full pool drops the
+// returned clone for the GC. The channel doubles as the free list and the
+// bound.
+type enginePool struct {
+	template *karl.Engine
+	idle     chan *karl.Engine
+	clones   atomic.Int64
+}
+
+func newEnginePool(eng *karl.Engine, size int) *enginePool {
+	return &enginePool{template: eng, idle: make(chan *karl.Engine, size)}
+}
+
+func (p *enginePool) acquire() *karl.Engine {
+	select {
+	case e := <-p.idle:
+		return e
+	default:
+		p.clones.Add(1)
+		return p.template.Clone()
+	}
+}
+
+func (p *enginePool) release(e *karl.Engine) {
+	select {
+	case p.idle <- e:
+	default:
+	}
+}
+
+func (p *enginePool) stats() PoolStats {
+	return PoolStats{Idle: len(p.idle), Capacity: cap(p.idle), Clones: p.clones.Load()}
+}
 
 // InfoResponse describes the served model.
 type InfoResponse struct {
@@ -55,6 +124,24 @@ type QueryRequest struct {
 	Q   []float64 `json:"q"`
 	Tau float64   `json:"tau"`
 	Eps float64   `json:"eps"`
+}
+
+// BatchRequest is the POST /v1/batch body. Kind selects the query type
+// ("aggregate", "threshold" or "approximate"); Tau/Eps apply to the whole
+// batch; Workers bounds the fan-out (≤ 0 selects GOMAXPROCS).
+type BatchRequest struct {
+	Kind    string      `json:"kind"`
+	Queries [][]float64 `json:"queries"`
+	Tau     float64     `json:"tau"`
+	Eps     float64     `json:"eps"`
+	Workers int         `json:"workers"`
+}
+
+// BatchResponse carries index-aligned batch results: Values for
+// aggregate/approximate, Over for threshold.
+type BatchResponse struct {
+	Values []float64 `json:"values,omitempty"`
+	Over   []bool    `json:"over,omitempty"`
 }
 
 // ValueResponse carries a numeric result.
@@ -73,80 +160,219 @@ type errorResponse struct {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
-	k := s.eng.Kernel()
+	k := s.pool.template.Kernel()
 	writeJSON(w, http.StatusOK, InfoResponse{
-		Points: s.eng.Len(),
-		Dims:   s.eng.Dims(),
+		Points: s.pool.template.Len(),
+		Dims:   s.dims,
 		Kernel: k.Kind.String(),
 		Gamma:  k.Gamma,
 	})
 }
 
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Pool: s.pool.stats(),
+		Endpoints: map[string]EndpointStats{
+			"aggregate":   s.met.aggregate.snapshot(),
+			"threshold":   s.met.threshold.snapshot(),
+			"approximate": s.met.approximate.snapshot(),
+			"batch":       s.met.batch.snapshot(),
+		},
+	})
+}
+
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decode(w, r)
+	m := &s.met.aggregate
+	req, ok := s.decode(w, r, m, needNothing)
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	v, err := s.eng.Aggregate(req.Q)
-	s.mu.Unlock()
+	eng := s.pool.acquire()
+	v, st, err := eng.AggregateStats(req.Q)
+	s.pool.release(eng)
 	if err != nil {
+		m.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	m.record(1, st)
 	writeJSON(w, http.StatusOK, ValueResponse{v})
 }
 
 func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decode(w, r)
+	m := &s.met.threshold
+	req, ok := s.decode(w, r, m, needTau)
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	over, err := s.eng.Threshold(req.Q, req.Tau)
-	s.mu.Unlock()
+	eng := s.pool.acquire()
+	over, st, err := eng.ThresholdStats(req.Q, req.Tau)
+	s.pool.release(eng)
 	if err != nil {
+		m.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	m.record(1, st)
 	writeJSON(w, http.StatusOK, BoolResponse{over})
 }
 
 func (s *Server) handleApproximate(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decode(w, r)
+	m := &s.met.approximate
+	req, ok := s.decode(w, r, m, needEps)
 	if !ok {
 		return
 	}
-	if req.Eps <= 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"eps must be positive"})
-		return
-	}
-	s.mu.Lock()
-	v, err := s.eng.Approximate(req.Q, req.Eps)
-	s.mu.Unlock()
+	eng := s.pool.acquire()
+	v, st, err := eng.ApproximateStats(req.Q, req.Eps)
+	s.pool.release(eng)
 	if err != nil {
+		m.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	m.record(1, st)
 	writeJSON(w, http.StatusOK, ValueResponse{v})
 }
 
-// decode parses the request body and validates the query vector.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request) (QueryRequest, bool) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	m := &s.met.batch
+	m.requests.Add(1)
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if err := s.validateBatch(req); err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	eng := s.pool.acquire()
+	defer s.pool.release(eng)
+	var resp BatchResponse
+	var st karl.Stats
+	var err error
+	switch req.Kind {
+	case "aggregate":
+		resp.Values, st, err = eng.BatchAggregateStats(req.Queries, req.Workers)
+	case "threshold":
+		resp.Over, st, err = eng.BatchThresholdStats(req.Queries, req.Tau, req.Workers)
+	case "approximate":
+		resp.Values, st, err = eng.BatchApproximateStats(req.Queries, req.Eps, req.Workers)
+	}
+	if err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	m.record(len(req.Queries), st)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// need flags which scalar parameters an endpoint consumes, so validation
+// is uniform across endpoints instead of scattered through handlers.
+type need int
+
+const (
+	needNothing need = iota
+	needTau
+	needEps
+)
+
+// decode parses and validates a single-query request body. It counts the
+// request and any validation error against m.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, m *endpointMetrics, n need) (QueryRequest, bool) {
+	m.requests.Add(1)
 	var req QueryRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request: %v", err)})
+	if err := decodeBody(r, &req); err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return req, false
 	}
-	if len(req.Q) != s.eng.Dims() {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			fmt.Sprintf("query has %d dims, model has %d", len(req.Q), s.eng.Dims())})
+	if err := s.validate(req, n); err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return req, false
 	}
 	return req, true
 }
+
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request: %v", err)
+	}
+	return nil
+}
+
+// validate applies the uniform request checks: the query vector must match
+// the model dimensionality and be finite, and whichever of Tau/Eps the
+// endpoint consumes must be finite (Eps additionally positive). NaN/Inf
+// cannot arrive through standard JSON, but the server does not assume its
+// only callers are JSON decoders.
+func (s *Server) validate(req QueryRequest, n need) error {
+	if err := s.checkQuery(req.Q); err != nil {
+		return err
+	}
+	switch n {
+	case needTau:
+		if !isFinite(req.Tau) {
+			return fmt.Errorf("tau must be finite, got %v", req.Tau)
+		}
+	case needEps:
+		if !isFinite(req.Eps) {
+			return fmt.Errorf("eps must be finite, got %v", req.Eps)
+		}
+		if req.Eps <= 0 {
+			return errors.New("eps must be positive")
+		}
+	}
+	return nil
+}
+
+// validateBatch applies the same checks to every query of a batch plus the
+// batch-specific fields.
+func (s *Server) validateBatch(req BatchRequest) error {
+	switch req.Kind {
+	case "aggregate":
+	case "threshold":
+		if !isFinite(req.Tau) {
+			return fmt.Errorf("tau must be finite, got %v", req.Tau)
+		}
+	case "approximate":
+		if !isFinite(req.Eps) {
+			return fmt.Errorf("eps must be finite, got %v", req.Eps)
+		}
+		if req.Eps <= 0 {
+			return errors.New("eps must be positive")
+		}
+	default:
+		return fmt.Errorf("kind must be aggregate, threshold or approximate, got %q", req.Kind)
+	}
+	for i, q := range req.Queries {
+		if err := s.checkQuery(q); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) checkQuery(q []float64) error {
+	if len(q) != s.dims {
+		return fmt.Errorf("query has %d dims, model has %d", len(q), s.dims)
+	}
+	for j, v := range q {
+		if !isFinite(v) {
+			return fmt.Errorf("q[%d] must be finite, got %v", j, v)
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -197,6 +197,17 @@ func (e *Engine) Clone() *Engine {
 // Aggregate computes F_P(q) exactly.
 func (e *Engine) Aggregate(q []float64) (float64, error) { return e.eng.Exact(q) }
 
+// AggregateStats is Aggregate plus the per-query work statistics. An exact
+// aggregation scans every indexed point, so PointsScanned equals Len and
+// both bounds equal the returned value.
+func (e *Engine) AggregateStats(q []float64) (float64, Stats, error) {
+	v, err := e.eng.Exact(q)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return v, Stats{PointsScanned: e.Len(), LB: v, UB: v}, nil
+}
+
 // Threshold answers the TKAQ: whether F_P(q) > tau.
 func (e *Engine) Threshold(q []float64, tau float64) (bool, error) {
 	ok, _, err := e.eng.Threshold(q, tau)
