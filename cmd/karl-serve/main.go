@@ -45,6 +45,7 @@ func main() {
 		gamma    = flag.Float64("gamma", 1, "Gaussian gamma when building from -points")
 		addr     = flag.String("addr", ":8080", "listen address")
 		poolSize = flag.Int("pool", 0, "max idle engine clones retained (0 = 2·GOMAXPROCS)")
+		sketch   = flag.Float64("sketch-eps", 0, "enable the coreset tier: serve approximate queries with ε ≥ this bound from a sketch (0 = off)")
 		readTO   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle-connection timeout")
@@ -76,6 +77,9 @@ func main() {
 	var opts []server.Option
 	if *poolSize > 0 {
 		opts = append(opts, server.WithPoolSize(*poolSize))
+	}
+	if *sketch > 0 {
+		opts = append(opts, server.WithSketchTier(*sketch))
 	}
 	srv, err := server.New(eng, opts...)
 	if err != nil {

@@ -1,0 +1,191 @@
+package karl
+
+import (
+	"fmt"
+
+	"karl/internal/coreset"
+	"karl/internal/index"
+	"karl/internal/vec"
+)
+
+// CoresetMethod selects a sketch construction for BuildCoreset,
+// Engine.Sketch and KDE.Compress.
+type CoresetMethod int
+
+const (
+	// CoresetAuto picks halving for identical (Type I) weights and
+	// sensitivity sampling for positive (Type II) weights.
+	CoresetAuto CoresetMethod = iota
+	// CoresetUniform is uniform sampling with Hoeffding size selection
+	// (Type I baseline).
+	CoresetUniform
+	// CoresetHalving is the discrepancy/merge-halving construction in the
+	// spirit of Phillips–Tai near-optimal KDE coresets (Type I Gaussian
+	// and the other distance kernels).
+	CoresetHalving
+	// CoresetSensitivity is weight-proportional importance sampling
+	// (Type II positive weights).
+	CoresetSensitivity
+)
+
+// String implements fmt.Stringer.
+func (m CoresetMethod) String() string { return coresetMethodOf(m).String() }
+
+func coresetMethodOf(m CoresetMethod) coreset.Method {
+	switch m {
+	case CoresetUniform:
+		return coreset.Uniform
+	case CoresetHalving:
+		return coreset.Halving
+	case CoresetSensitivity:
+		return coreset.Sensitivity
+	default:
+		return coreset.Auto
+	}
+}
+
+func coresetMethodFrom(m coreset.Method) CoresetMethod {
+	switch m {
+	case coreset.Uniform:
+		return CoresetUniform
+	case coreset.Halving:
+		return CoresetHalving
+	case coreset.Sensitivity:
+		return CoresetSensitivity
+	default:
+		return CoresetAuto
+	}
+}
+
+// SketchInfo records a coreset engine's provenance: where its points came
+// from and what error its construction guarantees. The guarantee is on the
+// normalized aggregate: |F_P(q)/W − F_S(q)/W_S| ≤ Eps, with W (= W_S) the
+// source total weight.
+type SketchInfo struct {
+	// SourceLen is the cardinality of the set the sketch was built from.
+	SourceLen int
+	// SourceWeight is the source total weight Σ w_i (= the sketch's).
+	SourceWeight float64
+	// Len is the coreset cardinality.
+	Len int
+	// Eps is the advertised normalized error bound ε.
+	Eps float64
+	// Method is the construction that produced the sketch.
+	Method CoresetMethod
+}
+
+// WithCoresetMethod selects the sketch construction (default CoresetAuto).
+// Only BuildCoreset, Engine.Sketch and KDE.Compress consult it.
+func WithCoresetMethod(m CoresetMethod) Option {
+	return func(c *buildConfig) { c.coresetMethod = m }
+}
+
+// WithCoresetSeed seeds the sketch construction's randomness (default 1),
+// for reproducible coresets.
+func WithCoresetSeed(seed int64) Option {
+	return func(c *buildConfig) { c.coresetSeed = seed }
+}
+
+// WithCoresetMinSize floors the coreset cardinality (default 32).
+func WithCoresetMinSize(n int) Option {
+	return func(c *buildConfig) { c.coresetMinSize = n }
+}
+
+// BuildCoreset sketches the points down to a provable-error coreset and
+// indexes the coreset, so queries run through the same KARL bound
+// machinery over far fewer points. The resulting engine answers with
+// normalized error ≤ eps relative to the full set (SketchInfo reports the
+// provenance); all Build options apply, WithWeights supplies Type II
+// source weights.
+func BuildCoreset(points [][]float64, kern Kernel, eps float64, opts ...Option) (*Engine, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("karl: empty point set")
+	}
+	cfg := defaultBuildConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return sketchAndBuild(vec.FromRows(points), cfg.weights, kern, eps, cfg)
+}
+
+// Sketch derives a coreset engine from an already-built engine: the
+// indexed points are reduced with the requested guarantee and re-indexed
+// under the same kernel, index structure and bounding method. opts may
+// override the coreset construction (WithCoresetMethod, WithCoresetSeed,
+// WithCoresetMinSize) and the index layout of the derived engine.
+func (e *Engine) Sketch(eps float64, opts ...Option) (*Engine, error) {
+	tree := e.tree
+	cfg := defaultBuildConfig()
+	cfg.kind = indexKindFrom(tree.Kind)
+	cfg.leafCap = tree.LeafCap
+	if e.eng.Method() == methodOf(MethodSOTA) {
+		cfg.method = MethodSOTA
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var weights []float64
+	if tree.Weights != nil {
+		weights = tree.Weights
+	}
+	return sketchAndBuild(tree.Points, weights, e.kern, eps, cfg)
+}
+
+// sketchAndBuild runs the construction and indexes the result, attaching
+// provenance. It is the shared core of BuildCoreset and Engine.Sketch.
+func sketchAndBuild(points *vec.Matrix, weights []float64, kern Kernel, eps float64, cfg buildConfig) (*Engine, error) {
+	sk, err := coreset.Build(points, weights, kern, eps, coreset.Config{
+		Method:  coresetMethodOf(cfg.coresetMethod),
+		Seed:    cfg.coresetSeed,
+		MinSize: cfg.coresetMinSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.weights = sk.Weights
+	eng, err := buildMatrixCfg(sk.Points, kern, cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng.sketch = &SketchInfo{
+		SourceLen:    sk.SourceN,
+		SourceWeight: sk.SourceW,
+		Len:          sk.Len(),
+		Eps:          sk.Eps,
+		Method:       coresetMethodFrom(sk.Method),
+	}
+	return eng, nil
+}
+
+// SketchInfo reports the engine's coreset provenance. ok is false for
+// engines indexing their full source set.
+func (e *Engine) SketchInfo() (info SketchInfo, ok bool) {
+	if e.sketch == nil {
+		return SketchInfo{}, false
+	}
+	return *e.sketch, true
+}
+
+// indexKindFrom maps the internal tree kind back to the public enum.
+func indexKindFrom(k index.Kind) IndexKind {
+	switch k {
+	case index.BallTree:
+		return BallTree
+	case index.VPTree:
+		return VPTree
+	default:
+		return KDTree
+	}
+}
+
+// Compress sketches the estimator's point set down to a provable-error
+// coreset (see BuildCoreset); the compressed KDE's densities satisfy
+// |KDE_P(q) − KDE_S(q)| ≤ eps/n·W = eps (normalized error transfers
+// one-to-one to the density scale, which is already normalized by n).
+func (k *KDE) Compress(eps float64, opts ...Option) (*KDE, error) {
+	eng, err := k.eng.Sketch(eps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &KDE{eng: eng, n: k.n}, nil
+}

@@ -1,0 +1,102 @@
+// Benchmarks for the coreset sketch layer: construction cost per method,
+// the size-vs-ε curve, and the end-to-end serving win — a tier query
+// (sketch at ε_s = 0.05 refined with the remaining 0.05 budget) against
+// the full index answering the same ε = 0.1 eKAQ.
+package karl
+
+import (
+	"fmt"
+	"testing"
+)
+
+const (
+	coresetBenchN   = 20000
+	coresetBenchDim = 8
+	// The tier split of a client ε = 0.1 budget: sketch guarantee 0.05,
+	// refinement remainder 0.05 — the same composition karl-serve uses
+	// with -sketch-eps 0.05.
+	coresetBenchEps = 0.1
+	coresetTierEps  = 0.05
+)
+
+// BenchmarkCoresetQuery contrasts the two ways to answer an ε = 0.1
+// approximate query: sub-benchmark "full" runs the eKAQ on the complete
+// 20k-point index; "sketch" runs it on the ε_s = 0.05 coreset with the
+// leftover budget. The ratio of the two ns/op figures is the end-to-end
+// tier speedup.
+func BenchmarkCoresetQuery(b *testing.B) {
+	pts, q := benchCloud(coresetBenchN, coresetBenchDim)
+	full, err := Build(pts, Gaussian(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sketch, err := full.Sketch(coresetTierEps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("sketch: %d of %d points", sketch.Len(), full.Len())
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := full.Approximate(q, coresetBenchEps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sketch", func(b *testing.B) {
+		rem := coresetBenchEps - coresetTierEps
+		for i := 0; i < b.N; i++ {
+			if _, err := sketch.Approximate(q, rem); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCoresetBuild measures one-time construction cost per method at
+// ε = 0.1 on the 20k-point benchmark cloud (halving does the real work:
+// spatial ordering plus anchored discrepancy rounds with validation).
+func BenchmarkCoresetBuild(b *testing.B) {
+	pts, _ := benchCloud(coresetBenchN, coresetBenchDim)
+	for _, m := range []CoresetMethod{CoresetUniform, CoresetHalving, CoresetSensitivity} {
+		b.Run(m.String(), func(b *testing.B) {
+			opts := []Option{WithCoresetMethod(m)}
+			if m == CoresetSensitivity {
+				w := make([]float64, len(pts))
+				for i := range w {
+					w[i] = 1 + float64(i%7)
+				}
+				opts = append(opts, WithWeights(w))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildCoreset(pts, Gaussian(20), coresetBenchEps, opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoresetSizeCurve builds sketches across ε and reports the
+// resulting cardinality as the points_per_sketch metric — the measured
+// size-vs-ε curve (halving saturates at its validation floor on this
+// clusterable cloud; uniform follows the 1/ε² Hoeffding bound).
+func BenchmarkCoresetSizeCurve(b *testing.B) {
+	pts, _ := benchCloud(coresetBenchN, coresetBenchDim)
+	for _, m := range []CoresetMethod{CoresetUniform, CoresetHalving} {
+		for _, eps := range []float64{0.05, 0.1, 0.2, 0.3} {
+			b.Run(fmt.Sprintf("%s/eps=%.2f", m, eps), func(b *testing.B) {
+				var size int
+				for i := 0; i < b.N; i++ {
+					eng, err := BuildCoreset(pts, Gaussian(20), eps, WithCoresetMethod(m))
+					if err != nil {
+						b.Fatal(err)
+					}
+					size = eng.Len()
+				}
+				b.ReportMetric(float64(size), "points_per_sketch")
+			})
+		}
+	}
+}

@@ -3,6 +3,7 @@ package karl
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"karl/internal/kernel"
 	"karl/internal/vec"
@@ -64,10 +65,20 @@ func (d *DynamicEngine) Len() int {
 func (d *DynamicEngine) Rebuilds() int { return d.rebuilds }
 
 // Insert adds one weighted point. The first insert fixes the
-// dimensionality.
+// dimensionality. NaN or ±Inf coordinates and weights are rejected: a
+// single non-finite value would silently poison every aggregate the
+// engine answers afterwards.
 func (d *DynamicEngine) Insert(p []float64, w float64) error {
 	if len(p) == 0 {
 		return errors.New("karl: empty point")
+	}
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("karl: point coordinate %d is %v; coordinates must be finite", i, v)
+		}
+	}
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("karl: weight is %v; weights must be finite", w)
 	}
 	if d.buf == nil {
 		if d.base != nil && len(p) != d.base.Dims() {

@@ -44,6 +44,46 @@ func TestDynamicInsertValidation(t *testing.T) {
 	}
 }
 
+// TestDynamicInsertRejectsNonFinite: one NaN coordinate would poison every
+// subsequent aggregate, so Insert must reject it at the door and leave the
+// engine untouched.
+func TestDynamicInsertRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name string
+		p    []float64
+		w    float64
+	}{
+		{"nan coordinate", []float64{1, math.NaN()}, 1},
+		{"+inf coordinate", []float64{math.Inf(1), 2}, 1},
+		{"-inf coordinate", []float64{1, math.Inf(-1)}, 1},
+		{"nan weight", []float64{1, 2}, math.NaN()},
+		{"+inf weight", []float64{1, 2}, math.Inf(1)},
+		{"-inf weight", []float64{1, 2}, math.Inf(-1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := NewDynamic(Gaussian(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert(tc.p, tc.w); err == nil {
+				t.Fatalf("Insert(%v, %v) accepted", tc.p, tc.w)
+			}
+			if d.Len() != 0 {
+				t.Fatalf("rejected insert still buffered: Len=%d", d.Len())
+			}
+			// The engine must stay fully usable after a rejection.
+			if err := d.Insert([]float64{1, 2}, 1); err != nil {
+				t.Fatalf("valid insert after rejection: %v", err)
+			}
+			v, err := d.Aggregate([]float64{1, 2})
+			if err != nil || v != 1 {
+				t.Fatalf("aggregate after rejection = %v, %v", v, err)
+			}
+		})
+	}
+}
+
 // TestDynamicMatchesStatic inserts points one by one and checks, at several
 // checkpoints, that every query answer equals a from-scratch static build.
 func TestDynamicMatchesStatic(t *testing.T) {

@@ -1,0 +1,519 @@
+// Package coreset constructs reduced weighted point sets ("sketches")
+// whose kernel aggregates provably track the full set's: for a source set
+// P with weights w_i (total W = Σ w_i) it returns a set S with weights u_j
+// (total W_S = W) such that the normalized aggregates satisfy
+//
+//	|F_P(q)/W − F_S(q)/W_S| ≤ ε   for (almost) every query q,
+//
+// with |S| ≪ |P| — the data-reduction lever that is complementary to
+// KARL's per-node bounds. Three constructions are provided:
+//
+//   - Uniform: uniform sampling with a Hoeffding-style size selection,
+//     the Type I (identical weights) baseline.
+//   - Halving: a discrepancy-driven merge-halving in the spirit of
+//     Phillips & Tai ("Near-Optimal Coresets of Kernel Density
+//     Estimates"): points are paired spatially, one point of each pair is
+//     discarded by a greedy self-balancing sign choice, and the survivor
+//     inherits the pair's weight. Halving rounds continue while an
+//     empirical validation of the normalized error (with a 2× safety
+//     margin) stays inside ε, so the construction adapts to the data and
+//     typically lands far below the sampling sizes.
+//   - Sensitivity: importance sampling proportional to the weights, the
+//     Type II (arbitrary positive weights) construction; the normalized
+//     estimate is an average of i.i.d. [0,1] kernel values, so the same
+//     Hoeffding size applies.
+//
+// All constructions require a distance-based kernel (Gaussian,
+// Epanechnikov, quartic) whose values lie in [0,1] — the boundedness the
+// guarantees rest on — and non-negative weights (Type I/II). Mixed-sign
+// (Type III) sets are rejected: near-cancelling aggregates admit no
+// normalized-error reduction of this kind.
+package coreset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"karl/internal/kernel"
+	"karl/internal/vec"
+)
+
+// Method enumerates the constructions.
+type Method int
+
+const (
+	// Auto picks Halving for identical weights and Sensitivity otherwise.
+	Auto Method = iota
+	// Uniform is uniform sampling with Hoeffding size selection (Type I).
+	Uniform
+	// Halving is the discrepancy/merge-halving construction (Type I).
+	Halving
+	// Sensitivity is weight-proportional importance sampling (Type II).
+	Sensitivity
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Uniform:
+		return "uniform"
+	case Halving:
+		return "halving"
+	case Sensitivity:
+		return "sensitivity"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a method name to its Method value.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "auto":
+		return Auto, nil
+	case "uniform":
+		return Uniform, nil
+	case "halving":
+		return Halving, nil
+	case "sensitivity":
+		return Sensitivity, nil
+	}
+	return 0, fmt.Errorf("coreset: unknown method %q (want auto, uniform, halving or sensitivity)", s)
+}
+
+// Sketch is a reduced weighted point set with its error guarantee.
+type Sketch struct {
+	// Points are the coreset points (owned by the sketch).
+	Points *vec.Matrix
+	// Weights are the per-point weights; they sum to SourceW.
+	Weights []float64
+	// Eps is the advertised normalized error bound ε.
+	Eps float64
+	// SourceN and SourceW record the cardinality and total weight of the
+	// source set (the sketch's provenance).
+	SourceN int
+	// SourceW is the total weight Σ w_i of the source set.
+	SourceW float64
+	// Method is the construction that produced the sketch.
+	Method Method
+}
+
+// Len returns the coreset cardinality.
+func (s *Sketch) Len() int { return s.Points.Rows }
+
+// Config tunes a construction. The zero value is usable.
+type Config struct {
+	// Method selects the construction (default Auto).
+	Method Method
+	// Delta is the per-query failure probability behind the sampling
+	// sizes (default 1e-3).
+	Delta float64
+	// Seed seeds the construction's randomness (default 1).
+	Seed int64
+	// MinSize floors the coreset cardinality (default 32).
+	MinSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Delta <= 0 {
+		c.Delta = 1e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 32
+	}
+	return c
+}
+
+// hoeffdingSize returns the sample size m with ln(2/δ)/(2ε²) ≤ m, which by
+// Hoeffding's inequality makes the mean of m i.i.d. [0,1] kernel values
+// deviate from its expectation by more than ε with probability ≤ δ.
+func hoeffdingSize(eps, delta float64) int {
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// weightClass inspects the source weights: identical (Type I), positive
+// (Type II) or mixed/invalid.
+func weightClass(weights []float64, n int) (identical bool, total float64, err error) {
+	if weights == nil {
+		return true, float64(n), nil
+	}
+	total = 0
+	identical = true
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return false, 0, fmt.Errorf("coreset: weight %d is not finite (%v)", i, w)
+		}
+		if w < 0 {
+			return false, 0, errors.New("coreset: mixed-sign (Type III) weights are not sketchable: near-cancelling aggregates admit no normalized-error guarantee")
+		}
+		if w != weights[0] {
+			identical = false
+		}
+		total += w
+	}
+	if total <= 0 {
+		return false, 0, errors.New("coreset: total weight must be positive")
+	}
+	return identical, total, nil
+}
+
+// Build constructs a sketch of (points, weights) for the kernel with
+// normalized error bound eps. weights may be nil (unit weights, Type I).
+func Build(points *vec.Matrix, weights []float64, kern kernel.Params, eps float64, cfg Config) (*Sketch, error) {
+	if points == nil || points.Rows == 0 {
+		return nil, errors.New("coreset: empty point set")
+	}
+	if weights != nil && len(weights) != points.Rows {
+		return nil, fmt.Errorf("coreset: %d weights for %d points", len(weights), points.Rows)
+	}
+	if err := kern.Validate(); err != nil {
+		return nil, err
+	}
+	if !kern.DistanceBased() {
+		return nil, fmt.Errorf("coreset: %v kernel is not distance-based; the ε guarantee needs kernel values in [0,1]", kern.Kind)
+	}
+	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("coreset: eps must be in (0,1), got %v", eps)
+	}
+	cfg = cfg.withDefaults()
+	identical, total, err := weightClass(weights, points.Rows)
+	if err != nil {
+		return nil, err
+	}
+	method := cfg.Method
+	if method == Auto {
+		if identical {
+			method = Halving
+		} else {
+			method = Sensitivity
+		}
+	}
+	switch method {
+	case Uniform:
+		if !identical {
+			return nil, errors.New("coreset: uniform sampling needs identical (Type I) weights; use sensitivity for weighted sets")
+		}
+		return uniformSketch(points, total, eps, cfg)
+	case Halving:
+		return halvingSketch(points, weights, total, kern, eps, cfg)
+	case Sensitivity:
+		return sensitivitySketch(points, weights, total, eps, cfg)
+	default:
+		return nil, fmt.Errorf("coreset: unknown method %d", int(method))
+	}
+}
+
+// full returns the identity sketch (the source set itself), used when the
+// requested guarantee does not permit any reduction.
+func full(points *vec.Matrix, weights []float64, total float64, eps float64, method Method) *Sketch {
+	w := make([]float64, points.Rows)
+	if weights == nil {
+		per := total / float64(points.Rows)
+		for i := range w {
+			w[i] = per
+		}
+	} else {
+		copy(w, weights)
+	}
+	return &Sketch{
+		Points:  points.Clone(),
+		Weights: w,
+		Eps:     eps,
+		SourceN: points.Rows,
+		SourceW: total,
+		Method:  method,
+	}
+}
+
+// uniformSketch samples m = ln(2/δ)/(2ε²) points without replacement, each
+// carrying weight W/m. The normalized estimate is the sample mean of
+// kernel values in [0,1]; Hoeffding (and Serfling's sharpening for
+// sampling without replacement) gives the ε guarantee per query.
+func uniformSketch(points *vec.Matrix, total, eps float64, cfg Config) (*Sketch, error) {
+	n := points.Rows
+	m := hoeffdingSize(eps, cfg.Delta)
+	if m < cfg.MinSize {
+		m = cfg.MinSize
+	}
+	if m >= n {
+		return full(points, nil, total, eps, Uniform), nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := rng.Perm(n)[:m]
+	out := vec.NewMatrix(m, points.Cols)
+	w := make([]float64, m)
+	per := total / float64(m)
+	for j, i := range idx {
+		copy(out.Row(j), points.Row(i))
+		w[j] = per
+	}
+	return &Sketch{Points: out, Weights: w, Eps: eps, SourceN: n, SourceW: total, Method: Uniform}, nil
+}
+
+// sensitivitySketch draws m points i.i.d. with probability proportional to
+// their weight (the sensitivity upper bound for bounded kernels: point i
+// can contribute at most w_i/W to the normalized aggregate). Each draw's
+// kernel value is an unbiased [0,1] estimate of F_P(q)/W, so the Hoeffding
+// size applies; duplicate draws merge by weight.
+func sensitivitySketch(points *vec.Matrix, weights []float64, total, eps float64, cfg Config) (*Sketch, error) {
+	n := points.Rows
+	m := hoeffdingSize(eps, cfg.Delta)
+	if m < cfg.MinSize {
+		m = cfg.MinSize
+	}
+	if m >= n {
+		return full(points, weights, total, eps, Sensitivity), nil
+	}
+	// Cumulative weight table for O(log n) categorical draws.
+	cum := make([]float64, n)
+	run := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		run += w
+		cum[i] = run
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	per := total / float64(m)
+	counts := make(map[int]int, m)
+	for j := 0; j < m; j++ {
+		r := rng.Float64() * run
+		i := sort.SearchFloat64s(cum, r)
+		if i == n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	out := vec.NewMatrix(len(counts), points.Cols)
+	w := make([]float64, 0, len(counts))
+	row := 0
+	// Deterministic output order for reproducible builds.
+	keys := make([]int, 0, len(counts))
+	for i := range counts {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	for _, i := range keys {
+		copy(out.Row(row), points.Row(i))
+		w = append(w, per*float64(counts[i]))
+		row++
+	}
+	return &Sketch{Points: out, Weights: w, Eps: eps, SourceN: n, SourceW: total, Method: Sensitivity}, nil
+}
+
+// validation bundles the fixed query set and exact normalized answers the
+// halving construction validates against.
+const (
+	nAnchors    = 64  // anchor queries steering the greedy sign choice
+	nValidation = 256 // validation queries gating each halving round
+	safety      = 2.0 // a round must keep the measured error under ε/safety
+)
+
+// halvingSketch repeatedly halves the set: points are ordered spatially by
+// recursive median splits, consecutive points are paired, and a greedy
+// self-balancing sign choice keeps one point per pair (the survivor
+// inherits the pair's combined weight). After each candidate round the
+// normalized error against the source set is measured on a held-out query
+// sample; rounds continue while the measured error stays under ε/2, so the
+// advertised bound carries a 2× empirical safety margin.
+func halvingSketch(points *vec.Matrix, weights []float64, total float64, kern kernel.Params, eps float64, cfg Config) (*Sketch, error) {
+	n := points.Rows
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Working copy: survivors and their weights.
+	cur := points.Clone()
+	curW := make([]float64, n)
+	if weights == nil {
+		for i := range curW {
+			curW[i] = total / float64(n)
+		}
+	} else {
+		copy(curW, weights)
+	}
+
+	queries := validationQueries(points, rng)
+	exact := make([]float64, len(queries))
+	for i, q := range queries {
+		exact[i] = normalizedAggregate(kern, q, points, weights, total)
+	}
+	anchors := make([][]float64, nAnchors)
+	for i := range anchors {
+		anchors[i] = vec.Clone(points.Row(rng.Intn(n)))
+	}
+
+	for cur.Rows/2 >= cfg.MinSize {
+		nextP, nextW := halveOnce(cur, curW, kern, anchors)
+		worst := 0.0
+		for i, q := range queries {
+			got := normalizedAggregate(kern, q, nextP, nextW, total)
+			if d := math.Abs(got - exact[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > eps/safety {
+			break
+		}
+		cur, curW = nextP, nextW
+	}
+	return &Sketch{Points: cur, Weights: curW, Eps: eps, SourceN: n, SourceW: total, Method: Halving}, nil
+}
+
+// validationQueries samples the query domain: half jittered data points,
+// half uniform draws from the bounding box — the same families a density
+// workload probes.
+func validationQueries(points *vec.Matrix, rng *rand.Rand) [][]float64 {
+	_, std := points.ColumnStats()
+	mins, maxs := bounds(points)
+	out := make([][]float64, 0, nValidation)
+	for i := 0; i < nValidation; i++ {
+		q := make([]float64, points.Cols)
+		if i%2 == 0 {
+			copy(q, points.Row(rng.Intn(points.Rows)))
+			for j := range q {
+				q[j] += rng.NormFloat64() * std[j] * 0.25
+			}
+		} else {
+			for j := range q {
+				q[j] = mins[j] + rng.Float64()*(maxs[j]-mins[j])
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func bounds(points *vec.Matrix) (mins, maxs []float64) {
+	mins = make([]float64, points.Cols)
+	maxs = make([]float64, points.Cols)
+	copy(mins, points.Row(0))
+	copy(maxs, points.Row(0))
+	for i := 1; i < points.Rows; i++ {
+		for j, v := range points.Row(i) {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	return mins, maxs
+}
+
+// normalizedAggregate returns F(q)/W for the weighted set.
+func normalizedAggregate(kern kernel.Params, q []float64, points *vec.Matrix, weights []float64, total float64) float64 {
+	return kernel.Aggregate(kern, q, points, weights) / total
+}
+
+// halveOnce executes one pairing-and-discard round. Survivor selection is
+// the greedy self-balancing walk: per pair, keep whichever point moves the
+// running signed discrepancy (tracked at the anchor queries) closer to
+// zero. An odd trailing point survives untouched.
+func halveOnce(points *vec.Matrix, weights []float64, kern kernel.Params, anchors [][]float64) (*vec.Matrix, []float64) {
+	n := points.Rows
+	order := spatialOrder(points)
+	disc := make([]float64, len(anchors))
+	kept := make([]int, 0, n/2+1)
+	keptW := make([]float64, 0, n/2+1)
+
+	kp := make([]float64, len(anchors))
+	kr := make([]float64, len(anchors))
+	for i := 0; i+1 < n; i += 2 {
+		p, r := order[i], order[i+1]
+		wp, wr := weights[p], weights[r]
+		for a, q := range anchors {
+			kp[a] = kern.Eval(q, points.Row(p))
+			kr[a] = kern.Eval(q, points.Row(r))
+		}
+		// Keeping p changes the aggregate at anchor a by wr·(kp−kr);
+		// keeping r by wp·(kr−kp). Pick the smaller resulting ‖disc‖².
+		costP, costR := 0.0, 0.0
+		for a := range anchors {
+			dp := disc[a] + wr*(kp[a]-kr[a])
+			dr := disc[a] + wp*(kr[a]-kp[a])
+			costP += dp * dp
+			costR += dr * dr
+		}
+		if costP <= costR {
+			kept = append(kept, p)
+			keptW = append(keptW, wp+wr)
+			for a := range anchors {
+				disc[a] += wr * (kp[a] - kr[a])
+			}
+		} else {
+			kept = append(kept, r)
+			keptW = append(keptW, wp+wr)
+			for a := range anchors {
+				disc[a] += wp * (kr[a] - kp[a])
+			}
+		}
+	}
+	if n%2 == 1 {
+		last := order[n-1]
+		kept = append(kept, last)
+		keptW = append(keptW, weights[last])
+	}
+	out := vec.NewMatrix(len(kept), points.Cols)
+	for j, i := range kept {
+		copy(out.Row(j), points.Row(i))
+	}
+	return out, keptW
+}
+
+// spatialOrder returns a permutation in which consecutive points are
+// spatially close: a kd-style recursive median split along the widest
+// dimension, read off in order. Pairing consecutive points of this order
+// makes each discarded point's survivor a near neighbour, which is what
+// keeps the halving discrepancy small.
+func spatialOrder(points *vec.Matrix) []int {
+	idx := make([]int, points.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo <= 2 {
+			return
+		}
+		// Widest dimension over the slice.
+		d := points.Cols
+		best, bestSpan := 0, -1.0
+		for j := 0; j < d; j++ {
+			mn, mx := points.Row(idx[lo])[j], points.Row(idx[lo])[j]
+			for i := lo + 1; i < hi; i++ {
+				v := points.Row(idx[i])[j]
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if span := mx - mn; span > bestSpan {
+				best, bestSpan = j, span
+			}
+		}
+		sort.Slice(idx[lo:hi], func(a, b int) bool {
+			return points.Row(idx[lo+a])[best] < points.Row(idx[lo+b])[best]
+		})
+		// Split on an even boundary so pairs never straddle the cut.
+		mid := lo + ((hi-lo)/2+1)/2*2
+		if mid <= lo || mid >= hi {
+			return
+		}
+		rec(lo, mid)
+		rec(mid, hi)
+	}
+	rec(0, points.Rows)
+	return idx
+}

@@ -1,0 +1,360 @@
+package coreset
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"karl/internal/kernel"
+	"karl/internal/scan"
+	"karl/internal/vec"
+)
+
+// Three seeded dataset shapes: clustered cloud, shell, heavy-tailed
+// mixture with diffuse background — the Type I stand-in families of the
+// experiment layer, reduced.
+func clusterCloud(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		base := float64(i%3) * 0.3
+		for j := 0; j < d; j++ {
+			m.Row(i)[j] = base + rng.Float64()*0.2
+		}
+	}
+	return m
+}
+
+func shellCloud(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := m.Row(i)
+		var norm float64
+		for j := range r {
+			r[j] = rng.NormFloat64()
+			norm += r[j] * r[j]
+		}
+		norm = math.Sqrt(norm)
+		rad := 0.4 + 0.05*rng.NormFloat64()
+		for j := range r {
+			r[j] = 0.5 + r[j]/norm*rad
+		}
+	}
+	return m
+}
+
+func mixtureCloud(rng *rand.Rand, n, d int) *vec.Matrix {
+	m := vec.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		r := m.Row(i)
+		if i%4 == 0 { // diffuse background
+			for j := range r {
+				r[j] = rng.Float64()
+			}
+			continue
+		}
+		c := float64(i % 5)
+		scale := 0.02 * math.Exp(rng.NormFloat64()*0.5)
+		for j := range r {
+			r[j] = 0.15 + c*0.17 + rng.NormFloat64()*scale
+		}
+	}
+	return m
+}
+
+// sampleQueries mirrors a density workload: jittered data points plus
+// uniform draws over the bounding box.
+func sampleQueries(rng *rand.Rand, points *vec.Matrix, n int) [][]float64 {
+	_, std := points.ColumnStats()
+	mins, maxs := bounds(points)
+	out := make([][]float64, n)
+	for i := range out {
+		q := make([]float64, points.Cols)
+		if i%2 == 0 {
+			copy(q, points.Row(rng.Intn(points.Rows)))
+			for j := range q {
+				q[j] += rng.NormFloat64() * std[j] * 0.3
+			}
+		} else {
+			for j := range q {
+				q[j] = mins[j] + rng.Float64()*(maxs[j]-mins[j])
+			}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+func totalWeight(weights []float64, n int) float64 {
+	if weights == nil {
+		return float64(n)
+	}
+	var s float64
+	for _, w := range weights {
+		s += w
+	}
+	return s
+}
+
+// checkEpsProperty asserts the advertised normalized bound holds at ≥ 99%
+// of sampled queries against the exact scan oracle, and reports the
+// failure fraction.
+func checkEpsProperty(t *testing.T, points *vec.Matrix, weights []float64, kern kernel.Params, sk *Sketch, queries [][]float64) {
+	t.Helper()
+	oracle, err := scan.NewScanner(points, weights, kern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcW := totalWeight(weights, points.Rows)
+	skW := totalWeight(sk.Weights, sk.Len())
+	if math.Abs(skW-srcW) > 1e-6*srcW {
+		t.Fatalf("sketch weight %v does not preserve source weight %v", skW, srcW)
+	}
+	var bad int
+	worst := 0.0
+	for _, q := range queries {
+		exact := oracle.Aggregate(q) / srcW
+		got := kernel.Aggregate(kern, q, sk.Points, sk.Weights) / skW
+		if d := math.Abs(got - exact); d > sk.Eps {
+			bad++
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if frac := float64(bad) / float64(len(queries)); frac > 0.01 {
+		t.Fatalf("ε=%v violated at %.1f%% of %d queries (worst error %v)", sk.Eps, frac*100, len(queries), worst)
+	}
+}
+
+// TestPropertyNormalizedError is the subsystem's acceptance property: for
+// Type I and Type II over three seeded dataset shapes, each construction's
+// density estimates satisfy the advertised ε at ≥ 99% of sampled queries.
+func TestPropertyNormalizedError(t *testing.T) {
+	n := 6000
+	if testing.Short() {
+		n = 1500
+	}
+	gens := []struct {
+		name string
+		gen  func(*rand.Rand, int, int) *vec.Matrix
+	}{
+		{"cluster", clusterCloud},
+		{"shell", shellCloud},
+		{"mixture", mixtureCloud},
+	}
+	kern := kernel.NewGaussian(40)
+	for si, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + si)))
+			points := g.gen(rng, n, 4)
+			queries := sampleQueries(rng, points, 400)
+
+			// Type I: uniform and halving.
+			for _, method := range []Method{Uniform, Halving} {
+				sk, err := Build(points, nil, kern, 0.1, Config{Method: method, Seed: int64(si + 1)})
+				if err != nil {
+					t.Fatalf("%v: %v", method, err)
+				}
+				if sk.SourceN != n || sk.Method != method {
+					t.Fatalf("%v: provenance %d/%v", method, sk.SourceN, sk.Method)
+				}
+				checkEpsProperty(t, points, nil, kern, sk, queries)
+			}
+
+			// Type II: positive weights, sensitivity sampling.
+			w := make([]float64, n)
+			for i := range w {
+				w[i] = 0.1 + rng.Float64()*3
+			}
+			sk, err := Build(points, w, kern, 0.1, Config{Method: Sensitivity, Seed: int64(si + 7)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEpsProperty(t, points, w, kern, sk, queries)
+
+			// Auto resolves by weight class.
+			skAuto, err := Build(points, nil, kern, 0.15, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skAuto.Method != Halving {
+				t.Fatalf("auto on Type I chose %v", skAuto.Method)
+			}
+			skAutoW, err := Build(points, w, kern, 0.15, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skAutoW.Method != Sensitivity {
+				t.Fatalf("auto on Type II chose %v", skAutoW.Method)
+			}
+		})
+	}
+}
+
+// TestHalvingCompresses checks the discrepancy construction actually
+// reduces clustered data well below the source size (the whole point of
+// preferring it over uniform sampling at small ε).
+func TestHalvingCompresses(t *testing.T) {
+	n := 8000
+	if testing.Short() {
+		n = 2000
+	}
+	rng := rand.New(rand.NewSource(9))
+	points := clusterCloud(rng, n, 3)
+	sk, err := Build(points, nil, kernel.NewGaussian(30), 0.1, Config{Method: Halving})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Len() > n/4 {
+		t.Fatalf("halving kept %d of %d points (expected ≤ n/4)", sk.Len(), n)
+	}
+	if sk.Len() < 32 {
+		t.Fatalf("halving went below MinSize: %d", sk.Len())
+	}
+}
+
+func TestHoeffdingSize(t *testing.T) {
+	m := hoeffdingSize(0.1, 1e-3)
+	if m < 300 || m > 500 {
+		t.Fatalf("hoeffdingSize(0.1, 1e-3) = %d, want ≈ 380", m)
+	}
+	if a, b := hoeffdingSize(0.05, 1e-3), hoeffdingSize(0.1, 1e-3); a <= b {
+		t.Fatalf("smaller ε must need more samples: %d vs %d", a, b)
+	}
+}
+
+func TestSmallSourceReturnsFullSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := clusterCloud(rng, 50, 2)
+	for _, method := range []Method{Uniform, Sensitivity} {
+		sk, err := Build(points, nil, kernel.NewGaussian(5), 0.1, Config{Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sk.Len() != 50 {
+			t.Fatalf("%v: tiny source should pass through whole, got %d points", method, sk.Len())
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	points := clusterCloud(rng, 100, 2)
+	gauss := kernel.NewGaussian(5)
+	cases := []struct {
+		name    string
+		points  *vec.Matrix
+		weights []float64
+		kern    kernel.Params
+		eps     float64
+		cfg     Config
+		errLike string
+	}{
+		{"empty", nil, nil, gauss, 0.1, Config{}, "empty"},
+		{"weights mismatch", points, []float64{1}, gauss, 0.1, Config{}, "weights"},
+		{"mixed sign", points, mixedWeights(100), gauss, 0.1, Config{}, "mixed-sign"},
+		{"nan weight", points, nanWeights(100), gauss, 0.1, Config{}, "finite"},
+		{"polynomial kernel", points, nil, kernel.NewPolynomial(1, 1, 2), 0.1, Config{}, "distance-based"},
+		{"sigmoid kernel", points, nil, kernel.NewSigmoid(1, 0), 0.1, Config{}, "distance-based"},
+		{"eps zero", points, nil, gauss, 0, Config{}, "eps"},
+		{"eps one", points, nil, gauss, 1, Config{}, "eps"},
+		{"eps nan", points, nil, gauss, math.NaN(), Config{}, "eps"},
+		{"uniform on weighted", points, rampWeights(100), gauss, 0.1, Config{Method: Uniform}, "identical"},
+		{"bad method", points, nil, gauss, 0.1, Config{Method: Method(99)}, "unknown method"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Build(tc.points, tc.weights, tc.kern, tc.eps, tc.cfg)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.errLike) {
+				t.Fatalf("error %q does not mention %q", err, tc.errLike)
+			}
+		})
+	}
+}
+
+func mixedWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	w[n/2] = -1
+	return w
+}
+
+func nanWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = math.NaN()
+	return w
+}
+
+func rampWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 + float64(i)
+	}
+	return w
+}
+
+func TestParseMethod(t *testing.T) {
+	for _, s := range []string{"auto", "uniform", "halving", "sensitivity"} {
+		m, err := ParseMethod(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.String() != s {
+			t.Fatalf("round trip %q -> %v", s, m)
+		}
+	}
+	if _, err := ParseMethod("bogus"); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+}
+
+// TestDeterministicBySeed pins reproducibility: same seed, same sketch.
+func TestDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	points := clusterCloud(rng, 2000, 3)
+	for _, method := range []Method{Uniform, Halving, Sensitivity} {
+		a, err := Build(points, nil, kernel.NewGaussian(20), 0.1, Config{Method: method, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(points, nil, kernel.NewGaussian(20), 0.1, Config{Method: method, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("%v: sizes differ %d vs %d", method, a.Len(), b.Len())
+		}
+		if !vec.Equal(a.Points.Data, b.Points.Data, 0) || !vec.Equal(a.Weights, b.Weights, 0) {
+			t.Fatalf("%v: sketches differ under one seed", method)
+		}
+	}
+}
+
+// TestSpatialOrderIsPermutation guards the pairing order primitive.
+func TestSpatialOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 2, 3, 7, 64, 257} {
+		points := clusterCloud(rng, n, 3)
+		order := spatialOrder(points)
+		if len(order) != n {
+			t.Fatalf("n=%d: order has %d entries", n, len(order))
+		}
+		seen := make([]bool, n)
+		for _, i := range order {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("n=%d: bad permutation", n)
+			}
+			seen[i] = true
+		}
+	}
+}

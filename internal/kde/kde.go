@@ -42,7 +42,7 @@ func ScottGammaN(points *vec.Matrix, n int) (float64, error) {
 	}
 	mean /= float64(len(std))
 	if mean <= 0 {
-		return 0, errors.New("kde: zero variance data")
+		return 0, fmt.Errorf("kde: data has zero variance in every dimension (%d identical point(s)); Scott's rule cannot pick a bandwidth — set gamma explicitly via NewKDEWithGamma or NewEstimator", points.Rows)
 	}
 	h := math.Pow(float64(n), -1/(float64(points.Cols)+4)) * mean
 	return 1 / (2 * h * h), nil

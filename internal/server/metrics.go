@@ -39,12 +39,17 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 	}
 }
 
-// metrics holds one counter block per query endpoint.
+// metrics holds one counter block per query endpoint, plus the sketch-tier
+// routing counters (each approximate query counts once, as a tier hit when
+// its ε budget lets the coreset engine serve it, a miss otherwise).
 type metrics struct {
 	aggregate   endpointMetrics
 	threshold   endpointMetrics
 	approximate endpointMetrics
 	batch       endpointMetrics
+
+	tierHits   atomic.Int64
+	tierMisses atomic.Int64
 }
 
 // EndpointStats is the JSON form of one endpoint's counters.
@@ -67,8 +72,25 @@ type PoolStats struct {
 	Clones int64 `json:"clones"`
 }
 
-// StatsResponse is the GET /v1/stats body.
+// TierStats reports sketch-tier routing when WithSketchTier is enabled.
+type TierStats struct {
+	// SketchHits counts approximate queries served by the coreset engine.
+	SketchHits int64 `json:"sketch_hits"`
+	// FullServes counts approximate queries whose ε budget was tighter
+	// than the sketch guarantee and fell through to the full index.
+	FullServes int64 `json:"full_serves"`
+	// SketchPoints is the coreset cardinality.
+	SketchPoints int `json:"sketch_points"`
+	// SketchEps is the sketch's advertised normalized error bound.
+	SketchEps float64 `json:"sketch_eps"`
+	// Pool describes the sketch-engine clone pool.
+	Pool PoolStats `json:"pool"`
+}
+
+// StatsResponse is the GET /v1/stats body. Tier is present only when the
+// sketch tier is enabled.
 type StatsResponse struct {
 	Pool      PoolStats                `json:"pool"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Tier      *TierStats               `json:"tier,omitempty"`
 }

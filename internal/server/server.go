@@ -30,19 +30,38 @@ type Server struct {
 	mux  *http.ServeMux
 	met  metrics
 	dims int
+
+	// Sketch tier (nil pools when disabled): a coreset engine with
+	// normalized error guarantee sketchEps serves /v1/approximate requests
+	// whose ε budget covers the guarantee; everything else falls through
+	// to the full index.
+	sketch    *enginePool
+	sketchEps float64
+	sketchLen int
 }
 
 // Option configures New.
 type Option func(*config)
 
 type config struct {
-	poolSize int
+	poolSize  int
+	sketchEps float64
 }
 
 // WithPoolSize bounds the number of idle engine clones kept for reuse
 // (default 2·GOMAXPROCS). Bursts beyond the bound still get a fresh clone
 // each — the pool caps retained memory, never concurrency.
 func WithPoolSize(n int) Option { return func(c *config) { c.poolSize = n } }
+
+// WithSketchTier enables tiered serving: at construction the engine is
+// sketched down to a provable-error coreset (karl.Engine.Sketch) with
+// normalized error bound eps, and /v1/approximate queries whose requested
+// ε is at least that guarantee are answered from the small coreset engine
+// — the leftover budget ε−eps drives its refinement, so the combined
+// normalized error stays within the request. Queries with tighter budgets,
+// and all exact/threshold traffic, are served by the full index. Tier
+// routing is reported by GET /v1/stats.
+func WithSketchTier(eps float64) Option { return func(c *config) { c.sketchEps = eps } }
 
 // New builds a server around an engine. The engine itself is never
 // queried: it is the template the clone pool grows from, so the caller
@@ -62,6 +81,19 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 		pool: newEnginePool(eng, cfg.poolSize),
 		mux:  http.NewServeMux(),
 		dims: eng.Dims(),
+	}
+	if cfg.sketchEps != 0 {
+		if !isFinite(cfg.sketchEps) || cfg.sketchEps <= 0 || cfg.sketchEps >= 1 {
+			return nil, fmt.Errorf("server: sketch tier eps must be in (0,1), got %v", cfg.sketchEps)
+		}
+		skEng, err := eng.Sketch(cfg.sketchEps)
+		if err != nil {
+			return nil, fmt.Errorf("server: sketch tier: %w", err)
+		}
+		info, _ := skEng.SketchInfo()
+		s.sketch = newEnginePool(skEng, cfg.poolSize)
+		s.sketchEps = info.Eps
+		s.sketchLen = skEng.Len()
 	}
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -110,12 +142,15 @@ func (p *enginePool) stats() PoolStats {
 	return PoolStats{Idle: len(p.idle), Capacity: cap(p.idle), Clones: p.clones.Load()}
 }
 
-// InfoResponse describes the served model.
+// InfoResponse describes the served model. SketchPoints/SketchEps are set
+// only when the sketch tier is enabled.
 type InfoResponse struct {
-	Points int     `json:"points"`
-	Dims   int     `json:"dims"`
-	Kernel string  `json:"kernel"`
-	Gamma  float64 `json:"gamma"`
+	Points       int     `json:"points"`
+	Dims         int     `json:"dims"`
+	Kernel       string  `json:"kernel"`
+	Gamma        float64 `json:"gamma"`
+	SketchPoints int     `json:"sketch_points,omitempty"`
+	SketchEps    float64 `json:"sketch_eps,omitempty"`
 }
 
 // QueryRequest is the shared request body; Tau is used by /threshold and
@@ -161,16 +196,21 @@ type errorResponse struct {
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	k := s.pool.template.Kernel()
-	writeJSON(w, http.StatusOK, InfoResponse{
+	resp := InfoResponse{
 		Points: s.pool.template.Len(),
 		Dims:   s.dims,
 		Kernel: k.Kind.String(),
 		Gamma:  k.Gamma,
-	})
+	}
+	if s.sketch != nil {
+		resp.SketchPoints = s.sketchLen
+		resp.SketchEps = s.sketchEps
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Pool: s.pool.stats(),
 		Endpoints: map[string]EndpointStats{
 			"aggregate":   s.met.aggregate.snapshot(),
@@ -178,7 +218,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"approximate": s.met.approximate.snapshot(),
 			"batch":       s.met.batch.snapshot(),
 		},
-	})
+	}
+	if s.sketch != nil {
+		resp.Tier = &TierStats{
+			SketchHits:   s.met.tierHits.Load(),
+			FullServes:   s.met.tierMisses.Load(),
+			SketchPoints: s.sketchLen,
+			SketchEps:    s.sketchEps,
+			Pool:         s.sketch.stats(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -223,9 +273,18 @@ func (s *Server) handleApproximate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	eng := s.pool.acquire()
-	v, st, err := eng.ApproximateStats(req.Q, req.Eps)
-	s.pool.release(eng)
+	var v float64
+	var st karl.Stats
+	var err error
+	if s.routeToSketch(req.Eps, 1) {
+		eng := s.sketch.acquire()
+		v, st, err = approximateSketch(eng, req.Q, req.Eps-s.sketchEps)
+		s.sketch.release(eng)
+	} else {
+		eng := s.pool.acquire()
+		v, st, err = eng.ApproximateStats(req.Q, req.Eps)
+		s.pool.release(eng)
+	}
 	if err != nil {
 		m.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
@@ -233,6 +292,32 @@ func (s *Server) handleApproximate(w http.ResponseWriter, r *http.Request) {
 	}
 	m.record(1, st)
 	writeJSON(w, http.StatusOK, ValueResponse{v})
+}
+
+// routeToSketch decides the serving tier for an approximate query with
+// budget eps and records the decision (n queries' worth) in the tier
+// counters. Only ε budgets at or above the sketch's guarantee can be
+// served from the coreset.
+func (s *Server) routeToSketch(eps float64, n int) bool {
+	if s.sketch == nil {
+		return false
+	}
+	if eps >= s.sketchEps {
+		s.met.tierHits.Add(int64(n))
+		return true
+	}
+	s.met.tierMisses.Add(int64(n))
+	return false
+}
+
+// approximateSketch serves one query from the coreset engine with the
+// leftover budget rem = ε − ε_sketch. A zero leftover degrades to the
+// exact aggregate over the coreset — still a tiny scan.
+func approximateSketch(eng *karl.Engine, q []float64, rem float64) (float64, karl.Stats, error) {
+	if rem > 0 {
+		return eng.ApproximateStats(q, rem)
+	}
+	return eng.AggregateStats(q)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -249,18 +334,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	eng := s.pool.acquire()
-	defer s.pool.release(eng)
 	var resp BatchResponse
 	var st karl.Stats
 	var err error
 	switch req.Kind {
 	case "aggregate":
+		eng := s.pool.acquire()
 		resp.Values, st, err = eng.BatchAggregateStats(req.Queries, req.Workers)
+		s.pool.release(eng)
 	case "threshold":
+		eng := s.pool.acquire()
 		resp.Over, st, err = eng.BatchThresholdStats(req.Queries, req.Tau, req.Workers)
+		s.pool.release(eng)
 	case "approximate":
-		resp.Values, st, err = eng.BatchApproximateStats(req.Queries, req.Eps, req.Workers)
+		if s.routeToSketch(req.Eps, len(req.Queries)) {
+			eng := s.sketch.acquire()
+			if rem := req.Eps - s.sketchEps; rem > 0 {
+				resp.Values, st, err = eng.BatchApproximateStats(req.Queries, rem, req.Workers)
+			} else {
+				resp.Values, st, err = eng.BatchAggregateStats(req.Queries, req.Workers)
+			}
+			s.sketch.release(eng)
+		} else {
+			eng := s.pool.acquire()
+			resp.Values, st, err = eng.BatchApproximateStats(req.Queries, req.Eps, req.Workers)
+			s.pool.release(eng)
+		}
 	}
 	if err != nil {
 		m.errors.Add(1)

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"karl"
+)
+
+// tierEngine builds a clustered Type I engine big enough that the sketch
+// tier actually reduces it.
+func tierEngine(t *testing.T) *karl.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(71))
+	pts := make([][]float64, 3000)
+	for i := range pts {
+		base := float64(i%3) * 0.3
+		pts[i] = []float64{base + rng.Float64()*0.2, base + rng.Float64()*0.2}
+	}
+	eng, err := karl.Build(pts, karl.Gaussian(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func tierServer(t *testing.T, eps float64) (*karl.Engine, *httptest.Server) {
+	t.Helper()
+	eng := tierEngine(t)
+	s, err := New(eng, WithSketchTier(eps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func getStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSketchTierValidation(t *testing.T) {
+	eng := tierEngine(t)
+	for _, eps := range []float64{-0.1, 1, 2, math.NaN(), math.Inf(1)} {
+		if _, err := New(eng, WithSketchTier(eps)); err == nil {
+			t.Fatalf("sketch eps %v accepted", eps)
+		}
+	}
+	// Type III engines cannot be sketched: New must surface the error.
+	rng := rand.New(rand.NewSource(72))
+	pts := make([][]float64, 200)
+	w := make([]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+		w[i] = rng.NormFloat64()
+	}
+	mixed, err := karl.Build(pts, karl.Gaussian(5), karl.WithWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(mixed, WithSketchTier(0.1)); err == nil {
+		t.Fatal("sketch tier over Type III accepted")
+	}
+}
+
+// TestSketchTierRouting checks hit/miss accounting and that routed answers
+// respect the combined normalized error bound.
+func TestSketchTierRouting(t *testing.T) {
+	eng, ts := tierServer(t, 0.1)
+
+	// ε below the guarantee: full index, a tier miss, exact relative error.
+	q := []float64{0.35, 0.35}
+	resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: 0.05})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	// ε at and above the guarantee: coreset engine, tier hits.
+	exact, _ := eng.Aggregate(q)
+	for _, eps := range []float64{0.1, 0.2, 0.3} {
+		resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: eps})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var v ValueResponse
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v.Value-exact)/float64(eng.Len()) > eps {
+			t.Fatalf("eps=%v: normalized error %v exceeds budget", eps,
+				math.Abs(v.Value-exact)/float64(eng.Len()))
+		}
+	}
+
+	st := getStats(t, ts)
+	if st.Tier == nil {
+		t.Fatal("stats missing tier block")
+	}
+	if st.Tier.SketchHits != 3 || st.Tier.FullServes != 1 {
+		t.Fatalf("tier counters hits=%d misses=%d, want 3/1", st.Tier.SketchHits, st.Tier.FullServes)
+	}
+	if st.Tier.SketchPoints <= 0 || st.Tier.SketchPoints >= eng.Len() {
+		t.Fatalf("sketch points %d of %d", st.Tier.SketchPoints, eng.Len())
+	}
+	if st.Tier.SketchEps != 0.1 {
+		t.Fatalf("sketch eps %v", st.Tier.SketchEps)
+	}
+}
+
+// TestSketchTierBatch checks batch approximate requests route through the
+// tier with per-query counting, and that other kinds never touch it.
+func TestSketchTierBatch(t *testing.T) {
+	eng, ts := tierServer(t, 0.1)
+	queries := [][]float64{{0.3, 0.3}, {0.6, 0.6}, {0.9, 0.9}}
+
+	resp, body := post(t, ts, "/v1/batch", BatchRequest{Kind: "approximate", Queries: queries, Eps: 0.25})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Values) != len(queries) {
+		t.Fatalf("%d values for %d queries", len(br.Values), len(queries))
+	}
+	for i, q := range queries {
+		exact, _ := eng.Aggregate(q)
+		if math.Abs(br.Values[i]-exact)/float64(eng.Len()) > 0.25 {
+			t.Fatalf("query %d: normalized error too large", i)
+		}
+	}
+
+	// A tight-budget batch and non-approximate kinds leave the hit count.
+	post(t, ts, "/v1/batch", BatchRequest{Kind: "approximate", Queries: queries, Eps: 0.01})
+	post(t, ts, "/v1/batch", BatchRequest{Kind: "aggregate", Queries: queries})
+	post(t, ts, "/v1/batch", BatchRequest{Kind: "threshold", Queries: queries, Tau: 1})
+
+	st := getStats(t, ts)
+	if st.Tier.SketchHits != 3 || st.Tier.FullServes != 3 {
+		t.Fatalf("tier counters hits=%d misses=%d, want 3/3", st.Tier.SketchHits, st.Tier.FullServes)
+	}
+}
+
+// TestSketchTierExactBudget: ε exactly equal to the guarantee leaves no
+// refinement budget; the tier answers with the coreset's exact aggregate.
+func TestSketchTierExactBudget(t *testing.T) {
+	eng, ts := tierServer(t, 0.2)
+	q := []float64{0.5, 0.5}
+	resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: 0.2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v ValueResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := eng.Aggregate(q)
+	if math.Abs(v.Value-exact)/float64(eng.Len()) > 0.2 {
+		t.Fatal("exact-budget answer outside bound")
+	}
+}
+
+// TestStatsWithoutTier pins the Tier block absent when the option is off.
+func TestStatsWithoutTier(t *testing.T) {
+	s, err := New(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	if st := getStats(t, ts); st.Tier != nil {
+		t.Fatalf("tier block present without WithSketchTier: %+v", st.Tier)
+	}
+	resp, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.SketchPoints != 0 || info.SketchEps != 0 {
+		t.Fatalf("info advertises a sketch without the tier: %+v", info)
+	}
+}
+
+// TestInfoWithTier checks /v1/info advertises the sketch.
+func TestInfoWithTier(t *testing.T) {
+	eng, ts := tierServer(t, 0.15)
+	resp, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Points != eng.Len() {
+		t.Fatalf("points %d want %d", info.Points, eng.Len())
+	}
+	if info.SketchPoints <= 0 || info.SketchPoints >= eng.Len() || info.SketchEps != 0.15 {
+		t.Fatalf("sketch advertisement %+v", info)
+	}
+}

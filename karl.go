@@ -100,6 +100,17 @@ type buildConfig struct {
 	leafCap  int
 	method   Method
 	maxDepth int
+
+	// Coreset construction knobs, consulted only by BuildCoreset,
+	// Engine.Sketch and KDE.Compress (coreset.go).
+	coresetMethod  CoresetMethod
+	coresetSeed    int64
+	coresetMinSize int
+}
+
+// defaultBuildConfig is the configuration Build starts from.
+func defaultBuildConfig() buildConfig {
+	return buildConfig{kind: KDTree, leafCap: 80, method: MethodKARL}
 }
 
 // WithWeights attaches per-point weights w_i (any sign). Without it all
@@ -125,6 +136,9 @@ type Engine struct {
 	eng  *core.Engine
 	tree *index.Tree
 	kern Kernel
+	// sketch records coreset provenance when the engine indexes a reduced
+	// set (BuildCoreset / Sketch); nil for full-set engines.
+	sketch *SketchInfo
 }
 
 // Build indexes the points (rows of equal length) and returns a query
@@ -139,10 +153,15 @@ func Build(points [][]float64, kern Kernel, opts ...Option) (*Engine, error) {
 // buildMatrix is the internal entry point used by the adapters that already
 // hold a matrix.
 func buildMatrix(m *vec.Matrix, kern Kernel, opts ...Option) (*Engine, error) {
-	cfg := buildConfig{kind: KDTree, leafCap: 80, method: MethodKARL}
+	cfg := defaultBuildConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	return buildMatrixCfg(m, kern, cfg)
+}
+
+// buildMatrixCfg builds from an already-resolved configuration.
+func buildMatrixCfg(m *vec.Matrix, kern Kernel, cfg buildConfig) (*Engine, error) {
 	if cfg.leafCap < 1 {
 		return nil, fmt.Errorf("karl: leaf capacity %d out of range", cfg.leafCap)
 	}
@@ -191,7 +210,7 @@ func (e *Engine) Kernel() Kernel { return e.kern }
 // Clone returns an engine that shares the index but owns its scratch
 // state, for use from another goroutine.
 func (e *Engine) Clone() *Engine {
-	return &Engine{eng: e.eng.Clone(), tree: e.tree, kern: e.kern}
+	return &Engine{eng: e.eng.Clone(), tree: e.tree, kern: e.kern, sketch: e.sketch}
 }
 
 // Aggregate computes F_P(q) exactly.

@@ -3,6 +3,7 @@ package karl
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -227,6 +228,31 @@ func TestKDEAPI(t *testing.T) {
 	}
 	if _, err := NewKDEWithGamma(pts, -1); err == nil {
 		t.Fatal("bad gamma accepted")
+	}
+}
+
+// TestNewKDEZeroVariance: Scott's rule divides by the mean per-dimension
+// std, so a dataset of identical points must fail with an error that names
+// the problem and the workaround rather than yielding gamma = +Inf.
+func TestNewKDEZeroVariance(t *testing.T) {
+	pts := [][]float64{{3, 7}, {3, 7}, {3, 7}, {3, 7}}
+	_, err := NewKDE(pts)
+	if err == nil {
+		t.Fatal("zero-variance data accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"zero variance", "NewKDEWithGamma"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+	// The escape hatch the error suggests must actually work.
+	k, err := NewKDEWithGamma(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := k.Density([]float64{3, 7}, 0.1); err != nil || d != 1 {
+		t.Fatalf("density at the atom = %v, %v (want 1)", d, err)
 	}
 }
 

@@ -11,7 +11,26 @@ import (
 )
 
 // persistVersion guards the on-disk format; bump on incompatible change.
-const persistVersion = 1
+// Version history:
+//
+//	1 — points, weights, kernel, index configuration.
+//	2 — adds optional coreset sketch provenance (source size, total
+//	    weight, ε, construction). Version-1 files still load (the
+//	    provenance field is simply absent).
+const persistVersion = 2
+
+// oldestReadableVersion is the earliest format this build still decodes.
+const oldestReadableVersion = 1
+
+// sketchProvenance is the wire form of SketchInfo: a saved coreset engine
+// records what it was reduced from and the guarantee it carries.
+type sketchProvenance struct {
+	SourceLen    int
+	SourceWeight float64
+	Len          int
+	Eps          float64
+	Method       int
+}
 
 // enginePayload is the gob wire format for an Engine: the data and build
 // parameters, not the index itself — construction is deterministic, so the
@@ -26,6 +45,7 @@ type enginePayload struct {
 	Kind    IndexKind
 	LeafCap int
 	Method  Method
+	Sketch  *sketchProvenance // nil for full-set engines
 }
 
 // svmPayload wraps an engine payload with the SVM decision threshold.
@@ -55,6 +75,16 @@ func (e *Engine) payload() enginePayload {
 		w = make([]float64, len(tree.Weights))
 		copy(w, tree.Weights)
 	}
+	var sk *sketchProvenance
+	if e.sketch != nil {
+		sk = &sketchProvenance{
+			SourceLen:    e.sketch.SourceLen,
+			SourceWeight: e.sketch.SourceWeight,
+			Len:          e.sketch.Len,
+			Eps:          e.sketch.Eps,
+			Method:       int(e.sketch.Method),
+		}
+	}
 	return enginePayload{
 		Version: persistVersion,
 		Dims:    tree.Dims(),
@@ -64,13 +94,15 @@ func (e *Engine) payload() enginePayload {
 		Kind:    kind,
 		LeafCap: tree.LeafCap,
 		Method:  method,
+		Sketch:  sk,
 	}
 }
 
 // restore rebuilds an engine from a payload.
 func (p enginePayload) restore() (*Engine, error) {
-	if p.Version != persistVersion {
-		return nil, fmt.Errorf("karl: unsupported engine format version %d", p.Version)
+	if p.Version < oldestReadableVersion || p.Version > persistVersion {
+		return nil, fmt.Errorf("karl: unsupported engine format version %d (this build reads versions %d through %d)",
+			p.Version, oldestReadableVersion, persistVersion)
 	}
 	if p.Dims < 1 || len(p.Points) == 0 || len(p.Points)%p.Dims != 0 {
 		return nil, errors.New("karl: corrupt engine payload")
@@ -83,7 +115,23 @@ func (p enginePayload) restore() (*Engine, error) {
 		}
 		opts = append(opts, WithWeights(p.Weights))
 	}
-	return buildMatrix(m, p.Kernel, opts...)
+	eng, err := buildMatrix(m, p.Kernel, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if p.Sketch != nil {
+		if p.Sketch.Len != m.Rows || p.Sketch.SourceLen < m.Rows {
+			return nil, errors.New("karl: corrupt engine payload (sketch provenance)")
+		}
+		eng.sketch = &SketchInfo{
+			SourceLen:    p.Sketch.SourceLen,
+			SourceWeight: p.Sketch.SourceWeight,
+			Len:          p.Sketch.Len,
+			Eps:          p.Sketch.Eps,
+			Method:       CoresetMethod(p.Sketch.Method),
+		}
+	}
+	return eng, nil
 }
 
 // WriteTo serializes the engine (points, weights, kernel and index

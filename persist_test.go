@@ -3,6 +3,7 @@ package karl
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -133,7 +134,144 @@ func TestReadEngineRejectsBadVersion(t *testing.T) {
 	if _, err := ReadEngine(&buf); err == nil {
 		t.Fatal("empty buffer accepted")
 	}
-	if _, err := p.restore(); err == nil {
+	_, err := p.restore()
+	if err == nil {
 		t.Fatal("bad version accepted")
+	}
+	// The error must name the offending version and the readable range, so
+	// operators can tell a stale binary from a corrupt file.
+	for _, want := range []string{"version 99", "1 through 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("version error %q does not mention %q", err, want)
+		}
+	}
+	p.Version = 0
+	if _, err := p.restore(); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+}
+
+// TestReadEngineAcceptsVersion1 pins backward compatibility: files written
+// before the sketch-provenance bump still load.
+func TestReadEngineAcceptsVersion1(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	pts := cloud(rng, 60, 2)
+	eng, _ := Build(pts, Gaussian(2))
+	p := eng.payload()
+	p.Version = 1
+	p.Sketch = nil
+	loaded, err := p.restore()
+	if err != nil {
+		t.Fatalf("version-1 payload rejected: %v", err)
+	}
+	q := []float64{0.4, 0.4}
+	a, _ := eng.Aggregate(q)
+	b, _ := loaded.Aggregate(q)
+	if a != b {
+		t.Fatalf("diverged: %v vs %v", a, b)
+	}
+}
+
+// roundTrip serializes and reloads an engine, asserting identical answers
+// on sampled queries.
+func roundTrip(t *testing.T, orig *Engine, rng *rand.Rand) *Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Dims() != orig.Dims() || loaded.Kernel() != orig.Kernel() {
+		t.Fatal("shape or kernel changed across round trip")
+	}
+	for i := 0; i < 25; i++ {
+		q := make([]float64, orig.Dims())
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		a, _ := orig.Aggregate(q)
+		b, _ := loaded.Aggregate(q)
+		if a != b {
+			t.Fatalf("Aggregate diverged: %v vs %v", a, b)
+		}
+		ta, _ := orig.Threshold(q, a*1.02)
+		tb, _ := loaded.Threshold(q, a*1.02)
+		if ta != tb {
+			t.Fatal("Threshold diverged")
+		}
+	}
+	return loaded
+}
+
+// TestEngineRoundTripVPTree covers the third index structure's persist
+// path (Kind mapping both directions).
+func TestEngineRoundTripVPTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	pts := cloud(rng, 300, 3)
+	orig, err := Build(pts, Gaussian(3), WithIndex(VPTree, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, orig, rng)
+	if loaded.tree.Kind.String() != "vp-tree" {
+		t.Fatalf("index kind changed: %v", loaded.tree.Kind)
+	}
+}
+
+// TestEngineRoundTripMixedSign covers a Type III engine (mixed-sign
+// weights, P⁺/P⁻ decomposition) end to end.
+func TestEngineRoundTripMixedSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	pts := cloud(rng, 350, 3)
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = rng.NormFloat64() // both signs
+	}
+	orig, err := Build(pts, Gaussian(4), WithWeights(w), WithIndex(KDTree, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, orig, rng)
+}
+
+// TestCoresetEngineRoundTrip checks a sketched engine persists with its
+// provenance: source size, total weight, ε and construction survive.
+func TestCoresetEngineRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	pts := cloud(rng, 3000, 3)
+	orig, err := BuildCoreset(pts, Gaussian(20), 0.1, WithCoresetMethod(CoresetHalving))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := orig.SketchInfo()
+	if !ok {
+		t.Fatal("coreset engine has no SketchInfo")
+	}
+	if info.SourceLen != 3000 || info.Len != orig.Len() || info.Method != CoresetHalving {
+		t.Fatalf("bad provenance: %+v", info)
+	}
+	loaded := roundTrip(t, orig, rng)
+	got, ok := loaded.SketchInfo()
+	if !ok {
+		t.Fatal("provenance lost across round trip")
+	}
+	if got != info {
+		t.Fatalf("provenance changed: %+v vs %+v", got, info)
+	}
+	// A full-set engine keeps reporting no sketch after a round trip.
+	plain, _ := Build(cloud(rng, 80, 2), Gaussian(1))
+	var buf bytes.Buffer
+	if _, err := plain.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reloaded.SketchInfo(); ok {
+		t.Fatal("full-set engine grew a sketch across round trip")
 	}
 }
