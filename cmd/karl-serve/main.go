@@ -11,8 +11,14 @@
 //	GET  /v1/stats
 //	POST /v1/aggregate   {"q":[...]}
 //	POST /v1/threshold   {"q":[...],"tau":1.5}
-//	POST /v1/approximate {"q":[...],"eps":0.1}
+//	POST /v1/approximate {"q":[...],"eps":0.1}        # relative error
+//	POST /v1/approximate {"q":[...],"eps_norm":0.1}   # normalized error
 //	POST /v1/batch       {"kind":"approximate","queries":[[...],...],"eps":0.1}
+//
+// Approximate queries pick one of two error models: "eps" bounds the
+// relative error |v−F| ≤ eps·F, "eps_norm" bounds the normalized error
+// |v−F| ≤ eps_norm·W (W = total weight). Only eps_norm traffic is
+// eligible for the -sketch-eps coreset tier.
 //
 // Requests are served concurrently over a pool of engine clones sharing
 // one immutable index; SIGINT/SIGTERM drain in-flight requests before
@@ -45,7 +51,7 @@ func main() {
 		gamma    = flag.Float64("gamma", 1, "Gaussian gamma when building from -points")
 		addr     = flag.String("addr", ":8080", "listen address")
 		poolSize = flag.Int("pool", 0, "max idle engine clones retained (0 = 2·GOMAXPROCS)")
-		sketch   = flag.Float64("sketch-eps", 0, "enable the coreset tier: serve approximate queries with ε ≥ this bound from a sketch (0 = off)")
+		sketch   = flag.Float64("sketch-eps", 0, "enable the coreset tier: serve normalized-budget (eps_norm ≥ this bound) approximate queries from a sketch (0 = off)")
 		readTO   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle-connection timeout")

@@ -1,4 +1,4 @@
-// Command karl-sketch builds and inspects provable-error coresets offline,
+// Command karl-sketch builds and inspects error-bounded coresets offline,
 // so the expensive reduction runs once and the small engine ships to the
 // serving fleet.
 //
@@ -80,6 +80,16 @@ func runInspect(path string) error {
 			info.Method, info.SourceLen, info.SourceWeight)
 		fmt.Printf("         ε = %g, reduction %.1fx\n",
 			info.Eps, float64(info.SourceLen)/float64(info.Len))
+		switch info.Basis {
+		case karl.SketchBasisHoeffding:
+			fmt.Printf("         basis: hoeffding (per-query probability ≥ 1−δ, δ = %g)\n", info.Delta)
+		case karl.SketchBasisExact:
+			fmt.Println("         basis: exact (identity sketch, zero error)")
+		case karl.SketchBasisEmpirical:
+			fmt.Println("         basis: empirical (validation-backed, not a theorem)")
+		default:
+			fmt.Println("         basis: unknown (file predates basis recording)")
+		}
 	} else {
 		fmt.Println("sketch:  none (full-set engine)")
 	}

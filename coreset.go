@@ -57,10 +57,34 @@ func coresetMethodFrom(m coreset.Method) CoresetMethod {
 	}
 }
 
+// SketchBasis labels the nature of a sketch's ε bound. No construction
+// yields a uniform deterministic guarantee; Basis tells consumers which
+// weaker form they hold.
+type SketchBasis string
+
+const (
+	// SketchBasisUnknown is the zero value, seen only on engines restored
+	// from files written before the basis was recorded.
+	SketchBasisUnknown SketchBasis = ""
+	// SketchBasisExact marks an identity sketch (S = P): zero error,
+	// deterministic.
+	SketchBasisExact SketchBasis = "exact"
+	// SketchBasisHoeffding marks a sampling construction: ε holds per
+	// query with probability ≥ 1−δ (SketchInfo.Delta), not uniformly over
+	// queries.
+	SketchBasisHoeffding SketchBasis = "hoeffding"
+	// SketchBasisEmpirical marks the halving construction: ε was validated
+	// on a held-out query sample with a 2× margin, not proved;
+	// out-of-sample queries can exceed it.
+	SketchBasisEmpirical SketchBasis = "empirical"
+)
+
 // SketchInfo records a coreset engine's provenance: where its points came
-// from and what error its construction guarantees. The guarantee is on the
-// normalized aggregate: |F_P(q)/W − F_S(q)/W_S| ≤ Eps, with W (= W_S) the
-// source total weight.
+// from and what error bound its construction advertises. The bound is on
+// the normalized aggregate: |F_P(q)/W − F_S(q)/W_S| ≤ Eps, with W (= W_S)
+// the source total weight. Basis records the nature of that bound
+// (high-probability per query, or empirically validated) — it is not a
+// uniform deterministic guarantee.
 type SketchInfo struct {
 	// SourceLen is the cardinality of the set the sketch was built from.
 	SourceLen int
@@ -68,8 +92,14 @@ type SketchInfo struct {
 	SourceWeight float64
 	// Len is the coreset cardinality.
 	Len int
-	// Eps is the advertised normalized error bound ε.
+	// Eps is the advertised normalized error bound ε; see Basis for the
+	// kind of bound it is.
 	Eps float64
+	// Delta is the per-query failure probability δ behind Eps when Basis
+	// is SketchBasisHoeffding; 0 otherwise.
+	Delta float64
+	// Basis labels the nature of the Eps bound.
+	Basis SketchBasis
 	// Method is the construction that produced the sketch.
 	Method CoresetMethod
 }
@@ -91,12 +121,13 @@ func WithCoresetMinSize(n int) Option {
 	return func(c *buildConfig) { c.coresetMinSize = n }
 }
 
-// BuildCoreset sketches the points down to a provable-error coreset and
+// BuildCoreset sketches the points down to an error-bounded coreset and
 // indexes the coreset, so queries run through the same KARL bound
 // machinery over far fewer points. The resulting engine answers with
-// normalized error ≤ eps relative to the full set (SketchInfo reports the
-// provenance); all Build options apply, WithWeights supplies Type II
-// source weights.
+// normalized error ≤ eps relative to the full set — a high-probability or
+// empirically validated bound, not a deterministic one; SketchInfo reports
+// the provenance including the bound's basis. All Build options apply,
+// WithWeights supplies Type II source weights.
 func BuildCoreset(points [][]float64, kern Kernel, eps float64, opts ...Option) (*Engine, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("karl: empty point set")
@@ -152,6 +183,8 @@ func sketchAndBuild(points *vec.Matrix, weights []float64, kern Kernel, eps floa
 		SourceWeight: sk.SourceW,
 		Len:          sk.Len(),
 		Eps:          sk.Eps,
+		Delta:        sk.Delta,
+		Basis:        SketchBasis(sk.Basis),
 		Method:       coresetMethodFrom(sk.Method),
 	}
 	return eng, nil
@@ -178,10 +211,11 @@ func indexKindFrom(k index.Kind) IndexKind {
 	}
 }
 
-// Compress sketches the estimator's point set down to a provable-error
-// coreset (see BuildCoreset); the compressed KDE's densities satisfy
-// |KDE_P(q) − KDE_S(q)| ≤ eps/n·W = eps (normalized error transfers
-// one-to-one to the density scale, which is already normalized by n).
+// Compress sketches the estimator's point set down to an error-bounded
+// coreset (see BuildCoreset for the bound's nature); the compressed KDE's
+// densities satisfy |KDE_P(q) − KDE_S(q)| ≤ eps/n·W = eps (normalized
+// error transfers one-to-one to the density scale, which is already
+// normalized by n).
 func (k *KDE) Compress(eps float64, opts ...Option) (*KDE, error) {
 	eng, err := k.eng.Sketch(eps, opts...)
 	if err != nil {

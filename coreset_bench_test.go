@@ -12,9 +12,9 @@ import (
 const (
 	coresetBenchN   = 20000
 	coresetBenchDim = 8
-	// The tier split of a client ε = 0.1 budget: sketch guarantee 0.05,
-	// refinement remainder 0.05 — the same composition karl-serve uses
-	// with -sketch-eps 0.05.
+	// The tier split of a client eps_norm = 0.1 normalized budget: sketch
+	// bound 0.05, refinement remainder 0.05 — the same composition
+	// karl-serve uses with -sketch-eps 0.05.
 	coresetBenchEps = 0.1
 	coresetTierEps  = 0.05
 )

@@ -1,12 +1,22 @@
 // Package coreset constructs reduced weighted point sets ("sketches")
-// whose kernel aggregates provably track the full set's: for a source set
-// P with weights w_i (total W = Σ w_i) it returns a set S with weights u_j
+// whose kernel aggregates track the full set's: for a source set P with
+// weights w_i (total W = Σ w_i) it returns a set S with weights u_j
 // (total W_S = W) such that the normalized aggregates satisfy
 //
-//	|F_P(q)/W − F_S(q)/W_S| ≤ ε   for (almost) every query q,
+//	|F_P(q)/W − F_S(q)/W_S| ≤ ε,
 //
 // with |S| ≪ |P| — the data-reduction lever that is complementary to
-// KARL's per-node bounds. Three constructions are provided:
+// KARL's per-node bounds.
+//
+// The ε bound is NOT a uniform deterministic guarantee; its nature depends
+// on the construction and is recorded in Sketch.Basis so consumers can
+// tell. The sampling constructions (Uniform, Sensitivity) satisfy the
+// bound per query with probability ≥ 1−δ (Hoeffding; δ is Sketch.Delta),
+// not uniformly over all queries. The Halving construction's bound is
+// empirical: each halving round is accepted only if the measured error on
+// a held-out validation sample stays under ε/2, so out-of-sample queries —
+// especially far from the data and its bounding box — can exceed ε.
+// Three constructions are provided:
 //
 //   - Uniform: uniform sampling with a Hoeffding-style size selection,
 //     the Type I (identical weights) baseline.
@@ -86,14 +96,39 @@ func ParseMethod(s string) (Method, error) {
 	return 0, fmt.Errorf("coreset: unknown method %q (want auto, uniform, halving or sensitivity)", s)
 }
 
+// Basis labels the nature of a sketch's ε bound (see the package comment:
+// none of the constructions yields a uniform deterministic guarantee).
+type Basis string
+
+const (
+	// BasisExact marks an identity sketch (S = P): zero error,
+	// deterministic. Produced when ε permits no reduction.
+	BasisExact Basis = "exact"
+	// BasisHoeffding marks a sampling construction: the ε bound holds per
+	// query with probability ≥ 1−δ (Sketch.Delta), not uniformly over
+	// queries.
+	BasisHoeffding Basis = "hoeffding"
+	// BasisEmpirical marks the halving construction: ε was validated on a
+	// held-out query sample with a 2× margin, not proved; out-of-sample
+	// queries can exceed it.
+	BasisEmpirical Basis = "empirical"
+)
+
 // Sketch is a reduced weighted point set with its error guarantee.
 type Sketch struct {
 	// Points are the coreset points (owned by the sketch).
 	Points *vec.Matrix
 	// Weights are the per-point weights; they sum to SourceW.
 	Weights []float64
-	// Eps is the advertised normalized error bound ε.
+	// Eps is the advertised normalized error bound ε. Basis records what
+	// kind of bound it is — high-probability per query or empirically
+	// validated, never a uniform deterministic guarantee.
 	Eps float64
+	// Delta is the per-query failure probability δ behind Eps when Basis
+	// is BasisHoeffding; 0 otherwise.
+	Delta float64
+	// Basis labels the nature of the Eps bound.
+	Basis Basis
 	// SourceN and SourceW record the cardinality and total weight of the
 	// source set (the sketch's provenance).
 	SourceN int
@@ -140,24 +175,34 @@ func hoeffdingSize(eps, delta float64) int {
 }
 
 // weightClass inspects the source weights: identical (Type I), positive
-// (Type II) or mixed/invalid.
+// (Type II) or negative/invalid.
 func weightClass(weights []float64, n int) (identical bool, total float64, err error) {
 	if weights == nil {
 		return true, float64(n), nil
 	}
 	total = 0
 	identical = true
+	hasNeg, hasPos := false, false
 	for i, w := range weights {
 		if math.IsNaN(w) || math.IsInf(w, 0) {
 			return false, 0, fmt.Errorf("coreset: weight %d is not finite (%v)", i, w)
 		}
 		if w < 0 {
-			return false, 0, errors.New("coreset: mixed-sign (Type III) weights are not sketchable: near-cancelling aggregates admit no normalized-error guarantee")
+			hasNeg = true
+		}
+		if w > 0 {
+			hasPos = true
 		}
 		if w != weights[0] {
 			identical = false
 		}
 		total += w
+	}
+	if hasNeg {
+		if hasPos {
+			return false, 0, errors.New("coreset: mixed-sign (Type III) weights are not sketchable: near-cancelling aggregates admit no normalized-error guarantee")
+		}
+		return false, 0, errors.New("coreset: negative weights are not sketchable: the normalized-error model needs non-negative (Type I/II) weights")
 	}
 	if total <= 0 {
 		return false, 0, errors.New("coreset: total weight must be positive")
@@ -227,6 +272,7 @@ func full(points *vec.Matrix, weights []float64, total float64, eps float64, met
 		Points:  points.Clone(),
 		Weights: w,
 		Eps:     eps,
+		Basis:   BasisExact,
 		SourceN: points.Rows,
 		SourceW: total,
 		Method:  method,
@@ -255,7 +301,8 @@ func uniformSketch(points *vec.Matrix, total, eps float64, cfg Config) (*Sketch,
 		copy(out.Row(j), points.Row(i))
 		w[j] = per
 	}
-	return &Sketch{Points: out, Weights: w, Eps: eps, SourceN: n, SourceW: total, Method: Uniform}, nil
+	return &Sketch{Points: out, Weights: w, Eps: eps, Delta: cfg.Delta, Basis: BasisHoeffding,
+		SourceN: n, SourceW: total, Method: Uniform}, nil
 }
 
 // sensitivitySketch draws m points i.i.d. with probability proportional to
@@ -308,7 +355,8 @@ func sensitivitySketch(points *vec.Matrix, weights []float64, total, eps float64
 		w = append(w, per*float64(counts[i]))
 		row++
 	}
-	return &Sketch{Points: out, Weights: w, Eps: eps, SourceN: n, SourceW: total, Method: Sensitivity}, nil
+	return &Sketch{Points: out, Weights: w, Eps: eps, Delta: cfg.Delta, Basis: BasisHoeffding,
+		SourceN: n, SourceW: total, Method: Sensitivity}, nil
 }
 
 // validation bundles the fixed query set and exact normalized answers the
@@ -365,7 +413,12 @@ func halvingSketch(points *vec.Matrix, weights []float64, total float64, kern ke
 		}
 		cur, curW = nextP, nextW
 	}
-	return &Sketch{Points: cur, Weights: curW, Eps: eps, SourceN: n, SourceW: total, Method: Halving}, nil
+	basis := BasisEmpirical
+	if cur.Rows == n {
+		basis = BasisExact // no round was accepted: S = P
+	}
+	return &Sketch{Points: cur, Weights: curW, Eps: eps, Basis: basis,
+		SourceN: n, SourceW: total, Method: Halving}, nil
 }
 
 // validationQueries samples the query domain: half jittered data points,

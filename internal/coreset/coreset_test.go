@@ -255,6 +255,7 @@ func TestBuildValidation(t *testing.T) {
 		{"empty", nil, nil, gauss, 0.1, Config{}, "empty"},
 		{"weights mismatch", points, []float64{1}, gauss, 0.1, Config{}, "weights"},
 		{"mixed sign", points, mixedWeights(100), gauss, 0.1, Config{}, "mixed-sign"},
+		{"all negative", points, negWeights(100), gauss, 0.1, Config{}, "negative weights"},
 		{"nan weight", points, nanWeights(100), gauss, 0.1, Config{}, "finite"},
 		{"polynomial kernel", points, nil, kernel.NewPolynomial(1, 1, 2), 0.1, Config{}, "distance-based"},
 		{"sigmoid kernel", points, nil, kernel.NewSigmoid(1, 0), 0.1, Config{}, "distance-based"},
@@ -286,6 +287,17 @@ func mixedWeights(n int) []float64 {
 	return w
 }
 
+// negWeights is uniformly negative — not mixed-sign, but still outside
+// the normalized-error model; the error must say so without claiming
+// Type III.
+func negWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = -1
+	}
+	return w
+}
+
 func nanWeights(n int) []float64 {
 	w := make([]float64, n)
 	for i := range w {
@@ -301,6 +313,52 @@ func rampWeights(n int) []float64 {
 		w[i] = 1 + float64(i)
 	}
 	return w
+}
+
+// TestBasisRecorded pins each construction's guarantee-basis labelling:
+// sampling sketches are per-query Hoeffding bounds carrying δ, halving is
+// empirical, and identity (no-reduction) sketches are exact.
+func TestBasisRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	big := clusterCloud(rng, 2000, 2)
+	gauss := kernel.NewGaussian(5)
+
+	uni, err := Build(big, nil, gauss, 0.1, Config{Method: Uniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uni.Basis != BasisHoeffding || uni.Delta != 1e-3 {
+		t.Fatalf("uniform basis %q delta %v, want hoeffding / 1e-3", uni.Basis, uni.Delta)
+	}
+
+	sens, err := Build(big, rampWeights(2000), gauss, 0.1, Config{Method: Sensitivity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sens.Basis != BasisHoeffding || sens.Delta != 1e-3 {
+		t.Fatalf("sensitivity basis %q delta %v", sens.Basis, sens.Delta)
+	}
+
+	halv, err := Build(big, nil, gauss, 0.2, Config{Method: Halving})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHalv := BasisEmpirical
+	if halv.Len() == big.Rows {
+		wantHalv = BasisExact
+	}
+	if halv.Basis != wantHalv || halv.Delta != 0 {
+		t.Fatalf("halving basis %q delta %v, want %q / 0", halv.Basis, halv.Delta, wantHalv)
+	}
+
+	small := clusterCloud(rng, 40, 2)
+	ident, err := Build(small, nil, gauss, 0.1, Config{Method: Uniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ident.Basis != BasisExact || ident.Delta != 0 {
+		t.Fatalf("identity sketch basis %q delta %v, want exact / 0", ident.Basis, ident.Delta)
+	}
 }
 
 func TestParseMethod(t *testing.T) {

@@ -40,8 +40,10 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 }
 
 // metrics holds one counter block per query endpoint, plus the sketch-tier
-// routing counters (each approximate query counts once, as a tier hit when
-// its ε budget lets the coreset engine serve it, a miss otherwise).
+// routing counters: each successfully served normalized-budget (eps_norm)
+// approximate query counts once, as a tier hit when its budget let the
+// coreset engine serve it, a miss otherwise. Relative-eps traffic and
+// failed requests are not counted — the endpoint counters track those.
 type metrics struct {
 	aggregate   endpointMetrics
 	threshold   endpointMetrics
@@ -73,11 +75,15 @@ type PoolStats struct {
 }
 
 // TierStats reports sketch-tier routing when WithSketchTier is enabled.
+// Only normalized-budget (eps_norm) approximate queries are tier-eligible
+// and counted; relative-eps traffic always uses the full index and shows
+// up solely in the endpoint counters.
 type TierStats struct {
-	// SketchHits counts approximate queries served by the coreset engine.
+	// SketchHits counts normalized-budget queries served by the coreset
+	// engine.
 	SketchHits int64 `json:"sketch_hits"`
-	// FullServes counts approximate queries whose ε budget was tighter
-	// than the sketch guarantee and fell through to the full index.
+	// FullServes counts normalized-budget queries whose eps_norm was
+	// tighter than the sketch bound and fell through to the full index.
 	FullServes int64 `json:"full_serves"`
 	// SketchPoints is the coreset cardinality.
 	SketchPoints int `json:"sketch_points"`

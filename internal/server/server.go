@@ -32,9 +32,10 @@ type Server struct {
 	dims int
 
 	// Sketch tier (nil pools when disabled): a coreset engine with
-	// normalized error guarantee sketchEps serves /v1/approximate requests
-	// whose ε budget covers the guarantee; everything else falls through
-	// to the full index.
+	// normalized error bound sketchEps serves /v1/approximate requests
+	// that opt into the normalized error model (eps_norm) with a budget
+	// covering the bound; everything else — tighter normalized budgets and
+	// all relative-eps traffic — falls through to the full index.
 	sketch    *enginePool
 	sketchEps float64
 	sketchLen int
@@ -54,13 +55,16 @@ type config struct {
 func WithPoolSize(n int) Option { return func(c *config) { c.poolSize = n } }
 
 // WithSketchTier enables tiered serving: at construction the engine is
-// sketched down to a provable-error coreset (karl.Engine.Sketch) with
-// normalized error bound eps, and /v1/approximate queries whose requested
-// ε is at least that guarantee are answered from the small coreset engine
-// — the leftover budget ε−eps drives its refinement, so the combined
-// normalized error stays within the request. Queries with tighter budgets,
-// and all exact/threshold traffic, are served by the full index. Tier
-// routing is reported by GET /v1/stats.
+// sketched down to a coreset (karl.Engine.Sketch) with normalized error
+// bound eps, and /v1/approximate queries that opt into the normalized
+// error model (the "eps_norm" request field) with a budget at or above
+// that bound are answered from the small coreset engine — the leftover
+// budget eps_norm−eps drives its refinement, so the combined normalized
+// error stays within the request. Tighter normalized budgets fall through
+// to the full index, and relative-error ("eps") traffic never touches the
+// sketch: the coreset bound is on the normalized scale and implies no
+// useful relative bound for queries where F_P(q) ≪ W. Routing of
+// normalized-budget queries is reported by GET /v1/stats.
 func WithSketchTier(eps float64) Option { return func(c *config) { c.sketchEps = eps } }
 
 // New builds a server around an engine. The engine itself is never
@@ -153,22 +157,40 @@ type InfoResponse struct {
 	SketchEps    float64 `json:"sketch_eps,omitempty"`
 }
 
-// QueryRequest is the shared request body; Tau is used by /threshold and
-// Eps by /approximate.
+// QueryRequest is the shared request body; Tau is used by /threshold, and
+// Eps / EpsNorm by /approximate.
+//
+// /v1/approximate supports two distinct error models, selected by which
+// budget field is set (exactly one is required):
+//
+//   - "eps" — relative error: the response v satisfies
+//     |v − F_P(q)| ≤ eps·F_P(q). Always served by the full index; the
+//     sketch tier is never used for relative budgets, because the
+//     coreset's bound is on the normalized scale and implies no useful
+//     relative bound for queries where F_P(q) ≪ W.
+//   - "eps_norm" — normalized absolute error: the response v satisfies
+//     |v − F_P(q)| ≤ eps_norm·W, where W is the total weight. Must lie in
+//     (0,1). When the sketch tier is enabled and eps_norm covers the
+//     sketch's bound, the query is served from the coreset with the
+//     leftover budget; otherwise the full index serves it at relative
+//     ε = eps_norm, which is conservative since F_P(q) ≤ W.
 type QueryRequest struct {
-	Q   []float64 `json:"q"`
-	Tau float64   `json:"tau"`
-	Eps float64   `json:"eps"`
+	Q       []float64 `json:"q"`
+	Tau     float64   `json:"tau"`
+	Eps     float64   `json:"eps"`
+	EpsNorm float64   `json:"eps_norm"`
 }
 
 // BatchRequest is the POST /v1/batch body. Kind selects the query type
-// ("aggregate", "threshold" or "approximate"); Tau/Eps apply to the whole
-// batch; Workers bounds the fan-out (≤ 0 selects GOMAXPROCS).
+// ("aggregate", "threshold" or "approximate"); Tau and Eps/EpsNorm apply
+// to the whole batch (see QueryRequest for the two approximate error
+// models); Workers bounds the fan-out (≤ 0 selects GOMAXPROCS).
 type BatchRequest struct {
 	Kind    string      `json:"kind"`
 	Queries [][]float64 `json:"queries"`
 	Tau     float64     `json:"tau"`
 	Eps     float64     `json:"eps"`
+	EpsNorm float64     `json:"eps_norm"`
 	Workers int         `json:"workers"`
 }
 
@@ -276,13 +298,14 @@ func (s *Server) handleApproximate(w http.ResponseWriter, r *http.Request) {
 	var v float64
 	var st karl.Stats
 	var err error
-	if s.routeToSketch(req.Eps, 1) {
+	sketched := s.sketchServes(req.EpsNorm)
+	if sketched {
 		eng := s.sketch.acquire()
-		v, st, err = approximateSketch(eng, req.Q, req.Eps-s.sketchEps)
+		v, st, err = approximateSketch(eng, req.Q, req.EpsNorm-s.sketchEps)
 		s.sketch.release(eng)
 	} else {
 		eng := s.pool.acquire()
-		v, st, err = eng.ApproximateStats(req.Q, req.Eps)
+		v, st, err = eng.ApproximateStats(req.Q, relativeBudget(req.Eps, req.EpsNorm))
 		s.pool.release(eng)
 	}
 	if err != nil {
@@ -290,28 +313,48 @@ func (s *Server) handleApproximate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	s.countTier(req.EpsNorm, sketched, 1)
 	m.record(1, st)
 	writeJSON(w, http.StatusOK, ValueResponse{v})
 }
 
-// routeToSketch decides the serving tier for an approximate query with
-// budget eps and records the decision (n queries' worth) in the tier
-// counters. Only ε budgets at or above the sketch's guarantee can be
-// served from the coreset.
-func (s *Server) routeToSketch(eps float64, n int) bool {
-	if s.sketch == nil {
-		return false
+// sketchServes reports whether a query is served by the sketch tier: only
+// normalized-budget (eps_norm) requests are eligible, and only when the
+// budget covers the sketch's own bound. Relative-eps requests never route
+// to the sketch — its bound is |F_P−F_S| ≤ ε·W, which for queries with
+// F_P(q) ≪ W permits unbounded relative error.
+func (s *Server) sketchServes(epsNorm float64) bool {
+	return s.sketch != nil && epsNorm != 0 && epsNorm >= s.sketchEps
+}
+
+// relativeBudget maps a request's budget onto the full engine's relative-ε
+// contract. A normalized budget is served at relative ε = eps_norm: since
+// F_P(q) ≤ W, the relative bound eps_norm·F_P ≤ eps_norm·W also meets the
+// normalized one (conservatively).
+func relativeBudget(eps, epsNorm float64) float64 {
+	if epsNorm != 0 {
+		return epsNorm
 	}
-	if eps >= s.sketchEps {
+	return eps
+}
+
+// countTier folds n served approximate queries into the tier routing
+// counters. It runs only after a successful engine call — failed requests
+// are tracked by the endpoint error counters, not here — and only for
+// normalized-budget queries; relative-eps traffic is never tier-eligible.
+func (s *Server) countTier(epsNorm float64, sketched bool, n int) {
+	if s.sketch == nil || epsNorm == 0 {
+		return
+	}
+	if sketched {
 		s.met.tierHits.Add(int64(n))
-		return true
+	} else {
+		s.met.tierMisses.Add(int64(n))
 	}
-	s.met.tierMisses.Add(int64(n))
-	return false
 }
 
 // approximateSketch serves one query from the coreset engine with the
-// leftover budget rem = ε − ε_sketch. A zero leftover degrades to the
+// leftover budget rem = ε_norm − ε_sketch. A zero leftover degrades to the
 // exact aggregate over the coreset — still a tiny scan.
 func approximateSketch(eng *karl.Engine, q []float64, rem float64) (float64, karl.Stats, error) {
 	if rem > 0 {
@@ -337,6 +380,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var resp BatchResponse
 	var st karl.Stats
 	var err error
+	sketched := false
 	switch req.Kind {
 	case "aggregate":
 		eng := s.pool.acquire()
@@ -347,9 +391,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Over, st, err = eng.BatchThresholdStats(req.Queries, req.Tau, req.Workers)
 		s.pool.release(eng)
 	case "approximate":
-		if s.routeToSketch(req.Eps, len(req.Queries)) {
+		sketched = s.sketchServes(req.EpsNorm)
+		if sketched {
 			eng := s.sketch.acquire()
-			if rem := req.Eps - s.sketchEps; rem > 0 {
+			if rem := req.EpsNorm - s.sketchEps; rem > 0 {
 				resp.Values, st, err = eng.BatchApproximateStats(req.Queries, rem, req.Workers)
 			} else {
 				resp.Values, st, err = eng.BatchAggregateStats(req.Queries, req.Workers)
@@ -357,7 +402,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.sketch.release(eng)
 		} else {
 			eng := s.pool.acquire()
-			resp.Values, st, err = eng.BatchApproximateStats(req.Queries, req.Eps, req.Workers)
+			resp.Values, st, err = eng.BatchApproximateStats(req.Queries, relativeBudget(req.Eps, req.EpsNorm), req.Workers)
 			s.pool.release(eng)
 		}
 	}
@@ -365,6 +410,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		m.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
+	}
+	if req.Kind == "approximate" {
+		s.countTier(req.EpsNorm, sketched, len(req.Queries))
 	}
 	m.record(len(req.Queries), st)
 	writeJSON(w, http.StatusOK, resp)
@@ -408,10 +456,10 @@ func decodeBody(r *http.Request, dst any) error {
 }
 
 // validate applies the uniform request checks: the query vector must match
-// the model dimensionality and be finite, and whichever of Tau/Eps the
-// endpoint consumes must be finite (Eps additionally positive). NaN/Inf
-// cannot arrive through standard JSON, but the server does not assume its
-// only callers are JSON decoders.
+// the model dimensionality and be finite, and whichever of Tau/Eps/EpsNorm
+// the endpoint consumes must be finite and in range. NaN/Inf cannot arrive
+// through standard JSON, but the server does not assume its only callers
+// are JSON decoders.
 func (s *Server) validate(req QueryRequest, n need) error {
 	if err := s.checkQuery(req.Q); err != nil {
 		return err
@@ -422,12 +470,28 @@ func (s *Server) validate(req QueryRequest, n need) error {
 			return fmt.Errorf("tau must be finite, got %v", req.Tau)
 		}
 	case needEps:
-		if !isFinite(req.Eps) {
-			return fmt.Errorf("eps must be finite, got %v", req.Eps)
+		return validateBudget(req.Eps, req.EpsNorm)
+	}
+	return nil
+}
+
+// validateBudget checks an approximate query's error budget: exactly one
+// of eps (relative error) and eps_norm (normalized absolute error) must be
+// supplied — they are distinct contracts, not interchangeable scales.
+func validateBudget(eps, epsNorm float64) error {
+	switch {
+	case !isFinite(eps):
+		return fmt.Errorf("eps must be finite, got %v", eps)
+	case !isFinite(epsNorm):
+		return fmt.Errorf("eps_norm must be finite, got %v", epsNorm)
+	case eps != 0 && epsNorm != 0:
+		return errors.New("eps and eps_norm are mutually exclusive: pick the relative or the normalized error model")
+	case epsNorm != 0:
+		if epsNorm <= 0 || epsNorm >= 1 {
+			return fmt.Errorf("eps_norm must be in (0,1), got %v", epsNorm)
 		}
-		if req.Eps <= 0 {
-			return errors.New("eps must be positive")
-		}
+	case eps <= 0:
+		return errors.New("eps must be positive (or set eps_norm for the normalized error model)")
 	}
 	return nil
 }
@@ -442,11 +506,8 @@ func (s *Server) validateBatch(req BatchRequest) error {
 			return fmt.Errorf("tau must be finite, got %v", req.Tau)
 		}
 	case "approximate":
-		if !isFinite(req.Eps) {
-			return fmt.Errorf("eps must be finite, got %v", req.Eps)
-		}
-		if req.Eps <= 0 {
-			return errors.New("eps must be positive")
+		if err := validateBudget(req.Eps, req.EpsNorm); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("kind must be aggregate, threshold or approximate, got %q", req.Kind)

@@ -79,21 +79,32 @@ func TestSketchTierValidation(t *testing.T) {
 }
 
 // TestSketchTierRouting checks hit/miss accounting and that routed answers
-// respect the combined normalized error bound.
+// respect the combined normalized error bound. Only eps_norm requests are
+// tier-eligible; relative-eps requests are served by the full index and do
+// not touch the tier counters.
 func TestSketchTierRouting(t *testing.T) {
 	eng, ts := tierServer(t, 0.1)
 
-	// ε below the guarantee: full index, a tier miss, exact relative error.
+	// eps_norm below the sketch bound: full index, a tier miss; the
+	// normalized contract still holds (served at relative ε = eps_norm).
 	q := []float64{0.35, 0.35}
-	resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: 0.05})
+	exact, _ := eng.Aggregate(q)
+	resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, EpsNorm: 0.05})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
+	var miss ValueResponse
+	if err := json.Unmarshal(body, &miss); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(miss.Value-exact)/float64(eng.Len()) > 0.05 {
+		t.Fatalf("tier-miss normalized error %v exceeds 0.05",
+			math.Abs(miss.Value-exact)/float64(eng.Len()))
+	}
 
-	// ε at and above the guarantee: coreset engine, tier hits.
-	exact, _ := eng.Aggregate(q)
+	// eps_norm at and above the bound: coreset engine, tier hits.
 	for _, eps := range []float64{0.1, 0.2, 0.3} {
-		resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: eps})
+		resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, EpsNorm: eps})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status %d: %s", resp.StatusCode, body)
 		}
@@ -102,9 +113,16 @@ func TestSketchTierRouting(t *testing.T) {
 			t.Fatal(err)
 		}
 		if math.Abs(v.Value-exact)/float64(eng.Len()) > eps {
-			t.Fatalf("eps=%v: normalized error %v exceeds budget", eps,
+			t.Fatalf("eps_norm=%v: normalized error %v exceeds budget", eps,
 				math.Abs(v.Value-exact)/float64(eng.Len()))
 		}
+	}
+
+	// A relative-eps request — even with a generous budget — is not
+	// tier-eligible and must leave the counters alone.
+	resp, body = post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: 0.3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
 
 	st := getStats(t, ts)
@@ -122,13 +140,97 @@ func TestSketchTierRouting(t *testing.T) {
 	}
 }
 
+// TestSketchTierRelativeContract is the regression test for the error-scale
+// conflation bug: a query in a low-density region, where F_P(q) ≪ W, must
+// keep the relative-error contract even when its eps is far above the
+// sketch's normalized bound. The old router sent such queries to the
+// coreset, whose normalized bound permits absolute error ε·W — unbounded
+// relative error on a tiny aggregate.
+func TestSketchTierRelativeContract(t *testing.T) {
+	eng, ts := tierServer(t, 0.1)
+	q := []float64{1.5, 1.5} // far from all three clusters: F_P(q) ≪ W
+	exact, _ := eng.Aggregate(q)
+	if exact > 1 { // the scenario needs a genuinely low-density query
+		t.Fatalf("test query not low-density: F_P = %v", exact)
+	}
+	for _, eps := range []float64{0.2, 0.5} { // both ≥ sketchEps = 0.1
+		resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: eps})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var v ValueResponse
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v.Value-exact) > eps*exact {
+			t.Fatalf("eps=%v: |%v - %v| exceeds relative budget %v",
+				eps, v.Value, exact, eps*exact)
+		}
+	}
+	// None of it was tier traffic.
+	if st := getStats(t, ts); st.Tier.SketchHits != 0 || st.Tier.FullServes != 0 {
+		t.Fatalf("relative traffic counted by the tier: hits=%d misses=%d",
+			st.Tier.SketchHits, st.Tier.FullServes)
+	}
+}
+
+// TestApproximateBudgetValidation pins the exactly-one-of contract between
+// eps and eps_norm.
+func TestApproximateBudgetValidation(t *testing.T) {
+	_, ts := tierServer(t, 0.1)
+	for name, req := range map[string]QueryRequest{
+		"both set":          {Q: []float64{0.5, 0.5}, Eps: 0.1, EpsNorm: 0.1},
+		"eps_norm negative": {Q: []float64{0.5, 0.5}, EpsNorm: -0.1},
+		"eps_norm one":      {Q: []float64{0.5, 0.5}, EpsNorm: 1},
+		"eps_norm above":    {Q: []float64{0.5, 0.5}, EpsNorm: 1.5},
+		"neither":           {Q: []float64{0.5, 0.5}},
+	} {
+		resp, body := post(t, ts, "/v1/approximate", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, body)
+		}
+	}
+	resp, body := post(t, ts, "/v1/batch", BatchRequest{
+		Kind: "approximate", Queries: [][]float64{{0.5, 0.5}}, Eps: 0.1, EpsNorm: 0.1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch with both budgets: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestEpsNormWithoutTier: the normalized error model is a request-level
+// contract, valid with or without a sketch tier behind it.
+func TestEpsNormWithoutTier(t *testing.T) {
+	eng := tierEngine(t)
+	s, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	q := []float64{0.35, 0.35}
+	exact, _ := eng.Aggregate(q)
+	resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, EpsNorm: 0.2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v ValueResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Value-exact)/float64(eng.Len()) > 0.2 {
+		t.Fatal("normalized bound violated without tier")
+	}
+}
+
 // TestSketchTierBatch checks batch approximate requests route through the
-// tier with per-query counting, and that other kinds never touch it.
+// tier with per-query counting, and that other kinds — and relative-eps
+// batches — never touch it.
 func TestSketchTierBatch(t *testing.T) {
 	eng, ts := tierServer(t, 0.1)
 	queries := [][]float64{{0.3, 0.3}, {0.6, 0.6}, {0.9, 0.9}}
 
-	resp, body := post(t, ts, "/v1/batch", BatchRequest{Kind: "approximate", Queries: queries, Eps: 0.25})
+	resp, body := post(t, ts, "/v1/batch", BatchRequest{Kind: "approximate", Queries: queries, EpsNorm: 0.25})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -146,8 +248,10 @@ func TestSketchTierBatch(t *testing.T) {
 		}
 	}
 
-	// A tight-budget batch and non-approximate kinds leave the hit count.
-	post(t, ts, "/v1/batch", BatchRequest{Kind: "approximate", Queries: queries, Eps: 0.01})
+	// A tight normalized budget counts misses; relative-eps batches and
+	// non-approximate kinds leave both counters alone.
+	post(t, ts, "/v1/batch", BatchRequest{Kind: "approximate", Queries: queries, EpsNorm: 0.01})
+	post(t, ts, "/v1/batch", BatchRequest{Kind: "approximate", Queries: queries, Eps: 0.25})
 	post(t, ts, "/v1/batch", BatchRequest{Kind: "aggregate", Queries: queries})
 	post(t, ts, "/v1/batch", BatchRequest{Kind: "threshold", Queries: queries, Tau: 1})
 
@@ -157,12 +261,13 @@ func TestSketchTierBatch(t *testing.T) {
 	}
 }
 
-// TestSketchTierExactBudget: ε exactly equal to the guarantee leaves no
-// refinement budget; the tier answers with the coreset's exact aggregate.
+// TestSketchTierExactBudget: eps_norm exactly equal to the sketch bound
+// leaves no refinement budget; the tier answers with the coreset's exact
+// aggregate.
 func TestSketchTierExactBudget(t *testing.T) {
 	eng, ts := tierServer(t, 0.2)
 	q := []float64{0.5, 0.5}
-	resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, Eps: 0.2})
+	resp, body := post(t, ts, "/v1/approximate", QueryRequest{Q: q, EpsNorm: 0.2})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}

@@ -17,18 +17,23 @@ import (
 //	2 — adds optional coreset sketch provenance (source size, total
 //	    weight, ε, construction). Version-1 files still load (the
 //	    provenance field is simply absent).
-const persistVersion = 2
+//	3 — sketch provenance additionally records the ε bound's basis and
+//	    failure probability δ (SketchInfo.Basis / Delta). Version-2 files
+//	    still load with SketchBasisUnknown and δ = 0.
+const persistVersion = 3
 
 // oldestReadableVersion is the earliest format this build still decodes.
 const oldestReadableVersion = 1
 
 // sketchProvenance is the wire form of SketchInfo: a saved coreset engine
-// records what it was reduced from and the guarantee it carries.
+// records what it was reduced from and the error bound it carries.
 type sketchProvenance struct {
 	SourceLen    int
 	SourceWeight float64
 	Len          int
 	Eps          float64
+	Delta        float64
+	Basis        string
 	Method       int
 }
 
@@ -82,6 +87,8 @@ func (e *Engine) payload() enginePayload {
 			SourceWeight: e.sketch.SourceWeight,
 			Len:          e.sketch.Len,
 			Eps:          e.sketch.Eps,
+			Delta:        e.sketch.Delta,
+			Basis:        string(e.sketch.Basis),
 			Method:       int(e.sketch.Method),
 		}
 	}
@@ -128,6 +135,8 @@ func (p enginePayload) restore() (*Engine, error) {
 			SourceWeight: p.Sketch.SourceWeight,
 			Len:          p.Sketch.Len,
 			Eps:          p.Sketch.Eps,
+			Delta:        p.Sketch.Delta,
+			Basis:        SketchBasis(p.Sketch.Basis),
 			Method:       CoresetMethod(p.Sketch.Method),
 		}
 	}

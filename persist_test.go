@@ -140,7 +140,7 @@ func TestReadEngineRejectsBadVersion(t *testing.T) {
 	}
 	// The error must name the offending version and the readable range, so
 	// operators can tell a stale binary from a corrupt file.
-	for _, want := range []string{"version 99", "1 through 2"} {
+	for _, want := range []string{"version 99", "1 through 3"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("version error %q does not mention %q", err, want)
 		}
@@ -252,6 +252,13 @@ func TestCoresetEngineRoundTrip(t *testing.T) {
 	}
 	if info.SourceLen != 3000 || info.Len != orig.Len() || info.Method != CoresetHalving {
 		t.Fatalf("bad provenance: %+v", info)
+	}
+	wantBasis := SketchBasisEmpirical
+	if info.Len == info.SourceLen {
+		wantBasis = SketchBasisExact // no halving round was accepted
+	}
+	if info.Basis != wantBasis {
+		t.Fatalf("basis %q, want %q", info.Basis, wantBasis)
 	}
 	loaded := roundTrip(t, orig, rng)
 	got, ok := loaded.SketchInfo()
