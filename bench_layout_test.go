@@ -1,0 +1,182 @@
+// Benchmarks contrasting the flat cache-conscious index layout against a
+// faithful replica of the pointer-based layout it replaced:
+//
+//   - heap-allocated nodes linked by child pointers instead of one preorder
+//     array with implicit left children,
+//   - aggregate vectors allocated per node per sign class instead of packed
+//     into one backing block,
+//   - points kept in build order and gathered through an index permutation
+//     at leaves instead of scanned contiguously,
+//   - per-point kernel dispatch (Params.Eval's switch) instead of a
+//     per-engine specialized range evaluator,
+//   - a freshly allocated query context, priority queue and closure set per
+//     query instead of reusable engine scratch.
+//
+// Both sides run the identical best-first refinement over the identical
+// tree shape, so the measured gap is the cost of the memory layout and
+// dispatch, not of the algorithm.
+package karl
+
+import (
+	"testing"
+
+	"karl/internal/bound"
+	"karl/internal/geom"
+	"karl/internal/index"
+	"karl/internal/kernel"
+	"karl/internal/pqueue"
+	"karl/internal/vec"
+)
+
+// ptrNode is the replica's heap-allocated tree node.
+type ptrNode struct {
+	vol         geom.Volume
+	start, end  int
+	pos, neg    index.Agg
+	left, right *ptrNode
+}
+
+// ptrEngine is the replica engine over the pointer layout.
+type ptrEngine struct {
+	root    *ptrNode
+	points  *vec.Matrix // original (build-order) rows
+	weights []float64
+	idx     []int // leaf ranges gather through this permutation
+	kern    kernel.Params
+	method  bound.Method
+}
+
+// ptrFromTree rebuilds the pointer layout from a flat tree so both engines
+// answer over the same structure: same volumes, same aggregates, same point
+// partition — only the physical representation differs.
+func ptrFromTree(t *index.Tree, kern kernel.Params) *ptrEngine {
+	n := t.Len()
+	orig := vec.NewMatrix(n, t.Dims())
+	idx := make([]int, n)
+	var w []float64
+	if t.Weights != nil {
+		w = make([]float64, n)
+	}
+	for pos := 0; pos < n; pos++ {
+		id := int(t.PointID[pos])
+		copy(orig.Row(id), t.Points.Row(pos))
+		if w != nil {
+			w[id] = t.Weights[pos]
+		}
+		idx[pos] = id
+	}
+	pe := &ptrEngine{points: orig, weights: w, idx: idx, kern: kern, method: bound.KARL}
+	pe.root = pe.convert(t, 0)
+	return pe
+}
+
+func (pe *ptrEngine) convert(t *index.Tree, ni int32) *ptrNode {
+	fn := t.Node(ni)
+	pn := &ptrNode{vol: fn.Vol, start: int(fn.Start), end: int(fn.End)}
+	// One allocation per aggregate vector per node, as the old layout had.
+	pn.pos = fn.Pos
+	pn.pos.A = append([]float64(nil), fn.Pos.A...)
+	pn.neg = fn.Neg
+	pn.neg.A = append([]float64(nil), fn.Neg.A...)
+	if !fn.IsLeaf() {
+		pn.left = pe.convert(t, t.Left(ni))
+		pn.right = pe.convert(t, fn.Right)
+	}
+	return pn
+}
+
+// leafValue evaluates a leaf the pre-flat way: gather each row through the
+// permutation and dispatch the kernel switch once per point.
+func (pe *ptrEngine) leafValue(q []float64, n *ptrNode) float64 {
+	var s float64
+	for pos := n.start; pos < n.end; pos++ {
+		i := pe.idx[pos]
+		v := pe.kern.Eval(q, pe.points.Row(i))
+		if pe.weights != nil {
+			v *= pe.weights[i]
+		}
+		s += v
+	}
+	return s
+}
+
+type ptrEntry struct {
+	n      *ptrNode
+	lb, ub float64
+}
+
+// threshold runs the TKAQ refinement loop with per-query allocations, the
+// way the engine did before the scratch became reusable.
+func (pe *ptrEngine) threshold(q []float64, tau float64) bool {
+	qc := bound.NewQueryCtx(q)
+	pq := &pqueue.Queue[ptrEntry]{}
+	score := func(n *ptrNode) (lb, ub float64) {
+		if n.left == nil {
+			v := pe.leafValue(q, n)
+			return v, v
+		}
+		lb, ub = bound.ClassBounds(pe.method, pe.kern, qc, n.vol, &n.pos)
+		if n.neg.Count > 0 {
+			lbN, ubN := bound.ClassBounds(pe.method, pe.kern, qc, n.vol, &n.neg)
+			lb, ub = lb-ubN, ub-lbN
+		}
+		pq.Push(ptrEntry{n, lb, ub}, ub-lb)
+		return lb, ub
+	}
+	lb, ub := score(pe.root)
+	for !(lb > tau || ub <= tau) {
+		en, _, ok := pq.Pop()
+		if !ok {
+			break
+		}
+		llb, lub := score(en.n.left)
+		rlb, rub := score(en.n.right)
+		lb += llb + rlb - en.lb
+		ub += lub + rub - en.ub
+	}
+	return lb > tau
+}
+
+// benchLayoutSetup builds the leaf-heavy Gaussian Type I workload both
+// layout benchmarks share: a borderline threshold (τ = 1.05 × exact) forces
+// refinement deep into the tree, so leaf scans dominate.
+func benchLayoutSetup(b *testing.B) (*Engine, *ptrEngine, []float64, float64) {
+	b.Helper()
+	pts, q := benchCloud(20000, 16)
+	eng, err := Build(pts, Gaussian(20), WithIndex(KDTree, 40))
+	if err != nil {
+		b.Fatal(err)
+	}
+	exact, _ := eng.Aggregate(q)
+	tau := exact * 1.05
+	pe := ptrFromTree(eng.tree, eng.eng.Kernel())
+	// Sanity: both layouts must give the same answer.
+	flat, _ := eng.Threshold(q, tau)
+	if ptr := pe.threshold(q, tau); ptr != flat {
+		b.Fatalf("layouts disagree: flat %v, pointer %v", flat, ptr)
+	}
+	return eng, pe, q, tau
+}
+
+// BenchmarkRefineFlat measures TKAQ refinement over the flat layout.
+func BenchmarkRefineFlat(b *testing.B) {
+	eng, _, q, tau := benchLayoutSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Threshold(q, tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefinePointer measures the identical refinement over the
+// pointer-layout replica.
+func BenchmarkRefinePointer(b *testing.B) {
+	_, pe, q, tau := benchLayoutSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pe.threshold(q, tau)
+	}
+}

@@ -109,6 +109,7 @@ func BenchmarkQueryKARLThreshold(b *testing.B) {
 	}
 	exact, _ := eng.Aggregate(q)
 	tau := exact * 1.05
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Threshold(q, tau); err != nil {
@@ -126,6 +127,7 @@ func BenchmarkQuerySOTAThreshold(b *testing.B) {
 	}
 	exact, _ := eng.Aggregate(q)
 	tau := exact * 1.05
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Threshold(q, tau); err != nil {
@@ -141,6 +143,7 @@ func BenchmarkQueryScan(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Aggregate(q); err != nil {
@@ -156,6 +159,7 @@ func BenchmarkQueryKARLApproximate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Approximate(q, 0.2); err != nil {
@@ -168,6 +172,7 @@ func BenchmarkQueryKARLApproximate(b *testing.B) {
 // scenario pays per epoch.
 func BenchmarkBuildKDTree(b *testing.B) {
 	pts, _ := benchCloud(20000, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Build(pts, Gaussian(20), WithIndex(KDTree, 80)); err != nil {
@@ -179,6 +184,7 @@ func BenchmarkBuildKDTree(b *testing.B) {
 // BenchmarkBuildBallTree measures ball-tree construction.
 func BenchmarkBuildBallTree(b *testing.B) {
 	pts, _ := benchCloud(20000, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Build(pts, Gaussian(20), WithIndex(BallTree, 80)); err != nil {

@@ -1,7 +1,9 @@
 // Package balltree builds the ball-tree variant of KARL's hierarchical
 // index (Uhlmann's metric tree / Moore's anchors construction as used by
 // Scikit-learn): nodes are bounded by centroid balls and split by the
-// farthest-pair heuristic.
+// farthest-pair heuristic. Nodes are emitted directly into the flat
+// DFS-preorder array of index.Tree; the point matrix is reordered into leaf
+// order when the build finishes.
 package balltree
 
 import (
@@ -13,8 +15,8 @@ import (
 )
 
 // Build constructs a ball-tree over points with the given per-point weights
-// (nil for unit weights) and leaf capacity. The matrix is referenced, not
-// copied.
+// (nil for unit weights) and leaf capacity. The input matrix is read during
+// construction but not retained: the tree owns a leaf-ordered copy.
 func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, error) {
 	if points == nil || points.Rows == 0 {
 		return nil, fmt.Errorf("balltree: empty point set")
@@ -29,47 +31,42 @@ func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, err
 		Kind:    index.BallTree,
 		Points:  points,
 		Weights: weights,
-		Idx:     make([]int, points.Rows),
 		LeafCap: leafCap,
 	}
-	for i := range t.Idx {
-		t.Idx[i] = i
+	b := builder{t: t, pts: points, idx: make([]int, points.Rows)}
+	for i := range b.idx {
+		b.idx[i] = i
 	}
-	b := builder{t: t}
-	t.Root = b.build(0, points.Rows, 0)
-	t.Height = b.height
-	t.Nodes = b.nodes
-	t.ComputeAggregates()
+	b.build(0, points.Rows, 0)
+	t.Finish(b.idx)
 	return t, nil
 }
 
 type builder struct {
-	t      *index.Tree
-	height int
-	nodes  int
+	t   *index.Tree
+	pts *vec.Matrix
+	idx []int // working permutation: position -> original row
 }
 
-func (b *builder) build(start, end, depth int) *index.Node {
-	b.nodes++
-	if depth+1 > b.height {
-		b.height = depth + 1
-	}
-	t := b.t
-	ball := geom.BoundRowsBall(t.Points, t.Idx, start, end)
-	n := &index.Node{Vol: ball, Start: start, End: end, Depth: depth}
-	if end-start <= t.LeafCap || ball.Radius == 0 {
+// build emits the subtree over idx[start:end) in DFS preorder and returns
+// the position of its root node.
+func (b *builder) build(start, end, depth int) int32 {
+	ball := geom.BoundRowsBall(b.pts, b.idx, start, end)
+	ni := b.t.AppendNode(ball, start, end, depth)
+	if end-start <= b.t.LeafCap || ball.Radius == 0 {
 		// Zero radius means all points coincide; splitting cannot help.
-		return n
+		return ni
 	}
 	mid := b.partition(start, end, ball.Center)
 	if mid == start || mid == end {
 		// Degenerate split (e.g. heavy duplication); keep an oversized leaf
 		// rather than recurse forever.
-		return n
+		return ni
 	}
-	n.Left = b.build(start, mid, depth+1)
-	n.Right = b.build(mid, end, depth+1)
-	return n
+	b.build(start, mid, depth+1)
+	right := b.build(mid, end, depth+1)
+	b.t.SetRight(ni, right)
+	return ni
 }
 
 // partition implements the farthest-pair split: pick the point a farthest
@@ -77,8 +74,8 @@ func (b *builder) build(start, end, depth int) *index.Node {
 // point to whichever anchor is closer. Returns the boundary position; the
 // range [start,mid) holds the points closer to a.
 func (b *builder) partition(start, end int, centroid []float64) int {
-	t := b.t
-	row := func(i int) []float64 { return t.Points.Row(t.Idx[i]) }
+	idx := b.idx
+	row := func(i int) []float64 { return b.pts.Row(idx[i]) }
 	far := func(from []float64) int {
 		best, bestD := start, -1.0
 		for i := start; i < end; i++ {
@@ -99,7 +96,7 @@ func (b *builder) partition(start, end int, centroid []float64) int {
 			hi--
 		}
 		if lo < hi {
-			t.Idx[lo], t.Idx[hi] = t.Idx[hi], t.Idx[lo]
+			idx[lo], idx[hi] = idx[hi], idx[lo]
 			lo++
 			hi--
 		}

@@ -35,10 +35,10 @@ func TestBuildSinglePoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tr.Root.IsLeaf() || tr.Kind != index.BallTree {
+	if !tr.Root().IsLeaf() || tr.Kind != index.BallTree {
 		t.Fatal("unexpected structure for single point")
 	}
-	ball := tr.Root.Vol.(*geom.Ball)
+	ball := tr.Root().Vol.(*geom.Ball)
 	if ball.Radius != 0 {
 		t.Fatalf("radius = %v want 0", ball.Radius)
 	}
@@ -53,7 +53,7 @@ func TestBuildAllDuplicatesTerminates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tr.Root.IsLeaf() {
+	if !tr.Root().IsLeaf() {
 		t.Fatal("duplicates should form one oversized leaf")
 	}
 }
@@ -80,9 +80,9 @@ func TestBuildStructure(t *testing.T) {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		// Aggregate counts at the root must cover all points.
-		if tr.Root.Pos.Count+tr.Root.Neg.Count != n {
+		if tr.Root().Pos.Count+tr.Root().Neg.Count != n {
 			t.Fatalf("trial %d: root covers %d of %d points",
-				trial, tr.Root.Pos.Count+tr.Root.Neg.Count, n)
+				trial, tr.Root().Pos.Count+tr.Root().Neg.Count, n)
 		}
 	}
 }
@@ -103,13 +103,14 @@ func TestSplitSeparatesClusters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Root.IsLeaf() {
+	root := tr.Root()
+	if root.IsLeaf() {
 		t.Fatal("root should split")
 	}
-	lb := tr.Root.Left.Vol.(*geom.Ball)
-	rb := tr.Root.Right.Vol.(*geom.Ball)
+	lb := tr.Node(tr.Left(0)).Vol.(*geom.Ball)
+	rb := tr.Node(root.Right).Vol.(*geom.Ball)
 	// Each child ball should be much smaller than the root ball.
-	rootR := tr.Root.Vol.(*geom.Ball).Radius
+	rootR := root.Vol.(*geom.Ball).Radius
 	if lb.Radius > rootR/2 || rb.Radius > rootR/2 {
 		t.Fatalf("split failed to separate clusters: radii %v %v vs root %v",
 			lb.Radius, rb.Radius, rootR)
@@ -127,9 +128,9 @@ func TestAncestorBallsContainDescendantPoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr.Walk(func(n *index.Node) {
-		for i := n.Start; i < n.End; i++ {
-			if !n.Vol.Contains(m.Row(tr.Idx[i]), 1e-9) {
-				t.Fatalf("node at depth %d does not contain point %d", n.Depth, tr.Idx[i])
+		for i := int(n.Start); i < int(n.End); i++ {
+			if !n.Vol.Contains(tr.Points.Row(i), 1e-9) {
+				t.Fatalf("node at depth %d does not contain storage row %d", n.Depth, i)
 			}
 		}
 	})

@@ -66,7 +66,9 @@ func (m Method) String() string {
 }
 
 // QueryCtx carries the per-query values shared by every node bound
-// computation. Build it once per query with NewQueryCtx.
+// computation. Build one with NewQueryCtx, or embed a QueryCtx value in
+// longer-lived state and re-arm it per query with Set — the engine does the
+// latter so the query hot path performs no allocation.
 type QueryCtx struct {
 	Q     []float64
 	Norm2 float64 // ‖q‖²
@@ -74,7 +76,15 @@ type QueryCtx struct {
 
 // NewQueryCtx precomputes the reusable query terms.
 func NewQueryCtx(q []float64) *QueryCtx {
-	return &QueryCtx{Q: q, Norm2: vec.Norm2(q)}
+	qc := &QueryCtx{}
+	qc.Set(q)
+	return qc
+}
+
+// Set re-arms the context for a new query point, reusing the receiver.
+func (qc *QueryCtx) Set(q []float64) {
+	qc.Q = q
+	qc.Norm2 = vec.Norm2(q)
 }
 
 // Interval returns the scalar interval [a,b] of x over the volume for the

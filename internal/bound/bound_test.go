@@ -239,7 +239,7 @@ func TestNodeBoundsTypeIII(t *testing.T) {
 			}
 			w[i] = rng.NormFloat64() // mixed signs
 		}
-		node := &index.Node{Vol: geom.BoundRows(pts, idx, 0, n), Start: 0, End: n}
+		node := &index.Node{Vol: geom.BoundRows(pts, idx, 0, n), Start: 0, End: int32(n), Right: index.NoRight}
 		for i := 0; i < n; i++ {
 			if w[i] >= 0 {
 				node.Pos = addAgg(node.Pos, w[i], pts.Row(i))

@@ -10,6 +10,13 @@
 // performs the P⁺/P⁻ decomposition of Section IV-A, so a 2-class SVM model
 // (Type III) runs through the same loop as kernel density estimation
 // (Type I).
+//
+// The hot path is allocation-free in steady state: the engine re-arms an
+// embedded bound.QueryCtx per query, the priority queue keeps its storage
+// across Reset, termination tests are value-typed conditions rather than
+// closures, and leaves are evaluated by a kernel evaluator cached at
+// construction (one dispatch per engine, not per point) over the tree's
+// leaf-contiguous rows.
 package core
 
 import (
@@ -21,6 +28,7 @@ import (
 	"karl/internal/index"
 	"karl/internal/kernel"
 	"karl/internal/pqueue"
+	"karl/internal/vec"
 )
 
 // Engine answers kernel aggregation queries over one indexed point set.
@@ -37,14 +45,19 @@ type Engine struct {
 	// Section III-C without rebuilding anything.
 	maxDepth int
 
+	// rows is the dispatch-free leaf evaluator specialized for kern.
+	rows kernel.RowsFunc
+
+	// Per-query scratch, reused across queries.
+	qc    bound.QueryCtx
 	queue pqueue.Queue[entry]
 }
 
-// entry is a queued index node together with the bound contribution it
+// entry is a queued node position together with the bound contribution it
 // currently adds to the global bounds, so the pop path need not recompute
 // them.
 type entry struct {
-	n      *index.Node
+	ni     int32
 	lb, ub float64
 }
 
@@ -60,13 +73,13 @@ func WithMaxDepth(depth int) Option { return func(e *Engine) { e.maxDepth = dept
 
 // New creates an engine over a built index.
 func New(tree *index.Tree, kern kernel.Params, opts ...Option) (*Engine, error) {
-	if tree == nil || tree.Root == nil {
+	if tree == nil || tree.NodeCount() == 0 {
 		return nil, errors.New("core: nil or empty index")
 	}
 	if err := kern.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{tree: tree, kern: kern, method: bound.KARL}
+	e := &Engine{tree: tree, kern: kern, method: bound.KARL, rows: kern.RowsEvaluator()}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -76,7 +89,7 @@ func New(tree *index.Tree, kern kernel.Params, opts ...Option) (*Engine, error) 
 // Clone returns an engine sharing the same tree and configuration but with
 // independent scratch state, for use from another goroutine.
 func (e *Engine) Clone() *Engine {
-	return &Engine{tree: e.tree, kern: e.kern, method: e.method, maxDepth: e.maxDepth}
+	return &Engine{tree: e.tree, kern: e.kern, method: e.method, maxDepth: e.maxDepth, rows: e.rows}
 }
 
 // Tree exposes the underlying index (read-only by convention).
@@ -111,38 +124,81 @@ func (e *Engine) checkQuery(q []float64) error {
 // atFrontier reports whether refinement must stop at this node and evaluate
 // it exactly: true for leaves and for nodes at the simulated depth limit.
 func (e *Engine) atFrontier(n *index.Node) bool {
-	return n.IsLeaf() || (e.maxDepth > 0 && n.Depth >= e.maxDepth)
+	return n.IsLeaf() || (e.maxDepth > 0 && int(n.Depth) >= e.maxDepth)
 }
 
-// exactNode computes the exact signed aggregation of a frontier node.
-func (e *Engine) exactNode(q []float64, n *index.Node) float64 {
+// exactNode computes the exact signed aggregation of a frontier node: a
+// fused scan of the contiguous rows [Start,End) using the cached evaluator
+// and the tree's squared-norm cache.
+func (e *Engine) exactNode(n *index.Node) float64 {
 	t := e.tree
-	return kernel.AggregateRange(e.kern, q, t.Points, t.Weights, t.Idx, n.Start, n.End)
+	return e.rows(e.qc.Q, e.qc.Norm2, t.Points, t.Norms, t.Weights, int(n.Start), int(n.End))
 }
 
-// refine runs the best-first loop until done returns true or the bounds are
-// exact. It returns the final bounds. done is probed after initialization
+// score bounds the node at position ni, queueing it for refinement unless
+// it is a frontier node, in which case it is evaluated exactly.
+func (e *Engine) score(ni int32, stats *Stats) (lb, ub float64) {
+	n := e.tree.Node(ni)
+	if e.atFrontier(n) {
+		v := e.exactNode(n)
+		stats.PointsScanned += n.Count()
+		return v, v
+	}
+	lb, ub = bound.NodeBounds(e.method, e.kern, &e.qc, n)
+	e.queue.Push(entry{ni, lb, ub}, ub-lb)
+	return lb, ub
+}
+
+// condMode selects a termination rule.
+type condMode int
+
+const (
+	condThreshold condMode = iota
+	condApprox
+)
+
+// termCond is a value-typed termination test — the closure-free equivalent
+// of the paper's per-variant stopping rules, kept as plain data so probing
+// it costs no allocation.
+type termCond struct {
+	mode     condMode
+	tau, eps float64
+	maxIter  int // >0 caps the number of probes (bound traces)
+	probes   int
+}
+
+// done reports whether refinement may stop at the current global bounds.
+func (c *termCond) done(lb, ub float64) bool {
+	if c.maxIter > 0 {
+		c.probes++
+		if c.probes >= c.maxIter {
+			return true
+		}
+	}
+	switch c.mode {
+	case condThreshold:
+		return lb > c.tau || ub <= c.tau
+	default:
+		if lb >= 0 {
+			return ub <= (1+c.eps)*lb
+		}
+		mid := math.Abs(lb+ub) / 2
+		return (ub-lb)*(1+c.eps) <= 2*c.eps*mid
+	}
+}
+
+// refine runs the best-first loop until cond is satisfied or the bounds are
+// exact. It returns the final bounds. cond is probed after initialization
 // and after every iteration.
-func (e *Engine) refine(q []float64, done func(lb, ub float64) bool, stats *Stats, trace func(lb, ub float64)) (lb, ub float64) {
-	qc := bound.NewQueryCtx(q)
+func (e *Engine) refine(q []float64, cond *termCond, stats *Stats, trace func(lb, ub float64)) (lb, ub float64) {
+	e.qc.Set(q)
 	e.queue.Reset()
 
-	push := func(n *index.Node) (nlb, nub float64) {
-		if e.atFrontier(n) {
-			v := e.exactNode(q, n)
-			stats.PointsScanned += n.Count()
-			return v, v
-		}
-		nlb, nub = bound.NodeBounds(e.method, e.kern, qc, n)
-		e.queue.Push(entry{n, nlb, nub}, nub-nlb)
-		return nlb, nub
-	}
-
-	lb, ub = push(e.tree.Root)
+	lb, ub = e.score(0, stats)
 	if trace != nil {
 		trace(lb, ub)
 	}
-	for !done(lb, ub) {
+	for !cond.done(lb, ub) {
 		en, _, ok := e.queue.Pop()
 		if !ok {
 			return lb, ub // bounds are exact
@@ -150,8 +206,9 @@ func (e *Engine) refine(q []float64, done func(lb, ub float64) bool, stats *Stat
 		stats.Iterations++
 		stats.NodesExpanded++
 		// Replace this node's contribution with its children's.
-		llb, lub := push(en.n.Left)
-		rlb, rub := push(en.n.Right)
+		right := e.tree.Node(en.ni).Right
+		llb, lub := e.score(e.tree.Left(en.ni), stats)
+		rlb, rub := e.score(right, stats)
 		lb += llb + rlb - en.lb
 		ub += lub + rub - en.ub
 		if trace != nil {
@@ -161,14 +218,15 @@ func (e *Engine) refine(q []float64, done func(lb, ub float64) bool, stats *Stat
 	return lb, ub
 }
 
-// Exact computes F_P(q) exactly through the index storage (equivalent to a
-// scan; used for verification and as the refinement fallback).
+// Exact computes F_P(q) exactly through the index storage via the same
+// contiguous range primitive leaf refinement uses (used for verification
+// and as the refinement fallback).
 func (e *Engine) Exact(q []float64) (float64, error) {
 	if err := e.checkQuery(q); err != nil {
 		return 0, err
 	}
 	t := e.tree
-	return kernel.AggregateRange(e.kern, q, t.Points, t.Weights, t.Idx, 0, t.Len()), nil
+	return e.rows(q, vec.Norm2(q), t.Points, t.Norms, t.Weights, 0, t.Len()), nil
 }
 
 // Threshold answers the TKAQ: whether F_P(q) > tau (Problem 1).
@@ -177,9 +235,8 @@ func (e *Engine) Threshold(q []float64, tau float64) (bool, Stats, error) {
 	if err := e.checkQuery(q); err != nil {
 		return false, stats, err
 	}
-	lb, ub := e.refine(q, func(lb, ub float64) bool {
-		return lb > tau || ub <= tau
-	}, &stats, nil)
+	cond := termCond{mode: condThreshold, tau: tau}
+	lb, ub := e.refine(q, &cond, &stats, nil)
 	stats.LB, stats.UB = lb, ub
 	return lb > tau, stats, nil
 }
@@ -198,13 +255,8 @@ func (e *Engine) Approximate(q []float64, eps float64) (float64, Stats, error) {
 	if eps <= 0 {
 		return 0, stats, fmt.Errorf("core: eps must be positive, got %v", eps)
 	}
-	lb, ub := e.refine(q, func(lb, ub float64) bool {
-		if lb >= 0 {
-			return ub <= (1+eps)*lb
-		}
-		mid := math.Abs(lb+ub) / 2
-		return (ub-lb)*(1+eps) <= 2*eps*mid
-	}, &stats, nil)
+	cond := termCond{mode: condApprox, eps: eps}
+	lb, ub := e.refine(q, &cond, &stats, nil)
 	stats.LB, stats.UB = lb, ub
 	return (lb + ub) / 2, stats, nil
 }
@@ -224,12 +276,8 @@ func (e *Engine) TraceThreshold(q []float64, tau float64, maxIter int) ([]TraceP
 	}
 	var stats Stats
 	var pts []TracePoint
-	e.refine(q, func(lb, ub float64) bool {
-		if maxIter > 0 && len(pts) >= maxIter {
-			return true
-		}
-		return lb > tau || ub <= tau
-	}, &stats, func(lb, ub float64) {
+	cond := termCond{mode: condThreshold, tau: tau, maxIter: maxIter}
+	e.refine(q, &cond, &stats, func(lb, ub float64) {
 		pts = append(pts, TracePoint{Iteration: len(pts), LB: lb, UB: ub})
 	})
 	return pts, nil

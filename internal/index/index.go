@@ -1,8 +1,24 @@
 // Package index defines the hierarchical index representation shared by the
-// kd-tree and ball-tree builders (Figure 2 of the paper): binary trees whose
-// nodes carry a bounding volume, a contiguous range of point indices, and
-// the precomputed weighted aggregates (Lemmas 2 and 5) that let KARL
-// evaluate its linear bound functions in O(d) per node.
+// kd-tree, ball-tree and vp-tree builders (Figure 2 of the paper). The
+// logical structure is a binary tree whose nodes carry a bounding volume, a
+// contiguous range of point rows, and the precomputed weighted aggregates
+// (Lemmas 2 and 5) that let KARL evaluate its linear bound functions in O(d)
+// per node.
+//
+// The physical representation is cache-conscious and flat:
+//
+//   - Nodes live in one slice in DFS preorder. A node's left child is the
+//     next slice element (implicit i+1); only the right child is stored, as
+//     an int32 index. Refinement therefore walks a contiguous array instead
+//     of chasing per-node heap pointers.
+//   - Every node's aggregate vectors (Agg.A) are sub-slices of one packed
+//     backing block, not one heap allocation per node per sign class.
+//   - After construction the point matrix and weights are physically
+//     reordered into leaf order, so a leaf scans rows [Start,End) of the
+//     matrix directly — no permutation gather. PointID retains the mapping
+//     back to the caller's original row numbering.
+//   - Norms caches ‖p‖² per stored row, enabling the fused distance form
+//     ‖q−p‖² = ‖q‖² − 2·q·p + ‖p‖² in leaf evaluation.
 package index
 
 import (
@@ -17,7 +33,8 @@ import (
 // points with w_i > 0; the negative class aggregates |w_i| over points with
 // w_i < 0 (Section IV-A's P⁺/P⁻ decomposition). These are exactly the terms
 // a_P, b_P, w_P of Lemma 5, which make FL_P(q, Lin_{m,c}) an O(d)
-// computation.
+// computation. A is a view into the tree's packed aggregate block (or a
+// private slice for hand-built aggregates in tests).
 type Agg struct {
 	Count int       // number of points in this sign class
 	W     float64   // Σ |w_i|
@@ -25,8 +42,8 @@ type Agg struct {
 	B     float64   // Σ |w_i|·‖p_i‖²
 }
 
-// add accumulates one weighted point (w already made non-negative).
-func (a *Agg) add(w float64, p []float64) {
+// Add accumulates one weighted point (w already made non-negative).
+func (a *Agg) Add(w float64, p []float64) {
 	a.Count++
 	a.W += w
 	if a.A == nil {
@@ -41,7 +58,7 @@ func (a *Agg) merge(b *Agg) {
 	a.Count += b.Count
 	a.W += b.W
 	a.B += b.B
-	if b.A == nil {
+	if b.Count == 0 || b.A == nil {
 		return
 	}
 	if a.A == nil {
@@ -70,22 +87,26 @@ func (a *Agg) WeightedDotSum(q []float64) float64 {
 	return vec.Dot(q, a.A)
 }
 
-// Node is one entry of the hierarchical index. Leaf nodes have nil children
-// and own the points idx[Start:End]; internal nodes own the union of their
-// children's ranges.
+// NoRight marks a leaf node's Right field.
+const NoRight = int32(-1)
+
+// Node is one entry of the flat node array. Leaf nodes have Right == NoRight
+// and own the matrix rows [Start,End); internal nodes own the union of their
+// children's ranges. The left child of the node at position i is always at
+// i+1 (DFS preorder); the right child index is stored explicitly.
 type Node struct {
-	Vol         geom.Volume
-	Start, End  int // range into Tree.Idx
-	Left, Right *Node
-	Depth       int
-	Pos, Neg    Agg
+	Vol        geom.Volume
+	Start, End int32 // row range into the tree's leaf-ordered matrix
+	Right      int32 // right-child position, NoRight for leaves
+	Depth      int32
+	Pos, Neg   Agg
 }
 
 // IsLeaf reports whether the node has no children.
-func (n *Node) IsLeaf() bool { return n.Left == nil }
+func (n *Node) IsLeaf() bool { return n.Right == NoRight }
 
 // Count returns the number of points under the node.
-func (n *Node) Count() int { return n.End - n.Start }
+func (n *Node) Count() int { return int(n.End - n.Start) }
 
 // Kind identifies the index structure family.
 type Kind int
@@ -117,21 +138,36 @@ func (k Kind) String() string {
 	}
 }
 
-// Tree is a built index over a weighted point set. Points is referenced,
-// not copied; Idx is the permutation that makes every node's points
-// contiguous. Weights may be nil (unit weights, Type I with w=1).
+// Tree is a built index over a weighted point set. Points and Weights are
+// the tree's private, leaf-ordered copies: row i of Points is the i-th point
+// in leaf-scan order and PointID[i] is its row number in the matrix the
+// builder was given. Weights may be nil (unit weights, Type I with w=1).
 type Tree struct {
 	Kind    Kind
-	Points  *vec.Matrix
-	Weights []float64
-	Idx     []int
-	Root    *Node
+	Points  *vec.Matrix // leaf-contiguous storage order
+	Weights []float64   // parallel to Points rows; nil = unit weights
+	PointID []int32     // storage row -> original row id
+	Norms   []float64   // ‖p‖² per storage row (fused-distance cache)
+	Nodes   []Node      // DFS preorder; Nodes[0] is the root
 	LeafCap int
 	Height  int // number of levels; a single root-leaf tree has height 1
-	Nodes   int
+
+	// aggBlock is the packed backing array for every node's Pos.A (first
+	// half) and, when negative weights exist, Neg.A (second half).
+	aggBlock []float64
 }
 
-// Weight returns the weight of point i (1 when Weights is nil).
+// Root returns the root node.
+func (t *Tree) Root() *Node { return &t.Nodes[0] }
+
+// Node returns the node at position i of the preorder array.
+func (t *Tree) Node(i int32) *Node { return &t.Nodes[i] }
+
+// Left returns the position of the left child of the node at position i
+// (valid only for internal nodes: the left child is the next preorder slot).
+func (t *Tree) Left(i int32) int32 { return i + 1 }
+
+// Weight returns the weight of storage row i (1 when Weights is nil).
 func (t *Tree) Weight(i int) float64 {
 	if t.Weights == nil {
 		return 1
@@ -145,119 +181,299 @@ func (t *Tree) Dims() int { return t.Points.Cols }
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return t.Points.Rows }
 
-// ComputeAggregates fills every node's Pos/Neg aggregates bottom-up.
-// Builders call it once after the structure is in place.
-func (t *Tree) ComputeAggregates() { t.computeAggregates(t.Root) }
+// NodeCount returns the number of nodes in the tree.
+func (t *Tree) NodeCount() int { return len(t.Nodes) }
 
-// computeAggregates fills Pos/Neg for the subtree rooted at n, leaf-up.
-func (t *Tree) computeAggregates(n *Node) {
-	if n.IsLeaf() {
-		for i := n.Start; i < n.End; i++ {
-			pi := t.Idx[i]
-			w := t.Weight(pi)
-			p := t.Points.Row(pi)
-			if w >= 0 {
-				n.Pos.add(w, p)
-			} else {
-				n.Neg.add(-w, p)
-			}
-		}
-		return
+// AppendNode appends a node in DFS preorder (initially a leaf) and returns
+// its position. Builders call it for a node before recursing into its
+// children, then patch Right via SetRight once the left subtree is emitted.
+func (t *Tree) AppendNode(vol geom.Volume, start, end, depth int) int32 {
+	t.Nodes = append(t.Nodes, Node{
+		Vol:   vol,
+		Start: int32(start),
+		End:   int32(end),
+		Right: NoRight,
+		Depth: int32(depth),
+	})
+	if depth+1 > t.Height {
+		t.Height = depth + 1
 	}
-	t.computeAggregates(n.Left)
-	t.computeAggregates(n.Right)
-	n.Pos.merge(&n.Left.Pos)
-	n.Pos.merge(&n.Right.Pos)
-	n.Neg.merge(&n.Left.Neg)
-	n.Neg.merge(&n.Right.Neg)
+	return int32(len(t.Nodes) - 1)
 }
 
-// Walk visits every node in pre-order.
-func (t *Tree) Walk(fn func(*Node)) {
-	var rec func(*Node)
-	rec = func(n *Node) {
-		if n == nil {
-			return
-		}
-		fn(n)
-		rec(n.Left)
-		rec(n.Right)
+// SetRight records the right-child position of the node at i, turning it
+// into an internal node.
+func (t *Tree) SetRight(i, right int32) { t.Nodes[i].Right = right }
+
+// Finish seals a freshly built tree: it physically reorders the points (and
+// weights) into the builder's leaf-order permutation idx, records the
+// original-ID mapping, caches per-row squared norms, and computes every
+// node's aggregates into one packed block. idx[i] is the original row of
+// the point that leaf order places at storage row i. The builder's input
+// matrix is left untouched; the tree owns a reordered copy from here on.
+func (t *Tree) Finish(idx []int) {
+	src := t.Points
+	pts := vec.NewMatrix(src.Rows, src.Cols)
+	t.PointID = make([]int32, len(idx))
+	for i, pi := range idx {
+		copy(pts.Row(i), src.Row(pi))
+		t.PointID[i] = int32(pi)
 	}
-	rec(t.Root)
+	t.Points = pts
+	if t.Weights != nil {
+		w := make([]float64, len(idx))
+		for i, pi := range idx {
+			w[i] = t.Weights[pi]
+		}
+		t.Weights = w
+	}
+	t.Norms = make([]float64, pts.Rows)
+	for i := 0; i < pts.Rows; i++ {
+		t.Norms[i] = vec.Norm2(pts.Row(i))
+	}
+	t.ComputeAggregates()
+}
+
+// hasNegative reports whether any weight is negative (Type III).
+func (t *Tree) hasNegative() bool {
+	for _, w := range t.Weights {
+		if w < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeAggregates fills every node's Pos/Neg aggregates bottom-up into a
+// packed backing block. Points and weights must already be in storage
+// (leaf) order. In DFS preorder both children of node i sit at positions
+// greater than i, so one reverse sweep visits children before parents.
+func (t *Tree) ComputeAggregates() {
+	d := t.Dims()
+	neg := t.hasNegative()
+	blockLen := len(t.Nodes) * d
+	if neg {
+		blockLen *= 2
+	}
+	t.aggBlock = make([]float64, blockLen)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		n.Pos = Agg{A: t.aggBlock[i*d : (i+1)*d : (i+1)*d]}
+		if neg {
+			j := len(t.Nodes) + i
+			n.Neg = Agg{A: t.aggBlock[j*d : (j+1)*d : (j+1)*d]}
+		} else {
+			n.Neg = Agg{}
+		}
+	}
+	for i := len(t.Nodes) - 1; i >= 0; i-- {
+		n := &t.Nodes[i]
+		if n.IsLeaf() {
+			for r := int(n.Start); r < int(n.End); r++ {
+				w := t.Weight(r)
+				p := t.Points.Row(r)
+				if w >= 0 {
+					n.Pos.Add(w, p)
+				} else {
+					n.Neg.Add(-w, p)
+				}
+			}
+			continue
+		}
+		l, r := &t.Nodes[i+1], &t.Nodes[n.Right]
+		n.Pos.merge(&l.Pos)
+		n.Pos.merge(&r.Pos)
+		n.Neg.merge(&l.Neg)
+		n.Neg.merge(&r.Neg)
+	}
+}
+
+// Walk visits every node in pre-order — a linear pass over the node array.
+func (t *Tree) Walk(fn func(*Node)) {
+	for i := range t.Nodes {
+		fn(&t.Nodes[i])
+	}
 }
 
 // LevelNodes returns the nodes that form the frontier of the simulated tree
 // T_level — every node at exactly the given depth plus any shallower leaf.
 // Level 0 is the root alone. This implements the in-situ tuning view of
 // Section III-C, where the top-i-level tree is simulated on the full tree.
+// Any node deeper than level is strictly below some frontier node, so a
+// linear filter over the flat array yields exactly the frontier.
 func (t *Tree) LevelNodes(level int) []*Node {
 	var out []*Node
-	var rec func(*Node)
-	rec = func(n *Node) {
-		if n == nil {
-			return
-		}
-		if n.Depth == level || n.IsLeaf() && n.Depth < level {
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if int(n.Depth) == level || (n.IsLeaf() && int(n.Depth) < level) {
 			out = append(out, n)
-			return
 		}
-		rec(n.Left)
-		rec(n.Right)
 	}
-	rec(t.Root)
 	return out
 }
 
-// validateNode recursively checks structural invariants; used by tests and
-// by the builders' debug mode.
-func (t *Tree) validate(n *Node, tol float64) error {
-	if n == nil {
-		return nil
-	}
+// validateNode checks one node's structural invariants.
+func (t *Tree) validateNode(i int32, tol float64) error {
+	n := &t.Nodes[i]
 	if n.Start >= n.End {
 		return fmt.Errorf("index: node with empty range [%d,%d)", n.Start, n.End)
 	}
-	for i := n.Start; i < n.End; i++ {
-		if !n.Vol.Contains(t.Points.Row(t.Idx[i]), tol) {
-			return fmt.Errorf("index: point %d escapes its node volume", t.Idx[i])
+	for r := n.Start; r < n.End; r++ {
+		if !n.Vol.Contains(t.Points.Row(int(r)), tol) {
+			return fmt.Errorf("index: point %d escapes its node volume", r)
 		}
 	}
 	if n.IsLeaf() {
-		if n.Right != nil {
-			return fmt.Errorf("index: half-internal node")
-		}
 		return nil
 	}
-	if n.Right == nil {
-		return fmt.Errorf("index: half-internal node")
+	if n.Right <= i+1 || int(n.Right) >= len(t.Nodes) {
+		return fmt.Errorf("index: node %d has right child %d outside (%d,%d)",
+			i, n.Right, i+1, len(t.Nodes))
 	}
-	if n.Left.Start != n.Start || n.Left.End != n.Right.Start || n.Right.End != n.End {
+	l, r := &t.Nodes[i+1], &t.Nodes[n.Right]
+	if l.Start != n.Start || l.End != r.Start || r.End != n.End {
 		return fmt.Errorf("index: child ranges [%d,%d)+[%d,%d) do not tile [%d,%d)",
-			n.Left.Start, n.Left.End, n.Right.Start, n.Right.End, n.Start, n.End)
+			l.Start, l.End, r.Start, r.End, n.Start, n.End)
 	}
-	if err := t.validate(n.Left, tol); err != nil {
-		return err
+	if l.Depth != n.Depth+1 || r.Depth != n.Depth+1 {
+		return fmt.Errorf("index: child depth %d/%d under depth %d", l.Depth, r.Depth, n.Depth)
 	}
-	return t.validate(n.Right, tol)
+	return nil
 }
 
-// Validate checks the structural invariants of the whole tree: child ranges
-// tile parents, every point lies inside its node volumes, and the root
-// covers the full permutation.
+// Validate checks the structural invariants of the whole tree: preorder
+// child placement, child ranges tiling parents, every point inside its node
+// volumes, the root covering all rows, and PointID being a permutation.
 func (t *Tree) Validate(tol float64) error {
-	if t.Root == nil {
-		return fmt.Errorf("index: nil root")
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("index: empty node array")
 	}
-	if t.Root.Start != 0 || t.Root.End != t.Points.Rows {
+	root := t.Root()
+	if root.Start != 0 || int(root.End) != t.Points.Rows {
 		return fmt.Errorf("index: root range [%d,%d) does not cover %d points",
-			t.Root.Start, t.Root.End, t.Points.Rows)
+			root.Start, root.End, t.Points.Rows)
+	}
+	if len(t.PointID) != t.Points.Rows {
+		return fmt.Errorf("index: %d point IDs for %d rows", len(t.PointID), t.Points.Rows)
 	}
 	seen := make([]bool, t.Points.Rows)
-	for _, pi := range t.Idx {
-		if seen[pi] {
-			return fmt.Errorf("index: point %d appears twice in permutation", pi)
+	for _, pi := range t.PointID {
+		if int(pi) < 0 || int(pi) >= len(seen) || seen[pi] {
+			return fmt.Errorf("index: point id %d out of range or duplicated", pi)
 		}
 		seen[pi] = true
 	}
-	return t.validate(t.Root, tol)
+	for i := range t.Nodes {
+		if err := t.validateNode(int32(i), tol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// volStride returns the number of float64 parameters one bounding volume of
+// this tree kind flattens to: Rect is Lo‖Hi (2d), Ball is center‖radius
+// (d+1), Shell is center‖rmin‖rmax (d+2).
+func (t *Tree) volStride() int {
+	switch t.Kind {
+	case BallTree:
+		return t.Dims() + 1
+	case VPTree:
+		return t.Dims() + 2
+	default:
+		return 2 * t.Dims()
+	}
+}
+
+// FlattenVolumes packs every node's bounding-volume parameters into one
+// float64 block (node-major, volStride values per node) for persistence.
+func (t *Tree) FlattenVolumes() []float64 {
+	d := t.Dims()
+	stride := t.volStride()
+	out := make([]float64, len(t.Nodes)*stride)
+	for i := range t.Nodes {
+		dst := out[i*stride : (i+1)*stride]
+		switch v := t.Nodes[i].Vol.(type) {
+		case *geom.Rect:
+			copy(dst[:d], v.Lo)
+			copy(dst[d:], v.Hi)
+		case *geom.Ball:
+			copy(dst[:d], v.Center)
+			dst[d] = v.Radius
+		case *geom.Shell:
+			copy(dst[:d], v.Center)
+			dst[d] = v.RMin
+			dst[d+1] = v.RMax
+		default:
+			panic(fmt.Sprintf("index: cannot flatten volume %T", v))
+		}
+	}
+	return out
+}
+
+// unflattenVolume rebuilds one bounding volume from its packed parameters.
+func unflattenVolume(kind Kind, d int, src []float64) geom.Volume {
+	switch kind {
+	case BallTree:
+		return &geom.Ball{Center: vec.Clone(src[:d]), Radius: src[d]}
+	case VPTree:
+		return &geom.Shell{Center: vec.Clone(src[:d]), RMin: src[d], RMax: src[d+1]}
+	default:
+		return &geom.Rect{Lo: vec.Clone(src[:d]), Hi: vec.Clone(src[d : 2*d])}
+	}
+}
+
+// Reconstruct rebuilds a flat tree from its persisted parts: leaf-ordered
+// points and weights, the original-ID mapping, the preorder node structure
+// and the packed volume parameters produced by FlattenVolumes. Norms and
+// aggregates are derived data and are recomputed. The reconstructed tree is
+// validated structurally before it is returned.
+func Reconstruct(kind Kind, points *vec.Matrix, weights []float64, pointID []int32,
+	start, end, right, depth []int32, volData []float64, leafCap int) (*Tree, error) {
+	nn := len(start)
+	if nn == 0 || len(end) != nn || len(right) != nn || len(depth) != nn {
+		return nil, fmt.Errorf("index: inconsistent node arrays (%d/%d/%d/%d)",
+			len(start), len(end), len(right), len(depth))
+	}
+	t := &Tree{Kind: kind, Points: points, Weights: weights, PointID: pointID, LeafCap: leafCap}
+	if len(volData) != nn*t.volStride() {
+		return nil, fmt.Errorf("index: volume block has %d values, want %d", len(volData), nn*t.volStride())
+	}
+	// Pre-validate the raw arrays before ComputeAggregates dereferences
+	// them: child indices must point forward inside the array and row
+	// ranges must stay inside the matrix.
+	for i := 0; i < nn; i++ {
+		if start[i] < 0 || end[i] > int32(points.Rows) || start[i] >= end[i] {
+			return nil, fmt.Errorf("index: node %d range [%d,%d) outside %d rows", i, start[i], end[i], points.Rows)
+		}
+		if right[i] != NoRight && (right[i] <= int32(i)+1 || int(right[i]) >= nn) {
+			return nil, fmt.Errorf("index: node %d right child %d outside (%d,%d)", i, right[i], i+1, nn)
+		}
+	}
+	d := points.Cols
+	stride := t.volStride()
+	t.Nodes = make([]Node, nn)
+	for i := 0; i < nn; i++ {
+		t.Nodes[i] = Node{
+			Vol:   unflattenVolume(kind, d, volData[i*stride:(i+1)*stride]),
+			Start: start[i],
+			End:   end[i],
+			Right: right[i],
+			Depth: depth[i],
+		}
+		if int(depth[i])+1 > t.Height {
+			t.Height = int(depth[i]) + 1
+		}
+	}
+	t.Norms = make([]float64, points.Rows)
+	for i := 0; i < points.Rows; i++ {
+		t.Norms[i] = vec.Norm2(points.Row(i))
+	}
+	t.ComputeAggregates()
+	// Volumes were computed from the same points, so containment holds with
+	// zero tolerance up to the float rounding of the original build.
+	if err := t.Validate(1e-9); err != nil {
+		return nil, err
+	}
+	return t, nil
 }

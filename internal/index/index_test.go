@@ -20,8 +20,8 @@ func TestKindString(t *testing.T) {
 
 func TestAggAddMerge(t *testing.T) {
 	var a Agg
-	a.add(2, []float64{1, 0})
-	a.add(3, []float64{0, 2})
+	a.Add(2, []float64{1, 0})
+	a.Add(3, []float64{0, 2})
 	if a.Count != 2 || a.W != 5 {
 		t.Fatalf("Count/W = %d/%v", a.Count, a.W)
 	}
@@ -32,7 +32,7 @@ func TestAggAddMerge(t *testing.T) {
 		t.Fatalf("B = %v want %v", a.B, want)
 	}
 	var b Agg
-	b.add(1, []float64{1, 1})
+	b.Add(1, []float64{1, 1})
 	a.merge(&b)
 	if a.Count != 3 || a.W != 6 || !vec.Equal(a.A, []float64{3, 7}, 1e-12) {
 		t.Fatalf("merge: %+v", a)
@@ -60,7 +60,7 @@ func TestWeightedSumsMatchBrute(t *testing.T) {
 				pts[i][j] = rng.NormFloat64()
 			}
 			ws[i] = rng.Float64() + 0.01
-			a.add(ws[i], pts[i])
+			a.Add(ws[i], pts[i])
 		}
 		q := make([]float64, d)
 		for j := range q {
@@ -89,59 +89,84 @@ func TestEmptyAggSumsAreZero(t *testing.T) {
 	}
 }
 
-// buildManualTree constructs a small two-leaf tree by hand so the Tree
-// helpers can be tested without a builder.
+// buildManualTree constructs a small two-leaf tree by hand, the way the
+// builders do (preorder emission + Finish), so the Tree helpers can be
+// tested without pulling in a builder package.
 func buildManualTree() *Tree {
 	m := vec.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}, {11, 0}})
-	t := &Tree{
-		Kind:   KDTree,
-		Points: m,
-		Idx:    []int{0, 1, 2, 3},
-	}
-	left := &Node{Vol: geom.BoundRows(m, t.Idx, 0, 2), Start: 0, End: 2, Depth: 1}
-	right := &Node{Vol: geom.BoundRows(m, t.Idx, 2, 4), Start: 2, End: 4, Depth: 1}
-	root := &Node{Vol: geom.BoundRows(m, t.Idx, 0, 4), Start: 0, End: 4, Left: left, Right: right}
-	t.Root = root
-	t.Height = 2
-	t.Nodes = 3
-	t.ComputeAggregates()
-	return t
+	idx := []int{0, 1, 2, 3}
+	tr := &Tree{Kind: KDTree, Points: m, LeafCap: 2}
+	root := tr.AppendNode(geom.BoundRows(m, idx, 0, 4), 0, 4, 0)
+	tr.AppendNode(geom.BoundRows(m, idx, 0, 2), 0, 2, 1)
+	right := tr.AppendNode(geom.BoundRows(m, idx, 2, 4), 2, 4, 1)
+	tr.SetRight(root, right)
+	tr.Finish(idx)
+	return tr
 }
 
 func TestComputeAggregatesUnitWeights(t *testing.T) {
 	tr := buildManualTree()
-	if tr.Root.Pos.Count != 4 || tr.Root.Pos.W != 4 {
-		t.Fatalf("root agg = %+v", tr.Root.Pos)
+	root := tr.Root()
+	if root.Pos.Count != 4 || root.Pos.W != 4 {
+		t.Fatalf("root agg = %+v", root.Pos)
 	}
-	if !vec.Equal(tr.Root.Pos.A, []float64{22, 0}, 1e-12) {
-		t.Fatalf("root A = %v", tr.Root.Pos.A)
+	if !vec.Equal(root.Pos.A, []float64{22, 0}, 1e-12) {
+		t.Fatalf("root A = %v", root.Pos.A)
 	}
-	if tr.Root.Neg.Count != 0 {
+	if root.Neg.Count != 0 {
 		t.Fatal("unit weights should have empty Neg")
 	}
-	if tr.Root.Left.Pos.Count != 2 {
-		t.Fatalf("left count = %d", tr.Root.Left.Pos.Count)
+	left := tr.Node(tr.Left(0))
+	if left.Pos.Count != 2 {
+		t.Fatalf("left count = %d", left.Pos.Count)
 	}
 }
 
 func TestComputeAggregatesSignedWeights(t *testing.T) {
 	m := vec.FromRows([][]float64{{1, 0}, {0, 1}, {2, 2}})
-	tr := &Tree{
-		Kind:    KDTree,
-		Points:  m,
-		Weights: []float64{2, -3, 1},
-		Idx:     []int{0, 1, 2},
+	idx := []int{0, 1, 2}
+	tr := &Tree{Kind: KDTree, Points: m, Weights: []float64{2, -3, 1}, LeafCap: 4}
+	tr.AppendNode(geom.BoundRows(m, idx, 0, 3), 0, 3, 0)
+	tr.Finish(idx)
+	root := tr.Root()
+	if root.Pos.Count != 2 || root.Pos.W != 3 {
+		t.Fatalf("Pos = %+v", root.Pos)
 	}
-	tr.Root = &Node{Vol: geom.BoundRows(m, tr.Idx, 0, 3), Start: 0, End: 3}
-	tr.ComputeAggregates()
-	if tr.Root.Pos.Count != 2 || tr.Root.Pos.W != 3 {
-		t.Fatalf("Pos = %+v", tr.Root.Pos)
+	if root.Neg.Count != 1 || root.Neg.W != 3 {
+		t.Fatalf("Neg = %+v", root.Neg)
 	}
-	if tr.Root.Neg.Count != 1 || tr.Root.Neg.W != 3 {
-		t.Fatalf("Neg = %+v", tr.Root.Neg)
+	if !vec.Equal(root.Neg.A, []float64{0, 3}, 1e-12) {
+		t.Fatalf("Neg.A = %v", root.Neg.A)
 	}
-	if !vec.Equal(tr.Root.Neg.A, []float64{0, 3}, 1e-12) {
-		t.Fatalf("Neg.A = %v", tr.Root.Neg.A)
+}
+
+func TestFinishReordersIntoLeafOrder(t *testing.T) {
+	orig := vec.FromRows([][]float64{{3, 3}, {1, 1}, {2, 2}, {0, 0}})
+	idx := []int{3, 1, 2, 0} // leaf order = sorted by coordinate
+	tr := &Tree{Kind: KDTree, Points: orig, Weights: []float64{30, 10, 20, 0}, LeafCap: 4}
+	tr.AppendNode(geom.BoundRows(orig, idx, 0, 4), 0, 4, 0)
+	tr.Finish(idx)
+	if tr.Points == orig {
+		t.Fatal("Finish must copy, not alias, the input matrix")
+	}
+	for i := 0; i < 4; i++ {
+		want := float64(i)
+		if tr.Points.Row(i)[0] != want {
+			t.Fatalf("storage row %d = %v, want first coord %v", i, tr.Points.Row(i), want)
+		}
+		if tr.Weights[i] != want*10 {
+			t.Fatalf("weight %d = %v not reordered with its point", i, tr.Weights[i])
+		}
+		if int(tr.PointID[i]) != idx[i] {
+			t.Fatalf("PointID[%d] = %d want %d", i, tr.PointID[i], idx[i])
+		}
+		if got := tr.Norms[i]; math.Abs(got-2*want*want) > 1e-12 {
+			t.Fatalf("Norms[%d] = %v want %v", i, got, 2*want*want)
+		}
+	}
+	// The input matrix must be untouched.
+	if orig.Row(0)[0] != 3 {
+		t.Fatal("Finish mutated the builder's input matrix")
 	}
 }
 
@@ -156,7 +181,7 @@ func TestWalkVisitsAllNodes(t *testing.T) {
 
 func TestLevelNodes(t *testing.T) {
 	tr := buildManualTree()
-	if got := tr.LevelNodes(0); len(got) != 1 || got[0] != tr.Root {
+	if got := tr.LevelNodes(0); len(got) != 1 || got[0] != tr.Root() {
 		t.Fatalf("level 0 = %v", got)
 	}
 	if got := tr.LevelNodes(1); len(got) != 2 {
@@ -183,21 +208,27 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	if err := tr.Validate(1e-12); err != nil {
 		t.Fatalf("valid tree rejected: %v", err)
 	}
-	// Corrupt the permutation: duplicate an index.
-	tr.Idx[0] = tr.Idx[1]
+	// Corrupt the permutation: duplicate an ID.
+	tr.PointID[0] = tr.PointID[1]
 	if err := tr.Validate(1e-12); err == nil {
-		t.Fatal("duplicate permutation entry accepted")
+		t.Fatal("duplicate point ID accepted")
 	}
 	tr = buildManualTree()
-	// Corrupt a child range.
-	tr.Root.Left.End = 3
+	// Corrupt a child range: node 1 is the left child of the root.
+	tr.Nodes[1].End = 3
 	if err := tr.Validate(1e-9); err == nil {
 		t.Fatal("non-tiling child ranges accepted")
 	}
 	tr = buildManualTree()
-	tr.Root = nil
+	// Corrupt preorder: right child pointing backwards.
+	tr.Nodes[0].Right = 0
 	if err := tr.Validate(1e-12); err == nil {
-		t.Fatal("nil root accepted")
+		t.Fatal("backward right-child index accepted")
+	}
+	tr = buildManualTree()
+	tr.Nodes = nil
+	if err := tr.Validate(1e-12); err == nil {
+		t.Fatal("empty node array accepted")
 	}
 }
 
@@ -213,4 +244,100 @@ func TestWeightHelper(t *testing.T) {
 	if tr.Dims() != 2 || tr.Len() != 4 {
 		t.Fatalf("Dims/Len = %d/%d", tr.Dims(), tr.Len())
 	}
+}
+
+func TestAggBlockIsPacked(t *testing.T) {
+	tr := buildManualTree()
+	// Every node's Pos.A must be a view into one backing array: the slices
+	// of consecutive nodes are adjacent in memory.
+	d := tr.Dims()
+	if len(tr.aggBlock) != tr.NodeCount()*d {
+		t.Fatalf("aggBlock has %d values, want %d", len(tr.aggBlock), tr.NodeCount()*d)
+	}
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if &n.Pos.A[0] != &tr.aggBlock[i*d] {
+			t.Fatalf("node %d Pos.A is not a view into the packed block", i)
+		}
+	}
+}
+
+func TestReconstructRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{KDTree, BallTree, VPTree} {
+		tr := manualTreeOfKind(kind)
+		nn := tr.NodeCount()
+		start := make([]int32, nn)
+		end := make([]int32, nn)
+		right := make([]int32, nn)
+		depth := make([]int32, nn)
+		for i, n := range tr.Nodes {
+			start[i], end[i], right[i], depth[i] = n.Start, n.End, n.Right, n.Depth
+		}
+		got, err := Reconstruct(kind, tr.Points, tr.Weights, tr.PointID,
+			start, end, right, depth, tr.FlattenVolumes(), tr.LeafCap)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got.Height != tr.Height || got.NodeCount() != nn || got.Len() != tr.Len() {
+			t.Fatalf("%v: shape mismatch after reconstruct", kind)
+		}
+		for i := range tr.Nodes {
+			a, b := &tr.Nodes[i], &got.Nodes[i]
+			if a.Pos.Count != b.Pos.Count || math.Abs(a.Pos.W-b.Pos.W) > 1e-12 ||
+				math.Abs(a.Pos.B-b.Pos.B) > 1e-9 || !vec.Equal(a.Pos.A, b.Pos.A, 1e-9) {
+				t.Fatalf("%v: node %d aggregates differ after reconstruct", kind, i)
+			}
+		}
+	}
+}
+
+func TestReconstructRejectsCorruptInput(t *testing.T) {
+	tr := buildManualTree()
+	nn := tr.NodeCount()
+	start := make([]int32, nn)
+	end := make([]int32, nn)
+	right := make([]int32, nn)
+	depth := make([]int32, nn)
+	for i, n := range tr.Nodes {
+		start[i], end[i], right[i], depth[i] = n.Start, n.End, n.Right, n.Depth
+	}
+	vols := tr.FlattenVolumes()
+	if _, err := Reconstruct(KDTree, tr.Points, nil, tr.PointID,
+		start[:1], end, right, depth, vols, 2); err == nil {
+		t.Fatal("inconsistent node arrays accepted")
+	}
+	if _, err := Reconstruct(KDTree, tr.Points, nil, tr.PointID,
+		start, end, right, depth, vols[:3], 2); err == nil {
+		t.Fatal("short volume block accepted")
+	}
+	badRight := append([]int32(nil), right...)
+	badRight[0] = 0
+	if _, err := Reconstruct(KDTree, tr.Points, nil, tr.PointID,
+		start, end, badRight, depth, vols, 2); err == nil {
+		t.Fatal("corrupt right-child array accepted")
+	}
+}
+
+// manualTreeOfKind builds the two-leaf manual tree with the bounding-volume
+// family of the given kind, so volume flattening is exercised per shape.
+func manualTreeOfKind(kind Kind) *Tree {
+	m := vec.FromRows([][]float64{{0, 0}, {1, 0}, {10, 0}, {11, 0}})
+	idx := []int{0, 1, 2, 3}
+	vol := func(start, end int) geom.Volume {
+		switch kind {
+		case BallTree:
+			return geom.BoundRowsBall(m, idx, start, end)
+		case VPTree:
+			return geom.BoundRowsShell(m.Row(idx[start]), m, idx, start, end)
+		default:
+			return geom.BoundRows(m, idx, start, end)
+		}
+	}
+	tr := &Tree{Kind: kind, Points: m, Weights: []float64{1, 2, -3, 4}, LeafCap: 2}
+	root := tr.AppendNode(vol(0, 4), 0, 4, 0)
+	tr.AppendNode(vol(0, 2), 0, 2, 1)
+	right := tr.AppendNode(vol(2, 4), 2, 4, 1)
+	tr.SetRight(root, right)
+	tr.Finish(idx)
+	return tr
 }

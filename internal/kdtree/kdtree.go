@@ -1,7 +1,9 @@
 // Package kdtree builds the kd-tree variant of KARL's hierarchical index
 // (Section II-B, Figure 2): widest-dimension median splits, axis-aligned
 // bounding rectangles recomputed from the actual points, and per-node
-// weighted aggregates for O(d) bound evaluation.
+// weighted aggregates for O(d) bound evaluation. Nodes are emitted directly
+// into the flat DFS-preorder array of index.Tree; the point matrix is
+// reordered into leaf order when the build finishes.
 package kdtree
 
 import (
@@ -13,9 +15,10 @@ import (
 )
 
 // Build constructs a kd-tree over points with the given per-point weights
-// (nil for unit weights) and leaf capacity. The matrix is referenced, not
-// copied. leafCap < 1 is an error; weights, when present, must match the
-// point count.
+// (nil for unit weights) and leaf capacity. The input matrix is read during
+// construction but not retained: the tree owns a leaf-ordered copy.
+// leafCap < 1 is an error; weights, when present, must match the point
+// count.
 func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, error) {
 	if points == nil || points.Rows == 0 {
 		return nil, fmt.Errorf("kdtree: empty point set")
@@ -30,71 +33,66 @@ func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, err
 		Kind:    index.KDTree,
 		Points:  points,
 		Weights: weights,
-		Idx:     make([]int, points.Rows),
 		LeafCap: leafCap,
 	}
-	for i := range t.Idx {
-		t.Idx[i] = i
+	b := builder{t: t, pts: points, idx: make([]int, points.Rows)}
+	for i := range b.idx {
+		b.idx[i] = i
 	}
-	b := builder{t: t}
-	t.Root = b.build(0, points.Rows, 0)
-	t.Height = b.height
-	t.Nodes = b.nodes
-	t.ComputeAggregates()
+	b.build(0, points.Rows, 0)
+	t.Finish(b.idx)
 	return t, nil
 }
 
 type builder struct {
-	t      *index.Tree
-	height int
-	nodes  int
+	t   *index.Tree
+	pts *vec.Matrix
+	idx []int // working permutation: position -> original row
 }
 
-func (b *builder) build(start, end, depth int) *index.Node {
-	b.nodes++
-	if depth+1 > b.height {
-		b.height = depth + 1
-	}
-	t := b.t
-	rect := geom.BoundRows(t.Points, t.Idx, start, end)
-	n := &index.Node{Vol: rect, Start: start, End: end, Depth: depth}
-	if end-start <= t.LeafCap {
-		return n
+// build emits the subtree over idx[start:end) in DFS preorder and returns
+// the position of its root node.
+func (b *builder) build(start, end, depth int) int32 {
+	rect := geom.BoundRows(b.pts, b.idx, start, end)
+	ni := b.t.AppendNode(rect, start, end, depth)
+	if end-start <= b.t.LeafCap {
+		return ni
 	}
 	dim, width := rect.WidestDim()
 	if width == 0 {
 		// All points identical in every dimension; splitting cannot make
 		// progress, so keep an oversized leaf.
-		return n
+		return ni
 	}
 	mid := (start + end) / 2
 	b.selectNth(start, end, mid, dim)
 	// Guard against a degenerate partition when many coordinates equal the
 	// median: ensure both sides are non-empty (selectNth already guarantees
 	// mid strictly inside (start,end)).
-	n.Left = b.build(start, mid, depth+1)
-	n.Right = b.build(mid, end, depth+1)
-	return n
+	b.build(start, mid, depth+1)
+	right := b.build(mid, end, depth+1)
+	b.t.SetRight(ni, right)
+	return ni
 }
 
 // selectNth partially sorts idx[start:end) by the given coordinate so that
 // the element at position nth is in its sorted place (quickselect with
 // median-of-three pivots).
 func (b *builder) selectNth(start, end, nth, dim int) {
-	t := b.t
-	key := func(i int) float64 { return t.Points.Row(t.Idx[i])[dim] }
+	idx := b.idx
+	key := func(i int) float64 { return b.pts.Row(idx[i])[dim] }
 	lo, hi := start, end-1
 	for lo < hi {
 		// Median-of-three pivot selection for resilience to sorted inputs.
 		mid := lo + (hi-lo)/2
 		if key(mid) < key(lo) {
-			t.Idx[mid], t.Idx[lo] = t.Idx[lo], t.Idx[mid]
+			idx[mid], idx[lo] = idx[lo], idx[mid]
 		}
 		if key(hi) < key(lo) {
-			t.Idx[hi], t.Idx[lo] = t.Idx[lo], t.Idx[hi]
+			idx[hi], idx[lo] = idx[lo], idx[hi]
 		}
 		if key(hi) < key(mid) {
-			t.Idx[hi], t.Idx[mid] = t.Idx[mid], t.Idx[hi]
+			idx[hi], idx[mid] = idx[mid], idx[hi]
 		}
 		pivot := key(mid)
 		i, j := lo, hi
@@ -106,7 +104,7 @@ func (b *builder) selectNth(start, end, nth, dim int) {
 				j--
 			}
 			if i <= j {
-				t.Idx[i], t.Idx[j] = t.Idx[j], t.Idx[i]
+				idx[i], idx[j] = idx[j], idx[i]
 				i++
 				j--
 			}

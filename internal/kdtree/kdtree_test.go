@@ -39,8 +39,8 @@ func TestBuildSinglePoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tr.Root.IsLeaf() || tr.Height != 1 || tr.Nodes != 1 {
-		t.Fatalf("single point tree: height=%d nodes=%d", tr.Height, tr.Nodes)
+	if !tr.Root().IsLeaf() || tr.Height != 1 || tr.NodeCount() != 1 {
+		t.Fatalf("single point tree: height=%d nodes=%d", tr.Height, tr.NodeCount())
 	}
 	if err := tr.Validate(1e-12); err != nil {
 		t.Fatal(err)
@@ -57,7 +57,7 @@ func TestBuildAllDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Duplicates cannot be split: one oversized leaf, no infinite recursion.
-	if !tr.Root.IsLeaf() {
+	if !tr.Root().IsLeaf() {
 		t.Fatal("expected a single oversized leaf for duplicate points")
 	}
 	if err := tr.Validate(1e-12); err != nil {
@@ -101,9 +101,9 @@ func checkLeafCaps(t *testing.T, tr *index.Tree) {
 		}
 		if n.Count() > tr.LeafCap {
 			// Permitted only when the node has zero width (duplicates).
-			first := tr.Points.Row(tr.Idx[n.Start])
-			for i := n.Start + 1; i < n.End; i++ {
-				if !vec.Equal(first, tr.Points.Row(tr.Idx[i]), 0) {
+			first := tr.Points.Row(int(n.Start))
+			for i := int(n.Start) + 1; i < int(n.End); i++ {
+				if !vec.Equal(first, tr.Points.Row(i), 0) {
 					t.Fatalf("oversized leaf with %d distinct points (cap %d)", n.Count(), tr.LeafCap)
 				}
 			}
@@ -134,7 +134,7 @@ func checkRootAggregates(t *testing.T, tr *index.Tree) {
 			negB += -w * vec.Norm2(p)
 		}
 	}
-	r := tr.Root
+	r := tr.Root()
 	if r.Pos.Count != posCount || r.Neg.Count != negCount {
 		t.Fatalf("root counts %d/%d want %d/%d", r.Pos.Count, r.Neg.Count, posCount, negCount)
 	}
@@ -162,15 +162,16 @@ func TestMedianSplitBalance(t *testing.T) {
 		t.Fatalf("height = %d want 11", tr.Height)
 	}
 	// Every internal node splits exactly in half (even counts).
-	tr.Walk(func(n *index.Node) {
+	for i := range tr.Nodes {
+		n := tr.Node(int32(i))
 		if n.IsLeaf() {
-			return
+			continue
 		}
-		l, r := n.Left.Count(), n.Right.Count()
+		l, r := tr.Node(tr.Left(int32(i))).Count(), tr.Node(n.Right).Count()
 		if l != r && l != r+1 && r != l+1 {
 			t.Fatalf("unbalanced split %d/%d", l, r)
 		}
-	})
+	}
 }
 
 func TestHeightShrinksWithLeafCap(t *testing.T) {
@@ -183,13 +184,22 @@ func TestHeightShrinksWithLeafCap(t *testing.T) {
 	}
 }
 
-func TestPointsNotCopied(t *testing.T) {
+func TestPointsCopiedLeafOrdered(t *testing.T) {
 	m := vec.FromRows([][]float64{{0, 0}, {1, 1}, {2, 2}})
+	orig := m.Clone()
 	tr, err := Build(m, nil, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Points != m {
-		t.Fatal("Build must reference, not copy, the matrix")
+	if tr.Points == m {
+		t.Fatal("Build must copy the matrix into leaf order, not alias it")
+	}
+	for i := 0; i < m.Rows; i++ {
+		if !vec.Equal(m.Row(i), orig.Row(i), 0) {
+			t.Fatal("Build mutated the input matrix")
+		}
+		if !vec.Equal(tr.Points.Row(i), m.Row(int(tr.PointID[i])), 0) {
+			t.Fatalf("storage row %d does not match original row %d", i, tr.PointID[i])
+		}
 	}
 }

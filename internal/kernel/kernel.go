@@ -192,32 +192,124 @@ func powInt(x float64, n int) float64 {
 	return r
 }
 
-// Aggregate computes the exact kernel aggregation Σ_i w_i·K(q, rows[i])
-// over all rows of m. weights may be nil, meaning w_i = 1.
-func Aggregate(p Params, q []float64, m *vec.Matrix, weights []float64) float64 {
-	var s float64
-	for i := 0; i < m.Rows; i++ {
-		v := p.Eval(q, m.Row(i))
-		if weights != nil {
-			v *= weights[i]
-		}
-		s += v
+// RowsFunc evaluates the exact weighted kernel aggregation
+// Σ w_i·K(q, m.Row(i)) over the contiguous row range [start,end) — the
+// single exact-evaluation primitive behind leaf refinement, Engine.Exact
+// and the scan baseline. qNorm2 is the caller-computed ‖q‖². norms, when
+// non-nil, carries the per-row squared norms ‖p_i‖² and enables the fused
+// distance form ‖q−p‖² = ‖q‖² − 2·q·p + ‖p‖², turning the inner loop into
+// a dot product plus a norm lookup. weights may be nil (w_i = 1).
+type RowsFunc func(q []float64, qNorm2 float64, m *vec.Matrix, norms, weights []float64, start, end int) float64
+
+// RowsEvaluator returns the specialized RowsFunc for these parameters. The
+// kernel dispatch happens exactly once, here — the returned function runs
+// dispatch-free, so callers on the query hot path hoist it out of the scan
+// loop (the engine caches it at construction).
+func (p Params) RowsEvaluator() RowsFunc {
+	gamma, beta := p.Gamma, p.Beta
+	switch p.Kind {
+	case Gaussian:
+		return distanceRows(gamma, func(d2 float64) float64 { return math.Exp(-gamma * d2) })
+	case Epanechnikov:
+		return distanceRows(gamma, func(d2 float64) float64 {
+			if x := gamma * d2; x < 1 {
+				return 1 - x
+			}
+			return 0
+		})
+	case Quartic:
+		return distanceRows(gamma, func(d2 float64) float64 {
+			if x := gamma * d2; x < 1 {
+				u := 1 - x
+				return u * u
+			}
+			return 0
+		})
+	case Sigmoid:
+		return dotRows(func(dot float64) float64 { return math.Tanh(gamma*dot + beta) })
+	case Polynomial:
+		deg := p.Degree
+		return dotRows(func(dot float64) float64 { return powInt(gamma*dot+beta, deg) })
+	default:
+		panic("kernel: unknown kind")
 	}
-	return s
 }
 
-// AggregateRange computes Σ w_{idx[i]}·K(q, m.Row(idx[i])) for i in
-// [start,end) of an index permutation — the leaf-refinement primitive.
-// weights may be nil.
-func AggregateRange(p Params, q []float64, m *vec.Matrix, weights []float64, idx []int, start, end int) float64 {
-	var s float64
-	for i := start; i < end; i++ {
-		j := idx[i]
-		v := p.Eval(q, m.Row(j))
-		if weights != nil {
-			v *= weights[j]
+// distanceRows builds the range evaluator for distance-based kernels. outer
+// maps the squared distance (not yet scaled by γ — the closure does that) to
+// the kernel value. With norms available the squared distance comes from the
+// fused three-term form; otherwise it falls back to a direct subtraction
+// loop, which is also the reference the fused form is tested against.
+func distanceRows(_ float64, outer func(d2 float64) float64) RowsFunc {
+	return func(q []float64, qNorm2 float64, m *vec.Matrix, norms, weights []float64, start, end int) float64 {
+		var s float64
+		if norms != nil {
+			cols := m.Cols
+			data := m.Data
+			if weights == nil {
+				for i := start; i < end; i++ {
+					row := data[i*cols : i*cols+cols]
+					d2 := qNorm2 - 2*vec.Dot(q, row) + norms[i]
+					if d2 < 0 {
+						d2 = 0 // guard float cancellation
+					}
+					s += outer(d2)
+				}
+				return s
+			}
+			for i := start; i < end; i++ {
+				row := data[i*cols : i*cols+cols]
+				d2 := qNorm2 - 2*vec.Dot(q, row) + norms[i]
+				if d2 < 0 {
+					d2 = 0
+				}
+				s += weights[i] * outer(d2)
+			}
+			return s
 		}
-		s += v
+		if weights == nil {
+			for i := start; i < end; i++ {
+				s += outer(vec.Dist2(q, m.Row(i)))
+			}
+			return s
+		}
+		for i := start; i < end; i++ {
+			s += weights[i] * outer(vec.Dist2(q, m.Row(i)))
+		}
+		return s
 	}
-	return s
+}
+
+// dotRows builds the range evaluator for dot-product kernels; norms are
+// irrelevant for these.
+func dotRows(outer func(dot float64) float64) RowsFunc {
+	return func(q []float64, _ float64, m *vec.Matrix, _, weights []float64, start, end int) float64 {
+		var s float64
+		cols := m.Cols
+		data := m.Data
+		if weights == nil {
+			for i := start; i < end; i++ {
+				s += outer(vec.Dot(q, data[i*cols:i*cols+cols]))
+			}
+			return s
+		}
+		for i := start; i < end; i++ {
+			s += weights[i] * outer(vec.Dot(q, data[i*cols:i*cols+cols]))
+		}
+		return s
+	}
+}
+
+// AggregateRows is the one-shot form of RowsEvaluator for callers off the
+// hot path.
+func AggregateRows(p Params, q []float64, m *vec.Matrix, norms, weights []float64, start, end int) float64 {
+	return p.RowsEvaluator()(q, vec.Norm2(q), m, norms, weights, start, end)
+}
+
+// Aggregate computes the exact kernel aggregation Σ_i w_i·K(q, rows[i])
+// over all rows of m. weights may be nil, meaning w_i = 1. It routes
+// through the same range primitive as leaf refinement (without a norm
+// cache, so distance kernels use the direct subtraction form).
+func Aggregate(p Params, q []float64, m *vec.Matrix, weights []float64) float64 {
+	return AggregateRows(p, q, m, nil, weights, 0, m.Rows)
 }

@@ -161,33 +161,77 @@ func TestAggregateMatchesLoop(t *testing.T) {
 	}
 }
 
-func TestAggregateRange(t *testing.T) {
+func TestAggregateRowsMatchesEvalLoop(t *testing.T) {
+	// Every kernel's specialized range evaluator — with and without the
+	// squared-norm cache, with and without weights — must agree with a naive
+	// per-point Eval loop up to the rounding of the fused distance form.
 	rng := rand.New(rand.NewSource(13))
-	m := vec.NewMatrix(20, 3)
-	w := make([]float64, 20)
-	idx := make([]int, 20)
-	for i := range m.Data {
-		m.Data[i] = rng.Float64()
+	params := []Params{
+		NewGaussian(2), NewEpanechnikov(0.4), NewQuartic(0.3),
+		NewPolynomial(0.3, 1, 3), NewSigmoid(0.2, -0.5),
 	}
-	for i := range w {
-		w[i] = rng.Float64() + 0.1
-		idx[i] = i
-	}
-	rng.Shuffle(20, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-	q := []float64{0.5, 0.5, 0.5}
-	p := NewGaussian(2)
-	// Full range must equal Aggregate regardless of permutation.
-	if got, want := AggregateRange(p, q, m, w, idx, 0, 20), Aggregate(p, q, m, w); math.Abs(got-want) > 1e-12 {
-		t.Fatalf("full range = %v want %v", got, want)
-	}
-	// Split ranges must sum to the full range.
-	a := AggregateRange(p, q, m, w, idx, 0, 7)
-	b := AggregateRange(p, q, m, w, idx, 7, 20)
-	if got, want := a+b, Aggregate(p, q, m, w); math.Abs(got-want) > 1e-12 {
-		t.Fatalf("split sum = %v want %v", got, want)
+	for _, p := range params {
+		for trial := 0; trial < 10; trial++ {
+			n, d := 1+rng.Intn(25), 1+rng.Intn(6)
+			m := vec.NewMatrix(n, d)
+			for i := range m.Data {
+				m.Data[i] = rng.NormFloat64()
+			}
+			w := make([]float64, n)
+			norms := make([]float64, n)
+			for i := 0; i < n; i++ {
+				w[i] = rng.NormFloat64()
+				norms[i] = vec.Norm2(m.Row(i))
+			}
+			q := make([]float64, d)
+			for j := range q {
+				q[j] = rng.NormFloat64()
+			}
+			start := rng.Intn(n)
+			end := start + rng.Intn(n-start+1)
+			var want, wantUnit float64
+			for i := start; i < end; i++ {
+				v := p.Eval(q, m.Row(i))
+				want += w[i] * v
+				wantUnit += v
+			}
+			tol := 1e-9 * (1 + math.Abs(want) + math.Abs(wantUnit))
+			rows := p.RowsEvaluator()
+			qn := vec.Norm2(q)
+			for _, cached := range [][]float64{nil, norms} {
+				if got := rows(q, qn, m, cached, w, start, end); math.Abs(got-want) > tol {
+					t.Fatalf("%v (norms=%v): rows = %v want %v", p.Kind, cached != nil, got, want)
+				}
+				if got := rows(q, qn, m, cached, nil, start, end); math.Abs(got-wantUnit) > tol {
+					t.Fatalf("%v (norms=%v): unit rows = %v want %v", p.Kind, cached != nil, got, wantUnit)
+				}
+			}
+			// Split ranges must sum to the full range.
+			if end > start {
+				mid := start + (end-start)/2
+				sum := AggregateRows(p, q, m, norms, w, start, mid) +
+					AggregateRows(p, q, m, norms, w, mid, end)
+				if math.Abs(sum-want) > tol {
+					t.Fatalf("%v: split sum = %v want %v", p.Kind, sum, want)
+				}
+			}
+		}
 	}
 	// Empty range contributes nothing.
-	if got := AggregateRange(p, q, m, w, idx, 5, 5); got != 0 {
+	m := vec.NewMatrix(3, 2)
+	if got := AggregateRows(NewGaussian(1), []float64{0, 0}, m, nil, nil, 1, 1); got != 0 {
 		t.Fatalf("empty range = %v want 0", got)
+	}
+}
+
+func TestFusedDistanceGuardsCancellation(t *testing.T) {
+	// When q equals a stored point, ‖q‖²−2q·p+‖p‖² can round slightly
+	// negative; the evaluator must clamp so exp(−γ·d²) never exceeds 1.
+	q := []float64{1e8, 1e-8, 3.14159}
+	m := vec.FromRows([][]float64{q})
+	norms := []float64{vec.Norm2(q)}
+	rows := NewGaussian(1000).RowsEvaluator()
+	if got := rows(q, vec.Norm2(q), m, norms, nil, 0, 1); got > 1 || math.IsNaN(got) {
+		t.Fatalf("self-distance kernel value = %v, want ≤ 1", got)
 	}
 }

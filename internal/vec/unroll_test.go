@@ -1,0 +1,118 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The hot-path kernels (Dot, Norm2, Dist2, Axpy) are 4-way unrolled with
+// independent accumulators, so their summation order differs from the naive
+// loop. These property tests pin them to straightforward references across
+// lengths that exercise every remainder branch: empty, d=1, d<4, d%4 ∈
+// {0,1,2,3} and long vectors.
+
+func naiveDot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func naiveNorm2(a []float64) float64 { return naiveDot(a, a) }
+
+func naiveDist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// pairFromSeed derives two deterministic vectors of the given length; quick
+// drives the (seed, length) space.
+func pairFromSeed(seed int64, n int) (a, b []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64() * 10
+		b[i] = rng.NormFloat64() * 10
+	}
+	return a, b
+}
+
+func relClose(got, want float64) bool {
+	return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		a, b := pairFromSeed(seed, int(nRaw))
+		return relClose(Dot(a, b), naiveDot(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorm2MatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		a, _ := pairFromSeed(seed, int(nRaw))
+		return relClose(Norm2(a), naiveNorm2(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDist2MatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		a, b := pairFromSeed(seed, int(nRaw))
+		return relClose(Dist2(a, b), naiveDist2(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxpyMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8, alphaRaw float64) bool {
+		alpha := math.Mod(alphaRaw, 100)
+		x, dst := pairFromSeed(seed, int(nRaw))
+		want := append([]float64(nil), dst...)
+		for i := range want {
+			want[i] += alpha * x[i]
+		}
+		Axpy(dst, alpha, x)
+		for i := range dst {
+			if !relClose(dst[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnrollRemainderLengths hits every remainder branch explicitly — the
+// quick tests above cover them probabilistically, this pins them.
+func TestUnrollRemainderLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17} {
+		a, b := pairFromSeed(int64(n)+1, n)
+		if got, want := Dot(a, b), naiveDot(a, b); !relClose(got, want) {
+			t.Fatalf("Dot len %d: %v want %v", n, got, want)
+		}
+		if got, want := Norm2(a), naiveNorm2(a); !relClose(got, want) {
+			t.Fatalf("Norm2 len %d: %v want %v", n, got, want)
+		}
+		if got, want := Dist2(a, b), naiveDist2(a, b); !relClose(got, want) {
+			t.Fatalf("Dist2 len %d: %v want %v", n, got, want)
+		}
+	}
+}

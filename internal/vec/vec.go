@@ -19,37 +19,68 @@ func checkLen(a, b []float64) {
 	}
 }
 
-// Dot returns the inner product a·b.
+// Dot returns the inner product a·b. The loop is 4-way unrolled with
+// independent accumulators so the multiplies pipeline instead of serializing
+// on one running sum — this is the innermost operation of every fused leaf
+// scan and every O(d) bound evaluation.
 func Dot(a, b []float64) float64 {
 	checkLen(a, b)
-	var s float64
-	for i, av := range a {
-		s += av * b[i]
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm2 returns the squared Euclidean norm ‖a‖².
 func Norm2(a []float64) float64 {
-	var s float64
-	for _, av := range a {
-		s += av * av
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * a[i]
+		s1 += a[i+1] * a[i+1]
+		s2 += a[i+2] * a[i+2]
+		s3 += a[i+3] * a[i+3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * a[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm returns the Euclidean norm ‖a‖.
 func Norm(a []float64) float64 { return math.Sqrt(Norm2(a)) }
 
-// Dist2 returns the squared Euclidean distance ‖a−b‖².
+// Dist2 returns the squared Euclidean distance ‖a−b‖², 4-way unrolled like
+// Dot.
 func Dist2(a, b []float64) float64 {
 	checkLen(a, b)
-	var s float64
-	for i, av := range a {
-		d := av - b[i]
-		s += d * d
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
 	}
-	return s
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Dist returns the Euclidean distance ‖a−b‖.
@@ -92,11 +123,19 @@ func AddTo(dst, src []float64) {
 	}
 }
 
-// Axpy computes dst += s·src in place.
+// Axpy computes dst += s·src in place, 4-way unrolled.
 func Axpy(dst []float64, s float64, src []float64) {
 	checkLen(dst, src)
-	for i, sv := range src {
-		dst[i] += s * sv
+	src = src[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] += s * src[i]
+		dst[i+1] += s * src[i+1]
+		dst[i+2] += s * src[i+2]
+		dst[i+3] += s * src[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += s * src[i]
 	}
 }
 

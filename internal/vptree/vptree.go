@@ -3,7 +3,9 @@
 // ball-tree pair. Each node picks a vantage point, splits its points at
 // the median distance to it, and is bounded by the spherical annulus
 // (geom.Shell) of its distance range — often tighter than a centroid ball
-// on ring- or shell-shaped data such as SVM support vectors.
+// on ring- or shell-shaped data such as SVM support vectors. Nodes are
+// emitted directly into the flat DFS-preorder array of index.Tree; the
+// point matrix is reordered into leaf order when the build finishes.
 package vptree
 
 import (
@@ -15,8 +17,8 @@ import (
 )
 
 // Build constructs a vp-tree over points with the given per-point weights
-// (nil for unit weights) and leaf capacity. The matrix is referenced, not
-// copied.
+// (nil for unit weights) and leaf capacity. The input matrix is read during
+// construction but not retained: the tree owns a leaf-ordered copy.
 func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, error) {
 	if points == nil || points.Rows == 0 {
 		return nil, fmt.Errorf("vptree: empty point set")
@@ -31,45 +33,39 @@ func Build(points *vec.Matrix, weights []float64, leafCap int) (*index.Tree, err
 		Kind:    index.VPTree,
 		Points:  points,
 		Weights: weights,
-		Idx:     make([]int, points.Rows),
 		LeafCap: leafCap,
 	}
-	for i := range t.Idx {
-		t.Idx[i] = i
+	b := builder{t: t, pts: points, idx: make([]int, points.Rows), dists: make([]float64, points.Rows)}
+	for i := range b.idx {
+		b.idx[i] = i
 	}
-	b := builder{t: t, dists: make([]float64, points.Rows)}
-	t.Root = b.build(0, points.Rows, 0)
-	t.Height = b.height
-	t.Nodes = b.nodes
-	t.ComputeAggregates()
+	b.build(0, points.Rows, 0)
+	t.Finish(b.idx)
 	return t, nil
 }
 
 type builder struct {
-	t      *index.Tree
-	dists  []float64 // scratch: distance of idx[i] to the current vantage
-	height int
-	nodes  int
+	t     *index.Tree
+	pts   *vec.Matrix
+	idx   []int     // working permutation: position -> original row
+	dists []float64 // scratch: distance of idx[i] to the current vantage
 }
 
-func (b *builder) build(start, end, depth int) *index.Node {
-	b.nodes++
-	if depth+1 > b.height {
-		b.height = depth + 1
-	}
-	t := b.t
+// build emits the subtree over idx[start:end) in DFS preorder and returns
+// the position of its root node.
+func (b *builder) build(start, end, depth int) int32 {
 	// Vantage point: the first point of the range (ranges are reshuffled by
 	// parent splits, so this is effectively arbitrary and deterministic).
-	vp := t.Points.Row(t.Idx[start])
-	shell := geom.BoundRowsShell(vp, t.Points, t.Idx, start, end)
-	n := &index.Node{Vol: shell, Start: start, End: end, Depth: depth}
-	if end-start <= t.LeafCap || shell.RMax == shell.RMin {
+	vp := b.pts.Row(b.idx[start])
+	shell := geom.BoundRowsShell(vp, b.pts, b.idx, start, end)
+	ni := b.t.AppendNode(shell, start, end, depth)
+	if end-start <= b.t.LeafCap || shell.RMax == shell.RMin {
 		// Leaf, or all points equidistant from the vantage (duplicates or a
 		// perfect sphere) — the median split cannot separate them.
-		return n
+		return ni
 	}
 	for i := start; i < end; i++ {
-		b.dists[i] = vec.Dist2(vp, t.Points.Row(t.Idx[i]))
+		b.dists[i] = vec.Dist2(vp, b.pts.Row(b.idx[i]))
 	}
 	mid := (start + end) / 2
 	b.selectNth(start, end, mid)
@@ -88,18 +84,19 @@ func (b *builder) build(start, end, depth int) *index.Node {
 		} else if lo > start+1 {
 			mid = lo
 		} else {
-			return n // all distances equal; keep as oversized leaf
+			return ni // all distances equal; keep as oversized leaf
 		}
 	}
-	n.Left = b.build(start, mid, depth+1)
-	n.Right = b.build(mid, end, depth+1)
-	return n
+	b.build(start, mid, depth+1)
+	right := b.build(mid, end, depth+1)
+	b.t.SetRight(ni, right)
+	return ni
 }
 
 // selectNth partially sorts idx[start:end) (and the parallel dists) so the
 // element at nth is in sorted position by distance.
 func (b *builder) selectNth(start, end, nth int) {
-	idx, dists := b.t.Idx, b.dists
+	idx, dists := b.idx, b.dists
 	lo, hi := start, end-1
 	for lo < hi {
 		mid := lo + (hi-lo)/2

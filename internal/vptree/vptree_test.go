@@ -35,10 +35,10 @@ func TestBuildSinglePoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tr.Root.IsLeaf() || tr.Kind != index.VPTree {
+	if !tr.Root().IsLeaf() || tr.Kind != index.VPTree {
 		t.Fatal("unexpected single-point structure")
 	}
-	sh := tr.Root.Vol.(*geom.Shell)
+	sh := tr.Root().Vol.(*geom.Shell)
 	if sh.RMin != 0 || sh.RMax != 0 {
 		t.Fatalf("degenerate shell = [%v,%v]", sh.RMin, sh.RMax)
 	}
@@ -53,7 +53,7 @@ func TestBuildDuplicatesTerminate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !tr.Root.IsLeaf() {
+	if !tr.Root().IsLeaf() {
 		t.Fatal("duplicate points should form one oversized leaf")
 	}
 }
@@ -97,9 +97,9 @@ func TestBuildStructure(t *testing.T) {
 		if err := tr.Validate(1e-9); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if tr.Root.Pos.Count+tr.Root.Neg.Count != n {
+		if tr.Root().Pos.Count+tr.Root().Neg.Count != n {
 			t.Fatalf("trial %d: aggregates cover %d of %d",
-				trial, tr.Root.Pos.Count+tr.Root.Neg.Count, n)
+				trial, tr.Root().Pos.Count+tr.Root().Neg.Count, n)
 		}
 	}
 }
@@ -111,29 +111,32 @@ func TestShellsArePartitionedByDistance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr.Walk(func(n *index.Node) {
+	for ni := range tr.Nodes {
+		n := tr.Node(int32(ni))
 		if n.IsLeaf() {
-			return
+			continue
 		}
 		// Relative to the parent's vantage point (its shell center), every
 		// left-child point must be at least as close as every right-child
 		// point — the median-split invariant, preserved under the
-		// children's own reordering because it is a set property.
+		// children's own reordering because it is a set property. Points are
+		// stored leaf-contiguously, so child ranges index the matrix directly.
 		vp := n.Vol.(*geom.Shell).Center
+		left, right := tr.Node(tr.Left(int32(ni))), tr.Node(n.Right)
 		var leftMax float64
-		for i := n.Left.Start; i < n.Left.End; i++ {
-			if d := vec.Dist(vp, m.Row(tr.Idx[i])); d > leftMax {
+		for i := int(left.Start); i < int(left.End); i++ {
+			if d := vec.Dist(vp, tr.Points.Row(i)); d > leftMax {
 				leftMax = d
 			}
 		}
-		rightMin := vec.Dist(vp, m.Row(tr.Idx[n.Right.Start]))
-		for i := n.Right.Start; i < n.Right.End; i++ {
-			if d := vec.Dist(vp, m.Row(tr.Idx[i])); d < rightMin {
+		rightMin := vec.Dist(vp, tr.Points.Row(int(right.Start)))
+		for i := int(right.Start); i < int(right.End); i++ {
+			if d := vec.Dist(vp, tr.Points.Row(i)); d < rightMin {
 				rightMin = d
 			}
 		}
 		if leftMax > rightMin+1e-9 {
 			t.Fatalf("split violated: left max %v > right min %v", leftMax, rightMin)
 		}
-	})
+	}
 }

@@ -191,11 +191,34 @@ func buildMatrixCfg(m *vec.Matrix, kern Kernel, cfg buildConfig) (*Engine, error
 	return &Engine{eng: eng, tree: tree, kern: kern}, nil
 }
 
+// engineFromTree wraps an already-built (or reconstructed) index in an
+// Engine without rebuilding it — the load path for format v4 files, which
+// persist the flat index layout itself.
+func engineFromTree(tree *index.Tree, kern Kernel, method Method) (*Engine, error) {
+	eng, err := core.New(tree, kern, core.WithMethod(methodOf(method)))
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, tree: tree, kern: kern}, nil
+}
+
 func methodOf(m Method) bound.Method {
 	if m == MethodSOTA {
 		return bound.SOTA
 	}
 	return bound.KARL
+}
+
+// indexKindOf maps the public index kind to the internal one.
+func indexKindOf(k IndexKind) index.Kind {
+	switch k {
+	case BallTree:
+		return index.BallTree
+	case VPTree:
+		return index.VPTree
+	default:
+		return index.KDTree
+	}
 }
 
 // Len returns the number of indexed points.

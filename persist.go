@@ -20,7 +20,14 @@ import (
 //	3 — sketch provenance additionally records the ε bound's basis and
 //	    failure probability δ (SketchInfo.Basis / Delta). Version-2 files
 //	    still load with SketchBasisUnknown and δ = 0.
-const persistVersion = 3
+//	4 — persists the built flat index itself: points and weights in leaf
+//	    order, the original-row mapping, the preorder node arrays and the
+//	    flattened bounding volumes. Loading reconstructs the exact tree
+//	    instead of rebuilding it, so answers are bitwise identical across
+//	    a round trip (a rebuilt vp-tree could not even recover its vantage
+//	    points from reordered storage). Versions 1–3 still load by
+//	    rebuilding from the stored points.
+const persistVersion = 4
 
 // oldestReadableVersion is the earliest format this build still decodes.
 const oldestReadableVersion = 1
@@ -37,20 +44,32 @@ type sketchProvenance struct {
 	Method       int
 }
 
-// enginePayload is the gob wire format for an Engine: the data and build
-// parameters, not the index itself — construction is deterministic, so the
-// tree is rebuilt on load. This keeps files compact and the format stable
-// across internal index changes.
+// enginePayload is the gob wire format for an Engine. Since version 4 it
+// carries the flat index layout itself (leaf-ordered points plus the node
+// arrays below), so loading is a reconstruction, not a rebuild. Files from
+// versions 1–3 carry only the data and build parameters; for those the node
+// fields decode as nil and the tree is rebuilt deterministically.
 type enginePayload struct {
 	Version int
 	Dims    int
-	Points  []float64 // row-major Dims-wide rows
-	Weights []float64 // nil for unit weights
+	Points  []float64 // row-major Dims-wide rows; leaf-ordered since v4
+	Weights []float64 // nil for unit weights; leaf-ordered since v4
 	Kernel  Kernel
 	Kind    IndexKind
 	LeafCap int
 	Method  Method
 	Sketch  *sketchProvenance // nil for full-set engines
+
+	// Flat index layout (v4+): storage row -> original row, the DFS-preorder
+	// node arrays, and every node's bounding-volume parameters packed by
+	// index.FlattenVolumes. Norms and aggregates are derived data and are
+	// recomputed on load.
+	PointID   []int32
+	NodeStart []int32
+	NodeEnd   []int32
+	NodeRight []int32
+	NodeDepth []int32
+	VolData   []float64
 }
 
 // svmPayload wraps an engine payload with the SVM decision threshold.
@@ -92,16 +111,33 @@ func (e *Engine) payload() enginePayload {
 			Method:       int(e.sketch.Method),
 		}
 	}
+	nn := tree.NodeCount()
+	nodeStart := make([]int32, nn)
+	nodeEnd := make([]int32, nn)
+	nodeRight := make([]int32, nn)
+	nodeDepth := make([]int32, nn)
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
+		nodeStart[i], nodeEnd[i], nodeRight[i], nodeDepth[i] = n.Start, n.End, n.Right, n.Depth
+	}
+	pointID := make([]int32, len(tree.PointID))
+	copy(pointID, tree.PointID)
 	return enginePayload{
-		Version: persistVersion,
-		Dims:    tree.Dims(),
-		Points:  pts,
-		Weights: w,
-		Kernel:  e.kern,
-		Kind:    kind,
-		LeafCap: tree.LeafCap,
-		Method:  method,
-		Sketch:  sk,
+		Version:   persistVersion,
+		Dims:      tree.Dims(),
+		Points:    pts,
+		Weights:   w,
+		Kernel:    e.kern,
+		Kind:      kind,
+		LeafCap:   tree.LeafCap,
+		Method:    method,
+		Sketch:    sk,
+		PointID:   pointID,
+		NodeStart: nodeStart,
+		NodeEnd:   nodeEnd,
+		NodeRight: nodeRight,
+		NodeDepth: nodeDepth,
+		VolData:   tree.FlattenVolumes(),
 	}
 }
 
@@ -115,14 +151,27 @@ func (p enginePayload) restore() (*Engine, error) {
 		return nil, errors.New("karl: corrupt engine payload")
 	}
 	m := &vec.Matrix{Data: p.Points, Rows: len(p.Points) / p.Dims, Cols: p.Dims}
-	opts := []Option{WithIndex(p.Kind, p.LeafCap), WithMethod(p.Method)}
-	if p.Weights != nil {
-		if len(p.Weights) != m.Rows {
-			return nil, errors.New("karl: corrupt engine payload (weights)")
-		}
-		opts = append(opts, WithWeights(p.Weights))
+	if p.Weights != nil && len(p.Weights) != m.Rows {
+		return nil, errors.New("karl: corrupt engine payload (weights)")
 	}
-	eng, err := buildMatrix(m, p.Kernel, opts...)
+	var eng *Engine
+	var err error
+	if p.Version >= 4 {
+		// v4+: reconstruct the persisted flat index exactly.
+		tree, rerr := index.Reconstruct(indexKindOf(p.Kind), m, p.Weights, p.PointID,
+			p.NodeStart, p.NodeEnd, p.NodeRight, p.NodeDepth, p.VolData, p.LeafCap)
+		if rerr != nil {
+			return nil, fmt.Errorf("karl: corrupt engine payload: %w", rerr)
+		}
+		eng, err = engineFromTree(tree, p.Kernel, p.Method)
+	} else {
+		// v1–v3 stored only the data and build parameters: rebuild.
+		opts := []Option{WithIndex(p.Kind, p.LeafCap), WithMethod(p.Method)}
+		if p.Weights != nil {
+			opts = append(opts, WithWeights(p.Weights))
+		}
+		eng, err = buildMatrix(m, p.Kernel, opts...)
+	}
 	if err != nil {
 		return nil, err
 	}

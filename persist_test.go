@@ -2,6 +2,8 @@ package karl
 
 import (
 	"bytes"
+	"encoding/gob"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -140,7 +142,7 @@ func TestReadEngineRejectsBadVersion(t *testing.T) {
 	}
 	// The error must name the offending version and the readable range, so
 	// operators can tell a stale binary from a corrupt file.
-	for _, want := range []string{"version 99", "1 through 3"} {
+	for _, want := range []string{"version 99", "1 through 4"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("version error %q does not mention %q", err, want)
 		}
@@ -151,24 +153,90 @@ func TestReadEngineRejectsBadVersion(t *testing.T) {
 	}
 }
 
-// TestReadEngineAcceptsVersion1 pins backward compatibility: files written
-// before the sketch-provenance bump still load.
-func TestReadEngineAcceptsVersion1(t *testing.T) {
+// legacyPayload downgrades a payload to a pre-v4 wire image: only the data
+// and build parameters, no flat-index arrays (those fields decode as nil
+// from genuinely old files).
+func legacyPayload(p enginePayload, version int) enginePayload {
+	p.Version = version
+	p.PointID = nil
+	p.NodeStart, p.NodeEnd, p.NodeRight, p.NodeDepth = nil, nil, nil, nil
+	p.VolData = nil
+	return p
+}
+
+// TestReadEngineAcceptsLegacyVersions pins backward compatibility: files
+// written by every older format version still load by rebuilding the index
+// from the stored points. A rebuilt tree may sum leaves in a different
+// order, so answers are compared with a tolerance rather than bitwise.
+func TestReadEngineAcceptsLegacyVersions(t *testing.T) {
 	rng := rand.New(rand.NewSource(27))
 	pts := cloud(rng, 60, 2)
 	eng, _ := Build(pts, Gaussian(2))
-	p := eng.payload()
-	p.Version = 1
-	p.Sketch = nil
-	loaded, err := p.restore()
-	if err != nil {
-		t.Fatalf("version-1 payload rejected: %v", err)
+	for version := 1; version <= 3; version++ {
+		p := legacyPayload(eng.payload(), version)
+		p.Sketch = nil
+		loaded, err := p.restore()
+		if err != nil {
+			t.Fatalf("version-%d payload rejected: %v", version, err)
+		}
+		q := []float64{0.4, 0.4}
+		a, _ := eng.Aggregate(q)
+		b, _ := loaded.Aggregate(q)
+		if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+			t.Fatalf("version %d diverged: %v vs %v", version, a, b)
+		}
 	}
-	q := []float64{0.4, 0.4}
+}
+
+// TestLegacyGobStreamLoads decodes a legacy payload through the real gob
+// path (encode the downgraded struct, decode with ReadEngine) so missing
+// v4 fields are exercised end to end.
+func TestLegacyGobStreamLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	pts := cloud(rng, 120, 3)
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = rng.Float64() + 0.1
+	}
+	eng, err := Build(pts, Gaussian(1.5), WithWeights(w), WithIndex(BallTree, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := legacyPayload(eng.payload(), 3)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatalf("legacy gob stream rejected: %v", err)
+	}
+	if loaded.Len() != eng.Len() || loaded.Kernel() != eng.Kernel() {
+		t.Fatal("legacy load changed shape or kernel")
+	}
+	q := []float64{0.5, 0.5, 0.5}
 	a, _ := eng.Aggregate(q)
 	b, _ := loaded.Aggregate(q)
-	if a != b {
+	if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
 		t.Fatalf("diverged: %v vs %v", a, b)
+	}
+}
+
+// TestV4RestoreRejectsCorruptIndex ensures the reconstruction path refuses
+// structurally broken node arrays instead of building a bad tree.
+func TestV4RestoreRejectsCorruptIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	pts := cloud(rng, 80, 2)
+	eng, _ := Build(pts, Gaussian(1))
+	p := eng.payload()
+	p.NodeRight[0] = 0 // right child cannot point at the root
+	if _, err := p.restore(); err == nil {
+		t.Fatal("corrupt node arrays accepted")
+	}
+	p = eng.payload()
+	p.PointID[0] = p.PointID[1] // duplicate mapping
+	if _, err := p.restore(); err == nil {
+		t.Fatal("duplicate PointID accepted")
 	}
 }
 
