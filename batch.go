@@ -83,18 +83,26 @@ func sumStats(per []Stats) Stats {
 // batch fans queries across worker clones. Each worker owns a clone, so
 // the engines' scratch state is never shared.
 func (e *Engine) batch(queries [][]float64, workers int, fn func(eng *Engine, i int) error) error {
-	if len(queries) == 0 {
+	return runBatch(e, (*Engine).Clone, len(queries), workers, fn)
+}
+
+// runBatch is the shared work-stealing fan-out behind the Engine and
+// DynamicEngine batch APIs: n items are claimed one at a time by workers
+// that each query through their own clone of self, so no query scratch is
+// ever shared. The first error aborts the batch.
+func runBatch[E any](self E, clone func(E) E, n, workers int, fn func(eng E, i int) error) error {
+	if n == 0 {
 		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > n {
+		workers = n
 	}
 	if workers == 1 {
-		for i := range queries {
-			if err := fn(e, i); err != nil {
+		for i := 0; i < n; i++ {
+			if err := fn(self, i); err != nil {
 				return fmt.Errorf("karl: batch query %d: %w", i, err)
 			}
 		}
@@ -109,7 +117,7 @@ func (e *Engine) batch(queries [][]float64, workers int, fn func(eng *Engine, i 
 	claim := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr != nil || next >= len(queries) {
+		if firstErr != nil || next >= n {
 			return -1
 		}
 		i := next
@@ -127,7 +135,7 @@ func (e *Engine) batch(queries [][]float64, workers int, fn func(eng *Engine, i 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			eng := e.Clone()
+			eng := clone(self)
 			for {
 				i := claim()
 				if i < 0 {

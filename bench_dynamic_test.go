@@ -1,0 +1,56 @@
+package karl
+
+import (
+	"testing"
+)
+
+// BenchmarkInsertHeavy measures the segmented engine under a 90/10
+// query/insert steady state: every tenth operation streams a new point in
+// (absorbing seal and background-compaction cost), the rest are
+// approximate queries over the live manifest. This is the workload the
+// LSM-style architecture exists for — a stop-the-world rebuild anywhere
+// in the maintenance path shows up directly in the per-op time.
+func BenchmarkInsertHeavy(b *testing.B) {
+	pts, q := benchCloud(20000, 8)
+	d, err := NewDynamic(Gaussian(20), WithSealSize(512), WithCompactionFanout(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range pts[:10000] {
+		if err := d.Insert(p, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	next := 10000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10 == 9 {
+			if err := d.Insert(pts[next%len(pts)], 1); err != nil {
+				b.Fatal(err)
+			}
+			next++
+		} else {
+			if _, err := d.Approximate(q, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDynamicInsert isolates the write path: appends into the
+// memtable with periodic seals, no queries.
+func BenchmarkDynamicInsert(b *testing.B) {
+	pts, _ := benchCloud(20000, 8)
+	d, err := NewDynamic(Gaussian(20), WithSealSize(512), WithCompactionFanout(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Insert(pts[i%len(pts)], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,19 +6,29 @@
 //	karl-bench -list
 //	karl-bench -run tab7
 //	karl-bench -run all -scale 0.05 -queries 500 -maxn 50000
+//	karl-bench -mutable -maxn 20000 -mixratio 9
 //
 // Experiment IDs follow DESIGN.md §4 (fig1, fig6, fig7, fig9..fig13, tab7,
 // tab8, tab9, tab10). Larger -scale/-queries values approach the paper's
 // setting at the cost of runtime.
+//
+// -mutable runs the segmented-engine serving benchmark instead: it seeds
+// half the dataset into a dynamic engine, replays a mixed stream over the
+// other half (-mixratio queries per insert, default 9 for a 90/10
+// query/insert mix), and reports p50/p99 latency per operation class plus
+// overall throughput — sealing and background compaction included.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"karl"
 	"karl/internal/experiments"
 )
 
@@ -32,9 +42,22 @@ func main() {
 		sample  = flag.Int("tunesample", 50, "offline tuning sample size (paper: 1000)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		dims    = flag.String("dims", "", "comma-separated Fig.12 dimensionality sweep (e.g. 32,64,128,256)")
+
+		mutable  = flag.Bool("mutable", false, "run the mutable-serving mixed-workload benchmark instead of a paper experiment")
+		mixRatio = flag.Int("mixratio", 9, "queries per insert in the -mutable stream (9 = 90/10 query/insert)")
+		sealSize = flag.Int("seal", 512, "memtable seal threshold for -mutable")
+		fanout   = flag.Int("fanout", 4, "compaction fanout for -mutable")
+		eps      = flag.Float64("eps", 0.1, "relative error budget for -mutable approximate queries")
 	)
 	flag.Parse()
 
+	if *mutable {
+		if err := runMutableBench(*maxN, *mixRatio, *sealSize, *fanout, *eps, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -76,4 +99,93 @@ func main() {
 		}
 		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// quantile returns the q-quantile of a sorted latency slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runMutableBench replays a mixed insert/query stream against a segmented
+// dynamic engine and prints per-class latency quantiles plus throughput.
+func runMutableBench(n, mixRatio, sealSize, fanout int, eps float64, seed int64) error {
+	if n < 2 {
+		return fmt.Errorf("-maxn %d too small", n)
+	}
+	if mixRatio < 0 {
+		mixRatio = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const dim = 8
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		base := float64(i%5) * 0.18
+		for j := range p {
+			p[j] = base + rng.NormFloat64()*0.04
+		}
+		pts[i] = p
+	}
+	d, err := karl.NewDynamic(karl.Gaussian(20),
+		karl.WithSealSize(sealSize), karl.WithCompactionFanout(fanout))
+	if err != nil {
+		return err
+	}
+	half := n / 2
+	for _, p := range pts[:half] {
+		if err := d.Insert(p, 1); err != nil {
+			return err
+		}
+	}
+	queryAt := func() []float64 {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = 0.2 + rng.Float64()*0.2
+		}
+		return q
+	}
+	queries := make([][]float64, 256)
+	for i := range queries {
+		queries[i] = queryAt()
+	}
+
+	insertLat := make([]time.Duration, 0, n-half)
+	queryLat := make([]time.Duration, 0, (n-half)*mixRatio)
+	qi := 0
+	start := time.Now()
+	for _, p := range pts[half:] {
+		t0 := time.Now()
+		if err := d.Insert(p, 1); err != nil {
+			return err
+		}
+		insertLat = append(insertLat, time.Since(t0))
+		for k := 0; k < mixRatio; k++ {
+			q := queries[qi%len(queries)]
+			qi++
+			t0 = time.Now()
+			if _, err := d.Approximate(q, eps); err != nil {
+				return err
+			}
+			queryLat = append(queryLat, time.Since(t0))
+		}
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(insertLat, func(i, j int) bool { return insertLat[i] < insertLat[j] })
+	sort.Slice(queryLat, func(i, j int) bool { return queryLat[i] < queryLat[j] })
+	ops := len(insertLat) + len(queryLat)
+	fmt.Printf("mutable serving benchmark: n=%d (seeded %d), %d queries per insert, seal=%d fanout=%d eps=%g\n",
+		n, half, mixRatio, sealSize, fanout, eps)
+	fmt.Printf("  inserts: %d  p50=%v  p99=%v\n",
+		len(insertLat), quantile(insertLat, 0.50), quantile(insertLat, 0.99))
+	fmt.Printf("  queries: %d  p50=%v  p99=%v\n",
+		len(queryLat), quantile(queryLat, 0.50), quantile(queryLat, 0.99))
+	fmt.Printf("  throughput: %.0f ops/sec over %v (final: %d points, %d segments, %d seals, %d compactions)\n",
+		float64(ops)/elapsed.Seconds(), elapsed.Round(time.Millisecond),
+		d.Len(), len(d.Segments()), d.Seals(), d.Compactions())
+	return nil
 }

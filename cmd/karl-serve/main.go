@@ -4,6 +4,8 @@
 //
 //	karl-serve -model engine.karl -addr :8080        # saved engine file
 //	karl-serve -points data.txt -gamma 2 -addr :8080 # build from vectors
+//	karl-serve -mutable -gamma 2 -addr :8080         # empty dynamic engine
+//	karl-serve -mutable -model dyn.karl -addr :8080  # saved dynamic engine
 //
 // Endpoints:
 //
@@ -14,6 +16,8 @@
 //	POST /v1/approximate {"q":[...],"eps":0.1}        # relative error
 //	POST /v1/approximate {"q":[...],"eps_norm":0.1}   # normalized error
 //	POST /v1/batch       {"kind":"approximate","queries":[[...],...],"eps":0.1}
+//	POST /v1/insert      {"p":[...],"w":2.0}          # -mutable only
+//	POST /v1/insert      {"points":[[...],...],"weights":[...]}
 //
 // Approximate queries pick one of two error models: "eps" bounds the
 // relative error |v−F| ≤ eps·F, "eps_norm" bounds the normalized error
@@ -23,6 +27,14 @@
 // Requests are served concurrently over a pool of engine clones sharing
 // one immutable index; SIGINT/SIGTERM drain in-flight requests before
 // exiting.
+//
+// With -mutable the server wraps a segmented dynamic engine: POST
+// /v1/insert appends points while queries keep serving, background
+// compaction maintains the segment manifest, and no request ever waits
+// on an index rebuild. Start empty (just -mutable, with -gamma for the
+// kernel), seed from a dynamic engine file (-model, written by
+// DynamicEngine.WriteTo), or replay vectors from -points as inserts.
+// The -sketch-eps tier requires an immutable engine and is rejected.
 package main
 
 import (
@@ -52,33 +64,15 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		poolSize = flag.Int("pool", 0, "max idle engine clones retained (0 = 2·GOMAXPROCS)")
 		sketch   = flag.Float64("sketch-eps", 0, "enable the coreset tier: serve normalized-budget (eps_norm ≥ this bound) approximate queries from a sketch (0 = off)")
+		mutable  = flag.Bool("mutable", false, "serve a segmented dynamic engine with POST /v1/insert (see -seal-size, -fanout)")
+		sealSize = flag.Int("seal-size", 0, "memtable seal threshold for -mutable (0 = library default)")
+		fanout   = flag.Int("fanout", 0, "compaction fanout for -mutable (0 = library default)")
 		readTO   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle-connection timeout")
 		drainTO  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
-
-	var eng *karl.Engine
-	var err error
-	switch {
-	case *model != "":
-		f, err2 := os.Open(*model)
-		if err2 != nil {
-			log.Fatalf("karl-serve: %v", err2)
-		}
-		eng, err = karl.ReadEngine(f)
-		f.Close()
-	case *points != "":
-		eng, err = buildFromFile(*points, *gamma)
-	default:
-		fmt.Fprintln(os.Stderr, "karl-serve: need -model or -points")
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		log.Fatalf("karl-serve: %v", err)
-	}
 
 	var opts []server.Option
 	if *poolSize > 0 {
@@ -87,9 +81,47 @@ func main() {
 	if *sketch > 0 {
 		opts = append(opts, server.WithSketchTier(*sketch))
 	}
-	srv, err := server.New(eng, opts...)
-	if err != nil {
-		log.Fatalf("karl-serve: %v", err)
+
+	var srv *server.Server
+	var banner string
+	if *mutable {
+		d, err := buildDynamic(*model, *points, *gamma, *sealSize, *fanout)
+		if err != nil {
+			log.Fatalf("karl-serve: %v", err)
+		}
+		srv, err = server.NewMutable(d, opts...)
+		if err != nil {
+			log.Fatalf("karl-serve: %v", err)
+		}
+		banner = fmt.Sprintf("serving mutable engine: %d points (%d dims, %v kernel, %d segments) on %s",
+			d.Len(), d.Dims(), d.Kernel().Kind, len(d.Segments()), *addr)
+	} else {
+		var eng *karl.Engine
+		var err error
+		switch {
+		case *model != "":
+			f, err2 := os.Open(*model)
+			if err2 != nil {
+				log.Fatalf("karl-serve: %v", err2)
+			}
+			eng, err = karl.ReadEngine(f)
+			f.Close()
+		case *points != "":
+			eng, err = buildFromFile(*points, *gamma)
+		default:
+			fmt.Fprintln(os.Stderr, "karl-serve: need -model or -points (or -mutable)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err != nil {
+			log.Fatalf("karl-serve: %v", err)
+		}
+		srv, err = server.New(eng, opts...)
+		if err != nil {
+			log.Fatalf("karl-serve: %v", err)
+		}
+		banner = fmt.Sprintf("serving %d points (%d dims, %v kernel) on %s",
+			eng.Len(), eng.Dims(), eng.Kernel().Kind, *addr)
 	}
 
 	httpSrv := &http.Server{
@@ -104,8 +136,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %d points (%d dims, %v kernel) on %s",
-		eng.Len(), eng.Dims(), eng.Kernel().Kind, *addr)
+	log.Print(banner)
 
 	select {
 	case err := <-errc:
@@ -124,7 +155,57 @@ func main() {
 	}
 }
 
+// buildDynamic assembles the engine behind a -mutable server: a saved
+// dynamic engine (-model, which carries its own kernel and policy), an
+// empty engine, or an empty engine seeded by replaying -points as
+// inserts.
+func buildDynamic(model, points string, gamma float64, sealSize, fanout int) (*karl.DynamicEngine, error) {
+	if model != "" {
+		if points != "" {
+			return nil, fmt.Errorf("-model and -points are mutually exclusive with -mutable")
+		}
+		f, err := os.Open(model)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return karl.ReadDynamic(f)
+	}
+	var opts []karl.Option
+	if sealSize > 0 {
+		opts = append(opts, karl.WithSealSize(sealSize))
+	}
+	if fanout > 0 {
+		opts = append(opts, karl.WithCompactionFanout(fanout))
+	}
+	d, err := karl.NewDynamic(karl.Gaussian(gamma), opts...)
+	if err != nil {
+		return nil, err
+	}
+	if points == "" {
+		return d, nil
+	}
+	rows, err := readRows(points)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		if err := d.Insert(row, 1); err != nil {
+			return nil, fmt.Errorf("insert row %d: %w", i, err)
+		}
+	}
+	return d, nil
+}
+
 func buildFromFile(path string, gamma float64) (*karl.Engine, error) {
+	rows, err := readRows(path)
+	if err != nil {
+		return nil, err
+	}
+	return karl.Build(rows, karl.Gaussian(gamma))
+}
+
+func readRows(path string) ([][]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -151,5 +232,5 @@ func buildFromFile(path string, gamma float64) (*karl.Engine, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return karl.Build(rows, karl.Gaussian(gamma))
+	return rows, nil
 }

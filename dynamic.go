@@ -4,70 +4,258 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
+	"karl/internal/bound"
+	"karl/internal/core"
 	"karl/internal/kernel"
+	"karl/internal/segment"
 	"karl/internal/vec"
 )
 
-// DynamicEngine supports the online kernel learning scenario the paper's
-// in-situ section motivates: the point set grows while queries are being
-// served. New points land in a side buffer that every query evaluates
-// exactly; when the buffer outgrows a fraction of the indexed set, the
-// index is rebuilt to absorb it. Answers are always exact with respect to
-// the full current point set.
+// DynamicEngine serves kernel aggregation queries while the point set
+// grows — the online scenario the paper's in-situ section motivates —
+// without ever blocking a query on an index rebuild. It is organized like
+// a small LSM tree:
+//
+//   - Inserts land in a fixed-capacity MEMTABLE that queries scan exactly.
+//   - When the memtable fills it is SEALED: a small immutable flat-index
+//     segment is built off the query path and appended to the MANIFEST,
+//     and the memtable's backing storage is recycled (no allocation in
+//     steady state).
+//   - A geometric tiering policy merges segments in a BACKGROUND
+//     goroutine; the merged segment replaces its inputs with one atomic
+//     manifest swap, so queries keep refining over the old snapshot until
+//     the swap lands.
+//
+// Queries refine over every segment through one shared global priority
+// queue (core.Forest), with the memtable folded in as an exact base term
+// on both global bounds — so Threshold and Approximate guarantees hold
+// relative to the true total over ALL current points, including the
+// mixed-sign case where memtable and indexed parts nearly cancel.
+//
+// A DynamicEngine value is not safe for concurrent QUERIES — like Engine,
+// it owns per-query scratch. Clone once per goroutine: clones share the
+// mutable dataset (inserts through any clone are visible to all) but own
+// their query state. Insert, Compact and Close may be called from any
+// goroutine concurrently with queries on other clones.
 type DynamicEngine struct {
-	kern Kernel
-	opts []Option
+	sh *dynShared
 
-	base *Engine // nil until the first rebuild
-
-	buf  *vec.Matrix // pending points (grown geometrically)
-	bufW []float64
-	bufN int
-
-	// rebuildFrac triggers a rebuild when bufN > rebuildFrac·base.Len()
-	// (and bufN ≥ minRebuild).
-	rebuildFrac float64
-	rebuilds    int
+	// f refines over the manifest snapshot of epoch fEpoch; fSet records
+	// whether the forest has been armed at all. Query-only state, per clone.
+	f      *core.Forest
+	fEpoch uint64
+	fSet   bool
 }
 
-// minRebuild is the smallest buffer that triggers an automatic rebuild;
-// below it the exact buffer scan is cheaper than reindexing.
-const minRebuild = 256
+// memtable is one reusable insert buffer: a fixed-capacity matrix plus
+// parallel weights, filled to n rows in insertion order.
+type memtable struct {
+	m *vec.Matrix
+	w []float64
+	n int
+}
 
-// NewDynamic creates an empty dynamic engine. opts are applied at every
-// rebuild (WithWeights is rejected — weights arrive with Insert).
+func newMemtable(rows, dims int) *memtable {
+	return &memtable{m: vec.NewMatrix(rows, dims), w: make([]float64, rows)}
+}
+
+// dynShared is the mutable dataset state shared by every clone of one
+// dynamic engine. All fields are guarded by mu; cond broadcasts every
+// state transition (seal finished, compaction finished, drain finished).
+type dynShared struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	kern     Kernel
+	method   bound.Method
+	maxDepth int
+	bcfg     segment.BuildConfig
+	policy   segment.Policy
+	coldSeed int64
+
+	autoCompact bool
+
+	dims int // fixed by the first insert (or a load); 0 = undetermined
+
+	man *segment.Manifest
+
+	// mem receives inserts; sealing is non-nil while its rows are being
+	// built into a segment (queries still scan it); spare is the recycled
+	// buffer the next seal swap installs. The three rotate forever, so
+	// steady-state Insert allocates nothing.
+	mem     *memtable
+	sealing *memtable
+	spare   *memtable
+
+	// draining blocks inserts and new compactions while a full Compact()
+	// merge is in flight (queries proceed on the old snapshot).
+	draining   bool
+	compacting bool
+	closed     bool
+
+	nextID      uint64
+	seals       int
+	compactions int
+	compactErr  error
+}
+
+// NewDynamic creates an empty dynamic engine. Index options (WithIndex,
+// WithMethod) fix how segments are built; WithSealSize and
+// WithCompactionFanout shape the LSM tiering; WithWeights is rejected —
+// weights arrive with Insert.
 func NewDynamic(kern Kernel, opts ...Option) (*DynamicEngine, error) {
 	if err := kern.Validate(); err != nil {
 		return nil, err
 	}
-	probe := buildConfig{}
+	cfg := defaultBuildConfig()
 	for _, opt := range opts {
-		opt(&probe)
+		opt(&cfg)
 	}
-	if probe.weights != nil {
+	if cfg.weights != nil {
 		return nil, errors.New("karl: pass weights through Insert, not WithWeights")
 	}
-	return &DynamicEngine{kern: kern, opts: opts, rebuildFrac: 0.25}, nil
+	if cfg.leafCap < 1 {
+		return nil, fmt.Errorf("karl: leaf capacity %d out of range", cfg.leafCap)
+	}
+	policy := segment.DefaultPolicy()
+	if cfg.sealSize != 0 {
+		policy.SealSize = cfg.sealSize
+	}
+	if cfg.fanout != 0 {
+		policy.Fanout = cfg.fanout
+	}
+	policy.ColdEps, policy.ColdMin = cfg.coldEps, cfg.coldMin
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	sh := &dynShared{
+		kern:        kern,
+		method:      methodOf(cfg.method),
+		maxDepth:    cfg.maxDepth,
+		bcfg:        segment.BuildConfig{Kind: indexKindOf(cfg.kind), LeafCap: cfg.leafCap},
+		policy:      policy,
+		coldSeed:    cfg.coresetSeed,
+		autoCompact: !cfg.noAutoCompact,
+		man:         &segment.Manifest{},
+		nextID:      1,
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	return newDynamicView(sh)
 }
 
-// Len returns the number of points currently represented (indexed plus
-// buffered).
-func (d *DynamicEngine) Len() int {
-	n := d.bufN
-	if d.base != nil {
-		n += d.base.Len()
+// newDynamicView wraps shared state in a queryable engine view.
+func newDynamicView(sh *dynShared) (*DynamicEngine, error) {
+	f, err := core.NewForest(kernel.Params(sh.kern), sh.method, sh.maxDepth)
+	if err != nil {
+		return nil, err
 	}
+	return &DynamicEngine{sh: sh, f: f}, nil
+}
+
+// Clone returns a view of the same mutable dataset with independent query
+// scratch, for use from another goroutine. Inserts through any clone are
+// visible to all clones.
+func (d *DynamicEngine) Clone() *DynamicEngine {
+	c, _ := newDynamicView(d.sh) // kernel already validated
+	return c
+}
+
+// Len returns the number of points currently represented (all segments
+// plus buffered inserts).
+func (d *DynamicEngine) Len() int {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := sh.man.Len() + sh.mem.len() + sh.sealing.len()
 	return n
 }
 
-// Rebuilds reports how many times the index has been rebuilt.
-func (d *DynamicEngine) Rebuilds() int { return d.rebuilds }
+// Dims returns the dataset dimensionality (0 before the first insert).
+func (d *DynamicEngine) Dims() int {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.dims
+}
+
+// Kernel returns the engine's kernel.
+func (d *DynamicEngine) Kernel() Kernel { return d.sh.kern }
+
+func (b *memtable) len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Epoch returns the current manifest epoch; it increases with every seal
+// and compaction, so two equal epochs imply an identical segment set.
+func (d *DynamicEngine) Epoch() uint64 {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.man.Epoch
+}
+
+// MemtableLen returns the number of buffered (not yet sealed) points.
+func (d *DynamicEngine) MemtableLen() int {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.mem.len() + sh.sealing.len()
+}
+
+// Seals reports how many memtable seals have happened.
+func (d *DynamicEngine) Seals() int {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.seals
+}
+
+// Compactions reports how many segment merges have completed (background
+// tiered merges plus explicit Compact calls).
+func (d *DynamicEngine) Compactions() int {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.compactions
+}
+
+// SegmentInfo describes one immutable segment of the current manifest.
+type SegmentInfo struct {
+	// ID is the segment's stable identity (assigned at seal/merge time).
+	ID uint64
+	// Len is the number of points the segment stores.
+	Len int
+	// Coreset marks a lossy cold-compacted segment; Eps is its accumulated
+	// normalized error bound.
+	Coreset bool
+	Eps     float64
+}
+
+// Segments returns a snapshot of the current manifest, oldest segment
+// first.
+func (d *DynamicEngine) Segments() []SegmentInfo {
+	sh := d.sh
+	sh.mu.Lock()
+	man := sh.man
+	sh.mu.Unlock()
+	out := make([]SegmentInfo, len(man.Segs))
+	for i, s := range man.Segs {
+		out[i] = SegmentInfo{ID: s.ID, Len: s.Len(), Coreset: s.Coreset, Eps: s.Eps}
+	}
+	return out
+}
 
 // Insert adds one weighted point. The first insert fixes the
 // dimensionality. NaN or ±Inf coordinates and weights are rejected: a
 // single non-finite value would silently poison every aggregate the
-// engine answers afterwards.
+// engine answers afterwards. Steady-state inserts are allocation-free;
+// an insert that fills the memtable builds the new segment synchronously
+// (off the query path — concurrent queries are never blocked by it).
 func (d *DynamicEngine) Insert(p []float64, w float64) error {
 	if len(p) == 0 {
 		return errors.New("karl: empty point")
@@ -80,150 +268,366 @@ func (d *DynamicEngine) Insert(p []float64, w float64) error {
 	if math.IsNaN(w) || math.IsInf(w, 0) {
 		return fmt.Errorf("karl: weight is %v; weights must be finite", w)
 	}
-	if d.buf == nil {
-		if d.base != nil && len(p) != d.base.Dims() {
-			return fmt.Errorf("karl: point has %d dims, engine has %d", len(p), d.base.Dims())
-		}
-		d.buf = vec.NewMatrix(64, len(p))
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return errors.New("karl: engine is closed")
 	}
-	if len(p) != d.buf.Cols {
-		return fmt.Errorf("karl: point has %d dims, engine has %d", len(p), d.buf.Cols)
-	}
-	if d.bufN == d.buf.Rows {
-		grown := vec.NewMatrix(d.buf.Rows*2, d.buf.Cols)
-		copy(grown.Data, d.buf.Data)
-		d.buf = grown
-	}
-	copy(d.buf.Row(d.bufN), p)
-	d.bufW = append(d.bufW, w)
-	d.bufN++
-	if d.shouldRebuild() {
-		return d.Rebuild()
-	}
-	return nil
-}
-
-func (d *DynamicEngine) shouldRebuild() bool {
-	if d.bufN < minRebuild {
-		return false
-	}
-	if d.base == nil {
-		return true
-	}
-	return float64(d.bufN) > d.rebuildFrac*float64(d.base.Len())
-}
-
-// Rebuild absorbs the buffer into a fresh index immediately.
-func (d *DynamicEngine) Rebuild() error {
-	if d.bufN == 0 {
-		return nil
-	}
-	total := d.bufN
-	dims := d.buf.Cols
-	if d.base != nil {
-		total += d.base.Len()
-	}
-	m := vec.NewMatrix(total, dims)
-	w := make([]float64, total)
-	n := 0
-	if d.base != nil {
-		tree := d.base.tree
-		for i := 0; i < tree.Len(); i++ {
-			copy(m.Row(n), tree.Points.Row(i))
-			w[n] = tree.Weight(i)
-			n++
-		}
-	}
-	for i := 0; i < d.bufN; i++ {
-		copy(m.Row(n), d.buf.Row(i))
-		w[n] = d.bufW[i]
-		n++
-	}
-	opts := append(append([]Option{}, d.opts...), WithWeights(w))
-	eng, err := buildMatrix(m, d.kern, opts...)
-	if err != nil {
+	if err := sh.compactErrLocked(); err != nil {
 		return err
 	}
-	d.base = eng
-	d.buf = vec.NewMatrix(64, dims)
-	d.bufW = d.bufW[:0]
-	d.bufN = 0
-	d.rebuilds++
-	return nil
-}
-
-// bufferAggregate evaluates the pending points exactly.
-func (d *DynamicEngine) bufferAggregate(q []float64) float64 {
-	var s float64
-	p := kernel.Params(d.kern)
-	for i := 0; i < d.bufN; i++ {
-		s += d.bufW[i] * p.Eval(q, d.buf.Row(i))
+	if sh.dims == 0 {
+		sh.dims = len(p)
 	}
-	return s
-}
-
-func (d *DynamicEngine) checkQuery(q []float64) error {
-	if d.Len() == 0 {
-		return errors.New("karl: dynamic engine is empty")
+	if len(p) != sh.dims {
+		return fmt.Errorf("karl: point has %d dims, engine has %d", len(p), sh.dims)
 	}
-	dims := 0
-	if d.base != nil {
-		dims = d.base.Dims()
-	} else {
-		dims = d.buf.Cols
-	}
-	if len(q) != dims {
-		return fmt.Errorf("karl: query has %d dims, engine has %d", len(q), dims)
-	}
-	return nil
-}
-
-// Aggregate computes the exact aggregate over indexed plus buffered
-// points.
-func (d *DynamicEngine) Aggregate(q []float64) (float64, error) {
-	if err := d.checkQuery(q); err != nil {
-		return 0, err
-	}
-	s := d.bufferAggregate(q)
-	if d.base != nil {
-		base, err := d.base.Aggregate(q)
-		if err != nil {
-			return 0, err
+	// Wait until the memtable has room (a seal may be draining it) and no
+	// full compaction is snapshotting it.
+	for sh.draining || (sh.mem != nil && sh.mem.n >= sh.policy.SealSize) {
+		sh.cond.Wait()
+		if sh.closed {
+			return errors.New("karl: engine is closed")
 		}
-		s += base
 	}
-	return s, nil
+	if sh.mem == nil {
+		sh.mem = newMemtable(sh.policy.SealSize, sh.dims)
+	}
+	copy(sh.mem.m.Row(sh.mem.n), p)
+	sh.mem.w[sh.mem.n] = w
+	sh.mem.n++
+	if sh.mem.n >= sh.policy.SealSize {
+		return sh.sealLocked()
+	}
+	return nil
 }
 
-// Threshold answers the TKAQ over the full current point set: the buffer
-// is folded into the threshold, so the indexed part still prunes.
-func (d *DynamicEngine) Threshold(q []float64, tau float64) (bool, error) {
-	if err := d.checkQuery(q); err != nil {
-		return false, err
+// sealLocked drains the full memtable into a new immutable segment. It is
+// called with mu held and releases it around the index build, so queries
+// (which scan the sealing buffer as part of their base term) and inserts
+// (which go to the freshly installed buffer) proceed while the segment is
+// built. Returns with mu held.
+func (sh *dynShared) sealLocked() error {
+	for sh.mem.n >= sh.policy.SealSize {
+		if sh.sealing != nil || sh.draining {
+			// Another goroutine is sealing or a full compaction is
+			// snapshotting; it will broadcast when done.
+			sh.cond.Wait()
+			continue
+		}
+		sh.sealing = sh.mem
+		if sh.spare != nil {
+			sh.mem = sh.spare
+			sh.spare = nil
+		} else {
+			sh.mem = newMemtable(sh.policy.SealSize, sh.dims)
+		}
+		id := sh.nextID
+		sh.nextID++
+		buf := sh.sealing
+		sh.mu.Unlock()
+		seg, err := segment.Seal(buf.m, buf.w, buf.n, sh.bcfg, id)
+		sh.mu.Lock()
+		sh.sealing = nil
+		if err != nil {
+			// Unreachable with a validated build config; surface rather
+			// than silently dropping the buffered points.
+			sh.cond.Broadcast()
+			return fmt.Errorf("karl: sealing memtable: %w", err)
+		}
+		sh.man = sh.man.WithSealed(seg)
+		sh.seals++
+		buf.n = 0
+		sh.spare = buf
+		sh.maybeCompactLocked()
+		sh.cond.Broadcast()
 	}
-	bufSum := d.bufferAggregate(q)
-	if d.base == nil {
-		return bufSum > tau, nil
-	}
-	return d.base.Threshold(q, tau-bufSum)
+	return nil
 }
 
-// Approximate answers the eKAQ over the full current point set. With
-// non-negative weights the relative-error guarantee carries over (the
-// buffer contributes exactly); with mixed-sign weights the error is
-// relative to the indexed portion, which can exceed eps relative to the
-// total when the two parts nearly cancel.
-func (d *DynamicEngine) Approximate(q []float64, eps float64) (float64, error) {
-	if err := d.checkQuery(q); err != nil {
-		return 0, err
+// maybeCompactLocked starts one background tiered merge if the policy
+// calls for it and none is running.
+func (sh *dynShared) maybeCompactLocked() {
+	if !sh.autoCompact || sh.compacting || sh.draining || sh.closed {
+		return
 	}
-	bufSum := d.bufferAggregate(q)
-	if d.base == nil {
-		return bufSum, nil
+	ids := sh.policy.Plan(sh.man)
+	if ids == nil {
+		return
 	}
-	base, err := d.base.Approximate(q, eps)
+	sh.compacting = true
+	segs := sh.man.Select(ids)
+	id := sh.nextID
+	sh.nextID++
+	go sh.compactSegments(ids, segs, id)
+}
+
+// compactSegments merges the planned segments off the query and insert
+// paths and swaps the result in atomically. Queries started before the
+// swap keep refining over the old snapshot.
+func (sh *dynShared) compactSegments(ids []uint64, segs []*segment.Segment, id uint64) {
+	merged, err := segment.Merge(segs, nil, nil, 0, sh.bcfg, id)
+	if err == nil && sh.policy.ColdEps > 0 && merged.Len() >= sh.policy.ColdMin {
+		// Cold tier: compress large merged segments into a provable-error
+		// coreset. Mixed-sign segments are kept lossless (Compress rejects
+		// Type III).
+		if cold, cerr := segment.Compress(merged, kernel.Params(sh.kern), sh.policy.ColdEps, sh.coldSeed, sh.bcfg, id); cerr == nil {
+			merged = cold
+		}
+	}
+	sh.mu.Lock()
+	sh.compacting = false
 	if err != nil {
-		return 0, err
+		sh.compactErr = err
+	} else {
+		sh.man = sh.man.WithReplaced(ids, merged)
+		sh.compactions++
+		sh.maybeCompactLocked() // cascade into the next tier if due
 	}
-	return base + bufSum, nil
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// compactErrLocked surfaces (once) an error from a background merge.
+func (sh *dynShared) compactErrLocked() error {
+	err := sh.compactErr
+	sh.compactErr = nil
+	if err != nil {
+		return fmt.Errorf("karl: background compaction: %w", err)
+	}
+	return nil
+}
+
+// Compact merges every segment AND the memtable into one segment,
+// restoring per-segment insertion order oldest-first — the result is
+// bitwise identical to a from-scratch static build over the full insert
+// stream. Inserts block for the duration; queries proceed on the old
+// snapshot and switch to the compacted manifest atomically.
+func (d *DynamicEngine) Compact() error {
+	sh := d.sh
+	sh.mu.Lock()
+	for sh.compacting || sh.sealing != nil || sh.draining {
+		sh.cond.Wait()
+	}
+	if err := sh.compactErrLocked(); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	memN := sh.mem.len()
+	if sh.man.Len()+memN == 0 || (len(sh.man.Segs) == 1 && memN == 0) {
+		sh.mu.Unlock()
+		return nil // already fully compact (or empty)
+	}
+	sh.draining = true // blocks inserts, seals and background merges
+	segs := sh.man.Segs
+	var memM *vec.Matrix
+	var memW []float64
+	if memN > 0 {
+		memM, memW = sh.mem.m, sh.mem.w
+	}
+	id := sh.nextID
+	sh.nextID++
+	sh.mu.Unlock()
+	merged, err := segment.Merge(segs, memM, memW, memN, sh.bcfg, id)
+	sh.mu.Lock()
+	sh.draining = false
+	if err == nil {
+		sh.man = &segment.Manifest{Epoch: sh.man.Epoch + 1, Segs: []*segment.Segment{merged}}
+		sh.compactions++
+		if sh.mem != nil {
+			sh.mem.n = 0 // absorbed into the merged segment
+		}
+	}
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	return err
+}
+
+// Close prevents further inserts and waits for in-flight seals and
+// compactions to finish. Queries on existing clones remain valid.
+func (d *DynamicEngine) Close() error {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.closed = true
+	sh.cond.Broadcast()
+	for sh.compacting || sh.sealing != nil || sh.draining {
+		sh.cond.Wait()
+	}
+	return sh.compactErrLocked()
+}
+
+// snapshot grabs, under the lock, everything one query needs: the current
+// manifest and the exact contribution of the buffered points (memtable
+// plus any buffer currently being sealed) together with how many points
+// that scan covered.
+func (d *DynamicEngine) snapshot(q []float64) (man *segment.Manifest, base float64, scanned int, err error) {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	total := sh.man.Len() + sh.mem.len() + sh.sealing.len()
+	if total == 0 {
+		return nil, 0, 0, errors.New("karl: dynamic engine is empty")
+	}
+	if len(q) != sh.dims {
+		return nil, 0, 0, fmt.Errorf("karl: query has %d dims, engine has %d", len(q), sh.dims)
+	}
+	p := kernel.Params(sh.kern)
+	for _, b := range [2]*memtable{sh.mem, sh.sealing} {
+		if b == nil {
+			continue
+		}
+		for i := 0; i < b.n; i++ {
+			base += b.w[i] * p.Eval(q, b.m.Row(i))
+		}
+		scanned += b.n
+	}
+	return sh.man, base, scanned, nil
+}
+
+// arm points this clone's forest at the manifest snapshot, reusing the
+// existing segment set when the epoch is unchanged (the steady-state path:
+// no allocation, no re-validation).
+func (d *DynamicEngine) arm(man *segment.Manifest) error {
+	if d.fSet && d.fEpoch == man.Epoch {
+		return nil
+	}
+	if err := d.f.SetTrees(man.Trees()); err != nil {
+		return err
+	}
+	d.fEpoch, d.fSet = man.Epoch, true
+	return nil
+}
+
+// Aggregate computes the exact aggregate over all current points.
+func (d *DynamicEngine) Aggregate(q []float64) (float64, error) {
+	v, _, err := d.AggregateStats(q)
+	return v, err
+}
+
+// AggregateStats is Aggregate plus the work statistics (an exact
+// aggregation scans every point, buffered and indexed).
+func (d *DynamicEngine) AggregateStats(q []float64) (float64, Stats, error) {
+	man, base, scanned, err := d.snapshot(q)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	if err := d.arm(man); err != nil {
+		return 0, Stats{}, err
+	}
+	v, st, err := d.f.Exact(q, base)
+	st.PointsScanned += scanned
+	return v, st, err
+}
+
+// Threshold answers the TKAQ over all current points: the buffered points
+// contribute exactly to both global bounds, so the indexed segments still
+// prune against the full-total threshold.
+func (d *DynamicEngine) Threshold(q []float64, tau float64) (bool, error) {
+	hot, _, err := d.ThresholdStats(q, tau)
+	return hot, err
+}
+
+// ThresholdStats is Threshold plus the work statistics.
+func (d *DynamicEngine) ThresholdStats(q []float64, tau float64) (bool, Stats, error) {
+	man, base, scanned, err := d.snapshot(q)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	if err := d.arm(man); err != nil {
+		return false, Stats{}, err
+	}
+	hot, st, err := d.f.Threshold(q, tau, base)
+	st.PointsScanned += scanned
+	return hot, st, err
+}
+
+// Approximate answers the eKAQ over all current points: a value within
+// relative error eps of the TRUE total. The buffered points fold into
+// both global bounds as an exact base term before refinement, so the
+// guarantee holds even with mixed-sign weights where the buffered and
+// indexed parts nearly cancel (refinement is then driven toward exact).
+func (d *DynamicEngine) Approximate(q []float64, eps float64) (float64, error) {
+	v, _, err := d.ApproximateStats(q, eps)
+	return v, err
+}
+
+// ApproximateStats is Approximate plus the work statistics.
+func (d *DynamicEngine) ApproximateStats(q []float64, eps float64) (float64, Stats, error) {
+	man, base, scanned, err := d.snapshot(q)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	if err := d.arm(man); err != nil {
+		return 0, Stats{}, err
+	}
+	v, st, err := d.f.Approximate(q, eps, base)
+	st.PointsScanned += scanned
+	return v, st, err
+}
+
+// SegmentStats returns the per-segment work of the most recent query on
+// THIS clone, index-aligned with the manifest the query ran over. The
+// slice is scratch: valid until the next query.
+func (d *DynamicEngine) SegmentStats() []Stats { return d.f.SegmentStats() }
+
+// ArmedEpoch returns the manifest epoch this clone's executor is armed
+// for — the epoch of the last query it ran — and whether it has run one.
+// Comparing it with Epoch shows how far a pooled clone lags the dataset.
+func (d *DynamicEngine) ArmedEpoch() (uint64, bool) { return d.fEpoch, d.fSet }
+
+// BatchThreshold answers the TKAQ for every query, fanning out over
+// clones when workers > 1 (≤ 0 selects GOMAXPROCS).
+func (d *DynamicEngine) BatchThreshold(queries [][]float64, tau float64, workers int) ([]bool, error) {
+	out, _, err := d.BatchThresholdStats(queries, tau, workers)
+	return out, err
+}
+
+// BatchThresholdStats is BatchThreshold plus summed work statistics.
+func (d *DynamicEngine) BatchThresholdStats(queries [][]float64, tau float64, workers int) ([]bool, Stats, error) {
+	out := make([]bool, len(queries))
+	per := make([]Stats, len(queries))
+	err := runBatch(d, (*DynamicEngine).Clone, len(queries), workers, func(eng *DynamicEngine, i int) error {
+		v, st, err := eng.ThresholdStats(queries[i], tau)
+		out[i], per[i] = v, st
+		return err
+	})
+	return out, sumStats(per), err
+}
+
+// BatchApproximate answers the eKAQ for every query, index-aligned.
+func (d *DynamicEngine) BatchApproximate(queries [][]float64, eps float64, workers int) ([]float64, error) {
+	out, _, err := d.BatchApproximateStats(queries, eps, workers)
+	return out, err
+}
+
+// BatchApproximateStats is BatchApproximate plus summed work statistics.
+func (d *DynamicEngine) BatchApproximateStats(queries [][]float64, eps float64, workers int) ([]float64, Stats, error) {
+	out := make([]float64, len(queries))
+	per := make([]Stats, len(queries))
+	err := runBatch(d, (*DynamicEngine).Clone, len(queries), workers, func(eng *DynamicEngine, i int) error {
+		v, st, err := eng.ApproximateStats(queries[i], eps)
+		out[i], per[i] = v, st
+		return err
+	})
+	return out, sumStats(per), err
+}
+
+// BatchAggregate computes the exact aggregate for every query.
+func (d *DynamicEngine) BatchAggregate(queries [][]float64, workers int) ([]float64, error) {
+	out, _, err := d.BatchAggregateStats(queries, workers)
+	return out, err
+}
+
+// BatchAggregateStats is BatchAggregate plus summed work statistics.
+func (d *DynamicEngine) BatchAggregateStats(queries [][]float64, workers int) ([]float64, Stats, error) {
+	out := make([]float64, len(queries))
+	per := make([]Stats, len(queries))
+	err := runBatch(d, (*DynamicEngine).Clone, len(queries), workers, func(eng *DynamicEngine, i int) error {
+		v, st, err := eng.AggregateStats(queries[i])
+		out[i], per[i] = v, st
+		return err
+	})
+	return out, sumStats(per), err
 }

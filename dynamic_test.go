@@ -133,8 +133,8 @@ func TestDynamicMatchesStatic(t *testing.T) {
 			}
 		}
 	}
-	if d.Rebuilds() == 0 {
-		t.Fatal("2000 inserts should have triggered at least one rebuild")
+	if d.Seals() == 0 {
+		t.Fatal("2000 inserts should have sealed at least one segment")
 	}
 }
 
@@ -166,28 +166,34 @@ func TestDynamicApproximateGuaranteePositiveWeights(t *testing.T) {
 	}
 }
 
-func TestDynamicManualRebuild(t *testing.T) {
+func TestDynamicManualCompact(t *testing.T) {
 	d, _ := NewDynamic(Gaussian(2))
 	for i := 0; i < 10; i++ {
 		if err := d.Insert([]float64{float64(i)}, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if d.Rebuilds() != 0 {
-		t.Fatal("tiny buffer should not auto-rebuild")
+	if d.Seals() != 0 {
+		t.Fatal("tiny memtable should not auto-seal")
 	}
-	if err := d.Rebuild(); err != nil {
+	if err := d.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	if d.Rebuilds() != 1 {
-		t.Fatalf("Rebuilds = %d", d.Rebuilds())
+	if d.Compactions() != 1 {
+		t.Fatalf("Compactions = %d", d.Compactions())
 	}
-	// Rebuild with empty buffer is a no-op.
-	if err := d.Rebuild(); err != nil {
+	if segs := d.Segments(); len(segs) != 1 || segs[0].Len != 10 {
+		t.Fatalf("Segments = %+v", segs)
+	}
+	if d.MemtableLen() != 0 {
+		t.Fatalf("MemtableLen = %d after Compact", d.MemtableLen())
+	}
+	// Compact with nothing new to merge is a no-op.
+	if err := d.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	if d.Rebuilds() != 1 {
-		t.Fatal("empty rebuild should not count")
+	if d.Compactions() != 1 {
+		t.Fatal("no-op compact should not count")
 	}
 	got, err := d.Aggregate([]float64{0})
 	if err != nil {
@@ -195,5 +201,11 @@ func TestDynamicManualRebuild(t *testing.T) {
 	}
 	if got <= 0 {
 		t.Fatalf("Aggregate = %v", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert([]float64{1}, 1); err == nil {
+		t.Fatal("insert after Close accepted")
 	}
 }

@@ -1,9 +1,15 @@
 // Package core implements KARL's query engine — the paper's primary
 // contribution. It evaluates threshold kernel aggregation queries (TKAQ)
 // and approximate kernel aggregation queries (eKAQ) by best-first
-// refinement over a hierarchical index (the framework of Section II-B,
+// refinement over hierarchical indexes (the framework of Section II-B,
 // Table V), parameterized by the bounding method: the state-of-the-art
 // min/max-distance bounds or KARL's linear bound functions (Section III).
+//
+// Since the segmented-engine refactor the refinement loop lives in Forest,
+// which refines over an ORDERED SET of immutable index segments sharing
+// one global priority queue (the executor under karl.DynamicEngine's
+// LSM-style manifest). Engine is the single-segment specialization: one
+// tree, the same loop, the same zero-allocation steady state.
 //
 // All three weighting types are supported transparently: node aggregates
 // carry separate positive and negative weight classes, and bound.NodeBounds
@@ -11,77 +17,58 @@
 // (Type III) runs through the same loop as kernel density estimation
 // (Type I).
 //
-// The hot path is allocation-free in steady state: the engine re-arms an
+// The hot path is allocation-free in steady state: the executor re-arms an
 // embedded bound.QueryCtx per query, the priority queue keeps its storage
 // across Reset, termination tests are value-typed conditions rather than
 // closures, and leaves are evaluated by a kernel evaluator cached at
-// construction (one dispatch per engine, not per point) over the tree's
+// construction (one dispatch per engine, not per point) over each tree's
 // leaf-contiguous rows.
 package core
 
 import (
-	"errors"
 	"fmt"
-	"math"
 
 	"karl/internal/bound"
 	"karl/internal/index"
 	"karl/internal/kernel"
-	"karl/internal/pqueue"
-	"karl/internal/vec"
 )
 
-// Engine answers kernel aggregation queries over one indexed point set.
-// Engines are cheap to construct; the expensive state (the index) is
-// shared. An Engine is not safe for concurrent use — clone one per
-// goroutine (the clones share the tree).
+// Engine answers kernel aggregation queries over one indexed point set: a
+// single-segment Forest. Engines are cheap to construct; the expensive
+// state (the index) is shared. An Engine is not safe for concurrent use —
+// clone one per goroutine (the clones share the tree).
 type Engine struct {
-	tree   *index.Tree
-	kern   kernel.Params
-	method bound.Method
-
-	// maxDepth, when positive, treats nodes at that depth as leaves. This
-	// simulates the truncated tree T_i used by the in-situ online tuning of
-	// Section III-C without rebuilding anything.
-	maxDepth int
-
-	// rows is the dispatch-free leaf evaluator specialized for kern.
-	rows kernel.RowsFunc
-
-	// Per-query scratch, reused across queries.
-	qc    bound.QueryCtx
-	queue pqueue.Queue[entry]
-}
-
-// entry is a queued node position together with the bound contribution it
-// currently adds to the global bounds, so the pop path need not recompute
-// them.
-type entry struct {
-	ni     int32
-	lb, ub float64
+	f Forest
+	// one is the fixed single-segment set the embedded forest runs over,
+	// stored inline so construction needs no per-engine tree slice.
+	one [1]*index.Tree
 }
 
 // Option configures an Engine.
 type Option func(*Engine)
 
 // WithMethod selects the bounding technique (default bound.KARL).
-func WithMethod(m bound.Method) Option { return func(e *Engine) { e.method = m } }
+func WithMethod(m bound.Method) Option { return func(e *Engine) { e.f.method = m } }
 
 // WithMaxDepth truncates refinement at the given depth (0 = unlimited),
 // simulating the top-i-level tree of the in-situ scenario.
-func WithMaxDepth(depth int) Option { return func(e *Engine) { e.maxDepth = depth } }
+func WithMaxDepth(depth int) Option { return func(e *Engine) { e.f.maxDepth = depth } }
 
 // New creates an engine over a built index.
 func New(tree *index.Tree, kern kernel.Params, opts ...Option) (*Engine, error) {
 	if tree == nil || tree.NodeCount() == 0 {
-		return nil, errors.New("core: nil or empty index")
+		return nil, errNoSegments
 	}
 	if err := kern.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{tree: tree, kern: kern, method: bound.KARL, rows: kern.RowsEvaluator()}
+	e := &Engine{f: Forest{kern: kern, method: bound.KARL, rows: kern.RowsEvaluator()}}
 	for _, opt := range opts {
 		opt(e)
+	}
+	e.one[0] = tree
+	if err := e.f.SetTrees(e.one[:]); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -89,17 +76,22 @@ func New(tree *index.Tree, kern kernel.Params, opts ...Option) (*Engine, error) 
 // Clone returns an engine sharing the same tree and configuration but with
 // independent scratch state, for use from another goroutine.
 func (e *Engine) Clone() *Engine {
-	return &Engine{tree: e.tree, kern: e.kern, method: e.method, maxDepth: e.maxDepth, rows: e.rows}
+	c := &Engine{f: Forest{kern: e.f.kern, method: e.f.method, maxDepth: e.f.maxDepth, rows: e.f.rows}}
+	c.one = e.one
+	// The tree is already validated; SetTrees only re-derives dims and
+	// sizes the scratch.
+	_ = c.f.SetTrees(c.one[:])
+	return c
 }
 
 // Tree exposes the underlying index (read-only by convention).
-func (e *Engine) Tree() *index.Tree { return e.tree }
+func (e *Engine) Tree() *index.Tree { return e.one[0] }
 
 // Kernel returns the engine's kernel parameters.
-func (e *Engine) Kernel() kernel.Params { return e.kern }
+func (e *Engine) Kernel() kernel.Params { return e.f.kern }
 
 // Method returns the engine's bounding method.
-func (e *Engine) Method() bound.Method { return e.method }
+func (e *Engine) Method() bound.Method { return e.f.method }
 
 // Stats reports the work one query performed.
 type Stats struct {
@@ -115,107 +107,10 @@ type Stats struct {
 
 // checkQuery validates the query point dimensionality.
 func (e *Engine) checkQuery(q []float64) error {
-	if len(q) != e.tree.Dims() {
-		return fmt.Errorf("core: query has %d dims, index has %d", len(q), e.tree.Dims())
+	if len(q) != e.one[0].Dims() {
+		return fmt.Errorf("core: query has %d dims, index has %d", len(q), e.one[0].Dims())
 	}
 	return nil
-}
-
-// atFrontier reports whether refinement must stop at this node and evaluate
-// it exactly: true for leaves and for nodes at the simulated depth limit.
-func (e *Engine) atFrontier(n *index.Node) bool {
-	return n.IsLeaf() || (e.maxDepth > 0 && int(n.Depth) >= e.maxDepth)
-}
-
-// exactNode computes the exact signed aggregation of a frontier node: a
-// fused scan of the contiguous rows [Start,End) using the cached evaluator
-// and the tree's squared-norm cache.
-func (e *Engine) exactNode(n *index.Node) float64 {
-	t := e.tree
-	return e.rows(e.qc.Q, e.qc.Norm2, t.Points, t.Norms, t.Weights, int(n.Start), int(n.End))
-}
-
-// score bounds the node at position ni, queueing it for refinement unless
-// it is a frontier node, in which case it is evaluated exactly.
-func (e *Engine) score(ni int32, stats *Stats) (lb, ub float64) {
-	n := e.tree.Node(ni)
-	if e.atFrontier(n) {
-		v := e.exactNode(n)
-		stats.PointsScanned += n.Count()
-		return v, v
-	}
-	lb, ub = bound.NodeBounds(e.method, e.kern, &e.qc, n)
-	e.queue.Push(entry{ni, lb, ub}, ub-lb)
-	return lb, ub
-}
-
-// condMode selects a termination rule.
-type condMode int
-
-const (
-	condThreshold condMode = iota
-	condApprox
-)
-
-// termCond is a value-typed termination test — the closure-free equivalent
-// of the paper's per-variant stopping rules, kept as plain data so probing
-// it costs no allocation.
-type termCond struct {
-	mode     condMode
-	tau, eps float64
-	maxIter  int // >0 caps the number of probes (bound traces)
-	probes   int
-}
-
-// done reports whether refinement may stop at the current global bounds.
-func (c *termCond) done(lb, ub float64) bool {
-	if c.maxIter > 0 {
-		c.probes++
-		if c.probes >= c.maxIter {
-			return true
-		}
-	}
-	switch c.mode {
-	case condThreshold:
-		return lb > c.tau || ub <= c.tau
-	default:
-		if lb >= 0 {
-			return ub <= (1+c.eps)*lb
-		}
-		mid := math.Abs(lb+ub) / 2
-		return (ub-lb)*(1+c.eps) <= 2*c.eps*mid
-	}
-}
-
-// refine runs the best-first loop until cond is satisfied or the bounds are
-// exact. It returns the final bounds. cond is probed after initialization
-// and after every iteration.
-func (e *Engine) refine(q []float64, cond *termCond, stats *Stats, trace func(lb, ub float64)) (lb, ub float64) {
-	e.qc.Set(q)
-	e.queue.Reset()
-
-	lb, ub = e.score(0, stats)
-	if trace != nil {
-		trace(lb, ub)
-	}
-	for !cond.done(lb, ub) {
-		en, _, ok := e.queue.Pop()
-		if !ok {
-			return lb, ub // bounds are exact
-		}
-		stats.Iterations++
-		stats.NodesExpanded++
-		// Replace this node's contribution with its children's.
-		right := e.tree.Node(en.ni).Right
-		llb, lub := e.score(e.tree.Left(en.ni), stats)
-		rlb, rub := e.score(right, stats)
-		lb += llb + rlb - en.lb
-		ub += lub + rub - en.ub
-		if trace != nil {
-			trace(lb, ub)
-		}
-	}
-	return lb, ub
 }
 
 // Exact computes F_P(q) exactly through the index storage via the same
@@ -225,20 +120,13 @@ func (e *Engine) Exact(q []float64) (float64, error) {
 	if err := e.checkQuery(q); err != nil {
 		return 0, err
 	}
-	t := e.tree
-	return e.rows(q, vec.Norm2(q), t.Points, t.Norms, t.Weights, 0, t.Len()), nil
+	v, _, err := e.f.Exact(q, 0)
+	return v, err
 }
 
 // Threshold answers the TKAQ: whether F_P(q) > tau (Problem 1).
 func (e *Engine) Threshold(q []float64, tau float64) (bool, Stats, error) {
-	var stats Stats
-	if err := e.checkQuery(q); err != nil {
-		return false, stats, err
-	}
-	cond := termCond{mode: condThreshold, tau: tau}
-	lb, ub := e.refine(q, &cond, &stats, nil)
-	stats.LB, stats.UB = lb, ub
-	return lb > tau, stats, nil
+	return e.f.Threshold(q, tau, 0)
 }
 
 // Approximate answers the eKAQ (Problem 2): a value within relative error
@@ -248,17 +136,7 @@ func (e *Engine) Threshold(q []float64, tau float64) (bool, Stats, error) {
 // guarantee relative to the true value, and refinement falls back to the
 // exact answer when neither triggers.
 func (e *Engine) Approximate(q []float64, eps float64) (float64, Stats, error) {
-	var stats Stats
-	if err := e.checkQuery(q); err != nil {
-		return 0, stats, err
-	}
-	if eps <= 0 {
-		return 0, stats, fmt.Errorf("core: eps must be positive, got %v", eps)
-	}
-	cond := termCond{mode: condApprox, eps: eps}
-	lb, ub := e.refine(q, &cond, &stats, nil)
-	stats.LB, stats.UB = lb, ub
-	return (lb + ub) / 2, stats, nil
+	return e.f.Approximate(q, eps, 0)
 }
 
 // TracePoint is one refinement step of a bound trace.
@@ -271,14 +149,5 @@ type TracePoint struct {
 // refinement iteration of a TKAQ until it terminates (Figure 6 of the
 // paper). maxIter caps the trace length (0 = unlimited).
 func (e *Engine) TraceThreshold(q []float64, tau float64, maxIter int) ([]TracePoint, error) {
-	if err := e.checkQuery(q); err != nil {
-		return nil, err
-	}
-	var stats Stats
-	var pts []TracePoint
-	cond := termCond{mode: condThreshold, tau: tau, maxIter: maxIter}
-	e.refine(q, &cond, &stats, func(lb, ub float64) {
-		pts = append(pts, TracePoint{Iteration: len(pts), LB: lb, UB: ub})
-	})
-	return pts, nil
+	return e.f.TraceThreshold(q, tau, 0, maxIter)
 }

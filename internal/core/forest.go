@@ -1,0 +1,307 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"karl/internal/bound"
+	"karl/internal/index"
+	"karl/internal/kernel"
+	"karl/internal/pqueue"
+	"karl/internal/vec"
+)
+
+// Forest is the segmented query executor: best-first refinement over an
+// ordered set of immutable index segments that share ONE global priority
+// queue. Every segment's root is scored into the global bounds, and each
+// iteration pops the widest bound gap across all segments, so the pruning
+// budget of a query flows to whichever segment has the most slack instead
+// of each segment getting a private ε/τ split. A single-segment Forest is
+// exactly the classic engine loop; Engine is a thin wrapper over it.
+//
+// A Forest additionally accepts a per-query exact base term: the caller's
+// already-exact contribution (e.g. a dynamic engine's memtable scan), which
+// is folded into the global lower AND upper bound before refinement starts.
+// Termination criteria therefore hold relative to the true total — this is
+// what repairs the mixed-sign ε guarantee for buffered inserts.
+//
+// Like Engine, a Forest is not safe for concurrent use: it owns per-query
+// scratch (the queue, the query context, per-segment statistics). The
+// segment set may be swapped between queries with SetTrees; the steady
+// state (unchanged segment set) performs no allocation per query.
+type Forest struct {
+	kern     kernel.Params
+	method   bound.Method
+	maxDepth int
+
+	// rows is the dispatch-free leaf evaluator specialized for kern.
+	rows kernel.RowsFunc
+
+	trees []*index.Tree
+	dims  int
+
+	// Per-query scratch, reused across queries.
+	qc       bound.QueryCtx
+	queue    pqueue.Queue[fentry]
+	segStats []Stats
+}
+
+// fentry is a queued node position — segment plus node within it —
+// together with the bound contribution it currently adds to the global
+// bounds, so the pop path need not recompute them.
+type fentry struct {
+	ti     int32
+	ni     int32
+	lb, ub float64
+}
+
+// NewForest creates a segmented executor for the given kernel and bounding
+// method with no segments attached; call SetTrees before querying.
+// maxDepth > 0 truncates refinement at that depth in every segment (the
+// simulated tree of the in-situ scenario); 0 means unlimited.
+func NewForest(kern kernel.Params, method bound.Method, maxDepth int) (*Forest, error) {
+	if err := kern.Validate(); err != nil {
+		return nil, err
+	}
+	return &Forest{kern: kern, method: method, maxDepth: maxDepth, rows: kern.RowsEvaluator()}, nil
+}
+
+// SetTrees installs the ordered segment set the next queries run over. The
+// slice is retained (not copied): callers hand over an immutable snapshot.
+// An empty set is valid — queries then return just their base term. When
+// the segment count is unchanged the per-segment scratch is reused.
+func (f *Forest) SetTrees(trees []*index.Tree) error {
+	dims := 0
+	for i, t := range trees {
+		if t == nil || t.NodeCount() == 0 {
+			return fmt.Errorf("core: nil or empty index at segment %d", i)
+		}
+		if i == 0 {
+			dims = t.Dims()
+		} else if t.Dims() != dims {
+			return fmt.Errorf("core: segment %d has %d dims, segment 0 has %d", i, t.Dims(), dims)
+		}
+	}
+	f.trees = trees
+	f.dims = dims
+	if cap(f.segStats) < len(trees) {
+		f.segStats = make([]Stats, len(trees))
+	} else {
+		f.segStats = f.segStats[:len(trees)]
+	}
+	return nil
+}
+
+// Trees returns the current segment set (read-only by convention).
+func (f *Forest) Trees() []*index.Tree { return f.trees }
+
+// Kernel returns the forest's kernel parameters.
+func (f *Forest) Kernel() kernel.Params { return f.kern }
+
+// Method returns the forest's bounding method.
+func (f *Forest) Method() bound.Method { return f.method }
+
+// SegmentStats returns the per-segment work statistics of the most recent
+// query, index-aligned with the segment set. The slice is the forest's own
+// scratch: it is valid until the next query and must not be retained.
+func (f *Forest) SegmentStats() []Stats { return f.segStats }
+
+// Len returns the total number of points across all segments.
+func (f *Forest) Len() int {
+	n := 0
+	for _, t := range f.trees {
+		n += t.Len()
+	}
+	return n
+}
+
+// checkQuery validates the query point dimensionality. A forest with no
+// segments accepts any dimensionality (the base term is the whole answer).
+func (f *Forest) checkQuery(q []float64) error {
+	if len(f.trees) > 0 && len(q) != f.dims {
+		return fmt.Errorf("core: query has %d dims, index has %d", len(q), f.dims)
+	}
+	return nil
+}
+
+// atFrontier reports whether refinement must stop at this node and evaluate
+// it exactly: true for leaves and for nodes at the simulated depth limit.
+func (f *Forest) atFrontier(n *index.Node) bool {
+	return n.IsLeaf() || (f.maxDepth > 0 && int(n.Depth) >= f.maxDepth)
+}
+
+// score bounds the node ni of segment ti, queueing it for refinement
+// unless it is a frontier node, in which case it is evaluated exactly.
+func (f *Forest) score(ti, ni int32, st *Stats) (lb, ub float64) {
+	t := f.trees[ti]
+	n := t.Node(ni)
+	if f.atFrontier(n) {
+		v := f.rows(f.qc.Q, f.qc.Norm2, t.Points, t.Norms, t.Weights, int(n.Start), int(n.End))
+		st.PointsScanned += n.Count()
+		return v, v
+	}
+	lb, ub = bound.NodeBounds(f.method, f.kern, &f.qc, n)
+	f.queue.Push(fentry{ti, ni, lb, ub}, ub-lb)
+	return lb, ub
+}
+
+// condMode selects a termination rule.
+type condMode int
+
+const (
+	condThreshold condMode = iota
+	condApprox
+)
+
+// termCond is a value-typed termination test — the closure-free equivalent
+// of the paper's per-variant stopping rules, kept as plain data so probing
+// it costs no allocation.
+type termCond struct {
+	mode     condMode
+	tau, eps float64
+	maxIter  int // >0 caps the number of probes (bound traces)
+	probes   int
+}
+
+// done reports whether refinement may stop at the current global bounds.
+func (c *termCond) done(lb, ub float64) bool {
+	if c.maxIter > 0 {
+		c.probes++
+		if c.probes >= c.maxIter {
+			return true
+		}
+	}
+	switch c.mode {
+	case condThreshold:
+		return lb > c.tau || ub <= c.tau
+	default:
+		if lb >= 0 {
+			return ub <= (1+c.eps)*lb
+		}
+		mid := math.Abs(lb+ub) / 2
+		return (ub-lb)*(1+c.eps) <= 2*c.eps*mid
+	}
+}
+
+// refine runs the best-first loop over all segments until cond is
+// satisfied or the bounds are exact. base is an exact contribution folded
+// into both global bounds before the first termination probe. It returns
+// the final global bounds. cond is probed after initialization and after
+// every iteration.
+func (f *Forest) refine(q []float64, base float64, cond *termCond, trace func(lb, ub float64)) (lb, ub float64) {
+	f.qc.Set(q)
+	f.queue.Reset()
+	for i := range f.segStats {
+		f.segStats[i] = Stats{}
+	}
+	lb, ub = base, base
+	for ti := range f.trees {
+		l, u := f.score(int32(ti), 0, &f.segStats[ti])
+		lb += l
+		ub += u
+	}
+	if trace != nil {
+		trace(lb, ub)
+	}
+	for !cond.done(lb, ub) {
+		en, _, ok := f.queue.Pop()
+		if !ok {
+			return lb, ub // bounds are exact
+		}
+		st := &f.segStats[en.ti]
+		st.Iterations++
+		st.NodesExpanded++
+		// Replace this node's contribution with its children's.
+		t := f.trees[en.ti]
+		right := t.Node(en.ni).Right
+		llb, lub := f.score(en.ti, t.Left(en.ni), st)
+		rlb, rub := f.score(en.ti, right, st)
+		lb += llb + rlb - en.lb
+		ub += lub + rub - en.ub
+		if trace != nil {
+			trace(lb, ub)
+		}
+	}
+	return lb, ub
+}
+
+// total sums the per-segment work of the last query into one Stats (the
+// LB/UB fields are left for the caller, which knows the global bounds).
+func (f *Forest) total() Stats {
+	var t Stats
+	for i := range f.segStats {
+		t.Iterations += f.segStats[i].Iterations
+		t.NodesExpanded += f.segStats[i].NodesExpanded
+		t.PointsScanned += f.segStats[i].PointsScanned
+	}
+	return t
+}
+
+// Exact computes the exact aggregate over every segment plus the base term
+// through the same contiguous range primitive leaf refinement uses.
+func (f *Forest) Exact(q []float64, base float64) (float64, Stats, error) {
+	var stats Stats
+	if err := f.checkQuery(q); err != nil {
+		return 0, stats, err
+	}
+	v := base
+	n2 := vec.Norm2(q)
+	for _, t := range f.trees {
+		v += f.rows(q, n2, t.Points, t.Norms, t.Weights, 0, t.Len())
+		stats.PointsScanned += t.Len()
+	}
+	stats.LB, stats.UB = v, v
+	return v, stats, nil
+}
+
+// Threshold answers the TKAQ over all segments plus the base term: whether
+// base + Σ_seg F_seg(q) > tau.
+func (f *Forest) Threshold(q []float64, tau, base float64) (bool, Stats, error) {
+	if err := f.checkQuery(q); err != nil {
+		return false, Stats{}, err
+	}
+	cond := termCond{mode: condThreshold, tau: tau}
+	lb, ub := f.refine(q, base, &cond, nil)
+	stats := f.total()
+	stats.LB, stats.UB = lb, ub
+	return lb > tau, stats, nil
+}
+
+// Approximate answers the eKAQ over all segments plus the base term: a
+// value within relative error eps of the TOTAL base + Σ_seg F_seg(q). The
+// base term is exact and tightens both global bounds, so the guarantee is
+// relative to the true total even when base and the indexed part nearly
+// cancel (the mixed-sign criterion (ub−lb)(1+ε) ≤ 2ε·|mid| then forces
+// refinement toward exactness).
+func (f *Forest) Approximate(q []float64, eps, base float64) (float64, Stats, error) {
+	if err := f.checkQuery(q); err != nil {
+		return 0, Stats{}, err
+	}
+	if eps <= 0 {
+		return 0, Stats{}, fmt.Errorf("core: eps must be positive, got %v", eps)
+	}
+	cond := termCond{mode: condApprox, eps: eps}
+	lb, ub := f.refine(q, base, &cond, nil)
+	stats := f.total()
+	stats.LB, stats.UB = lb, ub
+	return (lb + ub) / 2, stats, nil
+}
+
+// TraceThreshold records the global lower/upper bounds after every
+// refinement iteration of a TKAQ until it terminates. maxIter caps the
+// trace length (0 = unlimited).
+func (f *Forest) TraceThreshold(q []float64, tau, base float64, maxIter int) ([]TracePoint, error) {
+	if err := f.checkQuery(q); err != nil {
+		return nil, err
+	}
+	var pts []TracePoint
+	cond := termCond{mode: condThreshold, tau: tau, maxIter: maxIter}
+	f.refine(q, base, &cond, func(lb, ub float64) {
+		pts = append(pts, TracePoint{Iteration: len(pts), LB: lb, UB: ub})
+	})
+	return pts, nil
+}
+
+// errNoSegments is returned by Engine construction over a nil tree.
+var errNoSegments = errors.New("core: nil or empty index")

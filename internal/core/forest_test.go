@@ -1,0 +1,356 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl/internal/balltree"
+	"karl/internal/bound"
+	"karl/internal/index"
+	"karl/internal/kdtree"
+	"karl/internal/kernel"
+	"karl/internal/scan"
+	"karl/internal/vec"
+	"karl/internal/vptree"
+)
+
+// buildSegments splits the rows of m (and weights) into nseg contiguous
+// chunks and builds one tree per chunk.
+func buildSegments(t *testing.T, build func(*vec.Matrix, []float64, int) (*index.Tree, error),
+	m *vec.Matrix, w []float64, nseg, leafCap int) []*index.Tree {
+	t.Helper()
+	var trees []*index.Tree
+	per := m.Rows / nseg
+	for s := 0; s < nseg; s++ {
+		lo := s * per
+		hi := lo + per
+		if s == nseg-1 {
+			hi = m.Rows
+		}
+		sub := vec.NewMatrix(hi-lo, m.Cols)
+		copy(sub.Data, m.Data[lo*m.Cols:hi*m.Cols])
+		var sw []float64
+		if w != nil {
+			sw = append(sw, w[lo:hi]...)
+		}
+		tr, err := build(sub, sw, leafCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tr)
+	}
+	return trees
+}
+
+// TestForestEquivalence: refinement over a partition of the point set into
+// segments sharing one global queue must agree with the scan oracle over
+// the union, for every index kind × weighting type × kernel family.
+func TestForestEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	kernels := []kernel.Params{
+		kernel.NewGaussian(6),
+		kernel.NewPolynomial(0.4, 0.8, 3),
+		kernel.NewSigmoid(0.3, -0.1),
+	}
+	builders := []struct {
+		name  string
+		build func(*vec.Matrix, []float64, int) (*index.Tree, error)
+	}{
+		{"kd-tree", kdtree.Build},
+		{"ball-tree", balltree.Build},
+		{"vp-tree", vptree.Build},
+	}
+	for trial := 0; trial < 6; trial++ {
+		n := 300 + rng.Intn(500)
+		d := 2 + rng.Intn(4)
+		m := makeClustered(rng, n, d, 1+rng.Intn(3), 0.05)
+		var w []float64
+		switch trial % 3 {
+		case 0: // Type I
+		case 1: // Type II
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.Float64() + 0.01
+			}
+		case 2: // Type III
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+		}
+		nseg := 2 + rng.Intn(4)
+		for _, b := range builders {
+			trees := buildSegments(t, b.build, m, w, nseg, 1+rng.Intn(24))
+			for _, k := range kernels {
+				sc, err := scan.NewScanner(m, w, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f, err := NewForest(k, bound.KARL, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := f.SetTrees(trees); err != nil {
+					t.Fatal(err)
+				}
+				if f.Len() != n {
+					t.Fatalf("forest Len = %d want %d", f.Len(), n)
+				}
+				for qi := 0; qi < 5; qi++ {
+					q := make([]float64, d)
+					for j := range q {
+						q[j] = rng.Float64()
+					}
+					want := sc.Aggregate(q)
+					tol := 1e-9 * (1 + math.Abs(want))
+					got, st, err := f.Exact(q, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(got-want) > tol {
+						t.Fatalf("%s %v: Exact = %v, oracle %v", b.name, k.Kind, got, want)
+					}
+					if st.PointsScanned != n {
+						t.Fatalf("Exact scanned %d points, want %d", st.PointsScanned, n)
+					}
+					for _, tau := range []float64{want * 0.7, want * 1.3, want + 0.5, want - 0.5} {
+						if math.Abs(want-tau) <= tol {
+							continue
+						}
+						gt, _, err := f.Threshold(q, tau, 0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gt != (want > tau) {
+							t.Fatalf("%s %v: Threshold(τ=%v) = %v, oracle %v", b.name, k.Kind, tau, gt, want)
+						}
+					}
+					approx, _, err := f.Approximate(q, 0.1, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want != 0 {
+						if rel := math.Abs(approx-want) / math.Abs(want); rel > 0.1+1e-9 {
+							t.Fatalf("%s %v: Approximate rel error %v", b.name, k.Kind, rel)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForestBaseTerm: the exact base term must be folded into answers and
+// guarantees. A base that pushes the total over/under the threshold must
+// flip the decision, and the approximate guarantee is relative to the
+// total including the base.
+func TestForestBaseTerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	n, d := 600, 3
+	m := makeClustered(rng, n, d, 2, 0.05)
+	k := kernel.NewGaussian(4)
+	tr, err := kdtree.Build(m, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewForest(k, bound.KARL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTrees([]*index.Tree{tr}); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, 0.5, 0.6}
+	exact, _, err := f.Exact(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 7.5
+	// Threshold between exact and exact+base: only the base pushes it over.
+	tau := exact + base/2
+	over, _, err := f.Threshold(q, tau, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over {
+		t.Fatalf("Threshold(τ=%v, base=%v) = false, total %v", tau, base, exact+base)
+	}
+	over, _, err = f.Threshold(q, tau, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over {
+		t.Fatal("Threshold without base should be under")
+	}
+	got, _, err := f.Approximate(q, 0.05, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := exact + base
+	if rel := math.Abs(got-total) / total; rel > 0.05+1e-9 {
+		t.Fatalf("Approximate with base: rel error %v", rel)
+	}
+	v, _, err := f.Exact(q, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != exact+base {
+		t.Fatalf("Exact with base = %v want %v", v, exact+base)
+	}
+}
+
+// TestForestEmpty: a forest with no segments answers from the base term
+// alone — the state of a dynamic engine before its first seal.
+func TestForestEmpty(t *testing.T) {
+	f, err := NewForest(kernel.NewGaussian(1), bound.KARL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTrees(nil); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5}
+	if v, _, err := f.Exact(q, 3.25); err != nil || v != 3.25 {
+		t.Fatalf("Exact = %v, %v", v, err)
+	}
+	if over, _, err := f.Threshold(q, 3, 3.25); err != nil || !over {
+		t.Fatalf("Threshold = %v, %v", over, err)
+	}
+	if v, _, err := f.Approximate(q, 0.1, 3.25); err != nil || v != 3.25 {
+		t.Fatalf("Approximate = %v, %v", v, err)
+	}
+}
+
+// TestForestSharedBudget: with a shared global queue, a segment whose
+// contribution is already tight must not be refined while a loose segment
+// has all the slack — the per-segment statistics expose where the work
+// went.
+func TestForestSharedBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	d := 3
+	k := kernel.NewGaussian(8)
+	// Segment 0: far from the query — its root bound is already tight.
+	far := vec.NewMatrix(500, d)
+	for i := 0; i < far.Rows; i++ {
+		for j := 0; j < d; j++ {
+			far.Row(i)[j] = 50 + rng.Float64()*0.01
+		}
+	}
+	// Segment 1: clustered around the query — needs refinement.
+	near := makeClustered(rng, 500, d, 3, 0.2)
+	farTree, err := kdtree.Build(far, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearTree, err := kdtree.Build(near, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewForest(k, bound.KARL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTrees([]*index.Tree{farTree, nearTree}); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = 0.5
+	}
+	exact, _, err := f.Exact(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Threshold(q, exact*1.02, 0); err != nil {
+		t.Fatal(err)
+	}
+	seg := f.SegmentStats()
+	if len(seg) != 2 {
+		t.Fatalf("SegmentStats len = %d", len(seg))
+	}
+	// The far segment's root interval is tiny (all its mass is ~50 units
+	// away, kernel ≈ 0 with a sharp slope bound), so virtually all pops
+	// should land on the near segment.
+	if seg[0].NodesExpanded > seg[1].NodesExpanded {
+		t.Fatalf("budget misdirected: far segment expanded %d nodes, near %d",
+			seg[0].NodesExpanded, seg[1].NodesExpanded)
+	}
+}
+
+// TestForestZeroAllocSteadyState: the multi-segment hot path must stay
+// allocation-free once the queue storage is warm, matching the
+// single-segment gate.
+func TestForestZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	d := 4
+	m := makeClustered(rng, 4000, d, 3, 0.05)
+	k := kernel.NewGaussian(10)
+	trees := buildSegments(t, kdtree.Build, m, nil, 3, 32)
+	f, err := NewForest(k, bound.KARL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTrees(trees); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = rng.Float64()
+	}
+	exact, _, _ := f.Exact(q, 0)
+	tau := exact * 1.05
+	for i := 0; i < 3; i++ {
+		if _, _, err := f.Threshold(q, tau, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := f.Approximate(q, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := f.Threshold(q, tau, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("multi-segment Threshold allocates %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := f.Approximate(q, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("multi-segment Approximate allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestForestSetTreesValidation pins the dimension and emptiness checks.
+func TestForestSetTreesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	m2 := makeClustered(rng, 50, 2, 1, 0.1)
+	m3 := makeClustered(rng, 50, 3, 1, 0.1)
+	t2, err := kdtree.Build(m2, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := kdtree.Build(m3, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewForest(kernel.NewGaussian(1), bound.KARL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTrees([]*index.Tree{t2, t3}); err == nil {
+		t.Fatal("mixed-dims segment set accepted")
+	}
+	if err := f.SetTrees([]*index.Tree{t2, nil}); err == nil {
+		t.Fatal("nil segment accepted")
+	}
+	if err := f.SetTrees([]*index.Tree{t2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Threshold([]float64{1, 2, 3}, 0, 0); err == nil {
+		t.Fatal("wrong-dims query accepted")
+	}
+}

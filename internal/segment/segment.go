@@ -1,0 +1,352 @@
+// Package segment implements the LSM-style storage layer under
+// karl.DynamicEngine: an ordered manifest of immutable index segments plus
+// the operations that evolve it — sealing a memtable into a small segment,
+// merging segments under a geometric tiering policy, and optionally
+// compacting cold merged segments into provable-error coresets (the
+// Phillips & Tai direction from PAPERS.md).
+//
+// Manifests are immutable snapshots: every mutation returns a new Manifest
+// with a bumped Epoch, so query executors can keep refining over an old
+// snapshot while a background compaction installs a new one — no query
+// ever waits on a rebuild.
+//
+// Two invariants matter for exactness:
+//
+//   - Each segment's tree was built from its points in INSERTION order
+//     (the build input order; the tree's PointID maps leaf-storage rows
+//     back to it). Merging reconstructs that order per segment and
+//     concatenates oldest-first, so a full merge reproduces the exact
+//     point sequence the user inserted — and therefore the exact tree a
+//     monolithic build over that sequence would produce, making answers
+//     bitwise-identical after full compaction.
+//   - Segments in a manifest are ordered oldest-first and cover disjoint,
+//     time-contiguous runs of the insert stream.
+package segment
+
+import (
+	"errors"
+	"fmt"
+
+	"karl/internal/balltree"
+	"karl/internal/coreset"
+	"karl/internal/index"
+	"karl/internal/kdtree"
+	"karl/internal/kernel"
+	"karl/internal/vec"
+	"karl/internal/vptree"
+)
+
+// BuildConfig fixes the index family every segment of an engine is built
+// with, so merged segments answer bitwise like a monolithic build.
+type BuildConfig struct {
+	Kind    index.Kind
+	LeafCap int
+}
+
+// Build constructs one tree with the configured builder.
+func (c BuildConfig) Build(m *vec.Matrix, w []float64) (*index.Tree, error) {
+	switch c.Kind {
+	case index.KDTree:
+		return kdtree.Build(m, w, c.LeafCap)
+	case index.BallTree:
+		return balltree.Build(m, w, c.LeafCap)
+	case index.VPTree:
+		return vptree.Build(m, w, c.LeafCap)
+	default:
+		return nil, fmt.Errorf("segment: unknown index kind %d", int(c.Kind))
+	}
+}
+
+// Segment is one immutable sorted run: a flat index over a contiguous
+// slice of the insert stream. Coreset marks a lossy compacted segment
+// whose points are a provable-error sketch of the originals; Eps is the
+// accumulated normalized-error bound of every compression it went through.
+type Segment struct {
+	Tree    *index.Tree
+	ID      uint64
+	Coreset bool
+	Eps     float64
+}
+
+// Len returns the number of points the segment stores.
+func (s *Segment) Len() int { return s.Tree.Len() }
+
+// Manifest is an immutable snapshot of the segment set, ordered
+// oldest-first. Epoch increases with every swap, so executors can detect
+// staleness with one comparison.
+type Manifest struct {
+	Epoch uint64
+	Segs  []*Segment
+}
+
+// Len returns the total number of stored points across all segments.
+func (m *Manifest) Len() int {
+	n := 0
+	for _, s := range m.Segs {
+		n += s.Len()
+	}
+	return n
+}
+
+// Trees returns a fresh slice of the segments' trees in manifest order,
+// ready for core.Forest.SetTrees.
+func (m *Manifest) Trees() []*index.Tree {
+	trees := make([]*index.Tree, len(m.Segs))
+	for i, s := range m.Segs {
+		trees[i] = s.Tree
+	}
+	return trees
+}
+
+// WithSealed returns a new manifest with seg appended as the newest
+// segment.
+func (m *Manifest) WithSealed(seg *Segment) *Manifest {
+	segs := make([]*Segment, 0, len(m.Segs)+1)
+	segs = append(segs, m.Segs...)
+	segs = append(segs, seg)
+	return &Manifest{Epoch: m.Epoch + 1, Segs: segs}
+}
+
+// WithReplaced returns a new manifest where the segments whose IDs appear
+// in ids are removed and merged takes the position of the oldest of them.
+// Segments sealed after the compaction snapshot are untouched.
+func (m *Manifest) WithReplaced(ids []uint64, merged *Segment) *Manifest {
+	replace := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		replace[id] = true
+	}
+	segs := make([]*Segment, 0, len(m.Segs))
+	placed := false
+	for _, s := range m.Segs {
+		if replace[s.ID] {
+			if !placed {
+				segs = append(segs, merged)
+				placed = true
+			}
+			continue
+		}
+		segs = append(segs, s)
+	}
+	if !placed {
+		segs = append(segs, merged)
+	}
+	return &Manifest{Epoch: m.Epoch + 1, Segs: segs}
+}
+
+// Seal builds a small immutable segment from the first n rows of a
+// memtable buffer (insertion order) and its parallel weights. The buffer
+// is only read — the builders reorder through a permutation array and the
+// tree keeps its own leaf-ordered copy — so the caller may let concurrent
+// queries scan the same rows while the seal runs, and may recycle the
+// buffer once Seal returns.
+func Seal(buf *vec.Matrix, w []float64, n int, cfg BuildConfig, id uint64) (*Segment, error) {
+	if n <= 0 {
+		return nil, errors.New("segment: sealing an empty memtable")
+	}
+	view := &vec.Matrix{Data: buf.Data[:n*buf.Cols], Rows: n, Cols: buf.Cols}
+	var wv []float64
+	if w != nil {
+		wv = w[:n]
+	}
+	tree, err := cfg.Build(view, wv)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{Tree: tree, ID: id}, nil
+}
+
+// restoreOrder appends the segment's points and weights to dst/dw in the
+// segment's original build-input (insertion) order, inverting the tree's
+// leaf-order permutation. row is the next free row of dst; the new next
+// free row is returned. dw must be non-nil (unit weights materialize as 1).
+func restoreOrder(s *Segment, dst *vec.Matrix, dw []float64, row int) int {
+	t := s.Tree
+	n := t.Len()
+	for storage := 0; storage < n; storage++ {
+		input := int(t.PointID[storage])
+		copy(dst.Row(row+input), t.Points.Row(storage))
+		if t.Weights != nil {
+			dw[row+input] = t.Weights[storage]
+		} else {
+			dw[row+input] = 1
+		}
+	}
+	return row + n
+}
+
+// Merge concatenates the segments' points oldest-first, each restored to
+// its insertion order, and builds one segment over the union. mem, mw and
+// memN optionally append a trailing memtable run (the full-compaction
+// path); pass nil/0 for pure segment merges. The merged segment carries
+// the provenance of its inputs: it is a coreset iff any input was, with
+// the accumulated Eps.
+func Merge(segs []*Segment, mem *vec.Matrix, mw []float64, memN int, cfg BuildConfig, id uint64) (*Segment, error) {
+	total := memN
+	for _, s := range segs {
+		total += s.Len()
+	}
+	if total == 0 {
+		return nil, errors.New("segment: merging zero points")
+	}
+	dims := 0
+	if len(segs) > 0 {
+		dims = segs[0].Tree.Dims()
+	} else {
+		dims = mem.Cols
+	}
+	m := vec.NewMatrix(total, dims)
+	w := make([]float64, total)
+	row := 0
+	isCoreset := false
+	eps := 0.0
+	hasWeights := memN > 0 && mw != nil
+	for _, s := range segs {
+		row = restoreOrder(s, m, w, row)
+		if s.Coreset {
+			isCoreset = true
+			eps += s.Eps
+		}
+		if s.Tree.Weights != nil {
+			hasWeights = true
+		}
+	}
+	for i := 0; i < memN; i++ {
+		copy(m.Row(row), mem.Row(i))
+		if mw != nil {
+			w[row] = mw[i]
+		} else {
+			w[row] = 1
+		}
+		row++
+	}
+	// Drop the materialized unit weights when every input was unweighted,
+	// so a full merge reproduces a monolithic unit-weight build exactly.
+	if !hasWeights {
+		w = nil
+	}
+	tree, err := cfg.Build(m, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{Tree: tree, ID: id, Coreset: isCoreset, Eps: eps}, nil
+}
+
+// Compress reduces a segment to a provable-error coreset with normalized
+// error bound eps and rebuilds its index — the cold tier of compaction.
+// It fails for mixed-sign weights (the coreset layer rejects Type III);
+// callers fall back to keeping the merged segment as-is.
+func Compress(s *Segment, kern kernel.Params, eps float64, seed int64, cfg BuildConfig, id uint64) (*Segment, error) {
+	t := s.Tree
+	n := t.Len()
+	// Reconstruct insertion order so repeated compressions stay
+	// deterministic with respect to the original stream.
+	m := vec.NewMatrix(n, t.Dims())
+	w := make([]float64, n)
+	restoreOrder(s, m, w, 0)
+	if t.Weights == nil {
+		w = nil
+	}
+	sk, err := coreset.Build(m, w, kern, eps, coreset.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	tree, err := cfg.Build(sk.Points, sk.Weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{Tree: tree, ID: id, Coreset: true, Eps: s.Eps + sk.Eps}, nil
+}
+
+// Policy is the geometric tiering compaction policy. Segments are binned
+// into tiers by size — tier t holds segments with
+// SealSize·Fanout^t ≤ Len < SealSize·Fanout^(t+1) — and whenever a tier
+// accumulates Fanout segments, its oldest Fanout members merge into one
+// segment of the next tier. Write amplification is O(Fanout·log_Fanout N)
+// per point overall, and no merge is ever larger than geometric growth
+// requires, so the engine never performs the old stop-the-world O(N)
+// rebuild on the insert path.
+type Policy struct {
+	// SealSize is the memtable row count that triggers a seal (tier 0
+	// segment size).
+	SealSize int
+	// Fanout is both the per-tier segment budget and the size ratio
+	// between consecutive tiers.
+	Fanout int
+	// ColdEps, when positive, coreset-compresses merged segments of at
+	// least ColdMin points down to a provable normalized-error sketch —
+	// a lossy cold tier, off by default.
+	ColdEps float64
+	// ColdMin is the smallest merged segment ColdEps applies to.
+	ColdMin int
+}
+
+// DefaultPolicy returns the tiering defaults: seal at 512 rows, merge
+// every 4 same-tier segments, no lossy cold tier.
+func DefaultPolicy() Policy { return Policy{SealSize: 512, Fanout: 4} }
+
+// Validate checks the policy parameters.
+func (p Policy) Validate() error {
+	if p.SealSize < 1 {
+		return fmt.Errorf("segment: seal size %d out of range", p.SealSize)
+	}
+	if p.Fanout < 2 {
+		return fmt.Errorf("segment: compaction fanout %d out of range (need >= 2)", p.Fanout)
+	}
+	if p.ColdEps != 0 && (p.ColdEps <= 0 || p.ColdEps >= 1) {
+		return fmt.Errorf("segment: cold-compaction eps must be in (0,1), got %v", p.ColdEps)
+	}
+	return nil
+}
+
+// Tier returns the size tier of a segment with n points.
+func (p Policy) Tier(n int) int {
+	t := 0
+	bound := p.SealSize * p.Fanout
+	for n >= bound {
+		t++
+		// Guard against overflow on absurd sizes.
+		if bound > (1<<62)/p.Fanout {
+			break
+		}
+		bound *= p.Fanout
+	}
+	return t
+}
+
+// Plan returns the IDs of the segments the next compaction should merge:
+// the oldest Fanout members of the lowest tier holding at least Fanout
+// segments. A nil result means the manifest is within policy.
+func (p Policy) Plan(m *Manifest) []uint64 {
+	if len(m.Segs) < p.Fanout {
+		return nil
+	}
+	tiers := make(map[int][]uint64)
+	lowest := -1
+	for _, s := range m.Segs {
+		t := p.Tier(s.Len())
+		tiers[t] = append(tiers[t], s.ID) // manifest order = oldest first
+		if len(tiers[t]) >= p.Fanout && (lowest < 0 || t < lowest) {
+			lowest = t
+		}
+	}
+	if lowest < 0 {
+		return nil
+	}
+	return tiers[lowest][:p.Fanout]
+}
+
+// Select returns the manifest's segments with the given IDs, in manifest
+// (oldest-first) order.
+func (m *Manifest) Select(ids []uint64) []*Segment {
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	out := make([]*Segment, 0, len(ids))
+	for _, s := range m.Segs {
+		if want[s.ID] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -49,6 +49,7 @@ type metrics struct {
 	threshold   endpointMetrics
 	approximate endpointMetrics
 	batch       endpointMetrics
+	insert      endpointMetrics
 
 	tierHits   atomic.Int64
 	tierMisses atomic.Int64
@@ -93,10 +94,31 @@ type TierStats struct {
 	Pool PoolStats `json:"pool"`
 }
 
+// MutableStats reports the segmented engine state behind a mutable
+// server: manifest shape, background maintenance counters, and how the
+// clone pool tracks the advancing manifest.
+type MutableStats struct {
+	// Epoch is the current manifest epoch (advances on seal/compaction).
+	Epoch uint64 `json:"epoch"`
+	// ServedEpoch is the highest epoch any pooled clone has queried — when
+	// it trails Epoch, idle clones will re-arm on their next query.
+	ServedEpoch uint64 `json:"served_epoch"`
+	// Segments is the number of immutable segments in the manifest.
+	Segments int `json:"segments"`
+	// MemtableLen is the number of buffered (unsealed) points.
+	MemtableLen int `json:"memtable_len"`
+	// Seals and Compactions count completed maintenance operations.
+	Seals       int `json:"seals"`
+	Compactions int `json:"compactions"`
+	// Points is the total dataset size.
+	Points int `json:"points"`
+}
+
 // StatsResponse is the GET /v1/stats body. Tier is present only when the
-// sketch tier is enabled.
+// sketch tier is enabled; Mutable only for dynamic serving.
 type StatsResponse struct {
 	Pool      PoolStats                `json:"pool"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Tier      *TierStats               `json:"tier,omitempty"`
+	Mutable   *MutableStats            `json:"mutable,omitempty"`
 }

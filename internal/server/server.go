@@ -4,11 +4,18 @@
 // deployment mode of the paper's motivating applications (network
 // intrusion detection, online classification).
 //
-// Concurrency model: engines are per-request, the index is shared and
-// immutable. Each request acquires a *karl.Engine clone from a bounded
-// pool (clones share the index but own their refinement scratch state), so
-// N in-flight requests refine on N independent engines with no global
-// lock anywhere on the query path.
+// Concurrency model: engines are per-request. Each request acquires an
+// engine clone from a bounded pool (clones share the indexed data but own
+// their refinement scratch state), so N in-flight requests refine on N
+// independent engines with no global lock anywhere on the query path.
+//
+// Two dataset modes share the same endpoints. New serves a static
+// *karl.Engine over an immutable index. NewMutable serves a
+// *karl.DynamicEngine — its segmented LSM manifest grows through POST
+// /v1/insert while queries keep flowing: pooled clones re-arm themselves
+// against the latest manifest epoch on their next query (an atomic
+// snapshot, never a lock held across refinement), and /v1/stats reports
+// how the pool tracks the advancing epoch.
 package server
 
 import (
@@ -23,6 +30,20 @@ import (
 	"karl"
 )
 
+// queryEngine is the query surface the server needs from an engine; both
+// the static *karl.Engine and the mutable *karl.DynamicEngine provide it.
+type queryEngine interface {
+	Len() int
+	Dims() int
+	Kernel() karl.Kernel
+	AggregateStats(q []float64) (float64, karl.Stats, error)
+	ThresholdStats(q []float64, tau float64) (bool, karl.Stats, error)
+	ApproximateStats(q []float64, eps float64) (float64, karl.Stats, error)
+	BatchAggregateStats(queries [][]float64, workers int) ([]float64, karl.Stats, error)
+	BatchThresholdStats(queries [][]float64, tau float64, workers int) ([]bool, karl.Stats, error)
+	BatchApproximateStats(queries [][]float64, eps float64, workers int) ([]float64, karl.Stats, error)
+}
+
 // Server wraps an engine with an HTTP handler. All endpoints accept and
 // return JSON.
 type Server struct {
@@ -30,6 +51,10 @@ type Server struct {
 	mux  *http.ServeMux
 	met  metrics
 	dims int
+
+	// dyn is set by NewMutable: the engine the insert endpoint feeds and
+	// the segment/epoch introspection source. nil for static serving.
+	dyn *karl.DynamicEngine
 
 	// Sketch tier (nil pools when disabled): a coreset engine with
 	// normalized error bound sketchEps serves /v1/approximate requests
@@ -67,7 +92,7 @@ func WithPoolSize(n int) Option { return func(c *config) { c.poolSize = n } }
 // normalized-budget queries is reported by GET /v1/stats.
 func WithSketchTier(eps float64) Option { return func(c *config) { c.sketchEps = eps } }
 
-// New builds a server around an engine. The engine itself is never
+// New builds a server around a static engine. The engine itself is never
 // queried: it is the template the clone pool grows from, so the caller
 // may keep using it from one other goroutine.
 func New(eng *karl.Engine, opts ...Option) (*Server, error) {
@@ -82,7 +107,7 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("server: pool size %d out of range", cfg.poolSize)
 	}
 	s := &Server{
-		pool: newEnginePool(eng, cfg.poolSize),
+		pool: newEnginePool(eng, func() queryEngine { return eng.Clone() }, cfg.poolSize),
 		mux:  http.NewServeMux(),
 		dims: eng.Dims(),
 	}
@@ -95,47 +120,94 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 			return nil, fmt.Errorf("server: sketch tier: %w", err)
 		}
 		info, _ := skEng.SketchInfo()
-		s.sketch = newEnginePool(skEng, cfg.poolSize)
+		s.sketch = newEnginePool(skEng, func() queryEngine { return skEng.Clone() }, cfg.poolSize)
 		s.sketchEps = info.Eps
 		s.sketchLen = skEng.Len()
 	}
+	s.routes()
+	return s, nil
+}
+
+// NewMutable builds a server around a dynamic (segmented) engine: the
+// query endpoints of New plus POST /v1/insert, with segment and manifest
+// epoch introspection in /v1/info and /v1/stats. The sketch tier is not
+// supported — a static coreset cannot track a growing dataset.
+func NewMutable(d *karl.DynamicEngine, opts ...Option) (*Server, error) {
+	if d == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	cfg := config{poolSize: 2 * runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.poolSize < 1 {
+		return nil, fmt.Errorf("server: pool size %d out of range", cfg.poolSize)
+	}
+	if cfg.sketchEps != 0 {
+		return nil, errors.New("server: sketch tier requires a static engine")
+	}
+	s := &Server{
+		pool: newEnginePool(d, func() queryEngine { return d.Clone() }, cfg.poolSize),
+		mux:  http.NewServeMux(),
+		dims: d.Dims(),
+		dyn:  d,
+	}
+	s.routes()
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	return s, nil
+}
+
+func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("POST /v1/threshold", s.handleThreshold)
 	s.mux.HandleFunc("POST /v1/approximate", s.handleApproximate)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// enginePool recycles engine clones over a shared immutable index. Acquire
-// never blocks: an empty pool clones the template, a full pool drops the
+// enginePool recycles engine clones over a shared dataset. Acquire never
+// blocks: an empty pool clones the template, a full pool drops the
 // returned clone for the GC. The channel doubles as the free list and the
-// bound.
+// bound. For mutable engines the pool additionally tracks the highest
+// manifest epoch any released clone had armed — how current the pool's
+// executors are relative to the advancing dataset.
 type enginePool struct {
-	template *karl.Engine
-	idle     chan *karl.Engine
-	clones   atomic.Int64
+	template    queryEngine
+	clone       func() queryEngine
+	idle        chan queryEngine
+	clones      atomic.Int64
+	servedEpoch atomic.Uint64
 }
 
-func newEnginePool(eng *karl.Engine, size int) *enginePool {
-	return &enginePool{template: eng, idle: make(chan *karl.Engine, size)}
+func newEnginePool(template queryEngine, clone func() queryEngine, size int) *enginePool {
+	return &enginePool{template: template, clone: clone, idle: make(chan queryEngine, size)}
 }
 
-func (p *enginePool) acquire() *karl.Engine {
+func (p *enginePool) acquire() queryEngine {
 	select {
 	case e := <-p.idle:
 		return e
 	default:
 		p.clones.Add(1)
-		return p.template.Clone()
+		return p.clone()
 	}
 }
 
-func (p *enginePool) release(e *karl.Engine) {
+func (p *enginePool) release(e queryEngine) {
+	if d, ok := e.(*karl.DynamicEngine); ok {
+		if epoch, armed := d.ArmedEpoch(); armed {
+			for {
+				cur := p.servedEpoch.Load()
+				if epoch <= cur || p.servedEpoch.CompareAndSwap(cur, epoch) {
+					break
+				}
+			}
+		}
+	}
 	select {
 	case p.idle <- e:
 	default:
@@ -147,7 +219,8 @@ func (p *enginePool) stats() PoolStats {
 }
 
 // InfoResponse describes the served model. SketchPoints/SketchEps are set
-// only when the sketch tier is enabled.
+// only when the sketch tier is enabled; Mutable/Segments only for dynamic
+// serving.
 type InfoResponse struct {
 	Points       int     `json:"points"`
 	Dims         int     `json:"dims"`
@@ -155,6 +228,27 @@ type InfoResponse struct {
 	Gamma        float64 `json:"gamma"`
 	SketchPoints int     `json:"sketch_points,omitempty"`
 	SketchEps    float64 `json:"sketch_eps,omitempty"`
+	Mutable      bool    `json:"mutable,omitempty"`
+	Segments     int     `json:"segments,omitempty"`
+}
+
+// InsertRequest is the POST /v1/insert body: either one point ("p" with
+// optional weight "w", default 1) or a bulk load ("points" with optional
+// parallel "weights", default all 1). Exactly one form is required.
+type InsertRequest struct {
+	P       []float64   `json:"p,omitempty"`
+	W       *float64    `json:"w,omitempty"`
+	Points  [][]float64 `json:"points,omitempty"`
+	Weights []float64   `json:"weights,omitempty"`
+}
+
+// InsertResponse reports a successful insert: how many points landed, the
+// dataset size afterwards, and the manifest epoch (which advances when the
+// insert triggered a seal or compaction).
+type InsertResponse struct {
+	Inserted int    `json:"inserted"`
+	Len      int    `json:"len"`
+	Epoch    uint64 `json:"epoch"`
 }
 
 // QueryRequest is the shared request body; Tau is used by /threshold, and
@@ -220,13 +314,17 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	k := s.pool.template.Kernel()
 	resp := InfoResponse{
 		Points: s.pool.template.Len(),
-		Dims:   s.dims,
+		Dims:   s.curDims(),
 		Kernel: k.Kind.String(),
 		Gamma:  k.Gamma,
 	}
 	if s.sketch != nil {
 		resp.SketchPoints = s.sketchLen
 		resp.SketchEps = s.sketchEps
+	}
+	if s.dyn != nil {
+		resp.Mutable = true
+		resp.Segments = len(s.dyn.Segments())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -250,7 +348,87 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Pool:         s.sketch.stats(),
 		}
 	}
+	if s.dyn != nil {
+		resp.Endpoints["insert"] = s.met.insert.snapshot()
+		resp.Mutable = &MutableStats{
+			Epoch:       s.dyn.Epoch(),
+			ServedEpoch: s.pool.servedEpoch.Load(),
+			Segments:    len(s.dyn.Segments()),
+			MemtableLen: s.dyn.MemtableLen(),
+			Seals:       s.dyn.Seals(),
+			Compactions: s.dyn.Compactions(),
+			Points:      s.dyn.Len(),
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleInsert feeds points into the dynamic engine. Seals and compactions
+// triggered by an insert happen off the query path; concurrent queries on
+// pooled clones keep serving from their manifest snapshot.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	m := &s.met.insert
+	m.requests.Add(1)
+	var req InsertRequest
+	if err := decodeBody(r, &req); err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	fail := func(err error) {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	}
+	var points [][]float64
+	var weights []float64
+	switch {
+	case req.P != nil && req.Points != nil:
+		fail(errors.New(`"p" and "points" are mutually exclusive`))
+		return
+	case req.P != nil:
+		if req.Weights != nil {
+			fail(errors.New(`"weights" belongs to the bulk form; use "w" with "p"`))
+			return
+		}
+		wt := 1.0
+		if req.W != nil {
+			wt = *req.W
+		}
+		points, weights = [][]float64{req.P}, []float64{wt}
+	case req.Points != nil:
+		if req.W != nil {
+			fail(errors.New(`"w" belongs to the single form; use "weights" with "points"`))
+			return
+		}
+		if req.Weights != nil && len(req.Weights) != len(req.Points) {
+			fail(fmt.Errorf("%d weights for %d points", len(req.Weights), len(req.Points)))
+			return
+		}
+		points, weights = req.Points, req.Weights
+	default:
+		fail(errors.New(`provide "p" (single point) or "points" (bulk)`))
+		return
+	}
+	for i, p := range points {
+		wt := 1.0
+		if weights != nil {
+			wt = weights[i]
+		}
+		if err := s.dyn.Insert(p, wt); err != nil {
+			m.errors.Add(1)
+			// Points before i are already in; report the partial landing.
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				fmt.Sprintf("point %d: %v (%d of %d inserted)", i, err, i, len(points)),
+			})
+			return
+		}
+	}
+	m.record(len(points), karl.Stats{})
+	writeJSON(w, http.StatusOK, InsertResponse{
+		Inserted: len(points),
+		Len:      s.dyn.Len(),
+		Epoch:    s.dyn.Epoch(),
+	})
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -356,7 +534,7 @@ func (s *Server) countTier(epsNorm float64, sketched bool, n int) {
 // approximateSketch serves one query from the coreset engine with the
 // leftover budget rem = ε_norm − ε_sketch. A zero leftover degrades to the
 // exact aggregate over the coreset — still a tiny scan.
-func approximateSketch(eng *karl.Engine, q []float64, rem float64) (float64, karl.Stats, error) {
+func approximateSketch(eng queryEngine, q []float64, rem float64) (float64, karl.Stats, error) {
 	if rem > 0 {
 		return eng.ApproximateStats(q, rem)
 	}
@@ -520,9 +698,20 @@ func (s *Server) validateBatch(req BatchRequest) error {
 	return nil
 }
 
+// curDims is the dataset dimensionality right now: fixed for a static
+// engine, set by the first insert for a mutable one (0 while empty).
+func (s *Server) curDims() int {
+	if s.dyn != nil {
+		return s.dyn.Dims()
+	}
+	return s.dims
+}
+
 func (s *Server) checkQuery(q []float64) error {
-	if len(q) != s.dims {
-		return fmt.Errorf("query has %d dims, model has %d", len(q), s.dims)
+	// An empty mutable engine has no dimensionality yet; let the engine
+	// itself report emptiness.
+	if dims := s.curDims(); dims != 0 && len(q) != dims {
+		return fmt.Errorf("query has %d dims, model has %d", len(q), dims)
 	}
 	for j, v := range q {
 		if !isFinite(v) {

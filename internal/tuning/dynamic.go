@@ -1,0 +1,165 @@
+package tuning
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// MutableEngine is the slice of a segmented dynamic engine that
+// OfflineDynamic drives. This package sits below the public API (which
+// owns the dynamic engine), so candidates are built through a caller
+// closure rather than a direct dependency.
+type MutableEngine interface {
+	Insert(p []float64, w float64) error
+	Threshold(q []float64, tau float64) (bool, error)
+	Approximate(q []float64, eps float64) (float64, error)
+}
+
+// DynamicCandidate is one maintenance-policy configuration in the dynamic
+// tuning grid: how large the memtable grows before sealing, and how many
+// segments a compaction merges.
+type DynamicCandidate struct {
+	SealSize int
+	Fanout   int
+}
+
+// DefaultDynamicGrid sweeps seal sizes exponentially around the library
+// default crossed with the useful fanout range. Small seals keep the
+// exact memtable scan cheap but fragment the manifest; large seals do the
+// opposite — the sweet spot depends on the insert/query mix, which is why
+// it is tuned rather than fixed.
+func DefaultDynamicGrid() []DynamicCandidate {
+	seals := []int{128, 256, 512, 1024, 2048}
+	fanouts := []int{2, 4, 8}
+	grid := make([]DynamicCandidate, 0, len(seals)*len(fanouts))
+	for _, s := range seals {
+		for _, f := range fanouts {
+			grid = append(grid, DynamicCandidate{SealSize: s, Fanout: f})
+		}
+	}
+	return grid
+}
+
+// DynamicOp is one step of a mixed replay trace: an insert when Insert is
+// true (P, W), a query otherwise (Q).
+type DynamicOp struct {
+	Insert bool
+	P      []float64
+	W      float64
+	Q      []float64
+}
+
+// MixedTrace interleaves a query sample through an insert stream the way
+// a steady-state mutable workload arrives: queriesPerInsert queries are
+// drawn (cycling through the sample) after each insert, so sealing and
+// compaction costs are charged against the queries that ride behind
+// them. The trace always leads with an insert so no query ever sees an
+// empty engine. A nil/empty weights slice inserts unit weights.
+func MixedTrace(points [][]float64, weights []float64, sample [][]float64, queriesPerInsert int) []DynamicOp {
+	if queriesPerInsert < 0 {
+		queriesPerInsert = 0
+	}
+	trace := make([]DynamicOp, 0, len(points)*(1+queriesPerInsert))
+	qi := 0
+	for i, p := range points {
+		w := 1.0
+		if len(weights) > i {
+			w = weights[i]
+		}
+		trace = append(trace, DynamicOp{Insert: true, P: p, W: w})
+		for k := 0; k < queriesPerInsert && len(sample) > 0; k++ {
+			trace = append(trace, DynamicOp{Q: sample[qi%len(sample)]})
+			qi++
+		}
+	}
+	return trace
+}
+
+// DynamicResult reports one candidate's measured performance on the
+// replayed trace.
+type DynamicResult struct {
+	Candidate  DynamicCandidate
+	Throughput float64 // operations (inserts + queries) per second
+	Elapsed    time.Duration
+}
+
+// OfflineDynamic replays the same mixed insert/query trace against every
+// candidate policy and returns results sorted best-first by operation
+// throughput. The build closure constructs a fresh empty engine for a
+// candidate (the public API wraps this around NewDynamic with the
+// candidate's WithSealSize/WithCompactionFanout options). The trace
+// should mirror the live mix — e.g. 90/10 query/insert for read-heavy
+// serving — and is replayed in order so sealing and compaction costs land
+// where they would in production.
+func OfflineDynamic(build func(DynamicCandidate) (MutableEngine, error), w Workload, trace []DynamicOp, grid []DynamicCandidate) ([]DynamicResult, error) {
+	if build == nil {
+		return nil, errors.New("tuning: nil engine builder")
+	}
+	if len(trace) == 0 {
+		return nil, errors.New("tuning: empty trace")
+	}
+	hasInsert := false
+	for _, op := range trace {
+		if op.Insert {
+			hasInsert = true
+			break
+		}
+	}
+	if !hasInsert {
+		return nil, errors.New("tuning: trace has no inserts (use Offline for static workloads)")
+	}
+	if len(grid) == 0 {
+		grid = DefaultDynamicGrid()
+	}
+	results := make([]DynamicResult, 0, len(grid))
+	for _, cand := range grid {
+		eng, err := build(cand)
+		if err != nil {
+			return nil, fmt.Errorf("tuning: building seal=%d fanout=%d: %w", cand.SealSize, cand.Fanout, err)
+		}
+		start := time.Now()
+		for i, op := range trace {
+			if op.Insert {
+				err = eng.Insert(op.P, op.W)
+			} else {
+				err = w.runMutable(eng, op.Q)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("tuning: seal=%d fanout=%d op %d: %w", cand.SealSize, cand.Fanout, i, err)
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed <= 0 {
+			elapsed = time.Nanosecond
+		}
+		results = append(results, DynamicResult{
+			Candidate:  cand,
+			Throughput: float64(len(trace)) / elapsed.Seconds(),
+			Elapsed:    elapsed,
+		})
+	}
+	for i := 1; i < len(results); i++ {
+		for j := i; j > 0 && results[j].Throughput > results[j-1].Throughput; j-- {
+			results[j], results[j-1] = results[j-1], results[j]
+		}
+	}
+	return results, nil
+}
+
+// runMutable executes one query of the workload against a mutable engine.
+// Queries before the first insert would see an empty engine; trace
+// builders always lead with an insert, and the empty-engine error is
+// surfaced as fatal like every other programmer mistake.
+func (w Workload) runMutable(e MutableEngine, q []float64) error {
+	switch w.Mode {
+	case Threshold:
+		_, err := e.Threshold(q, w.Tau)
+		return err
+	case Approximate:
+		_, err := e.Approximate(q, w.Eps)
+		return err
+	default:
+		return fmt.Errorf("tuning: unknown mode %d", int(w.Mode))
+	}
+}

@@ -1,0 +1,160 @@
+package tuning
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"karl/internal/bound"
+	"karl/internal/kernel"
+)
+
+// fakeMutable counts replayed operations and can charge an artificial
+// per-operation cost so throughput ordering is observable.
+type fakeMutable struct {
+	inserts, queries int
+	perOp            time.Duration
+	failAt           int // op index to fail at; -1 = never
+}
+
+func (f *fakeMutable) op() error {
+	if f.failAt >= 0 && f.inserts+f.queries == f.failAt {
+		return errors.New("boom")
+	}
+	if f.perOp > 0 {
+		time.Sleep(f.perOp)
+	}
+	return nil
+}
+
+func (f *fakeMutable) Insert(p []float64, w float64) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	f.inserts++
+	return nil
+}
+
+func (f *fakeMutable) Threshold(q []float64, tau float64) (bool, error) {
+	if err := f.op(); err != nil {
+		return false, err
+	}
+	f.queries++
+	return true, nil
+}
+
+func (f *fakeMutable) Approximate(q []float64, eps float64) (float64, error) {
+	if err := f.op(); err != nil {
+		return 0, err
+	}
+	f.queries++
+	return 1, nil
+}
+
+func thresholdWorkload() Workload {
+	return Workload{Kernel: kernel.NewGaussian(1), Method: bound.KARL, Mode: Threshold, Tau: 1}
+}
+
+func TestMixedTrace(t *testing.T) {
+	points := [][]float64{{1}, {2}, {3}}
+	sample := [][]float64{{10}, {20}}
+	trace := MixedTrace(points, []float64{5, 6, 7}, sample, 2)
+	if len(trace) != 9 {
+		t.Fatalf("trace length %d, want 3 inserts + 6 queries", len(trace))
+	}
+	if !trace[0].Insert || trace[0].W != 5 {
+		t.Fatalf("trace must lead with the first weighted insert, got %+v", trace[0])
+	}
+	// Queries cycle through the sample: after insert {1} come {10},{20}.
+	if trace[1].Insert || trace[1].Q[0] != 10 || trace[2].Q[0] != 20 {
+		t.Fatalf("queries do not cycle the sample: %+v %+v", trace[1], trace[2])
+	}
+	// Unit weights when none are supplied; zero queriesPerInsert = pure inserts.
+	pure := MixedTrace(points, nil, sample, 0)
+	if len(pure) != 3 || pure[2].W != 1 {
+		t.Fatalf("pure insert trace %+v", pure)
+	}
+}
+
+func TestOfflineDynamicValidation(t *testing.T) {
+	w := thresholdWorkload()
+	trace := MixedTrace([][]float64{{1}}, nil, [][]float64{{2}}, 1)
+	if _, err := OfflineDynamic(nil, w, trace, nil); err == nil {
+		t.Fatal("nil builder accepted")
+	}
+	build := func(DynamicCandidate) (MutableEngine, error) { return &fakeMutable{failAt: -1}, nil }
+	if _, err := OfflineDynamic(build, w, nil, nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	queryOnly := []DynamicOp{{Q: []float64{1}}}
+	if _, err := OfflineDynamic(build, w, queryOnly, nil); err == nil {
+		t.Fatal("insert-free trace accepted")
+	}
+}
+
+func TestOfflineDynamicReplaysAndSorts(t *testing.T) {
+	w := thresholdWorkload()
+	trace := MixedTrace([][]float64{{1}, {2}}, nil, [][]float64{{3}}, 2)
+	grid := []DynamicCandidate{
+		{SealSize: 128, Fanout: 2}, // slow candidate
+		{SealSize: 256, Fanout: 4}, // fast candidate
+	}
+	engines := map[DynamicCandidate]*fakeMutable{}
+	build := func(c DynamicCandidate) (MutableEngine, error) {
+		f := &fakeMutable{failAt: -1}
+		if c.SealSize == 128 {
+			f.perOp = 2 * time.Millisecond
+		}
+		engines[c] = f
+		return f, nil
+	}
+	results, err := OfflineDynamic(build, w, trace, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Candidate.SealSize != 256 {
+		t.Fatalf("slow candidate won: %+v", results[0])
+	}
+	if results[0].Throughput < results[1].Throughput {
+		t.Fatal("results not sorted best-first")
+	}
+	for c, f := range engines {
+		if f.inserts != 2 || f.queries != 4 {
+			t.Fatalf("candidate %+v replayed %d inserts / %d queries, want 2/4", c, f.inserts, f.queries)
+		}
+	}
+}
+
+func TestOfflineDynamicSurfacesEngineErrors(t *testing.T) {
+	// Approximate mode, so runMutable's eKAQ arm is exercised too.
+	w := Workload{Kernel: kernel.NewGaussian(1), Method: bound.KARL, Mode: Approximate, Eps: 0.1}
+	trace := MixedTrace([][]float64{{1}, {2}}, nil, [][]float64{{3}}, 1)
+	build := func(DynamicCandidate) (MutableEngine, error) { return &fakeMutable{failAt: 2}, nil }
+	if _, err := OfflineDynamic(build, w, trace, []DynamicCandidate{{SealSize: 64, Fanout: 2}}); err == nil {
+		t.Fatal("engine error swallowed")
+	}
+	buildErr := func(DynamicCandidate) (MutableEngine, error) { return nil, errors.New("no engine") }
+	if _, err := OfflineDynamic(buildErr, w, trace, nil); err == nil {
+		t.Fatal("builder error swallowed")
+	}
+}
+
+func TestDefaultDynamicGrid(t *testing.T) {
+	grid := DefaultDynamicGrid()
+	if len(grid) != 15 {
+		t.Fatalf("grid size %d, want 5 seal sizes × 3 fanouts", len(grid))
+	}
+	seen := map[DynamicCandidate]bool{}
+	for _, c := range grid {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %+v", c)
+		}
+		seen[c] = true
+		if c.SealSize < 1 || c.Fanout < 2 {
+			t.Fatalf("candidate %+v violates policy bounds", c)
+		}
+	}
+}

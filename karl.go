@@ -106,6 +106,14 @@ type buildConfig struct {
 	coresetMethod  CoresetMethod
 	coresetSeed    int64
 	coresetMinSize int
+
+	// Segmented-engine knobs, consulted only by NewDynamic (dynamic.go).
+	// Zero values defer to segment.DefaultPolicy.
+	sealSize      int
+	fanout        int
+	noAutoCompact bool
+	coldEps       float64
+	coldMin       int
 }
 
 // defaultBuildConfig is the configuration Build starts from.
@@ -128,6 +136,34 @@ func WithMethod(m Method) Option { return func(c *buildConfig) { c.method = m } 
 
 // withMaxDepth truncates refinement depth; used by the in-situ tuner.
 func withMaxDepth(d int) Option { return func(c *buildConfig) { c.maxDepth = d } }
+
+// WithSealSize sets the memtable capacity of a dynamic engine: inserts
+// buffer until this many points, then seal into one immutable segment
+// (default 512). Smaller values cut per-query scan cost; larger values
+// amortize index builds further. Build ignores it.
+func WithSealSize(n int) Option { return func(c *buildConfig) { c.sealSize = n } }
+
+// WithCompactionFanout sets a dynamic engine's geometric tiering factor:
+// every fanout same-tier segments merge into one segment of the next tier
+// (default 4). Build ignores it.
+func WithCompactionFanout(f int) Option { return func(c *buildConfig) { c.fanout = f } }
+
+// WithAutoCompaction enables or disables a dynamic engine's background
+// tiered merging (default enabled). With it off, segments accumulate one
+// per seal until Compact is called explicitly. Build ignores it.
+func WithAutoCompaction(on bool) Option {
+	return func(c *buildConfig) { c.noAutoCompact = !on }
+}
+
+// WithColdCompaction makes a dynamic engine's background compaction
+// compress merged segments of at least minPts points into provable-error
+// coresets with normalized error bound eps — trading exactness on old
+// data for memory, in the spirit of Phillips & Tai's improved KDE
+// coresets. Mixed-sign (Type III) segments are kept lossless. Build
+// ignores it.
+func WithColdCompaction(eps float64, minPts int) Option {
+	return func(c *buildConfig) { c.coldEps, c.coldMin = eps, minPts }
+}
 
 // Engine answers kernel aggregation queries over one indexed dataset. An
 // Engine is not safe for concurrent use; create one per goroutine with

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"karl/internal/index"
+	"karl/internal/segment"
 	"karl/internal/vec"
 )
 
@@ -27,7 +29,12 @@ import (
 //	    a round trip (a rebuilt vp-tree could not even recover its vantage
 //	    points from reordered storage). Versions 1–3 still load by
 //	    rebuilding from the stored points.
-const persistVersion = 4
+//	5 — adds the dynamic (segmented) engine stream: a manifest of
+//	    per-segment v4-style index payloads plus the raw memtable rows and
+//	    the LSM policy (DynamicEngine.WriteTo / ReadDynamic). Static
+//	    single-engine files keep the exact v4 layout; versions 1–4 still
+//	    load.
+const persistVersion = 5
 
 // oldestReadableVersion is the earliest format this build still decodes.
 const oldestReadableVersion = 1
@@ -80,28 +87,13 @@ type svmPayload struct {
 
 // payload flattens an engine for serialization.
 func (e *Engine) payload() enginePayload {
-	tree := e.tree
-	kind := KDTree
-	switch tree.Kind {
-	case index.BallTree:
-		kind = BallTree
-	case index.VPTree:
-		kind = VPTree
-	}
 	method := MethodKARL
 	if e.eng.Method() == methodOf(MethodSOTA) {
 		method = MethodSOTA
 	}
-	pts := make([]float64, len(tree.Points.Data))
-	copy(pts, tree.Points.Data)
-	var w []float64
-	if tree.Weights != nil {
-		w = make([]float64, len(tree.Weights))
-		copy(w, tree.Weights)
-	}
-	var sk *sketchProvenance
+	p := treePayload(e.tree, e.kern, method)
 	if e.sketch != nil {
-		sk = &sketchProvenance{
+		p.Sketch = &sketchProvenance{
 			SourceLen:    e.sketch.SourceLen,
 			SourceWeight: e.sketch.SourceWeight,
 			Len:          e.sketch.Len,
@@ -110,6 +102,27 @@ func (e *Engine) payload() enginePayload {
 			Basis:        string(e.sketch.Basis),
 			Method:       int(e.sketch.Method),
 		}
+	}
+	return p
+}
+
+// treePayload flattens one built index (plus the kernel and bounding
+// method it is queried with) into the v4 wire layout — the unit both the
+// static engine format and every segment of the v5 dynamic format reuse.
+func treePayload(tree *index.Tree, kern Kernel, method Method) enginePayload {
+	kind := KDTree
+	switch tree.Kind {
+	case index.BallTree:
+		kind = BallTree
+	case index.VPTree:
+		kind = VPTree
+	}
+	pts := make([]float64, len(tree.Points.Data))
+	copy(pts, tree.Points.Data)
+	var w []float64
+	if tree.Weights != nil {
+		w = make([]float64, len(tree.Weights))
+		copy(w, tree.Weights)
 	}
 	nn := tree.NodeCount()
 	nodeStart := make([]int32, nn)
@@ -127,11 +140,10 @@ func (e *Engine) payload() enginePayload {
 		Dims:      tree.Dims(),
 		Points:    pts,
 		Weights:   w,
-		Kernel:    e.kern,
+		Kernel:    kern,
 		Kind:      kind,
 		LeafCap:   tree.LeafCap,
 		Method:    method,
-		Sketch:    sk,
 		PointID:   pointID,
 		NodeStart: nodeStart,
 		NodeEnd:   nodeEnd,
@@ -141,12 +153,9 @@ func (e *Engine) payload() enginePayload {
 	}
 }
 
-// restore rebuilds an engine from a payload.
-func (p enginePayload) restore() (*Engine, error) {
-	if p.Version < oldestReadableVersion || p.Version > persistVersion {
-		return nil, fmt.Errorf("karl: unsupported engine format version %d (this build reads versions %d through %d)",
-			p.Version, oldestReadableVersion, persistVersion)
-	}
+// restoreTree validates a v4+ payload and reconstructs its flat index
+// exactly.
+func (p enginePayload) restoreTree() (*index.Tree, error) {
 	if p.Dims < 1 || len(p.Points) == 0 || len(p.Points)%p.Dims != 0 {
 		return nil, errors.New("karl: corrupt engine payload")
 	}
@@ -154,18 +163,41 @@ func (p enginePayload) restore() (*Engine, error) {
 	if p.Weights != nil && len(p.Weights) != m.Rows {
 		return nil, errors.New("karl: corrupt engine payload (weights)")
 	}
+	tree, err := index.Reconstruct(indexKindOf(p.Kind), m, p.Weights, p.PointID,
+		p.NodeStart, p.NodeEnd, p.NodeRight, p.NodeDepth, p.VolData, p.LeafCap)
+	if err != nil {
+		return nil, fmt.Errorf("karl: corrupt engine payload: %w", err)
+	}
+	return tree, nil
+}
+
+// restore rebuilds an engine from a payload.
+func (p enginePayload) restore() (*Engine, error) {
+	if p.Version < oldestReadableVersion || p.Version > persistVersion {
+		return nil, fmt.Errorf("karl: unsupported engine format version %d (this build reads versions %d through %d)",
+			p.Version, oldestReadableVersion, persistVersion)
+	}
+	if p.Version >= 5 && len(p.Points) == 0 {
+		return nil, errors.New("karl: stream has no static engine payload (a dynamic engine file? use ReadDynamic)")
+	}
 	var eng *Engine
 	var err error
 	if p.Version >= 4 {
 		// v4+: reconstruct the persisted flat index exactly.
-		tree, rerr := index.Reconstruct(indexKindOf(p.Kind), m, p.Weights, p.PointID,
-			p.NodeStart, p.NodeEnd, p.NodeRight, p.NodeDepth, p.VolData, p.LeafCap)
+		tree, rerr := p.restoreTree()
 		if rerr != nil {
-			return nil, fmt.Errorf("karl: corrupt engine payload: %w", rerr)
+			return nil, rerr
 		}
 		eng, err = engineFromTree(tree, p.Kernel, p.Method)
 	} else {
 		// v1–v3 stored only the data and build parameters: rebuild.
+		if p.Dims < 1 || len(p.Points) == 0 || len(p.Points)%p.Dims != 0 {
+			return nil, errors.New("karl: corrupt engine payload")
+		}
+		m := &vec.Matrix{Data: p.Points, Rows: len(p.Points) / p.Dims, Cols: p.Dims}
+		if p.Weights != nil && len(p.Weights) != m.Rows {
+			return nil, errors.New("karl: corrupt engine payload (weights)")
+		}
 		opts := []Option{WithIndex(p.Kind, p.LeafCap), WithMethod(p.Method)}
 		if p.Weights != nil {
 			opts = append(opts, WithWeights(p.Weights))
@@ -176,7 +208,7 @@ func (p enginePayload) restore() (*Engine, error) {
 		return nil, err
 	}
 	if p.Sketch != nil {
-		if p.Sketch.Len != m.Rows || p.Sketch.SourceLen < m.Rows {
+		if p.Sketch.Len != eng.Len() || p.Sketch.SourceLen < eng.Len() {
 			return nil, errors.New("karl: corrupt engine payload (sketch provenance)")
 		}
 		eng.sketch = &SketchInfo{
@@ -232,6 +264,178 @@ func ReadSVM(r io.Reader) (*SVM, error) {
 		return nil, err
 	}
 	return &SVM{eng: eng, Rho: p.Rho, SupportVectors: eng.Len()}, nil
+}
+
+// segmentPayload is the wire form of one manifest segment: a v4-style
+// flat-index payload plus the segment's identity and coreset provenance.
+type segmentPayload struct {
+	Engine  enginePayload
+	ID      uint64
+	Coreset bool
+	Eps     float64
+}
+
+// dynamicPayload is the gob wire format for a DynamicEngine (format v5):
+// the LSM policy, the manifest as per-segment v4 payloads, and the raw
+// memtable rows in insertion order.
+type dynamicPayload struct {
+	Version     int
+	Dims        int
+	Kernel      Kernel
+	Kind        IndexKind
+	LeafCap     int
+	Method      Method
+	SealSize    int
+	Fanout      int
+	AutoCompact bool
+	ColdEps     float64
+	ColdMin     int
+	ColdSeed    int64
+	Epoch       uint64
+	NextID      uint64
+	Seals       int
+	Compactions int
+	Segments    []segmentPayload
+	MemPoints   []float64 // row-major Dims-wide memtable rows
+	MemWeights  []float64 // parallel to MemPoints rows
+}
+
+// WriteTo serializes the dynamic engine — manifest, memtable and policy —
+// so a reload resumes with the identical segment layout and therefore
+// bitwise-identical answers. It waits for an in-flight seal or full
+// compaction to finish, then snapshots under the lock; a concurrent
+// background merge does not block the write (the pre-merge manifest is a
+// consistent snapshot).
+func (d *DynamicEngine) WriteTo(w io.Writer) (int64, error) {
+	sh := d.sh
+	sh.mu.Lock()
+	for sh.sealing != nil || sh.draining {
+		sh.cond.Wait()
+	}
+	kind := KDTree
+	switch sh.bcfg.Kind {
+	case index.BallTree:
+		kind = BallTree
+	case index.VPTree:
+		kind = VPTree
+	}
+	method := MethodKARL
+	if sh.method == methodOf(MethodSOTA) {
+		method = MethodSOTA
+	}
+	p := dynamicPayload{
+		Version:     persistVersion,
+		Dims:        sh.dims,
+		Kernel:      sh.kern,
+		Kind:        kind,
+		LeafCap:     sh.bcfg.LeafCap,
+		Method:      method,
+		SealSize:    sh.policy.SealSize,
+		Fanout:      sh.policy.Fanout,
+		AutoCompact: sh.autoCompact,
+		ColdEps:     sh.policy.ColdEps,
+		ColdMin:     sh.policy.ColdMin,
+		ColdSeed:    sh.coldSeed,
+		Epoch:       sh.man.Epoch,
+		NextID:      sh.nextID,
+		Seals:       sh.seals,
+		Compactions: sh.compactions,
+	}
+	p.Segments = make([]segmentPayload, len(sh.man.Segs))
+	for i, s := range sh.man.Segs {
+		p.Segments[i] = segmentPayload{
+			Engine:  treePayload(s.Tree, sh.kern, method),
+			ID:      s.ID,
+			Coreset: s.Coreset,
+			Eps:     s.Eps,
+		}
+	}
+	if n := sh.mem.len(); n > 0 {
+		p.MemPoints = make([]float64, n*sh.dims)
+		copy(p.MemPoints, sh.mem.m.Data[:n*sh.dims])
+		p.MemWeights = make([]float64, n)
+		copy(p.MemWeights, sh.mem.w[:n])
+	}
+	sh.mu.Unlock()
+	cw := &countWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(p); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadDynamic deserializes a dynamic engine written by
+// DynamicEngine.WriteTo. The manifest is reconstructed segment by segment
+// (no rebuilding), so answers are bitwise identical across the round trip.
+func ReadDynamic(r io.Reader) (*DynamicEngine, error) {
+	var p dynamicPayload
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	if p.Version < 5 || p.Version > persistVersion {
+		return nil, fmt.Errorf("karl: unsupported dynamic engine format version %d (this build reads version 5 through %d; static engine files load with ReadEngine)",
+			p.Version, persistVersion)
+	}
+	if p.SealSize == 0 && len(p.Segments) == 0 {
+		// A static v5 engine stream decodes into these fields as zeroes.
+		return nil, errors.New("karl: stream has no dynamic engine payload (a static engine file? use ReadEngine)")
+	}
+	policy := segment.Policy{
+		SealSize: p.SealSize, Fanout: p.Fanout,
+		ColdEps: p.ColdEps, ColdMin: p.ColdMin,
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, fmt.Errorf("karl: corrupt dynamic engine payload: %w", err)
+	}
+	if err := p.Kernel.Validate(); err != nil {
+		return nil, fmt.Errorf("karl: corrupt dynamic engine payload: %w", err)
+	}
+	memN := 0
+	if len(p.MemPoints) > 0 {
+		if p.Dims < 1 || len(p.MemPoints)%p.Dims != 0 {
+			return nil, errors.New("karl: corrupt dynamic engine payload (memtable)")
+		}
+		memN = len(p.MemPoints) / p.Dims
+		if len(p.MemWeights) != memN {
+			return nil, errors.New("karl: corrupt dynamic engine payload (memtable weights)")
+		}
+	}
+	sh := &dynShared{
+		kern:        p.Kernel,
+		method:      methodOf(p.Method),
+		bcfg:        segment.BuildConfig{Kind: indexKindOf(p.Kind), LeafCap: p.LeafCap},
+		policy:      policy,
+		coldSeed:    p.ColdSeed,
+		autoCompact: p.AutoCompact,
+		dims:        p.Dims,
+		nextID:      p.NextID,
+		seals:       p.Seals,
+		compactions: p.Compactions,
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	man := &segment.Manifest{Epoch: p.Epoch, Segs: make([]*segment.Segment, len(p.Segments))}
+	for i, sp := range p.Segments {
+		tree, err := sp.Engine.restoreTree()
+		if err != nil {
+			return nil, fmt.Errorf("karl: segment %d: %w", i, err)
+		}
+		if p.Dims != 0 && tree.Dims() != p.Dims {
+			return nil, fmt.Errorf("karl: corrupt dynamic engine payload: segment %d has %d dims, engine has %d", i, tree.Dims(), p.Dims)
+		}
+		man.Segs[i] = &segment.Segment{Tree: tree, ID: sp.ID, Coreset: sp.Coreset, Eps: sp.Eps}
+	}
+	sh.man = man
+	if memN > 0 {
+		rows := sh.policy.SealSize
+		if memN > rows {
+			rows = memN
+		}
+		sh.mem = newMemtable(rows, p.Dims)
+		copy(sh.mem.m.Data, p.MemPoints)
+		copy(sh.mem.w, p.MemWeights)
+		sh.mem.n = memN
+	}
+	return newDynamicView(sh)
 }
 
 // countWriter tracks bytes written for the io.WriterTo-style signatures.

@@ -142,7 +142,7 @@ func TestReadEngineRejectsBadVersion(t *testing.T) {
 	}
 	// The error must name the offending version and the readable range, so
 	// operators can tell a stale binary from a corrupt file.
-	for _, want := range []string{"version 99", "1 through 4"} {
+	for _, want := range []string{"version 99", "1 through 5"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("version error %q does not mention %q", err, want)
 		}
@@ -237,6 +237,161 @@ func TestV4RestoreRejectsCorruptIndex(t *testing.T) {
 	p.PointID[0] = p.PointID[1] // duplicate mapping
 	if _, err := p.restore(); err == nil {
 		t.Fatal("duplicate PointID accepted")
+	}
+}
+
+// TestDynamicRoundTrip pins the v5 format: a segmented engine with sealed
+// segments, a compacted tier and a partially filled memtable reloads with
+// the identical manifest and bitwise-identical answers, and keeps
+// accepting inserts.
+func TestDynamicRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// Auto-compaction off: a background compaction landing between WriteTo's
+	// snapshot and the bitwise comparison below would change the original's
+	// summation order (the answers stay within ε, but this test pins
+	// bitwise equality, which needs identical segment layouts).
+	d, err := NewDynamic(Gaussian(3), WithIndex(BallTree, 16), WithSealSize(64),
+		WithCompactionFanout(2), WithAutoCompaction(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		if err := d.Insert(p, rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != d.Len() || loaded.Dims() != d.Dims() || loaded.Kernel() != d.Kernel() {
+		t.Fatal("shape or kernel changed across round trip")
+	}
+	origSegs, loadSegs := d.Segments(), loaded.Segments()
+	if len(origSegs) != len(loadSegs) {
+		t.Fatalf("segment count changed: %d vs %d", len(origSegs), len(loadSegs))
+	}
+	for i := range origSegs {
+		if origSegs[i] != loadSegs[i] {
+			t.Fatalf("segment %d changed: %+v vs %+v", i, origSegs[i], loadSegs[i])
+		}
+	}
+	if loaded.Epoch() != d.Epoch() || loaded.Seals() != d.Seals() {
+		t.Fatal("epoch or seal count changed")
+	}
+	for i := 0; i < 25; i++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		a, err := d.Aggregate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Aggregate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("Aggregate diverged: %v vs %v", a, b)
+		}
+		ta, _ := d.Threshold(q, a*1.01)
+		tb, _ := loaded.Threshold(q, a*1.01)
+		if ta != tb {
+			t.Fatal("Threshold diverged")
+		}
+	}
+	// The reloaded engine keeps working as a mutable engine.
+	for i := 0; i < 100; i++ {
+		if err := loaded.Insert([]float64{rng.Float64(), rng.Float64()}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loaded.Len() != d.Len()+100 {
+		t.Fatalf("Len after post-load inserts = %d", loaded.Len())
+	}
+}
+
+// TestDynamicRoundTripEmptyMemtableOnly covers the two degenerate layouts:
+// only buffered points (no segments), and a freshly compacted single
+// segment with an empty memtable.
+func TestDynamicRoundTripEmptyMemtableOnly(t *testing.T) {
+	d, _ := NewDynamic(Gaussian(1))
+	for i := 0; i < 10; i++ {
+		if err := d.Insert([]float64{float64(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.Aggregate([]float64{2})
+	b, err := loaded.Aggregate([]float64{2})
+	if err != nil || a != b {
+		t.Fatalf("memtable-only round trip diverged: %v vs %v (%v)", a, b, err)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = ReadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.MemtableLen() != 0 || len(loaded.Segments()) != 1 {
+		t.Fatalf("compacted layout changed: mem %d segs %d", loaded.MemtableLen(), len(loaded.Segments()))
+	}
+	b, _ = loaded.Aggregate([]float64{2})
+	a, _ = d.Aggregate([]float64{2})
+	if a != b {
+		t.Fatalf("compacted round trip diverged: %v vs %v", a, b)
+	}
+}
+
+// TestReadDynamicRejectsCrossFormat pins the error behavior when the two
+// stream kinds are mixed up: a static engine file fed to ReadDynamic and a
+// dynamic file fed to ReadEngine both produce clear errors, not silently
+// wrong engines.
+func TestReadDynamicRejectsCrossFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	eng, _ := Build(cloud(rng, 50, 2), Gaussian(1))
+	var buf bytes.Buffer
+	if _, err := eng.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDynamic(&buf); err == nil {
+		t.Fatal("ReadDynamic accepted a static engine stream")
+	}
+	d, _ := NewDynamic(Gaussian(1), WithSealSize(4))
+	for i := 0; i < 10; i++ {
+		if err := d.Insert([]float64{float64(i), 0}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Reset()
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadEngine(&buf)
+	if err == nil {
+		t.Fatal("ReadEngine accepted a dynamic engine stream")
+	}
+	if !strings.Contains(err.Error(), "ReadDynamic") {
+		t.Fatalf("cross-format error %q does not point at ReadDynamic", err)
 	}
 }
 
