@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,6 +52,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	if *mutable {
 		if err := runMutableBench(*maxN, *mixRatio, *sealSize, *fanout, *eps, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
@@ -63,10 +70,6 @@ func main() {
 			fmt.Println(id)
 		}
 		return
-	}
-	if *run == "" {
-		flag.Usage()
-		os.Exit(2)
 	}
 	cfg := experiments.Config{
 		Scale:      *scale,
@@ -99,6 +102,50 @@ func main() {
 		}
 		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// validateFlags rejects contradictory invocations up front, before any
+// dataset generation: exactly one mode (-run, -list, -mutable), and no
+// flags that belong to a different mode — a typo'd invocation fails in
+// milliseconds instead of after minutes of benchmarking the wrong thing.
+func validateFlags() error {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	modes := 0
+	for _, m := range []string{"run", "list", "mutable"} {
+		if set[m] {
+			modes++
+		}
+	}
+	if modes == 0 {
+		return errors.New("pick a mode: -run <id>, -list, or -mutable")
+	}
+	if modes > 1 {
+		return errors.New("-run, -list and -mutable are mutually exclusive: pick one mode")
+	}
+
+	var wrong []string
+	reject := func(mode string, names ...string) {
+		for _, name := range names {
+			if set[name] {
+				wrong = append(wrong, fmt.Sprintf("-%s only applies to %s", name, mode))
+			}
+		}
+	}
+	switch {
+	case set["list"]:
+		reject("-run", "scale", "maxn", "queries", "tunesample", "seed", "dims")
+		reject("-mutable", "mixratio", "seal", "fanout", "eps")
+	case set["mutable"]:
+		reject("-run", "scale", "queries", "tunesample", "dims")
+	default: // -run
+		reject("-mutable", "mixratio", "seal", "fanout", "eps")
+	}
+	if len(wrong) > 0 {
+		return errors.New(strings.Join(wrong, "; "))
+	}
+	return nil
 }
 
 // quantile returns the q-quantile of a sorted latency slice.

@@ -35,6 +35,18 @@
 // kernel), seed from a dynamic engine file (-model, written by
 // DynamicEngine.WriteTo), or replay vectors from -points as inserts.
 // The -sketch-eps tier requires an immutable engine and is rejected.
+//
+// With -coordinator the process serves no data itself: it scatter-gathers
+// over remote karl-serve shards (split a saved engine with karl-shard):
+//
+//	karl-serve -coordinator -shards http://s0:8080,http://s1:8080 -addr :9090
+//
+// Each -shards entry may carry replicas after "|"
+// (http://s0:8080|http://s0b:8080); replicas serve hedged and retried
+// requests. The coordinator exposes the same /v1/* query surface plus
+// per-shard latency/error/retry/hedge counters in GET /v1/stats, and
+// degrades to explicit partial results ("partial": true with the
+// covered-weight fraction) when shards are unreachable.
 package main
 
 import (
@@ -53,6 +65,7 @@ import (
 	"time"
 
 	"karl"
+	"karl/internal/cluster"
 	"karl/internal/server"
 )
 
@@ -70,9 +83,22 @@ func main() {
 		readTO   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle-connection timeout")
+		headerTO = flag.Duration("read-header-timeout", 5*time.Second, "HTTP header read timeout (slowloris guard)")
 		drainTO  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain timeout")
+
+		coordinator = flag.Bool("coordinator", false, "serve as a scatter-gather coordinator over remote shards (-shards)")
+		shardAddrs  = flag.String("shards", "", "comma-separated shard base URLs for -coordinator; append |url replicas per shard")
+		shardTO     = flag.Duration("shard-timeout", 2*time.Second, "per-shard attempt timeout for -coordinator")
 	)
 	flag.Parse()
+
+	if *coordinator {
+		if *model != "" || *points != "" || *mutable || *sketch > 0 {
+			log.Fatal("karl-serve: -coordinator is mutually exclusive with -model, -points, -mutable and -sketch-eps")
+		}
+		serveCoordinator(*shardAddrs, *addr, *shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
+		return
+	}
 
 	var opts []server.Option
 	if *poolSize > 0 {
@@ -124,12 +150,18 @@ func main() {
 			eng.Len(), eng.Dims(), eng.Kernel().Kind, *addr)
 	}
 
+	run(srv, banner, *addr, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
+}
+
+// run serves the handler until SIGINT/SIGTERM, then drains.
+func run(handler http.Handler, banner, addr string, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
 	httpSrv := &http.Server{
-		Addr:         *addr,
-		Handler:      srv,
-		ReadTimeout:  *readTO,
-		WriteTimeout: *writeTO,
-		IdleTimeout:  *idleTO,
+		Addr:              addr,
+		Handler:           handler,
+		ReadTimeout:       readTO,
+		WriteTimeout:      writeTO,
+		IdleTimeout:       idleTO,
+		ReadHeaderTimeout: headerTO,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -143,8 +175,8 @@ func main() {
 		log.Fatalf("karl-serve: %v", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutting down, draining for up to %v", *drainTO)
-		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		log.Printf("shutting down, draining for up to %v", drainTO)
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTO)
 		defer cancel()
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			log.Fatalf("karl-serve: shutdown: %v", err)
@@ -153,6 +185,44 @@ func main() {
 			log.Fatalf("karl-serve: %v", err)
 		}
 	}
+}
+
+// serveCoordinator builds the scatter-gather front end over remote
+// shards and serves its HTTP surface.
+func serveCoordinator(shardAddrs, addr string, shardTO, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
+	specs, err := parseShards(shardAddrs)
+	if err != nil {
+		log.Fatalf("karl-serve: %v", err)
+	}
+	co, err := cluster.New(context.Background(), specs, cluster.Config{Timeout: shardTO})
+	if err != nil {
+		log.Fatalf("karl-serve: %v", err)
+	}
+	banner := fmt.Sprintf("coordinating %d points (%d dims, %s kernel) across %d shards on %s",
+		co.Points(), co.Dims(), co.KernelName(), co.NumShards(), addr)
+	run(cluster.NewHTTPServer(co), banner, addr, readTO, writeTO, idleTO, headerTO, drainTO)
+}
+
+// parseShards parses "-shards url[|replica...],url[|replica...]".
+func parseShards(s string) ([]cluster.Shard, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("-coordinator needs -shards url1,url2,...")
+	}
+	var specs []cluster.Shard
+	for _, entry := range strings.Split(s, ",") {
+		urls := strings.Split(strings.TrimSpace(entry), "|")
+		if urls[0] == "" {
+			return nil, fmt.Errorf("empty shard entry in -shards %q", s)
+		}
+		spec := cluster.Shard{Client: cluster.NewHTTPShard(strings.TrimRight(urls[0], "/"))}
+		for _, rep := range urls[1:] {
+			if rep = strings.TrimSpace(rep); rep != "" {
+				spec.Replicas = append(spec.Replicas, cluster.NewHTTPShard(strings.TrimRight(rep, "/")))
+			}
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }
 
 // buildDynamic assembles the engine behind a -mutable server: a saved

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseShards(t *testing.T) {
+	specs, err := parseShards("http://a:8080, http://b:8080|http://b2:8080 ,http://c:8080/")
+	if err != nil {
+		t.Fatalf("parseShards: %v", err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d shards, want 3", len(specs))
+	}
+	if specs[0].Client.Name() != "http://a:8080" || len(specs[0].Replicas) != 0 {
+		t.Fatalf("shard 0: %q %d replicas", specs[0].Client.Name(), len(specs[0].Replicas))
+	}
+	if len(specs[1].Replicas) != 1 || specs[1].Replicas[0].Name() != "http://b2:8080" {
+		t.Fatalf("shard 1 replicas wrong: %+v", specs[1].Replicas)
+	}
+	if specs[2].Client.Name() != "http://c:8080" {
+		t.Fatalf("trailing slash not trimmed: %q", specs[2].Client.Name())
+	}
+
+	if _, err := parseShards(""); err == nil {
+		t.Fatal("empty -shards should fail")
+	}
+	if _, err := parseShards("http://a:8080,,http://c:8080"); err == nil {
+		t.Fatal("empty entry should fail")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"karl"
+)
+
+// TestSplitInspectRoundTrip drives the command's core paths: split a
+// saved engine into shard files plus manifest, reload every shard, and
+// check the pieces sum back to the whole.
+func TestSplitInspectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 300)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	eng, err := karl.Build(pts, karl.Gaussian(0.8))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "engine.karl")
+	f, err := os.Create(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WriteTo(f); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	f.Close()
+
+	outDir := filepath.Join(dir, "shards")
+	if err := runSplit(src, outDir, "kd", 4); err != nil {
+		t.Fatalf("runSplit: %v", err)
+	}
+
+	doc, err := os.ReadFile(filepath.Join(outDir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	var mf manifestFile
+	if err := json.Unmarshal(doc, &mf); err != nil {
+		t.Fatalf("manifest JSON: %v", err)
+	}
+	if mf.Partition != "kd" || mf.Shards != 4 || mf.SourceLen != 300 || len(mf.Files) != 4 {
+		t.Fatalf("manifest mismatch: %+v", mf)
+	}
+
+	q := []float64{0.2, -0.4}
+	want, _ := eng.Aggregate(q)
+	var sum float64
+	total := 0
+	for i, name := range mf.Files {
+		sf, err := os.Open(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := karl.ReadEngine(sf)
+		sf.Close()
+		if err != nil {
+			t.Fatalf("ReadEngine(%s): %v", name, err)
+		}
+		prov, ok := se.ShardInfo()
+		if !ok || prov.Index != i || prov.Of != 4 || prov.SourceLen != 300 {
+			t.Fatalf("shard %d provenance: ok=%v %+v", i, ok, prov)
+		}
+		if se.Len() != mf.Meta[i].Points {
+			t.Fatalf("shard %d: %d points, manifest says %d", i, se.Len(), mf.Meta[i].Points)
+		}
+		total += se.Len()
+		v, err := se.Aggregate(q)
+		if err != nil {
+			t.Fatalf("shard %d aggregate: %v", i, err)
+		}
+		sum += v
+
+		if err := runInspect(filepath.Join(outDir, name)); err != nil {
+			t.Fatalf("runInspect(%s): %v", name, err)
+		}
+	}
+	if total != 300 {
+		t.Fatalf("shards hold %d points, want 300", total)
+	}
+	if diff := sum - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("shard sum %v, want %v", sum, want)
+	}
+}
+
+// TestSplitRejectsBadPartition covers the up-front argument check.
+func TestSplitRejectsBadPartition(t *testing.T) {
+	if err := runSplit("nonexistent.karl", t.TempDir(), "banana", 4); err == nil {
+		t.Fatal("unknown partition strategy should fail")
+	}
+}

@@ -183,6 +183,34 @@ func (d *DynamicEngine) Dims() int {
 // Kernel returns the engine's kernel.
 func (d *DynamicEngine) Kernel() Kernel { return d.sh.kern }
 
+// WeightMass returns the dataset's positive and negative weight mass
+// (pos = Σ w_i over w_i ≥ 0, neg = Σ |w_i| over w_i < 0) across every
+// segment plus the buffered inserts — the same contract as
+// Engine.WeightMass, which the cluster layer relies on.
+func (d *DynamicEngine) WeightMass() (pos, neg float64) {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, s := range sh.man.Segs {
+		r := s.Tree.Root()
+		pos += r.Pos.W
+		neg += r.Neg.W
+	}
+	for _, mt := range []*memtable{sh.mem, sh.sealing} {
+		if mt == nil {
+			continue
+		}
+		for i := 0; i < mt.n; i++ {
+			if w := mt.w[i]; w >= 0 {
+				pos += w
+			} else {
+				neg -= w
+			}
+		}
+	}
+	return pos, neg
+}
+
 func (b *memtable) len() int {
 	if b == nil {
 		return 0

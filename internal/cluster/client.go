@@ -1,0 +1,285 @@
+// Package cluster is the horizontal-scaling layer: a coordinator that
+// answers kernel aggregation queries by scatter-gather over N shard
+// engines, each holding one slice of a partitioned dataset
+// (internal/shard, cmd/karl-shard).
+//
+// The layer leans on the paper's structure instead of treating shards as
+// black boxes. Kernel aggregation is additively decomposable,
+// F_P(q) = Σ_S F_S(q), and KARL's refinement produces certified per-shard
+// intervals [lb_S, ub_S] ∋ F_S(q) — so per-shard intervals SUM to a
+// certified global interval, exactly as core.Forest composes segment
+// bounds inside one process. The coordinator therefore runs the paper's
+// termination tests on Σ lb_S and Σ ub_S: a threshold query stops the
+// moment Σ lb > τ or Σ ub ≤ τ (cancelling outstanding shard work), and an
+// approximate query refines adaptively, allocating the global ε-budget
+// across shards proportional to their weight mass W_S and leaving already
+// tight shards alone.
+//
+// Two ShardClient backends implement the transport: LocalShard wraps an
+// in-process *karl.Engine behind a clone pool (core-parallel single-box
+// serving) and HTTPShard speaks JSON to a remote karl-serve instance over
+// the /v1/* endpoints (POST /v1/bounds is the bound-exchange unit).
+// Robustness is first-class: per-shard timeouts, one retry with backoff,
+// hedged requests to a replica after a latency percentile, and a degraded
+// mode that serves explicit partial results when a shard is down.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"karl"
+	"karl/internal/server"
+)
+
+// ShardInfo describes one shard's slice of the dataset: cardinality,
+// dimensionality, kernel identity, and the per-sign weight masses the
+// coordinator's ε-budget allocation and degraded-mode accounting need.
+type ShardInfo struct {
+	Points int
+	Dims   int
+	Kernel string
+	Gamma  float64
+	WPos   float64
+	WNeg   float64
+}
+
+// Weight returns the shard's total weight mass W_S = W⁺ + W⁻.
+func (i ShardInfo) Weight() float64 { return i.WPos + i.WNeg }
+
+// Bounds is one bound-exchange answer: the shard's current estimate of
+// F_S(q) together with the certified interval refinement terminated at.
+type Bounds struct {
+	Value float64
+	LB    float64
+	UB    float64
+}
+
+// ShardClient is the transport interface the coordinator fans out over.
+// Implementations must be safe for concurrent use — the coordinator issues
+// hedged and parallel calls against one client.
+type ShardClient interface {
+	// Name identifies the shard in stats and error messages.
+	Name() string
+	// Info describes the shard's dataset.
+	Info(ctx context.Context) (ShardInfo, error)
+	// Aggregate computes the shard's exact contribution F_S(q).
+	Aggregate(ctx context.Context, q []float64) (float64, error)
+	// Bounds refines F_S(q) to the given relative budget and returns the
+	// value with its certified interval; eps <= 0 requests the exact value
+	// (lb = ub = value).
+	Bounds(ctx context.Context, q []float64, eps float64) (Bounds, error)
+	// Healthy probes shard readiness (GET /v1/readyz for remote shards).
+	Healthy(ctx context.Context) error
+}
+
+// LocalShard serves one in-process *karl.Engine as a shard: the
+// core-parallel single-box backend. Engine clones are pooled so concurrent
+// (including hedged) calls each refine on private scratch over the shared
+// index.
+type LocalShard struct {
+	name string
+	pool sync.Pool
+	info ShardInfo
+}
+
+// NewLocalShard wraps an engine as a shard client.
+func NewLocalShard(name string, eng *karl.Engine) *LocalShard {
+	wpos, wneg := eng.WeightMass()
+	k := eng.Kernel()
+	s := &LocalShard{
+		name: name,
+		info: ShardInfo{
+			Points: eng.Len(),
+			Dims:   eng.Dims(),
+			Kernel: k.Kind.String(),
+			Gamma:  k.Gamma,
+			WPos:   wpos,
+			WNeg:   wneg,
+		},
+	}
+	s.pool.New = func() any { return eng.Clone() }
+	return s
+}
+
+// Name implements ShardClient.
+func (s *LocalShard) Name() string { return s.name }
+
+// Info implements ShardClient.
+func (s *LocalShard) Info(ctx context.Context) (ShardInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return ShardInfo{}, err
+	}
+	return s.info, nil
+}
+
+// Healthy implements ShardClient; an in-process engine is always ready.
+func (s *LocalShard) Healthy(ctx context.Context) error { return ctx.Err() }
+
+// Aggregate implements ShardClient.
+func (s *LocalShard) Aggregate(ctx context.Context, q []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	eng := s.pool.Get().(*karl.Engine)
+	defer s.pool.Put(eng)
+	return eng.Aggregate(q)
+}
+
+// Bounds implements ShardClient. In-process refinement is not
+// interruptible mid-query; the context is honored at call boundaries,
+// which is enough for the sub-millisecond single-shard latencies this
+// backend exists for.
+func (s *LocalShard) Bounds(ctx context.Context, q []float64, eps float64) (Bounds, error) {
+	if err := ctx.Err(); err != nil {
+		return Bounds{}, err
+	}
+	eng := s.pool.Get().(*karl.Engine)
+	defer s.pool.Put(eng)
+	if eps > 0 {
+		v, st, err := eng.ApproximateStats(q, eps)
+		if err != nil {
+			return Bounds{}, err
+		}
+		return Bounds{Value: v, LB: st.LB, UB: st.UB}, nil
+	}
+	v, err := eng.Aggregate(q)
+	if err != nil {
+		return Bounds{}, err
+	}
+	return Bounds{Value: v, LB: v, UB: v}, nil
+}
+
+// HTTPShard speaks to a remote karl-serve instance over its JSON /v1/*
+// endpoints, reusing the server's request types on the wire.
+type HTTPShard struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPShard builds a client for a karl-serve base URL (e.g.
+// "http://host:8080"). The default transport keeps connections alive
+// across the coordinator's scatter-gather rounds.
+func NewHTTPShard(baseURL string) *HTTPShard {
+	return NewHTTPShardClient(baseURL, &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	})
+}
+
+// NewHTTPShardClient builds a client with a caller-supplied http.Client
+// (custom transports, test instrumentation).
+func NewHTTPShardClient(baseURL string, hc *http.Client) *HTTPShard {
+	return &HTTPShard{base: baseURL, hc: hc}
+}
+
+// Name implements ShardClient: the base URL identifies the shard.
+func (s *HTTPShard) Name() string { return s.base }
+
+// Info implements ShardClient via GET /v1/info.
+func (s *HTTPShard) Info(ctx context.Context) (ShardInfo, error) {
+	var resp server.InfoResponse
+	if err := s.get(ctx, "/v1/info", &resp); err != nil {
+		return ShardInfo{}, err
+	}
+	return ShardInfo{
+		Points: resp.Points,
+		Dims:   resp.Dims,
+		Kernel: resp.Kernel,
+		Gamma:  resp.Gamma,
+		WPos:   resp.WeightPos,
+		WNeg:   resp.WeightNeg,
+	}, nil
+}
+
+// Healthy implements ShardClient via GET /v1/readyz.
+func (s *HTTPShard) Healthy(ctx context.Context) error {
+	var resp server.ReadyResponse
+	if err := s.get(ctx, "/v1/readyz", &resp); err != nil {
+		return err
+	}
+	if !resp.Ready {
+		return fmt.Errorf("cluster: shard %s not ready", s.base)
+	}
+	return nil
+}
+
+// Aggregate implements ShardClient via POST /v1/aggregate.
+func (s *HTTPShard) Aggregate(ctx context.Context, q []float64) (float64, error) {
+	var resp server.ValueResponse
+	if err := s.post(ctx, "/v1/aggregate", server.QueryRequest{Q: q}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Bounds implements ShardClient via POST /v1/bounds; eps <= 0 sends no
+// budget, which the server answers exactly.
+func (s *HTTPShard) Bounds(ctx context.Context, q []float64, eps float64) (Bounds, error) {
+	req := server.QueryRequest{Q: q}
+	if eps > 0 {
+		req.Eps = eps
+	}
+	var resp server.BoundsResponse
+	if err := s.post(ctx, "/v1/bounds", req, &resp); err != nil {
+		return Bounds{}, err
+	}
+	return Bounds{Value: resp.Value, LB: resp.LB, UB: resp.UB}, nil
+}
+
+func (s *HTTPShard) get(ctx context.Context, path string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return s.do(req, dst)
+}
+
+func (s *HTTPShard) post(ctx context.Context, path string, body, dst any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return s.do(req, dst)
+}
+
+// do executes a request and decodes the JSON response, surfacing the
+// server's error envelope on non-2xx statuses.
+func (s *HTTPShard) do(req *http.Request, dst any) error {
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: shard %s: %w", s.base, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("cluster: shard %s: read response: %w", s.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+			return fmt.Errorf("cluster: shard %s: %s (HTTP %d)", s.base, envelope.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("cluster: shard %s: HTTP %d", s.base, resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		return fmt.Errorf("cluster: shard %s: decode response: %w", s.base, err)
+	}
+	return nil
+}

@@ -1,0 +1,611 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"karl"
+	"karl/internal/server"
+)
+
+// dataset builds a deterministic point cloud plus weights of the given
+// query type: Type I (unweighted), Type II (positive weights), Type III
+// (mixed-sign weights).
+func dataset(n, d int, seed int64, typ string) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		pts[i] = row
+	}
+	var w []float64
+	switch typ {
+	case "II":
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = 0.1 + 2*rng.Float64()
+		}
+	case "III":
+		w = make([]float64, n)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+	}
+	return pts, w
+}
+
+func buildEngine(t testing.TB, pts [][]float64, w []float64, kern karl.Kernel, kind karl.IndexKind) *karl.Engine {
+	t.Helper()
+	opts := []karl.Option{karl.WithIndex(kind, 16)}
+	if w != nil {
+		opts = append(opts, karl.WithWeights(w))
+	}
+	eng, err := karl.Build(pts, kern, opts...)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return eng
+}
+
+// localCoordinator shards an engine four ways and serves the pieces
+// through in-process shard clients.
+func localCoordinator(t testing.TB, eng *karl.Engine, cfg Config) *Coordinator {
+	t.Helper()
+	shards, _, err := eng.Shard(4, karl.HashPartition)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	specs := make([]Shard, len(shards))
+	for i, se := range shards {
+		specs[i] = Shard{Client: NewLocalShard(fmt.Sprintf("shard-%d", i), se)}
+	}
+	co, err := New(context.Background(), specs, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return co
+}
+
+// TestCoordinatorEquivalence is the acceptance gate: across index
+// structures, query types and kernels, a 4-shard coordinator must agree
+// with the monolithic engine — exact aggregates within FP tolerance,
+// threshold verdicts equal away from ties, approximate answers within the
+// global ε.
+func TestCoordinatorEquivalence(t *testing.T) {
+	kinds := map[string]karl.IndexKind{"kd": karl.KDTree, "ball": karl.BallTree, "vp": karl.VPTree}
+	kernels := map[string]karl.Kernel{
+		"gaussian":     karl.Gaussian(0.5),
+		"epanechnikov": karl.Epanechnikov(0.2),
+		"sigmoid":      karl.Sigmoid(0.05, 0.1),
+	}
+	const eps = 0.05
+	ctx := context.Background()
+	for kindName, kind := range kinds {
+		for _, typ := range []string{"I", "II", "III"} {
+			for kernName, kern := range kernels {
+				t.Run(fmt.Sprintf("%s/%s/%s", kindName, typ, kernName), func(t *testing.T) {
+					pts, w := dataset(400, 3, 7, typ)
+					mono := buildEngine(t, pts, w, kern, kind)
+					co := localCoordinator(t, mono, Config{})
+
+					queries, _ := dataset(5, 3, 11, "I")
+					for qi, q := range queries {
+						exact, err := mono.Aggregate(q)
+						if err != nil {
+							t.Fatalf("mono.Aggregate: %v", err)
+						}
+						scale := math.Max(math.Abs(exact), 1)
+
+						res, err := co.Aggregate(ctx, q)
+						if err != nil {
+							t.Fatalf("co.Aggregate: %v", err)
+						}
+						if res.Partial || res.Covered != 1 {
+							t.Fatalf("q%d: unexpected partial result %+v", qi, res)
+						}
+						if diff := math.Abs(res.Value - exact); diff > 1e-9*scale {
+							t.Errorf("q%d: aggregate %v, want %v (diff %g)", qi, res.Value, exact, diff)
+						}
+
+						// Thresholds placed away from the tie at the exact value.
+						margin := math.Max(0.05*math.Abs(exact), 1e-3)
+						for _, tau := range []float64{exact - margin, exact + margin} {
+							tr, err := co.Threshold(ctx, q, tau)
+							if err != nil {
+								t.Fatalf("q%d: co.Threshold(%v): %v", qi, tau, err)
+							}
+							if want := exact > tau; tr.Over != want {
+								t.Errorf("q%d: threshold(%v) = %v, want %v (exact %v)", qi, tau, tr.Over, want, exact)
+							}
+							if tr.Partial {
+								t.Errorf("q%d: threshold unexpectedly partial", qi)
+							}
+						}
+
+						ar, err := co.Approximate(ctx, q, eps)
+						if err != nil {
+							t.Fatalf("q%d: co.Approximate: %v", qi, err)
+						}
+						if tol := eps*math.Abs(exact) + 1e-9*scale; math.Abs(ar.Value-exact) > tol {
+							t.Errorf("q%d: approximate %v outside ±%g of %v", qi, ar.Value, tol, exact)
+						}
+						if ar.LB-1e-9*scale > exact || ar.UB+1e-9*scale < exact {
+							t.Errorf("q%d: exact %v outside certified [%v, %v]", qi, exact, ar.LB, ar.UB)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// flakyShard wraps a ShardClient and can be switched off (every call
+// fails) or made to fail the next k calls.
+type flakyShard struct {
+	ShardClient
+	down      atomic.Bool
+	failNext  atomic.Int64
+	delay     time.Duration
+	callCount atomic.Int64
+}
+
+func (f *flakyShard) trip() error {
+	f.callCount.Add(1)
+	if f.down.Load() {
+		return errors.New("shard down (test)")
+	}
+	if f.failNext.Load() > 0 && f.failNext.Add(-1) >= 0 {
+		return errors.New("transient failure (test)")
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return nil
+}
+
+func (f *flakyShard) Info(ctx context.Context) (ShardInfo, error) {
+	if err := f.trip(); err != nil {
+		return ShardInfo{}, err
+	}
+	return f.ShardClient.Info(ctx)
+}
+
+func (f *flakyShard) Aggregate(ctx context.Context, q []float64) (float64, error) {
+	if err := f.trip(); err != nil {
+		return 0, err
+	}
+	return f.ShardClient.Aggregate(ctx, q)
+}
+
+func (f *flakyShard) Bounds(ctx context.Context, q []float64, eps float64) (Bounds, error) {
+	if err := f.trip(); err != nil {
+		return Bounds{}, err
+	}
+	return f.ShardClient.Bounds(ctx, q, eps)
+}
+
+func (f *flakyShard) Healthy(ctx context.Context) error {
+	if err := f.trip(); err != nil {
+		return err
+	}
+	return f.ShardClient.Healthy(ctx)
+}
+
+// TestRetryRecoversTransientFailure exercises the retry rung: a shard
+// failing exactly once per query is healed by the single retry and the
+// result is complete, with the retry counted.
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	pts, _ := dataset(200, 2, 3, "I")
+	mono := buildEngine(t, pts, nil, karl.Gaussian(1), karl.KDTree)
+	shards, _, err := mono.Shard(2, karl.HashPartition)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	flaky := &flakyShard{ShardClient: NewLocalShard("flaky", shards[0])}
+	specs := []Shard{
+		{Client: flaky},
+		{Client: NewLocalShard("steady", shards[1])},
+	}
+	co, err := New(context.Background(), specs, Config{Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	q := []float64{0.3, -0.2}
+	exact, _ := mono.Aggregate(q)
+	flaky.failNext.Store(1)
+	res, err := co.Aggregate(context.Background(), q)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if res.Partial {
+		t.Fatalf("retry should have healed the transient failure: %+v", res)
+	}
+	if math.Abs(res.Value-exact) > 1e-9 {
+		t.Fatalf("value %v, want %v", res.Value, exact)
+	}
+	if got := co.shards[0].retries.Load(); got < 1 {
+		t.Fatalf("retries counter = %d, want >= 1", got)
+	}
+}
+
+// TestHedgeWinsOverSlowPrimary exercises the hedge rung: once the latency
+// window is warm, a slow primary triggers a hedged request to the replica,
+// which wins.
+func TestHedgeWinsOverSlowPrimary(t *testing.T) {
+	pts, _ := dataset(200, 2, 5, "I")
+	mono := buildEngine(t, pts, nil, karl.Gaussian(1), karl.KDTree)
+	shards, _, err := mono.Shard(2, karl.HashPartition)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	slow := &flakyShard{ShardClient: NewLocalShard("slow-primary", shards[0]), delay: 200 * time.Millisecond}
+	replica := NewLocalShard("replica", shards[0])
+	specs := []Shard{
+		{Client: slow, Replicas: []ShardClient{replica}},
+		{Client: NewLocalShard("steady", shards[1])},
+	}
+	co, err := New(context.Background(), specs, Config{HedgeMin: time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Warm the latency window with fast samples so the hedge arms at ~1ms.
+	for i := 0; i < warmSamples; i++ {
+		co.shards[0].lat.record(100 * time.Microsecond)
+	}
+
+	q := []float64{0.1, 0.4}
+	exact, _ := mono.Aggregate(q)
+	start := time.Now()
+	res, err := co.Aggregate(context.Background(), q)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if math.Abs(res.Value-exact) > 1e-9 {
+		t.Fatalf("value %v, want %v", res.Value, exact)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("hedge did not shortcut the slow primary (took %v)", elapsed)
+	}
+	if co.shards[0].hedges.Load() < 1 || co.shards[0].hedgeWins.Load() < 1 {
+		t.Fatalf("hedges=%d hedgeWins=%d, want >= 1 each",
+			co.shards[0].hedges.Load(), co.shards[0].hedgeWins.Load())
+	}
+}
+
+// downableHandler wraps an HTTP handler with a kill switch, simulating a
+// shard crash (connection-level refusal) without tearing down listeners.
+type downableHandler struct {
+	inner http.Handler
+	down  atomic.Bool
+}
+
+func (d *downableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if d.down.Load() {
+		// Hijack-and-drop where possible to look like a crashed process;
+		// otherwise a bare 500 with no body.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	d.inner.ServeHTTP(w, r)
+}
+
+// httpCluster spins up one httptest server per shard engine and returns
+// the coordinator plus the kill switches.
+func httpCluster(t testing.TB, shards []*karl.Engine, cfg Config) (*Coordinator, []*downableHandler) {
+	t.Helper()
+	specs := make([]Shard, len(shards))
+	switches := make([]*downableHandler, len(shards))
+	for i, se := range shards {
+		srv, err := server.New(se)
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		dh := &downableHandler{inner: srv}
+		ts := httptest.NewServer(dh)
+		t.Cleanup(ts.Close)
+		switches[i] = dh
+		specs[i] = Shard{Client: NewHTTPShard(ts.URL)}
+	}
+	co, err := New(context.Background(), specs, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return co, switches
+}
+
+// TestCoordinatorHTTPEquivalence runs the equivalence check over real
+// HTTP shards: the coordinator speaking JSON to four karl-serve handlers
+// must match the monolithic engine.
+func TestCoordinatorHTTPEquivalence(t *testing.T) {
+	pts, w := dataset(400, 3, 13, "III")
+	mono := buildEngine(t, pts, w, karl.Gaussian(0.5), karl.KDTree)
+	shards, _, err := mono.Shard(4, karl.KDPartition)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	co, _ := httpCluster(t, shards, Config{})
+	ctx := context.Background()
+
+	queries, _ := dataset(5, 3, 17, "I")
+	for qi, q := range queries {
+		exact, _ := mono.Aggregate(q)
+		res, err := co.Aggregate(ctx, q)
+		if err != nil {
+			t.Fatalf("q%d: Aggregate: %v", qi, err)
+		}
+		if math.Abs(res.Value-exact) > 1e-9*math.Max(math.Abs(exact), 1) {
+			t.Errorf("q%d: aggregate %v, want %v", qi, res.Value, exact)
+		}
+		ar, err := co.Approximate(ctx, q, 0.05)
+		if err != nil {
+			t.Fatalf("q%d: Approximate: %v", qi, err)
+		}
+		if math.Abs(ar.Value-exact) > 0.05*math.Abs(exact)+1e-9 {
+			t.Errorf("q%d: approximate %v vs exact %v", qi, ar.Value, exact)
+		}
+		margin := math.Max(0.05*math.Abs(exact), 1e-3)
+		tr, err := co.Threshold(ctx, q, exact-margin)
+		if err != nil {
+			t.Fatalf("q%d: Threshold: %v", qi, err)
+		}
+		if !tr.Over {
+			t.Errorf("q%d: threshold below exact should be over", qi)
+		}
+	}
+}
+
+// TestCoordinatorChaos is the degraded-mode acceptance test: kill one
+// HTTP shard mid-stream, check the partial contract on every query type,
+// then revive it and check full recovery.
+func TestCoordinatorChaos(t *testing.T) {
+	pts, _ := dataset(400, 3, 19, "II")
+	mono := buildEngine(t, pts, nil, karl.Gaussian(0.5), karl.KDTree)
+	shards, man, err := mono.Shard(4, karl.HashPartition)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	// Short timeout and backoff so the dead-shard path is fast.
+	co, switches := httpCluster(t, shards, Config{Timeout: 2 * time.Second, Backoff: time.Millisecond})
+	ctx := context.Background()
+	q := []float64{0.2, -0.1, 0.5}
+	exact, _ := mono.Aggregate(q)
+
+	// Healthy cluster: complete answers.
+	res, err := co.Aggregate(ctx, q)
+	if err != nil || res.Partial {
+		t.Fatalf("healthy aggregate: res=%+v err=%v", res, err)
+	}
+
+	// Kill shard 2 mid-stream.
+	const victim = 2
+	switches[victim].down.Store(true)
+	deadW := man.Shards[victim].Weight()
+	var deadF float64
+	{
+		v, err := shards[victim].Aggregate(q)
+		if err != nil {
+			t.Fatalf("victim aggregate: %v", err)
+		}
+		deadF = v
+	}
+
+	res, err = co.Aggregate(ctx, q)
+	if err != nil {
+		t.Fatalf("degraded aggregate: %v", err)
+	}
+	if !res.Partial || len(res.Failed) != 1 {
+		t.Fatalf("degraded aggregate should be partial with one failed shard: %+v", res)
+	}
+	wantCovered := (co.wTotal - deadW) / co.wTotal
+	if math.Abs(res.Covered-wantCovered) > 1e-9 {
+		t.Fatalf("covered = %v, want %v", res.Covered, wantCovered)
+	}
+	if want := exact - deadF; math.Abs(res.Value-want) > 1e-9*math.Max(math.Abs(want), 1) {
+		t.Fatalf("partial value %v, want remaining mass %v", res.Value, want)
+	}
+
+	// Approximate degrades the same way.
+	ar, err := co.Approximate(ctx, q, 0.05)
+	if err != nil {
+		t.Fatalf("degraded approximate: %v", err)
+	}
+	if !ar.Partial {
+		t.Fatalf("degraded approximate should be partial: %+v", ar)
+	}
+	if want := exact - deadF; math.Abs(ar.Value-want) > 0.05*math.Abs(want)+1e-9 {
+		t.Fatalf("partial approximate %v, want ≈ %v", ar.Value, want)
+	}
+
+	// Threshold, verdict safe from below: the dead shard's worst case
+	// (its full weight, Gaussian kernel values in [0,1]) cannot drag Σ
+	// below a τ the live shards already clear. The verdict may certify
+	// before the failure is even observed, so Partial is allowed either
+	// way here.
+	aliveF := exact - deadF
+	tr, err := co.Threshold(ctx, q, aliveF/2)
+	if err != nil {
+		t.Fatalf("safe threshold: %v", err)
+	}
+	if !tr.Over {
+		t.Fatalf("safe threshold should decide over: %+v", tr)
+	}
+
+	// Threshold, verdict safe from above: τ exceeds the live mass plus
+	// the dead shard's entire worst-case contribution, so Over must be
+	// false — and deciding it requires refining the live shards to
+	// (near) exact, which always outlives the failure observation:
+	// Partial is deterministic here.
+	tr, err = co.Threshold(ctx, q, aliveF+1.01*deadW)
+	if err != nil {
+		t.Fatalf("safe-above threshold: %v", err)
+	}
+	if tr.Over || !tr.Partial {
+		t.Fatalf("safe-above threshold should decide not-over with partial flag: %+v", tr)
+	}
+	if math.Abs(tr.Covered-wantCovered) > 1e-9 {
+		t.Fatalf("threshold covered = %v, want %v", tr.Covered, wantCovered)
+	}
+
+	// Threshold, verdict at risk: τ sits inside the dead shard's a-priori
+	// interval [aliveF, aliveF + W_dead] — answering would be a guess.
+	if _, err := co.Threshold(ctx, q, aliveF+deadW/2); !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("risky threshold: got err=%v, want ErrIndeterminate", err)
+	}
+
+	// Revive: full recovery without rebuilding anything.
+	switches[victim].down.Store(false)
+	res, err = co.Aggregate(ctx, q)
+	if err != nil || res.Partial {
+		t.Fatalf("revived aggregate: res=%+v err=%v", res, err)
+	}
+	if math.Abs(res.Value-exact) > 1e-9*math.Max(math.Abs(exact), 1) {
+		t.Fatalf("revived value %v, want %v", res.Value, exact)
+	}
+}
+
+// TestCoordinatorAllShardsDown checks the no-coverage contract: value
+// queries error with ErrUnavailable rather than fabricating an answer.
+func TestCoordinatorAllShardsDown(t *testing.T) {
+	pts, _ := dataset(200, 2, 23, "I")
+	mono := buildEngine(t, pts, nil, karl.Gaussian(1), karl.KDTree)
+	shards, _, err := mono.Shard(2, karl.HashPartition)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	co, switches := httpCluster(t, shards, Config{Timeout: time.Second, Backoff: time.Millisecond})
+	for _, sw := range switches {
+		sw.down.Store(true)
+	}
+	if _, err := co.Aggregate(context.Background(), []float64{0, 0}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("got err=%v, want ErrUnavailable", err)
+	}
+}
+
+// TestCoordinatorValidation covers construction and query validation.
+func TestCoordinatorValidation(t *testing.T) {
+	pts, _ := dataset(100, 2, 29, "I")
+	a := buildEngine(t, pts, nil, karl.Gaussian(1), karl.KDTree)
+	b := buildEngine(t, pts, nil, karl.Gaussian(2), karl.KDTree)
+
+	_, err := New(context.Background(), []Shard{
+		{Client: NewLocalShard("a", a)},
+		{Client: NewLocalShard("b", b)},
+	}, Config{})
+	if err == nil {
+		t.Fatal("mismatched kernels should fail construction")
+	}
+
+	co, err := New(context.Background(), []Shard{{Client: NewLocalShard("a", a)}}, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := co.Aggregate(context.Background(), []float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong-dims query should fail")
+	}
+	if _, err := co.Approximate(context.Background(), []float64{1, 2}, 0); err == nil {
+		t.Fatal("eps=0 should fail")
+	}
+	if _, err := co.Threshold(context.Background(), []float64{1, 2}, math.NaN()); err == nil {
+		t.Fatal("NaN tau should fail")
+	}
+}
+
+// TestHTTPServerSurface drives the coordinator's own HTTP facade.
+func TestHTTPServerSurface(t *testing.T) {
+	pts, _ := dataset(300, 3, 31, "II")
+	mono := buildEngine(t, pts, nil, karl.Gaussian(0.5), karl.KDTree)
+	co := localCoordinator(t, mono, Config{})
+	front := httptest.NewServer(NewHTTPServer(co))
+	t.Cleanup(front.Close)
+	fc := NewHTTPShard(front.URL)
+	ctx := context.Background()
+
+	q := []float64{0.1, 0.2, -0.3}
+	exact, _ := mono.Aggregate(q)
+	got, err := fc.Aggregate(ctx, q)
+	if err != nil {
+		t.Fatalf("front aggregate: %v", err)
+	}
+	if math.Abs(got-exact) > 1e-9 {
+		t.Fatalf("front aggregate %v, want %v", got, exact)
+	}
+
+	info, err := fc.Info(ctx)
+	if err != nil {
+		t.Fatalf("front info: %v", err)
+	}
+	if info.Points != mono.Len() || info.Dims != 3 || info.Kernel != "gaussian" {
+		t.Fatalf("front info mismatch: %+v", info)
+	}
+	if err := fc.Healthy(ctx); err != nil {
+		t.Fatalf("front readyz: %v", err)
+	}
+
+	// Stats surface includes one entry per shard.
+	resp, err := http.Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkCoordinatorParallel measures 4-shard scatter-gather
+// approximate queries under parallel load — the CI smoke number
+// contrasted with BenchmarkSingleNode.
+func BenchmarkCoordinatorParallel(b *testing.B) {
+	pts, _ := dataset(20000, 5, 41, "II")
+	mono := buildEngine(b, pts, nil, karl.Gaussian(0.2), karl.KDTree)
+	co := localCoordinator(b, mono, Config{})
+	queries, _ := dataset(64, 5, 43, "I")
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := co.Approximate(ctx, queries[i%len(queries)], 0.05); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkSingleNode is the monolithic baseline for
+// BenchmarkCoordinatorParallel.
+func BenchmarkSingleNode(b *testing.B) {
+	pts, _ := dataset(20000, 5, 41, "II")
+	mono := buildEngine(b, pts, nil, karl.Gaussian(0.2), karl.KDTree)
+	queries, _ := dataset(64, 5, 43, "I")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		eng := mono.Clone()
+		i := 0
+		for pb.Next() {
+			if _, err := eng.Approximate(queries[i%len(queries)], 0.05); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,888 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrIndeterminate is returned by Threshold in degraded mode when the
+// unreachable shards' worst-case weight mass could flip the verdict: the
+// coordinator refuses to guess. Aggregate and Approximate degrade to
+// explicit partial results instead; a threshold answer is a boolean and
+// has no honest partial form.
+var ErrIndeterminate = errors.New("cluster: threshold verdict indeterminate: unreachable shards could flip it")
+
+// ErrUnavailable is returned when no shard at all could answer a query —
+// the one degradation with no honest partial form for value queries.
+var ErrUnavailable = errors.New("cluster: no shards reachable")
+
+// Config tunes the coordinator's robustness and refinement behavior. The
+// zero value picks production defaults.
+type Config struct {
+	// Timeout bounds each shard attempt (default 2s).
+	Timeout time.Duration
+	// Retries is the number of retry attempts after a failed call
+	// (default 1; negative disables retries).
+	Retries int
+	// Backoff is the pause before a retry (default 50ms).
+	Backoff time.Duration
+	// HedgeQuantile arms a hedged request to a replica once the primary
+	// has been in flight longer than this latency quantile of recent
+	// successful calls (default 0.9). Hedging needs replicas and a warm
+	// latency window; otherwise calls are unhedged.
+	HedgeQuantile float64
+	// HedgeMin floors the hedge delay so cold windows with microsecond
+	// samples don't hedge every call (default 1ms).
+	HedgeMin time.Duration
+	// MaxRounds caps adaptive bound-exchange rounds before the
+	// coordinator forces an exact round (default 6).
+	MaxRounds int
+	// InitialEps is the round-0 relative budget for threshold queries
+	// (default 0.5): cheap first bounds, refined only where τ demands it.
+	InitialEps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	switch {
+	case c.Retries == 0:
+		c.Retries = 1
+	case c.Retries < 0:
+		c.Retries = 0
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.9
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 6
+	}
+	if c.InitialEps <= 0 {
+		c.InitialEps = 0.5
+	}
+	return c
+}
+
+// Shard names one shard's primary client plus optional replicas serving
+// the same slice of the dataset (hedge and retry targets).
+type Shard struct {
+	Client   ShardClient
+	Replicas []ShardClient
+}
+
+// shardState is the coordinator's per-shard bookkeeping: identity, the
+// latency window driving hedge delays, and the robustness counters
+// surfaced in /v1/stats.
+type shardState struct {
+	client   ShardClient
+	replicas []ShardClient
+	info     ShardInfo
+
+	lat       latencyWindow
+	requests  atomic.Int64
+	errors    atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+}
+
+// Coordinator answers Aggregate/Threshold/Approximate queries by
+// scatter-gather over shard engines, composing per-shard certified bounds
+// into global ones (see the package comment for the protocol).
+type Coordinator struct {
+	cfg    Config
+	shards []*shardState
+
+	dims   int
+	kernel string
+	gamma  float64
+	points int
+	wTotal float64
+	// klo/khi is the kernel's per-unit-weight value range, the basis for
+	// a-priori shard bounds when a shard has not answered yet (±Inf for
+	// unbounded kernels).
+	klo, khi float64
+}
+
+// New builds a coordinator over the given shards, fetching and
+// cross-validating every shard's Info (dims, kernel family, gamma must
+// agree — they describe one partitioned dataset). All shards must be
+// reachable at construction: without a shard's weight masses the
+// coordinator cannot budget refinement or account degraded coverage.
+func New(ctx context.Context, shards []Shard, cfg Config) (*Coordinator, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: need at least one shard")
+	}
+	cfg = cfg.withDefaults()
+	co := &Coordinator{cfg: cfg, shards: make([]*shardState, len(shards))}
+	for i, sp := range shards {
+		if sp.Client == nil {
+			return nil, fmt.Errorf("cluster: shard %d has no client", i)
+		}
+		co.shards[i] = &shardState{client: sp.Client, replicas: sp.Replicas}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(shards))
+	for i, s := range co.shards {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			info, err := call(ctx, co, s, func(ctx context.Context, c ShardClient) (ShardInfo, error) {
+				return c.Info(ctx)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s.info = info
+		}(i, s)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, fmt.Errorf("cluster: shard discovery failed: %w", err)
+	}
+
+	first := co.shards[0].info
+	co.dims, co.kernel, co.gamma = first.Dims, first.Kernel, first.Gamma
+	co.klo, co.khi = kernelRange(first.Kernel)
+	for _, s := range co.shards {
+		if s.info.Dims != co.dims || s.info.Kernel != co.kernel || s.info.Gamma != co.gamma {
+			return nil, fmt.Errorf(
+				"cluster: shard %s serves (%s γ=%v, %dd), want (%s γ=%v, %dd): shards must hold one partitioned dataset",
+				s.client.Name(), s.info.Kernel, s.info.Gamma, s.info.Dims, co.kernel, co.gamma, co.dims)
+		}
+		co.points += s.info.Points
+		co.wTotal += s.info.Weight()
+	}
+	return co, nil
+}
+
+// Dims returns the query dimensionality.
+func (co *Coordinator) Dims() int { return co.dims }
+
+// Points returns the total dataset cardinality across shards.
+func (co *Coordinator) Points() int { return co.points }
+
+// KernelName returns the kernel family the cluster serves.
+func (co *Coordinator) KernelName() string { return co.kernel }
+
+// Gamma returns the kernel bandwidth parameter.
+func (co *Coordinator) Gamma() float64 { return co.gamma }
+
+// NumShards returns the shard count.
+func (co *Coordinator) NumShards() int { return len(co.shards) }
+
+// kernelRange returns the kernel's value range per unit weight; unbounded
+// kernels (polynomial) get ±Inf, which disables a-priori bounds.
+func kernelRange(kind string) (lo, hi float64) {
+	switch kind {
+	case "gaussian", "epanechnikov", "quartic":
+		return 0, 1
+	case "sigmoid":
+		return -1, 1
+	default:
+		return math.Inf(-1), math.Inf(1)
+	}
+}
+
+// apriori returns bounds on F_S(q) that hold before the shard has been
+// asked anything: each unit of positive mass contributes a kernel value in
+// [klo, khi], each unit of negative mass the reflection.
+func (co *Coordinator) apriori(info ShardInfo) (lb, ub float64) {
+	if info.WPos == 0 && info.WNeg == 0 {
+		return 0, 0
+	}
+	if math.IsInf(co.khi, 1) {
+		return math.Inf(-1), math.Inf(1)
+	}
+	return info.WPos*co.klo - info.WNeg*co.khi, info.WPos*co.khi - info.WNeg*co.klo
+}
+
+// Result is a scatter-gather answer plus the degradation contract: when
+// shards were unreachable the value covers only the reachable ones,
+// Partial is set, and Covered reports the fraction of total weight mass
+// behind the answer.
+type Result struct {
+	Value float64
+	// LB and UB are the certified interval the cluster terminated at
+	// (over covered shards; LB == UB == Value for exact aggregates).
+	LB, UB float64
+	// Partial is true when one or more shards did not contribute.
+	Partial bool
+	// Covered is the fraction of total weight mass behind Value (1 when
+	// complete).
+	Covered float64
+	// Failed names the unreachable shards.
+	Failed []string
+}
+
+// ThresholdResult is a scatter-gather threshold verdict. In degraded mode
+// a verdict is only returned when the dead shards' worst-case mass cannot
+// flip it — otherwise Threshold errors with ErrIndeterminate.
+type ThresholdResult struct {
+	Over    bool
+	Partial bool
+	Covered float64
+	Failed  []string
+}
+
+func (co *Coordinator) checkQuery(q []float64) error {
+	if len(q) != co.dims {
+		return fmt.Errorf("cluster: query has %d dims, want %d", len(q), co.dims)
+	}
+	for i, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cluster: q[%d] is not finite", i)
+		}
+	}
+	return nil
+}
+
+// Aggregate computes F_P(q) = Σ_S F_S(q) exactly over the reachable
+// shards, one scatter-gather with per-shard timeout/retry/hedging.
+func (co *Coordinator) Aggregate(ctx context.Context, q []float64) (Result, error) {
+	if err := co.checkQuery(q); err != nil {
+		return Result{}, err
+	}
+	n := len(co.shards)
+	values := make([]float64, n)
+	failures := make([]error, n)
+	var wg sync.WaitGroup
+	for i, s := range co.shards {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			v, err := call(ctx, co, s, func(ctx context.Context, c ShardClient) (float64, error) {
+				return c.Aggregate(ctx, q)
+			})
+			values[i], failures[i] = v, err
+		}(i, s)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	var sum, aliveW float64
+	var failed []string
+	var firstErr error
+	for i, s := range co.shards {
+		if failures[i] != nil {
+			failed = append(failed, s.client.Name())
+			if firstErr == nil {
+				firstErr = failures[i]
+			}
+			continue
+		}
+		sum += values[i]
+		aliveW += s.info.Weight()
+	}
+	if len(failed) == n {
+		return Result{}, fmt.Errorf("%w: all %d shards failed (first error: %v)", ErrUnavailable, n, firstErr)
+	}
+	return Result{
+		Value:   sum,
+		LB:      sum,
+		UB:      sum,
+		Partial: len(failed) > 0,
+		Covered: co.coveredFraction(aliveW, len(failed)),
+		Failed:  failed,
+	}, nil
+}
+
+// coveredFraction maps reachable weight mass to the Covered contract
+// field, degrading to a shard-count fraction for weightless datasets.
+func (co *Coordinator) coveredFraction(aliveW float64, nFailed int) float64 {
+	if nFailed == 0 {
+		return 1
+	}
+	if co.wTotal > 0 {
+		return aliveW / co.wTotal
+	}
+	return float64(len(co.shards)-nFailed) / float64(len(co.shards))
+}
+
+// exchState is one shard's position in a bound-exchange: the tightest
+// certified interval for F_S(q) seen so far (new answers are intersected
+// in — every certified interval remains valid), the budget the next round
+// would use, and liveness for this query.
+type exchState struct {
+	lb, ub  float64
+	eps     float64
+	alive   bool
+	queried bool
+}
+
+func (s *exchState) gap() float64 { return s.ub - s.lb }
+
+// apply intersects a new certified interval with the accumulated one.
+func (s *exchState) apply(b Bounds) {
+	lb := math.Max(s.lb, b.LB)
+	ub := math.Min(s.ub, b.UB)
+	if lb > ub {
+		// Certified intervals can only cross by floating-point noise;
+		// collapse to the midpoint of the overlap defect.
+		m := (lb + ub) / 2
+		lb, ub = m, m
+	}
+	s.lb, s.ub = lb, ub
+	s.queried = true
+}
+
+func sumBounds(st []*exchState) (lb, ub float64) {
+	for _, s := range st {
+		lb += s.lb
+		ub += s.ub
+	}
+	return lb, ub
+}
+
+// Threshold decides F_P(q) > τ by rounds of bound exchange: shards return
+// certified [lb, ub] intervals at a coarse budget first, the sums are
+// tested against τ after every arrival, and the query terminates — and
+// cancels outstanding shard work — the moment Σ lb > τ or Σ ub ≤ τ.
+// Undecided rounds re-query only the shards whose interval width still
+// matters at τ, with geometrically shrinking budgets, falling back to an
+// exact round after MaxRounds.
+func (co *Coordinator) Threshold(ctx context.Context, q []float64, tau float64) (ThresholdResult, error) {
+	if err := co.checkQuery(q); err != nil {
+		return ThresholdResult{}, err
+	}
+	if math.IsNaN(tau) || math.IsInf(tau, 0) {
+		return ThresholdResult{}, fmt.Errorf("cluster: tau must be finite, got %v", tau)
+	}
+
+	st := make([]*exchState, len(co.shards))
+	for i, s := range co.shards {
+		lb, ub := co.apriori(s.info)
+		st[i] = &exchState{lb: lb, ub: ub, eps: co.cfg.InitialEps, alive: true}
+	}
+	decided := func(lb, ub float64) (over, ok bool) {
+		if lb > tau {
+			return true, true
+		}
+		if ub <= tau {
+			return false, true
+		}
+		return false, false
+	}
+
+	var mu sync.Mutex // guards st during a round's concurrent updates
+	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return ThresholdResult{}, err
+		}
+		lb, ub := sumBounds(st)
+		if over, ok := decided(lb, ub); ok {
+			return co.thresholdResult(over, st), nil
+		}
+		exactRound := round >= co.cfg.MaxRounds
+		todo := co.thresholdTodo(st, lb, ub, tau, exactRound)
+		if len(todo) == 0 {
+			// Every reachable shard is fully refined; the residual
+			// interval straddling τ belongs to unreachable shards.
+			return ThresholdResult{}, fmt.Errorf("%w (%.1f%% of weight mass unreachable)",
+				ErrIndeterminate, 100*(1-co.coveredFraction(co.aliveWeight(st), co.countDead(st))))
+		}
+
+		rctx, cancel := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		for _, i := range todo {
+			eps := st[i].eps
+			if exactRound {
+				eps = 0
+			}
+			wg.Add(1)
+			go func(i int, eps float64) {
+				defer wg.Done()
+				b, err := call(rctx, co, co.shards[i], func(ctx context.Context, c ShardClient) (Bounds, error) {
+					return c.Bounds(ctx, q, eps)
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					// Our own early cancellation is not a shard failure;
+					// anything else marks the shard dead for this query.
+					// Its accumulated interval stays in the sums — a
+					// certified bound does not expire when its shard does.
+					if rctx.Err() == nil {
+						st[i].alive = false
+					}
+					return
+				}
+				st[i].apply(b)
+				if _, ok := decided(sumBounds(st)); ok {
+					cancel()
+				}
+			}(i, eps)
+		}
+		wg.Wait()
+		cancel()
+		for _, i := range todo {
+			st[i].eps /= 4
+		}
+	}
+}
+
+// thresholdTodo picks the shards worth re-querying: those whose interval
+// width exceeds their weight-proportional share of the slack still
+// separating the sums from a verdict. Shards already tight (or dead) are
+// skipped — they "return early" in the paper's sense. If the heuristic
+// would idle while refinement could still move the sums, every loose
+// reachable shard is queried.
+func (co *Coordinator) thresholdTodo(st []*exchState, sumLB, sumUB, tau float64, exactRound bool) []int {
+	minNeed := math.Min(tau-sumLB, sumUB-tau)
+	var todo, loose []int
+	for i, s := range st {
+		if !s.alive || s.gap() <= 0 {
+			continue
+		}
+		loose = append(loose, i)
+		if exactRound {
+			todo = append(todo, i)
+			continue
+		}
+		share := 1.0 / float64(len(st))
+		if co.wTotal > 0 {
+			share = co.shards[i].info.Weight() / co.wTotal
+		}
+		if s.gap() > minNeed*share {
+			todo = append(todo, i)
+		}
+	}
+	if len(todo) == 0 {
+		return loose
+	}
+	return todo
+}
+
+func (co *Coordinator) aliveWeight(st []*exchState) float64 {
+	var w float64
+	for i, s := range st {
+		if s.alive {
+			w += co.shards[i].info.Weight()
+		}
+	}
+	return w
+}
+
+func (co *Coordinator) countDead(st []*exchState) int {
+	n := 0
+	for _, s := range st {
+		if !s.alive {
+			n++
+		}
+	}
+	return n
+}
+
+func (co *Coordinator) thresholdResult(over bool, st []*exchState) ThresholdResult {
+	var failed []string
+	for i, s := range st {
+		if !s.alive {
+			failed = append(failed, co.shards[i].client.Name())
+		}
+	}
+	return ThresholdResult{
+		Over:    over,
+		Partial: len(failed) > 0,
+		Covered: co.coveredFraction(co.aliveWeight(st), len(failed)),
+		Failed:  failed,
+	}
+}
+
+// approxDone replicates the engine's approximate termination test over
+// summed cluster bounds: relative-ε certificate for non-negative lower
+// bounds, the symmetric midpoint form otherwise.
+func approxDone(lb, ub, eps float64) bool {
+	if lb >= 0 {
+		return ub <= (1+eps)*lb
+	}
+	mid := math.Abs(lb+ub) / 2
+	return (ub-lb)*(1+eps) <= 2*eps*mid
+}
+
+// Approximate computes F_P(q) to relative error eps. Round 0 queries
+// every shard at the global budget — for non-negative aggregates the
+// per-shard certificates compose and one round suffices. When they do
+// not, the global gap allowance is split across shards proportional to
+// their weight mass W_S (the shard holding more mass gets more absolute
+// slack), and only shards exceeding their allocation are re-queried at
+// geometrically tighter budgets: small-gap shards return early. The
+// allocation is self-consistent — if every shard fits its share the global
+// certificate already holds — so undecided rounds always have work.
+func (co *Coordinator) Approximate(ctx context.Context, q []float64, eps float64) (Result, error) {
+	if err := co.checkQuery(q); err != nil {
+		return Result{}, err
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return Result{}, fmt.Errorf("cluster: eps must be positive and finite, got %v", eps)
+	}
+
+	st := make([]*exchState, len(co.shards))
+	for i, s := range co.shards {
+		lb, ub := co.apriori(s.info)
+		st[i] = &exchState{lb: lb, ub: ub, eps: eps, alive: true}
+	}
+
+	var mu sync.Mutex
+	runRound := func(todo []int, exact bool) error {
+		var wg sync.WaitGroup
+		for _, i := range todo {
+			budget := st[i].eps
+			if exact {
+				budget = 0
+			}
+			wg.Add(1)
+			go func(i int, budget float64) {
+				defer wg.Done()
+				b, err := call(ctx, co, co.shards[i], func(ctx context.Context, c ShardClient) (Bounds, error) {
+					return c.Bounds(ctx, q, budget)
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					st[i].alive = false
+					return
+				}
+				st[i].apply(b)
+			}(i, budget)
+		}
+		wg.Wait()
+		for _, i := range todo {
+			st[i].eps /= 4
+		}
+		return ctx.Err()
+	}
+
+	// Round 0: every shard at the global budget.
+	all := make([]int, len(st))
+	for i := range all {
+		all[i] = i
+	}
+	if err := runRound(all, false); err != nil {
+		return Result{}, err
+	}
+
+	for round := 1; ; round++ {
+		// The answer covers reachable shards only; a dead shard's stale
+		// interval would poison the value, so it is excluded and reported
+		// through the partial contract instead.
+		var lb, ub, aliveW float64
+		var covered []int
+		for i, s := range st {
+			if !s.alive || !s.queried {
+				continue
+			}
+			covered = append(covered, i)
+			lb += s.lb
+			ub += s.ub
+			aliveW += co.shards[i].info.Weight()
+		}
+		if len(covered) == 0 {
+			return Result{}, fmt.Errorf("%w: all %d shards failed", ErrUnavailable, len(st))
+		}
+		if approxDone(lb, ub, eps) {
+			return co.approxResult(lb, ub, st), nil
+		}
+
+		// Global gap allowance at the current sums, split ∝ W_S.
+		allow := eps * lb
+		if lb < 0 {
+			allow = 2 * eps * math.Abs(lb+ub) / 2 / (1 + eps)
+		}
+		exact := round >= co.cfg.MaxRounds || allow <= 0
+		var todo []int
+		for _, i := range covered {
+			if st[i].gap() <= 0 {
+				continue
+			}
+			if exact {
+				todo = append(todo, i)
+				continue
+			}
+			share := 1.0 / float64(len(covered))
+			if aliveW > 0 {
+				share = co.shards[i].info.Weight() / aliveW
+			}
+			if st[i].gap() > allow*share {
+				todo = append(todo, i)
+			}
+		}
+		if len(todo) == 0 {
+			// Σ gap ≤ Σ allocation = allowance: certificate holds.
+			return co.approxResult(lb, ub, st), nil
+		}
+		if err := runRound(todo, exact); err != nil {
+			return Result{}, err
+		}
+	}
+}
+
+func (co *Coordinator) approxResult(lb, ub float64, st []*exchState) Result {
+	var failed []string
+	var aliveW float64
+	for i, s := range st {
+		if s.alive && s.queried {
+			aliveW += co.shards[i].info.Weight()
+		} else {
+			failed = append(failed, co.shards[i].client.Name())
+		}
+	}
+	return Result{
+		Value:   (lb + ub) / 2,
+		LB:      lb,
+		UB:      ub,
+		Partial: len(failed) > 0,
+		Covered: co.coveredFraction(aliveW, len(failed)),
+		Failed:  failed,
+	}
+}
+
+// call runs one logical shard operation with the robustness ladder:
+// per-attempt timeout, a hedged request to a replica once the primary
+// outlives its recent latency quantile, and a retry with backoff after a
+// failure. Counters record every rung for /v1/stats.
+func call[T any](ctx context.Context, co *Coordinator, s *shardState, fn func(context.Context, ShardClient) (T, error)) (T, error) {
+	s.requests.Add(1)
+	attempt := func(c ShardClient) (T, error) {
+		actx, cancel := context.WithTimeout(ctx, co.cfg.Timeout)
+		defer cancel()
+		t0 := time.Now()
+		v, err := fn(actx, c)
+		if err == nil {
+			s.lat.record(time.Since(t0))
+		}
+		return v, err
+	}
+
+	v, err := hedged(co, s, attempt)
+	if err == nil {
+		return v, nil
+	}
+	var zero T
+	if ctx.Err() != nil {
+		// The caller cancelled (verdict reached, deadline): not a shard
+		// failure, no retry, no error counter.
+		return zero, err
+	}
+	for r := 0; r < co.cfg.Retries; r++ {
+		select {
+		case <-time.After(co.cfg.Backoff):
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+		s.retries.Add(1)
+		target := s.client
+		if len(s.replicas) > 0 {
+			target = s.replicas[r%len(s.replicas)]
+		}
+		if v, rerr := attempt(target); rerr == nil {
+			return v, nil
+		} else if ctx.Err() == nil {
+			err = rerr
+		}
+	}
+	s.errors.Add(1)
+	return zero, err
+}
+
+// hedged runs one attempt against the primary, arming a second attempt
+// against the first replica if the primary is still in flight past the
+// configured latency quantile. First success wins; the loser's context is
+// cancelled through the attempt timeout.
+func hedged[T any](co *Coordinator, s *shardState, attempt func(ShardClient) (T, error)) (T, error) {
+	var zero T
+	delay, warm := s.lat.quantile(co.cfg.HedgeQuantile)
+	if !warm || len(s.replicas) == 0 {
+		return attempt(s.client)
+	}
+	if delay < co.cfg.HedgeMin {
+		delay = co.cfg.HedgeMin
+	}
+
+	type outcome struct {
+		v       T
+		err     error
+		replica bool
+	}
+	ch := make(chan outcome, 2)
+	go func() {
+		v, err := attempt(s.client)
+		ch <- outcome{v, err, false}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	pending := 1
+	launched := false
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				if o.replica {
+					s.hedgeWins.Add(1)
+				}
+				return o.v, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if pending == 0 {
+				return zero, firstErr
+			}
+		case <-timer.C:
+			if !launched {
+				launched = true
+				pending++
+				s.hedges.Add(1)
+				go func() {
+					v, err := attempt(s.replicas[0])
+					ch <- outcome{v, err, true}
+				}()
+			}
+		}
+	}
+}
+
+// latencyWindow is a fixed ring of recent successful call durations; the
+// hedge delay is a quantile over it. A handful of samples is too noisy to
+// hedge on, so quantile reports cold until the window has warmSamples.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf [64]time.Duration
+	n   int // filled entries (≤ len(buf))
+	idx int // next write position
+}
+
+const warmSamples = 8
+
+func (l *latencyWindow) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window, or warm == false while
+// the window has fewer than warmSamples entries.
+func (l *latencyWindow) quantile(q float64) (d time.Duration, warm bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n < warmSamples {
+		return 0, false
+	}
+	tmp := make([]time.Duration, l.n)
+	copy(tmp, l.buf[:l.n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	i := int(q * float64(l.n-1))
+	return tmp[i], true
+}
+
+// ShardStats is one shard's robustness counters and latency profile, the
+// JSON unit of the coordinator's /v1/stats.
+type ShardStats struct {
+	Name      string  `json:"name"`
+	Points    int     `json:"points"`
+	Weight    float64 `json:"weight"`
+	Replicas  int     `json:"replicas"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	Retries   int64   `json:"retries"`
+	Hedges    int64   `json:"hedges"`
+	HedgeWins int64   `json:"hedge_wins"`
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// Stats snapshots per-shard counters for monitoring.
+func (co *Coordinator) Stats() []ShardStats {
+	out := make([]ShardStats, len(co.shards))
+	for i, s := range co.shards {
+		p50, _ := s.lat.rawQuantile(0.50)
+		p99, _ := s.lat.rawQuantile(0.99)
+		out[i] = ShardStats{
+			Name:      s.client.Name(),
+			Points:    s.info.Points,
+			Weight:    s.info.Weight(),
+			Replicas:  len(s.replicas),
+			Requests:  s.requests.Load(),
+			Errors:    s.errors.Load(),
+			Retries:   s.retries.Load(),
+			Hedges:    s.hedges.Load(),
+			HedgeWins: s.hedgeWins.Load(),
+			P50Millis: float64(p50) / float64(time.Millisecond),
+			P99Millis: float64(p99) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
+// rawQuantile is quantile without the warm-up gate, for stats reporting.
+func (l *latencyWindow) rawQuantile(q float64) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		return 0, false
+	}
+	tmp := make([]time.Duration, l.n)
+	copy(tmp, l.buf[:l.n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[int(q*float64(l.n-1))], true
+}
+
+// ShardHealth is one shard's readiness probe result.
+type ShardHealth struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	Err  string `json:"error,omitempty"`
+}
+
+// Health probes every shard's readiness concurrently (primary, then
+// replicas on failure).
+func (co *Coordinator) Health(ctx context.Context) []ShardHealth {
+	out := make([]ShardHealth, len(co.shards))
+	var wg sync.WaitGroup
+	for i, s := range co.shards {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			targets := append([]ShardClient{s.client}, s.replicas...)
+			var err error
+			for _, t := range targets {
+				pctx, cancel := context.WithTimeout(ctx, co.cfg.Timeout)
+				err = t.Healthy(pctx)
+				cancel()
+				if err == nil {
+					break
+				}
+			}
+			h := ShardHealth{Name: s.client.Name(), OK: err == nil}
+			if err != nil {
+				h.Err = err.Error()
+			}
+			out[i] = h
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}

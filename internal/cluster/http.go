@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+
+	"karl/internal/server"
+)
+
+// HTTPServer exposes a Coordinator over the same /v1/* JSON surface as a
+// single-node karl-serve, so clients scale from one box to a cluster
+// without changing their request shapes. Degraded-mode answers carry the
+// partial contract ("partial": true plus the covered-weight fraction); an
+// indeterminate threshold verdict is a 503, not a guess.
+type HTTPServer struct {
+	co      *Coordinator
+	mux     *http.ServeMux
+	maxBody int64
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	partials atomic.Int64
+}
+
+const defaultMaxBody = 32 << 20
+
+// NewHTTPServer wraps a coordinator in an HTTP handler.
+func NewHTTPServer(co *Coordinator) *HTTPServer {
+	s := &HTTPServer{co: co, mux: http.NewServeMux(), maxBody: defaultMaxBody}
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("POST /v1/threshold", s.handleThreshold)
+	s.mux.HandleFunc("POST /v1/approximate", s.handleApproximate)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ClusterInfoResponse is the coordinator's GET /v1/info body.
+type ClusterInfoResponse struct {
+	Points int     `json:"points"`
+	Dims   int     `json:"dims"`
+	Kernel string  `json:"kernel"`
+	Gamma  float64 `json:"gamma"`
+	Shards int     `json:"shards"`
+}
+
+// ClusterStatsResponse is the coordinator's GET /v1/stats body:
+// coordinator-level request counters plus per-shard latency/error/
+// retry/hedge counters.
+type ClusterStatsResponse struct {
+	Requests int64        `json:"requests"`
+	Errors   int64        `json:"errors"`
+	Partials int64        `json:"partials"`
+	Shards   []ShardStats `json:"shards"`
+}
+
+// ClusterValueResponse is a value answer plus the degradation contract.
+type ClusterValueResponse struct {
+	Value   float64  `json:"value"`
+	LB      float64  `json:"lb"`
+	UB      float64  `json:"ub"`
+	Partial bool     `json:"partial,omitempty"`
+	Covered float64  `json:"covered"`
+	Failed  []string `json:"failed,omitempty"`
+}
+
+// ClusterBoolResponse is a threshold verdict plus the degradation
+// contract.
+type ClusterBoolResponse struct {
+	Over    bool     `json:"over"`
+	Partial bool     `json:"partial,omitempty"`
+	Covered float64  `json:"covered"`
+	Failed  []string `json:"failed,omitempty"`
+}
+
+// ClusterReadyResponse is the coordinator's GET /v1/readyz body.
+type ClusterReadyResponse struct {
+	Ready  bool          `json:"ready"`
+	Shards []ShardHealth `json:"shards"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *HTTPServer) fail(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	writeJSON(w, status, errorResponse{err.Error()})
+}
+
+// decode parses a JSON body under the size cap.
+func (s *HTTPServer) decode(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("request body exceeds %d bytes", s.maxBody)
+		}
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func (s *HTTPServer) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	s.requests.Add(1)
+	writeJSON(w, http.StatusOK, ClusterInfoResponse{
+		Points: s.co.Points(),
+		Dims:   s.co.Dims(),
+		Kernel: s.co.KernelName(),
+		Gamma:  s.co.Gamma(),
+		Shards: s.co.NumShards(),
+	})
+}
+
+func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ClusterStatsResponse{
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+		Partials: s.partials.Load(),
+		Shards:   s.co.Stats(),
+	})
+}
+
+func (s *HTTPServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, server.HealthResponse{OK: true})
+}
+
+// handleReadyz probes every shard; the coordinator is ready when all
+// shards (or a replica of each) answer their readiness probe. A degraded
+// cluster still serves — readiness signals full coverage to load
+// balancers.
+func (s *HTTPServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	shards := s.co.Health(r.Context())
+	ready := true
+	for _, sh := range shards {
+		ready = ready && sh.OK
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ClusterReadyResponse{Ready: ready, Shards: shards})
+}
+
+func (s *HTTPServer) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req server.QueryRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.co.Aggregate(r.Context(), req.Q)
+	if err != nil {
+		s.fail(w, s.queryStatus(err), err)
+		return
+	}
+	s.respond(w, res)
+}
+
+func (s *HTTPServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req server.QueryRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.co.Threshold(r.Context(), req.Q, req.Tau)
+	if err != nil {
+		s.fail(w, s.queryStatus(err), err)
+		return
+	}
+	if res.Partial {
+		s.partials.Add(1)
+	}
+	writeJSON(w, http.StatusOK, ClusterBoolResponse{
+		Over:    res.Over,
+		Partial: res.Partial,
+		Covered: res.Covered,
+		Failed:  res.Failed,
+	})
+}
+
+func (s *HTTPServer) handleApproximate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req server.QueryRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateBudget(req.Eps, req.EpsNorm); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// A normalized budget maps conservatively onto the relative contract,
+	// mirroring the single-node server: F_P ≤ W makes relative ε at
+	// eps_norm at least as tight as the normalized bound.
+	budget := req.Eps
+	if req.EpsNorm != 0 {
+		budget = req.EpsNorm
+	}
+	res, err := s.co.Approximate(r.Context(), req.Q, budget)
+	if err != nil {
+		s.fail(w, s.queryStatus(err), err)
+		return
+	}
+	s.respond(w, res)
+}
+
+func (s *HTTPServer) respond(w http.ResponseWriter, res Result) {
+	if res.Partial {
+		s.partials.Add(1)
+	}
+	writeJSON(w, http.StatusOK, ClusterValueResponse{
+		Value:   res.Value,
+		LB:      res.LB,
+		UB:      res.UB,
+		Partial: res.Partial,
+		Covered: res.Covered,
+		Failed:  res.Failed,
+	})
+}
+
+// queryStatus maps coordinator errors to HTTP statuses: indeterminate
+// verdicts and total shard loss are upstream availability problems (503),
+// everything else is a bad request.
+func (s *HTTPServer) queryStatus(err error) int {
+	if errors.Is(err, ErrIndeterminate) || errors.Is(err, ErrUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+// validateBudget mirrors the single-node server's approximate-budget
+// rules: exactly one of the two error models, in range.
+func validateBudget(eps, epsNorm float64) error {
+	switch {
+	case math.IsNaN(eps) || math.IsInf(eps, 0):
+		return fmt.Errorf("eps must be finite, got %v", eps)
+	case math.IsNaN(epsNorm) || math.IsInf(epsNorm, 0):
+		return fmt.Errorf("eps_norm must be finite, got %v", epsNorm)
+	case eps != 0 && epsNorm != 0:
+		return errors.New("eps and eps_norm are mutually exclusive: pick the relative or the normalized error model")
+	case epsNorm != 0:
+		if epsNorm <= 0 || epsNorm >= 1 {
+			return fmt.Errorf("eps_norm must be in (0,1), got %v", epsNorm)
+		}
+	case eps <= 0:
+		return errors.New("eps must be positive (or set eps_norm for the normalized error model)")
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"karl"
+)
+
+func TestHealthzAndReadyz(t *testing.T) {
+	s, err := New(testEngine(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || !h.OK {
+		t.Fatalf("healthz body: %+v err=%v", h, err)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz status %d", resp.StatusCode)
+	}
+	var r ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ready || r.Points != 500 {
+		t.Fatalf("readyz = %+v", r)
+	}
+	// Construction warms the pool, so a fresh server reports a parked clone.
+	if !r.Warm {
+		t.Fatalf("fresh server should be warm: %+v", r)
+	}
+}
+
+func TestBoundsEndpoint(t *testing.T) {
+	eng := testEngine(t)
+	s, _ := New(eng)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	q := []float64{0.5, 0.5}
+	exact, _ := eng.Aggregate(q)
+
+	// Exact request: no budget, lb = ub = value.
+	resp, body := post(t, ts, "/v1/bounds", QueryRequest{Q: q})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var b BoundsResponse
+	if err := json.Unmarshal(body, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.LB != b.UB || math.Abs(b.Value-exact) > 1e-12 {
+		t.Fatalf("exact bounds = %+v, want lb=ub=value=%v", b, exact)
+	}
+
+	// Budgeted request: a certified interval containing the exact value,
+	// tight to the relative budget.
+	const eps = 0.1
+	resp, body = post(t, ts, "/v1/bounds", QueryRequest{Q: q, Eps: eps})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &b); err != nil {
+		t.Fatal(err)
+	}
+	// FP tolerance: bounds from different summation orders can carry
+	// ~1-ulp noise around the exact value once the gap has collapsed.
+	tol := 1e-9 * (1 + math.Abs(exact))
+	if b.LB-tol > exact || b.UB+tol < exact {
+		t.Fatalf("exact %v outside certified [%v, %v]", exact, b.LB, b.UB)
+	}
+	if b.UB > (1+eps)*b.LB+tol {
+		t.Fatalf("interval [%v, %v] looser than eps=%v", b.LB, b.UB, eps)
+	}
+
+	// Budget validation mirrors /v1/approximate.
+	resp, _ = post(t, ts, "/v1/bounds", QueryRequest{Q: q, Eps: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative eps: status %d", resp.StatusCode)
+	}
+	resp, _ = post(t, ts, "/v1/bounds", QueryRequest{Q: q, Eps: 0.1, EpsNorm: 0.1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("both budgets: status %d", resp.StatusCode)
+	}
+
+	// The bounds endpoint shows up in /v1/stats.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := stats.Endpoints["bounds"]
+	if !ok || ep.Requests < 2 {
+		t.Fatalf("bounds endpoint stats missing or empty: %+v", stats.Endpoints)
+	}
+}
+
+func TestMaxBodyBytes(t *testing.T) {
+	s, err := New(testEngine(t), WithMaxBodyBytes(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Small request passes.
+	resp, body := post(t, ts, "/v1/aggregate", QueryRequest{Q: []float64{0.5, 0.5}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body rejected: %d %s", resp.StatusCode, body)
+	}
+
+	// Oversized request is rejected with 413 and a descriptive error.
+	big := bytes.Repeat([]byte("9"), 1024)
+	raw := append([]byte(`{"q":[0.`), big...)
+	raw = append(raw, []byte(`,0.5]}`)...)
+	resp, body = postRaw(t, ts, "/v1/aggregate", raw)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("exceeds")) {
+		t.Fatalf("413 body not descriptive: %s", body)
+	}
+
+	if _, err := New(testEngine(t), WithMaxBodyBytes(0)); err == nil {
+		t.Fatal("zero body cap accepted")
+	}
+}
+
+func TestInfoReportsWeightMass(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	eng, err := karl.Build(pts, karl.Gaussian(1), karl.WithWeights([]float64{2, 3, -1, -0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := New(eng)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(info.WeightPos-5) > 1e-12 || math.Abs(info.WeightNeg-1.5) > 1e-12 {
+		t.Fatalf("weight masses = %v/%v, want 5/1.5", info.WeightPos, info.WeightNeg)
+	}
+}

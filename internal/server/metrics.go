@@ -48,6 +48,7 @@ type metrics struct {
 	aggregate   endpointMetrics
 	threshold   endpointMetrics
 	approximate endpointMetrics
+	bounds      endpointMetrics
 	batch       endpointMetrics
 	insert      endpointMetrics
 

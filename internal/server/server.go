@@ -36,6 +36,7 @@ type queryEngine interface {
 	Len() int
 	Dims() int
 	Kernel() karl.Kernel
+	WeightMass() (pos, neg float64)
 	AggregateStats(q []float64) (float64, karl.Stats, error)
 	ThresholdStats(q []float64, tau float64) (bool, karl.Stats, error)
 	ApproximateStats(q []float64, eps float64) (float64, karl.Stats, error)
@@ -47,10 +48,11 @@ type queryEngine interface {
 // Server wraps an engine with an HTTP handler. All endpoints accept and
 // return JSON.
 type Server struct {
-	pool *enginePool
-	mux  *http.ServeMux
-	met  metrics
-	dims int
+	pool    *enginePool
+	mux     *http.ServeMux
+	met     metrics
+	dims    int
+	maxBody int64
 
 	// dyn is set by NewMutable: the engine the insert endpoint feeds and
 	// the segment/epoch introspection source. nil for static serving.
@@ -72,12 +74,22 @@ type Option func(*config)
 type config struct {
 	poolSize  int
 	sketchEps float64
+	maxBody   int64
 }
+
+// defaultMaxBody bounds POST request bodies when WithMaxBodyBytes is not
+// given: generous enough for large bulk inserts and batches, small enough
+// that one oversized body cannot exhaust memory.
+const defaultMaxBody int64 = 32 << 20
 
 // WithPoolSize bounds the number of idle engine clones kept for reuse
 // (default 2·GOMAXPROCS). Bursts beyond the bound still get a fresh clone
 // each — the pool caps retained memory, never concurrency.
 func WithPoolSize(n int) Option { return func(c *config) { c.poolSize = n } }
+
+// WithMaxBodyBytes bounds every POST request body (default 32 MiB).
+// Oversized bodies are rejected with 413 before they can exhaust memory.
+func WithMaxBodyBytes(n int64) Option { return func(c *config) { c.maxBody = n } }
 
 // WithSketchTier enables tiered serving: at construction the engine is
 // sketched down to a coreset (karl.Engine.Sketch) with normalized error
@@ -99,17 +111,21 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 	if eng == nil {
 		return nil, errors.New("server: nil engine")
 	}
-	cfg := config{poolSize: 2 * runtime.GOMAXPROCS(0)}
+	cfg := config{poolSize: 2 * runtime.GOMAXPROCS(0), maxBody: defaultMaxBody}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	if cfg.poolSize < 1 {
 		return nil, fmt.Errorf("server: pool size %d out of range", cfg.poolSize)
 	}
+	if cfg.maxBody < 1 {
+		return nil, fmt.Errorf("server: max body bytes %d out of range", cfg.maxBody)
+	}
 	s := &Server{
-		pool: newEnginePool(eng, func() queryEngine { return eng.Clone() }, cfg.poolSize),
-		mux:  http.NewServeMux(),
-		dims: eng.Dims(),
+		pool:    newEnginePool(eng, func() queryEngine { return eng.Clone() }, cfg.poolSize),
+		mux:     http.NewServeMux(),
+		dims:    eng.Dims(),
+		maxBody: cfg.maxBody,
 	}
 	if cfg.sketchEps != 0 {
 		if !isFinite(cfg.sketchEps) || cfg.sketchEps <= 0 || cfg.sketchEps >= 1 {
@@ -125,6 +141,7 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 		s.sketchLen = skEng.Len()
 	}
 	s.routes()
+	s.warm()
 	return s, nil
 }
 
@@ -136,33 +153,51 @@ func NewMutable(d *karl.DynamicEngine, opts ...Option) (*Server, error) {
 	if d == nil {
 		return nil, errors.New("server: nil engine")
 	}
-	cfg := config{poolSize: 2 * runtime.GOMAXPROCS(0)}
+	cfg := config{poolSize: 2 * runtime.GOMAXPROCS(0), maxBody: defaultMaxBody}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	if cfg.poolSize < 1 {
 		return nil, fmt.Errorf("server: pool size %d out of range", cfg.poolSize)
 	}
+	if cfg.maxBody < 1 {
+		return nil, fmt.Errorf("server: max body bytes %d out of range", cfg.maxBody)
+	}
 	if cfg.sketchEps != 0 {
 		return nil, errors.New("server: sketch tier requires a static engine")
 	}
 	s := &Server{
-		pool: newEnginePool(d, func() queryEngine { return d.Clone() }, cfg.poolSize),
-		mux:  http.NewServeMux(),
-		dims: d.Dims(),
-		dyn:  d,
+		pool:    newEnginePool(d, func() queryEngine { return d.Clone() }, cfg.poolSize),
+		mux:     http.NewServeMux(),
+		dims:    d.Dims(),
+		dyn:     d,
+		maxBody: cfg.maxBody,
 	}
 	s.routes()
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.warm()
 	return s, nil
+}
+
+// warm seeds the clone pools with one ready clone each, so the first
+// request never pays the clone cost and GET /v1/readyz reflects a pool
+// that can actually serve.
+func (s *Server) warm() {
+	s.pool.release(s.pool.acquire())
+	if s.sketch != nil {
+		s.sketch.release(s.sketch.acquire())
+	}
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("POST /v1/threshold", s.handleThreshold)
 	s.mux.HandleFunc("POST /v1/approximate", s.handleApproximate)
+	s.mux.HandleFunc("POST /v1/bounds", s.handleBounds)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 }
 
@@ -222,10 +257,16 @@ func (p *enginePool) stats() PoolStats {
 // only when the sketch tier is enabled; Mutable/Segments only for dynamic
 // serving.
 type InfoResponse struct {
-	Points       int     `json:"points"`
-	Dims         int     `json:"dims"`
-	Kernel       string  `json:"kernel"`
-	Gamma        float64 `json:"gamma"`
+	Points int     `json:"points"`
+	Dims   int     `json:"dims"`
+	Kernel string  `json:"kernel"`
+	Gamma  float64 `json:"gamma"`
+	// WeightPos and WeightNeg are the dataset's per-sign weight masses
+	// (Σ w_i over w_i ≥ 0 and Σ |w_i| over w_i < 0). Their sum W is the
+	// shard's mass W_S that a cluster coordinator uses for ε-budget
+	// allocation and degraded-mode accounting.
+	WeightPos    float64 `json:"weight_pos"`
+	WeightNeg    float64 `json:"weight_neg,omitempty"`
 	SketchPoints int     `json:"sketch_points,omitempty"`
 	SketchEps    float64 `json:"sketch_eps,omitempty"`
 	Mutable      bool    `json:"mutable,omitempty"`
@@ -312,11 +353,14 @@ type errorResponse struct {
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	k := s.pool.template.Kernel()
+	wpos, wneg := s.pool.template.WeightMass()
 	resp := InfoResponse{
-		Points: s.pool.template.Len(),
-		Dims:   s.curDims(),
-		Kernel: k.Kind.String(),
-		Gamma:  k.Gamma,
+		Points:    s.pool.template.Len(),
+		Dims:      s.curDims(),
+		Kernel:    k.Kind.String(),
+		Gamma:     k.Gamma,
+		WeightPos: wpos,
+		WeightNeg: wneg,
 	}
 	if s.sketch != nil {
 		resp.SketchPoints = s.sketchLen
@@ -336,6 +380,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"aggregate":   s.met.aggregate.snapshot(),
 			"threshold":   s.met.threshold.snapshot(),
 			"approximate": s.met.approximate.snapshot(),
+			"bounds":      s.met.bounds.snapshot(),
 			"batch":       s.met.batch.snapshot(),
 		},
 	}
@@ -363,6 +408,97 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// HealthResponse is the GET /v1/healthz body: pure liveness.
+type HealthResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ReadyResponse is the GET /v1/readyz body: the index is loaded and the
+// clone pool holds at least one warmed executor.
+type ReadyResponse struct {
+	Ready  bool `json:"ready"`
+	Points int  `json:"points"`
+	// Warm reports whether an idle clone is parked right now. Construction
+	// warms the pool, so false only means every clone is currently serving
+	// a request — the server is still ready.
+	Warm bool `json:"warm"`
+}
+
+// handleHealthz is the liveness probe: the process is up and the handler
+// chain works. It never touches an engine.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true})
+}
+
+// handleReadyz is the readiness probe the cluster coordinator (and any
+// load balancer) polls before routing traffic: construction has loaded the
+// index and warmed the clone pool, so a 200 here means queries will be
+// served, not queued behind a build.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ReadyResponse{
+		Ready:  true,
+		Points: s.pool.template.Len(),
+		Warm:   len(s.pool.idle) > 0 || s.pool.clones.Load() > 0,
+	})
+}
+
+// BoundsResponse is the POST /v1/bounds body: the answer together with the
+// final refinement bounds it terminated at. This is the bound-exchange
+// wire unit of the cluster coordinator — per-shard [lb,ub] intervals sum
+// to a global interval because F_P(q) = Σ_S F_S(q).
+type BoundsResponse struct {
+	Value float64 `json:"value"`
+	LB    float64 `json:"lb"`
+	UB    float64 `json:"ub"`
+}
+
+// handleBounds serves one query's value plus its lower/upper bounds. The
+// budget semantics extend /v1/approximate: "eps" (relative) or "eps_norm"
+// (normalized) drives refinement, and a request with NEITHER budget asks
+// for the exact value (lb = ub = value) — the coordinator's final
+// bound-exchange round.
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
+	m := &s.met.bounds
+	m.requests.Add(1)
+	var req QueryRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, m, err)
+		return
+	}
+	if err := s.validateBounds(req); err != nil {
+		fail(w, m, err)
+		return
+	}
+	eng := s.pool.acquire()
+	var v float64
+	var st karl.Stats
+	var err error
+	if budget := relativeBudget(req.Eps, req.EpsNorm); budget > 0 {
+		v, st, err = eng.ApproximateStats(req.Q, budget)
+	} else {
+		v, st, err = eng.AggregateStats(req.Q)
+	}
+	s.pool.release(eng)
+	if err != nil {
+		fail(w, m, err)
+		return
+	}
+	m.record(1, st)
+	writeJSON(w, http.StatusOK, BoundsResponse{Value: v, LB: st.LB, UB: st.UB})
+}
+
+// validateBounds checks a /v1/bounds request: like an approximate budget,
+// except that omitting both budgets is allowed and means exact.
+func (s *Server) validateBounds(req QueryRequest) error {
+	if err := s.checkQuery(req.Q); err != nil {
+		return err
+	}
+	if req.Eps == 0 && req.EpsNorm == 0 {
+		return nil // exact round
+	}
+	return validateBudget(req.Eps, req.EpsNorm)
+}
+
 // handleInsert feeds points into the dynamic engine. Seals and compactions
 // triggered by an insert happen off the query path; concurrent queries on
 // pooled clones keep serving from their manifest snapshot.
@@ -370,24 +506,19 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	m := &s.met.insert
 	m.requests.Add(1)
 	var req InsertRequest
-	if err := decodeBody(r, &req); err != nil {
-		m.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, m, err)
 		return
-	}
-	fail := func(err error) {
-		m.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 	}
 	var points [][]float64
 	var weights []float64
 	switch {
 	case req.P != nil && req.Points != nil:
-		fail(errors.New(`"p" and "points" are mutually exclusive`))
+		fail(w, m, errors.New(`"p" and "points" are mutually exclusive`))
 		return
 	case req.P != nil:
 		if req.Weights != nil {
-			fail(errors.New(`"weights" belongs to the bulk form; use "w" with "p"`))
+			fail(w, m, errors.New(`"weights" belongs to the bulk form; use "w" with "p"`))
 			return
 		}
 		wt := 1.0
@@ -397,16 +528,16 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		points, weights = [][]float64{req.P}, []float64{wt}
 	case req.Points != nil:
 		if req.W != nil {
-			fail(errors.New(`"w" belongs to the single form; use "weights" with "points"`))
+			fail(w, m, errors.New(`"w" belongs to the single form; use "weights" with "points"`))
 			return
 		}
 		if req.Weights != nil && len(req.Weights) != len(req.Points) {
-			fail(fmt.Errorf("%d weights for %d points", len(req.Weights), len(req.Points)))
+			fail(w, m, fmt.Errorf("%d weights for %d points", len(req.Weights), len(req.Points)))
 			return
 		}
 		points, weights = req.Points, req.Weights
 	default:
-		fail(errors.New(`provide "p" (single point) or "points" (bulk)`))
+		fail(w, m, errors.New(`provide "p" (single point) or "points" (bulk)`))
 		return
 	}
 	for i, p := range points {
@@ -545,14 +676,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	m := &s.met.batch
 	m.requests.Add(1)
 	var req BatchRequest
-	if err := decodeBody(r, &req); err != nil {
-		m.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, m, err)
 		return
 	}
 	if err := s.validateBatch(req); err != nil {
-		m.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		fail(w, m, err)
 		return
 	}
 	var resp BatchResponse
@@ -611,26 +740,58 @@ const (
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, m *endpointMetrics, n need) (QueryRequest, bool) {
 	m.requests.Add(1)
 	var req QueryRequest
-	if err := decodeBody(r, &req); err != nil {
-		m.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, m, err)
 		return req, false
 	}
 	if err := s.validate(req, n); err != nil {
-		m.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		fail(w, m, err)
 		return req, false
 	}
 	return req, true
 }
 
-func decodeBody(r *http.Request, dst any) error {
+// decodeBody parses a JSON request body with the server's size bound
+// applied: an oversized body fails decoding with a 413-mapped error
+// instead of being buffered into memory.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &requestError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
 		return fmt.Errorf("bad request: %v", err)
 	}
 	return nil
+}
+
+// requestError carries a non-default HTTP status through the error path.
+type requestError struct {
+	status int
+	msg    string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+// errStatus maps a handler error to its HTTP status (400 by default).
+func errStatus(err error) int {
+	var re *requestError
+	if errors.As(err, &re) {
+		return re.status
+	}
+	return http.StatusBadRequest
+}
+
+// fail counts err against m and writes the JSON error envelope.
+func fail(w http.ResponseWriter, m *endpointMetrics, err error) {
+	m.errors.Add(1)
+	writeJSON(w, errStatus(err), errorResponse{err.Error()})
 }
 
 // validate applies the uniform request checks: the query vector must match

@@ -175,6 +175,9 @@ type Engine struct {
 	// sketch records coreset provenance when the engine indexes a reduced
 	// set (BuildCoreset / Sketch); nil for full-set engines.
 	sketch *SketchInfo
+	// shardProv records partition provenance when the engine indexes one
+	// shard of a split dataset (Engine.Shard); nil otherwise.
+	shardProv *ShardProvenance
 }
 
 // Build indexes the points (rows of equal length) and returns a query
@@ -269,7 +272,7 @@ func (e *Engine) Kernel() Kernel { return e.kern }
 // Clone returns an engine that shares the index but owns its scratch
 // state, for use from another goroutine.
 func (e *Engine) Clone() *Engine {
-	return &Engine{eng: e.eng.Clone(), tree: e.tree, kern: e.kern, sketch: e.sketch}
+	return &Engine{eng: e.eng.Clone(), tree: e.tree, kern: e.kern, sketch: e.sketch, shardProv: e.shardProv}
 }
 
 // Aggregate computes F_P(q) exactly.

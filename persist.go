@@ -33,7 +33,10 @@ import (
 //	    per-segment v4-style index payloads plus the raw memtable rows and
 //	    the LSM policy (DynamicEngine.WriteTo / ReadDynamic). Static
 //	    single-engine files keep the exact v4 layout; versions 1–4 still
-//	    load.
+//	    load. Since the cluster layer, static payloads may additionally
+//	    carry optional shard provenance (Engine.Shard) — gob leaves the
+//	    field absent on old files and ignores it in old readers, so the
+//	    version is unchanged.
 const persistVersion = 5
 
 // oldestReadableVersion is the earliest format this build still decodes.
@@ -66,6 +69,7 @@ type enginePayload struct {
 	LeafCap int
 	Method  Method
 	Sketch  *sketchProvenance // nil for full-set engines
+	Shard   *shardWire        // nil for unpartitioned engines
 
 	// Flat index layout (v4+): storage row -> original row, the DFS-preorder
 	// node arrays, and every node's bounding-volume parameters packed by
@@ -77,6 +81,15 @@ type enginePayload struct {
 	NodeRight []int32
 	NodeDepth []int32
 	VolData   []float64
+}
+
+// shardWire is the wire form of ShardProvenance: a saved shard engine
+// records which slice of which partition it indexes.
+type shardWire struct {
+	Index     int
+	Of        int
+	Partition int
+	SourceLen int
 }
 
 // svmPayload wraps an engine payload with the SVM decision threshold.
@@ -103,6 +116,14 @@ func (e *Engine) payload() enginePayload {
 			Method:       int(e.sketch.Method),
 		}
 	}
+	if e.shardProv != nil {
+		p.Shard = &shardWire{
+			Index:     e.shardProv.Index,
+			Of:        e.shardProv.Of,
+			Partition: int(e.shardProv.Partition),
+			SourceLen: e.shardProv.SourceLen,
+		}
+	}
 	return p
 }
 
@@ -110,13 +131,7 @@ func (e *Engine) payload() enginePayload {
 // method it is queried with) into the v4 wire layout — the unit both the
 // static engine format and every segment of the v5 dynamic format reuse.
 func treePayload(tree *index.Tree, kern Kernel, method Method) enginePayload {
-	kind := KDTree
-	switch tree.Kind {
-	case index.BallTree:
-		kind = BallTree
-	case index.VPTree:
-		kind = VPTree
-	}
+	kind := publicIndexKind(tree.Kind)
 	pts := make([]float64, len(tree.Points.Data))
 	copy(pts, tree.Points.Data)
 	var w []float64
@@ -221,6 +236,17 @@ func (p enginePayload) restore() (*Engine, error) {
 			Method:       CoresetMethod(p.Sketch.Method),
 		}
 	}
+	if p.Shard != nil {
+		if p.Shard.Of < 1 || p.Shard.Index < 0 || p.Shard.Index >= p.Shard.Of || p.Shard.SourceLen < eng.Len() {
+			return nil, errors.New("karl: corrupt engine payload (shard provenance)")
+		}
+		eng.shardProv = &ShardProvenance{
+			Index:     p.Shard.Index,
+			Of:        p.Shard.Of,
+			Partition: PartitionKind(p.Shard.Partition),
+			SourceLen: p.Shard.SourceLen,
+		}
+	}
 	return eng, nil
 }
 
@@ -312,13 +338,7 @@ func (d *DynamicEngine) WriteTo(w io.Writer) (int64, error) {
 	for sh.sealing != nil || sh.draining {
 		sh.cond.Wait()
 	}
-	kind := KDTree
-	switch sh.bcfg.Kind {
-	case index.BallTree:
-		kind = BallTree
-	case index.VPTree:
-		kind = VPTree
-	}
+	kind := publicIndexKind(sh.bcfg.Kind)
 	method := MethodKARL
 	if sh.method == methodOf(MethodSOTA) {
 		method = MethodSOTA

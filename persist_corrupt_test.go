@@ -1,0 +1,195 @@
+package karl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestReadEngineRejectsTruncated checks every truncation point of a valid
+// static engine stream fails with an error instead of a panic or a
+// silently short engine.
+func TestReadEngineRejectsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	eng, err := Build(cloud(rng, 200, 3), Gaussian(1), WithIndex(BallTree, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := eng.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0, 0.1, 0.5, 0.9, 0.99} {
+		cut := int(frac * float64(len(full)))
+		if _, err := ReadEngine(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("stream truncated to %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	if _, err := ReadEngine(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Fatal("stream short by one byte accepted")
+	}
+	// The untruncated original still loads (the harness is sound).
+	if _, err := ReadEngine(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+// TestReadDynamicRejectsTruncated covers truncated manifest streams: a
+// multi-segment dynamic engine cut mid-stream must fail loudly at every
+// truncation point.
+func TestReadDynamicRejectsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	d, err := NewDynamic(Gaussian(2), WithSealSize(32), WithAutoCompaction(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := d.Insert([]float64{rng.Float64(), rng.Float64()}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(d.Segments()); got < 2 {
+		t.Fatalf("want a multi-segment manifest, got %d segments", got)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0, 0.1, 0.5, 0.9, 0.99} {
+		cut := int(frac * float64(len(full)))
+		if _, err := ReadDynamic(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("stream truncated to %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	if _, err := ReadDynamic(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+// TestReadDynamicRejectsBadVersionAndGarbage pins the dynamic reader's
+// error quality: a wrong version names itself and the readable range, and
+// non-gob bytes fail outright.
+func TestReadDynamicRejectsBadVersionAndGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dynamicPayload{Version: 99, SealSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadDynamic(&buf)
+	if err == nil {
+		t.Fatal("version 99 accepted")
+	}
+	if !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("version error %q does not name the version", err)
+	}
+
+	if _, err := ReadDynamic(bytes.NewReader([]byte("KARLv99 this is not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadDynamic(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+// TestShardProvenanceRoundTrip checks a shard engine persists its
+// partition provenance and the manifest masses agree with the reloaded
+// engines.
+func TestShardProvenanceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	pts := cloud(rng, 240, 2)
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	eng, err := Build(pts, Gaussian(1), WithWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, man, err := eng.Shard(3, KDPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, se := range shards {
+		var buf bytes.Buffer
+		if _, err := se.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadEngine(&buf)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		prov, ok := loaded.ShardInfo()
+		if !ok {
+			t.Fatalf("shard %d lost provenance", i)
+		}
+		want := ShardProvenance{Index: i, Of: 3, Partition: KDPartition, SourceLen: 240}
+		if prov != want {
+			t.Fatalf("shard %d provenance = %+v, want %+v", i, prov, want)
+		}
+		wpos, wneg := loaded.WeightMass()
+		if wpos != man.Shards[i].WeightPos || wneg != man.Shards[i].WeightNeg {
+			t.Fatalf("shard %d masses %v/%v, manifest says %v/%v",
+				i, wpos, wneg, man.Shards[i].WeightPos, man.Shards[i].WeightNeg)
+		}
+	}
+	// A non-shard engine stays provenance-free across a round trip.
+	var buf bytes.Buffer
+	if _, err := eng.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loaded.ShardInfo(); ok {
+		t.Fatal("full engine grew shard provenance across round trip")
+	}
+}
+
+// TestRestoreRejectsCorruptShardProvenance covers the validation of the
+// optional shard-provenance block: out-of-range indices and impossible
+// source sizes must fail with an error naming the problem.
+func TestRestoreRejectsCorruptShardProvenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	eng, err := Build(cloud(rng, 120, 2), Gaussian(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, _, err := eng.Shard(2, HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(*shardWire)) error {
+		p := shards[0].payload()
+		mutate(p.Shard)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadEngine(&buf)
+		return err
+	}
+	cases := map[string]func(*shardWire){
+		"index ≥ of":        func(s *shardWire) { s.Index = 5 },
+		"negative index":    func(s *shardWire) { s.Index = -1 },
+		"zero of":           func(s *shardWire) { s.Of = 0 },
+		"source too small":  func(s *shardWire) { s.SourceLen = 1 },
+		"negative leftover": func(s *shardWire) { s.Of = -3; s.Index = -4 },
+	}
+	for name, mutate := range cases {
+		err := corrupt(mutate)
+		if err == nil {
+			t.Fatalf("%s: corrupt provenance accepted", name)
+		}
+		if !strings.Contains(err.Error(), "shard provenance") {
+			t.Fatalf("%s: error %q does not name shard provenance", name, err)
+		}
+	}
+	// Unmutated payloads still load (the harness is sound).
+	if err := corrupt(func(*shardWire) {}); err != nil {
+		t.Fatalf("valid provenance rejected: %v", err)
+	}
+}

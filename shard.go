@@ -1,0 +1,160 @@
+package karl
+
+import (
+	"fmt"
+
+	"karl/internal/bound"
+	"karl/internal/index"
+	"karl/internal/shard"
+	"karl/internal/vec"
+)
+
+// PartitionKind selects how Engine.Shard distributes points across shards.
+// Kernel aggregation is additively decomposable — F_P(q) = Σ_S F_S(q) for
+// any partition — so the choice affects balance and per-shard bound
+// tightness, never correctness.
+type PartitionKind int
+
+const (
+	// HashPartition assigns each point by a content hash of its
+	// coordinates: statistically even, spatially mixed shards whose
+	// assignment is stable across index rebuilds (the default).
+	HashPartition PartitionKind = iota
+	// KDPartition assigns points by recursive median splits on the widest
+	// dimension: spatially compact shards, so localized queries leave most
+	// shards' bounds tight after one refinement round.
+	KDPartition
+)
+
+// String implements fmt.Stringer.
+func (k PartitionKind) String() string {
+	if k == KDPartition {
+		return "kd"
+	}
+	return "hash"
+}
+
+// ShardMeta describes one shard of a partition: its cardinality and
+// per-sign weight mass (W⁺ = Σ w_i over w_i > 0, W⁻ = Σ |w_i| over
+// w_i < 0). The cluster coordinator allocates ε-budgets proportional to
+// W⁺+W⁻ and uses the masses for worst-case reasoning about unreachable
+// shards.
+type ShardMeta struct {
+	Points    int     `json:"points"`
+	WeightPos float64 `json:"weight_pos"`
+	WeightNeg float64 `json:"weight_neg,omitempty"`
+}
+
+// Weight returns the shard's total weight mass W_S = W⁺ + W⁻.
+func (m ShardMeta) Weight() float64 { return m.WeightPos + m.WeightNeg }
+
+// ShardManifest records how a dataset was partitioned: the strategy and
+// the per-shard metadata, index-aligned with the shard engines.
+type ShardManifest struct {
+	Partition PartitionKind `json:"-"`
+	Shards    []ShardMeta   `json:"shards"`
+}
+
+// ShardProvenance records that an engine indexes one shard of a larger
+// partitioned dataset. It is persisted with the engine, so a shard file
+// self-describes (cmd/karl-shard -inspect).
+type ShardProvenance struct {
+	// Index is this shard's position in the partition, in [0, Of).
+	Index int
+	// Of is the total number of shards.
+	Of int
+	// Partition is the strategy that produced the split.
+	Partition PartitionKind
+	// SourceLen is the full dataset's cardinality.
+	SourceLen int
+}
+
+// WeightMass returns the engine's positive and negative weight mass:
+// pos = Σ w_i over w_i ≥ 0 and neg = Σ |w_i| over w_i < 0. The total
+// W = pos + neg is the normalization mass the coreset guarantees and the
+// cluster layer's ε-budget allocation are stated against.
+func (e *Engine) WeightMass() (pos, neg float64) {
+	r := e.tree.Root()
+	return r.Pos.W, r.Neg.W
+}
+
+// ShardInfo reports the engine's shard provenance. ok is false for
+// engines that do not index a shard of a partitioned dataset.
+func (e *Engine) ShardInfo() (info ShardProvenance, ok bool) {
+	if e.shardProv == nil {
+		return ShardProvenance{}, false
+	}
+	return *e.shardProv, true
+}
+
+// Shard partitions the engine's dataset into n shard engines, each
+// indexing its slice with the same kernel, index structure, leaf capacity
+// and bounding method, and each carrying ShardProvenance. The per-shard
+// answers of Aggregate sum exactly to the original engine's (up to float
+// summation order), which is what the cluster coordinator exploits.
+func (e *Engine) Shard(n int, kind PartitionKind) ([]*Engine, *ShardManifest, error) {
+	plan, err := shard.Partition(e.tree.Points, e.tree.Weights, n, shardKindOf(kind))
+	if err != nil {
+		return nil, nil, fmt.Errorf("karl: %w", err)
+	}
+	man := &ShardManifest{Partition: kind, Shards: make([]ShardMeta, n)}
+	engines := make([]*Engine, n)
+	for s, rows := range plan.Rows {
+		sub := vec.NewMatrix(len(rows), e.tree.Dims())
+		var w []float64
+		if e.tree.Weights != nil {
+			w = make([]float64, len(rows))
+		}
+		for i, r := range rows {
+			copy(sub.Row(i), e.tree.Points.Row(r))
+			if w != nil {
+				w[i] = e.tree.Weights[r]
+			}
+		}
+		cfg := defaultBuildConfig()
+		cfg.weights = w
+		cfg.kind = publicIndexKind(e.tree.Kind)
+		cfg.leafCap = e.tree.LeafCap
+		cfg.method = publicMethod(e.eng.Method())
+		se, err := buildMatrixCfg(sub, e.kern, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("karl: shard %d: %w", s, err)
+		}
+		se.shardProv = &ShardProvenance{Index: s, Of: n, Partition: kind, SourceLen: e.Len()}
+		engines[s] = se
+		man.Shards[s] = ShardMeta{
+			Points:    plan.Meta[s].Points,
+			WeightPos: plan.Meta[s].WPos,
+			WeightNeg: plan.Meta[s].WNeg,
+		}
+	}
+	return engines, man, nil
+}
+
+// shardKindOf maps the public partition kind to the internal one.
+func shardKindOf(k PartitionKind) shard.Kind {
+	if k == KDPartition {
+		return shard.KDSplit
+	}
+	return shard.Hash
+}
+
+// publicIndexKind is the inverse of indexKindOf.
+func publicIndexKind(k index.Kind) IndexKind {
+	switch k {
+	case index.BallTree:
+		return BallTree
+	case index.VPTree:
+		return VPTree
+	default:
+		return KDTree
+	}
+}
+
+// publicMethod is the inverse of methodOf.
+func publicMethod(m bound.Method) Method {
+	if m == bound.SOTA {
+		return MethodSOTA
+	}
+	return MethodKARL
+}
