@@ -7,6 +7,7 @@
 //	karl-bench -run tab7
 //	karl-bench -run all -scale 0.05 -queries 500 -maxn 50000
 //	karl-bench -mutable -maxn 20000 -mixratio 9
+//	karl-bench -mutable -maxn 20000 -delevery 10 -window 1h -decay-halflife 30m
 //
 // Experiment IDs follow DESIGN.md §4 (fig1, fig6, fig7, fig9..fig13, tab7,
 // tab8, tab9, tab10). Larger -scale/-queries values approach the paper's
@@ -17,6 +18,10 @@
 // other half (-mixratio queries per insert, default 9 for a 90/10
 // query/insert mix), and reports p50/p99 latency per operation class plus
 // overall throughput — sealing and background compaction included.
+// -delevery mixes one delete of a random live point per that many inserts
+// (tombstone + compaction reclamation on the hot path); -window and
+// -decay-halflife exercise sliding-window TTL expiry and exponential
+// weight decay.
 package main
 
 import (
@@ -49,6 +54,9 @@ func main() {
 		sealSize = flag.Int("seal", 512, "memtable seal threshold for -mutable")
 		fanout   = flag.Int("fanout", 4, "compaction fanout for -mutable")
 		eps      = flag.Float64("eps", 0.1, "relative error budget for -mutable approximate queries")
+		delEvery = flag.Int("delevery", 0, "issue one delete of a random live point per this many -mutable inserts (0 = no deletes)")
+		window   = flag.Duration("window", 0, "sliding-window TTL for -mutable: points older than this expire at seal/compaction (0 = keep forever)")
+		halfLife = flag.Duration("decay-halflife", 0, "exponential weight-decay half-life for -mutable points (0 = no decay)")
 	)
 	flag.Parse()
 
@@ -59,7 +67,11 @@ func main() {
 	}
 
 	if *mutable {
-		if err := runMutableBench(*maxN, *mixRatio, *sealSize, *fanout, *eps, *seed); err != nil {
+		cfg := mutableBenchConfig{
+			n: *maxN, mixRatio: *mixRatio, sealSize: *sealSize, fanout: *fanout,
+			eps: *eps, seed: *seed, delEvery: *delEvery, window: *window, halfLife: *halfLife,
+		}
+		if err := runMutableBench(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -136,11 +148,11 @@ func validateFlags() error {
 	switch {
 	case set["list"]:
 		reject("-run", "scale", "maxn", "queries", "tunesample", "seed", "dims")
-		reject("-mutable", "mixratio", "seal", "fanout", "eps")
+		reject("-mutable", "mixratio", "seal", "fanout", "eps", "delevery", "window", "decay-halflife")
 	case set["mutable"]:
 		reject("-run", "scale", "queries", "tunesample", "dims")
 	default: // -run
-		reject("-mutable", "mixratio", "seal", "fanout", "eps")
+		reject("-mutable", "mixratio", "seal", "fanout", "eps", "delevery", "window", "decay-halflife")
 	}
 	if len(wrong) > 0 {
 		return errors.New(strings.Join(wrong, "; "))
@@ -157,16 +169,26 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-// runMutableBench replays a mixed insert/query stream against a segmented
-// dynamic engine and prints per-class latency quantiles plus throughput.
-func runMutableBench(n, mixRatio, sealSize, fanout int, eps float64, seed int64) error {
+// mutableBenchConfig bundles the -mutable workload knobs.
+type mutableBenchConfig struct {
+	n, mixRatio, sealSize, fanout, delEvery int
+	eps                                     float64
+	seed                                    int64
+	window, halfLife                        time.Duration
+}
+
+// runMutableBench replays a mixed insert/delete/query stream against a
+// segmented dynamic engine and prints per-class latency quantiles plus
+// throughput.
+func runMutableBench(cfg mutableBenchConfig) error {
+	n, mixRatio := cfg.n, cfg.mixRatio
 	if n < 2 {
 		return fmt.Errorf("-maxn %d too small", n)
 	}
 	if mixRatio < 0 {
 		mixRatio = 0
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(cfg.seed))
 	const dim = 8
 	pts := make([][]float64, n)
 	for i := range pts {
@@ -177,16 +199,25 @@ func runMutableBench(n, mixRatio, sealSize, fanout int, eps float64, seed int64)
 		}
 		pts[i] = p
 	}
-	d, err := karl.NewDynamic(karl.Gaussian(20),
-		karl.WithSealSize(sealSize), karl.WithCompactionFanout(fanout))
+	opts := []karl.Option{karl.WithSealSize(cfg.sealSize), karl.WithCompactionFanout(cfg.fanout)}
+	if cfg.window > 0 {
+		opts = append(opts, karl.WithTTL(cfg.window))
+	}
+	if cfg.halfLife > 0 {
+		opts = append(opts, karl.WithDecayHalfLife(cfg.halfLife))
+	}
+	d, err := karl.NewDynamic(karl.Gaussian(20), opts...)
 	if err != nil {
 		return err
 	}
 	half := n / 2
+	live := make([]uint64, 0, n)
 	for _, p := range pts[:half] {
-		if err := d.Insert(p, 1); err != nil {
+		id, err := d.InsertID(p, 1)
+		if err != nil {
 			return err
 		}
+		live = append(live, id)
 	}
 	queryAt := func() []float64 {
 		q := make([]float64, dim)
@@ -202,19 +233,32 @@ func runMutableBench(n, mixRatio, sealSize, fanout int, eps float64, seed int64)
 
 	insertLat := make([]time.Duration, 0, n-half)
 	queryLat := make([]time.Duration, 0, (n-half)*mixRatio)
+	var deleteLat []time.Duration
 	qi := 0
 	start := time.Now()
-	for _, p := range pts[half:] {
+	for i, p := range pts[half:] {
 		t0 := time.Now()
-		if err := d.Insert(p, 1); err != nil {
+		id, err := d.InsertID(p, 1)
+		if err != nil {
 			return err
 		}
 		insertLat = append(insertLat, time.Since(t0))
+		live = append(live, id)
+		if cfg.delEvery > 0 && (i+1)%cfg.delEvery == 0 && len(live) > 1 {
+			j := rng.Intn(len(live))
+			t0 = time.Now()
+			if err := d.Delete(live[j]); err != nil {
+				return fmt.Errorf("delete id %d: %w", live[j], err)
+			}
+			deleteLat = append(deleteLat, time.Since(t0))
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
 		for k := 0; k < mixRatio; k++ {
 			q := queries[qi%len(queries)]
 			qi++
 			t0 = time.Now()
-			if _, err := d.Approximate(q, eps); err != nil {
+			if _, err := d.Approximate(q, cfg.eps); err != nil {
 				return err
 			}
 			queryLat = append(queryLat, time.Since(t0))
@@ -224,15 +268,30 @@ func runMutableBench(n, mixRatio, sealSize, fanout int, eps float64, seed int64)
 
 	sort.Slice(insertLat, func(i, j int) bool { return insertLat[i] < insertLat[j] })
 	sort.Slice(queryLat, func(i, j int) bool { return queryLat[i] < queryLat[j] })
-	ops := len(insertLat) + len(queryLat)
-	fmt.Printf("mutable serving benchmark: n=%d (seeded %d), %d queries per insert, seal=%d fanout=%d eps=%g\n",
-		n, half, mixRatio, sealSize, fanout, eps)
+	sort.Slice(deleteLat, func(i, j int) bool { return deleteLat[i] < deleteLat[j] })
+	ops := len(insertLat) + len(queryLat) + len(deleteLat)
+	fmt.Printf("mutable serving benchmark: n=%d (seeded %d), %d queries per insert, seal=%d fanout=%d eps=%g",
+		n, half, mixRatio, cfg.sealSize, cfg.fanout, cfg.eps)
+	if cfg.delEvery > 0 {
+		fmt.Printf(" delevery=%d", cfg.delEvery)
+	}
+	if cfg.window > 0 {
+		fmt.Printf(" window=%v", cfg.window)
+	}
+	if cfg.halfLife > 0 {
+		fmt.Printf(" halflife=%v", cfg.halfLife)
+	}
+	fmt.Println()
 	fmt.Printf("  inserts: %d  p50=%v  p99=%v\n",
 		len(insertLat), quantile(insertLat, 0.50), quantile(insertLat, 0.99))
+	if len(deleteLat) > 0 {
+		fmt.Printf("  deletes: %d  p50=%v  p99=%v\n",
+			len(deleteLat), quantile(deleteLat, 0.50), quantile(deleteLat, 0.99))
+	}
 	fmt.Printf("  queries: %d  p50=%v  p99=%v\n",
 		len(queryLat), quantile(queryLat, 0.50), quantile(queryLat, 0.99))
-	fmt.Printf("  throughput: %.0f ops/sec over %v (final: %d points, %d segments, %d seals, %d compactions)\n",
+	fmt.Printf("  throughput: %.0f ops/sec over %v (final: %d points, %d segments, %d seals, %d compactions, %d tombstones)\n",
 		float64(ops)/elapsed.Seconds(), elapsed.Round(time.Millisecond),
-		d.Len(), len(d.Segments()), d.Seals(), d.Compactions())
+		d.Len(), len(d.Segments()), d.Seals(), d.Compactions(), d.Tombstones())
 	return nil
 }

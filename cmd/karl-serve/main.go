@@ -18,6 +18,8 @@
 //	POST /v1/batch       {"kind":"approximate","queries":[[...],...],"eps":0.1}
 //	POST /v1/insert      {"p":[...],"w":2.0}          # -mutable only
 //	POST /v1/insert      {"points":[[...],...],"weights":[...]}
+//	DELETE /v1/point     {"id":7}                     # -mutable only
+//	DELETE /v1/point     {"ids":[7,8,9]}
 //
 // Approximate queries pick one of two error models: "eps" bounds the
 // relative error |v−F| ≤ eps·F, "eps_norm" bounds the normalized error
@@ -29,12 +31,17 @@
 // exiting.
 //
 // With -mutable the server wraps a segmented dynamic engine: POST
-// /v1/insert appends points while queries keep serving, background
-// compaction maintains the segment manifest, and no request ever waits
-// on an index rebuild. Start empty (just -mutable, with -gamma for the
-// kernel), seed from a dynamic engine file (-model, written by
-// DynamicEngine.WriteTo), or replay vectors from -points as inserts.
-// The -sketch-eps tier requires an immutable engine and is rejected.
+// /v1/insert appends points (returning their IDs) and DELETE /v1/point
+// removes them by ID while queries keep serving, background compaction
+// maintains the segment manifest, and no request ever waits on an index
+// rebuild. Start empty (just -mutable, with -gamma for the kernel), seed
+// from a dynamic engine file (-model, written by DynamicEngine.WriteTo),
+// or replay vectors from -points as inserts. Streaming retention is
+// configured at startup: -window expires points older than the given age
+// (a sliding window, enforced lazily at seal/compaction), and
+// -decay-halflife down-weights every point exponentially with age so
+// recent data dominates without ever rebuilding. The -sketch-eps tier
+// requires an immutable engine and is rejected.
 //
 // With -coordinator the process serves no data itself: it scatter-gathers
 // over remote karl-serve shards (split a saved engine with karl-shard):
@@ -77,9 +84,11 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		poolSize = flag.Int("pool", 0, "max idle engine clones retained (0 = 2·GOMAXPROCS)")
 		sketch   = flag.Float64("sketch-eps", 0, "enable the coreset tier: serve normalized-budget (eps_norm ≥ this bound) approximate queries from a sketch (0 = off)")
-		mutable  = flag.Bool("mutable", false, "serve a segmented dynamic engine with POST /v1/insert (see -seal-size, -fanout)")
+		mutable  = flag.Bool("mutable", false, "serve a segmented dynamic engine with POST /v1/insert and DELETE /v1/point (see -seal-size, -fanout)")
 		sealSize = flag.Int("seal-size", 0, "memtable seal threshold for -mutable (0 = library default)")
 		fanout   = flag.Int("fanout", 0, "compaction fanout for -mutable (0 = library default)")
+		window   = flag.Duration("window", 0, "sliding-window TTL for -mutable: points older than this expire at seal/compaction (0 = keep forever)")
+		halfLife = flag.Duration("decay-halflife", 0, "exponential weight-decay half-life for -mutable: a point's weight halves every interval (0 = no decay)")
 		readTO   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle-connection timeout")
@@ -111,7 +120,7 @@ func main() {
 	var srv *server.Server
 	var banner string
 	if *mutable {
-		d, err := buildDynamic(*model, *points, *gamma, *sealSize, *fanout)
+		d, err := buildDynamic(*model, *points, *gamma, *sealSize, *fanout, *window, *halfLife)
 		if err != nil {
 			log.Fatalf("karl-serve: %v", err)
 		}
@@ -229,10 +238,13 @@ func parseShards(s string) ([]cluster.Shard, error) {
 // dynamic engine (-model, which carries its own kernel and policy), an
 // empty engine, or an empty engine seeded by replaying -points as
 // inserts.
-func buildDynamic(model, points string, gamma float64, sealSize, fanout int) (*karl.DynamicEngine, error) {
+func buildDynamic(model, points string, gamma float64, sealSize, fanout int, window, halfLife time.Duration) (*karl.DynamicEngine, error) {
 	if model != "" {
 		if points != "" {
 			return nil, fmt.Errorf("-model and -points are mutually exclusive with -mutable")
+		}
+		if window != 0 || halfLife != 0 {
+			return nil, fmt.Errorf("-window and -decay-halflife are baked into a saved dynamic engine; they cannot be overridden with -model")
 		}
 		f, err := os.Open(model)
 		if err != nil {
@@ -247,6 +259,12 @@ func buildDynamic(model, points string, gamma float64, sealSize, fanout int) (*k
 	}
 	if fanout > 0 {
 		opts = append(opts, karl.WithCompactionFanout(fanout))
+	}
+	if window > 0 {
+		opts = append(opts, karl.WithTTL(window))
+	}
+	if halfLife > 0 {
+		opts = append(opts, karl.WithDecayHalfLife(halfLife))
 	}
 	d, err := karl.NewDynamic(karl.Gaussian(gamma), opts...)
 	if err != nil {

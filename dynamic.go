@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"karl/internal/bound"
 	"karl/internal/core"
@@ -47,18 +48,77 @@ type DynamicEngine struct {
 	f      *core.Forest
 	fEpoch uint64
 	fSet   bool
+
+	// scales is this clone's per-query decay-scale scratch, refilled by
+	// snapshot for the query instant and retained by the forest; unused
+	// (nil) when decay is off.
+	scales []float64
 }
 
 // memtable is one reusable insert buffer: a fixed-capacity matrix plus
-// parallel weights, filled to n rows in insertion order.
+// parallel weights, sequence numbers and (on timed engines) insert
+// timestamps, filled to n rows in insertion order. seq is ascending, so
+// lookup by id is a binary search.
 type memtable struct {
-	m *vec.Matrix
-	w []float64
-	n int
+	m   *vec.Matrix
+	w   []float64
+	seq []uint64
+	t   []int64 // nil on untimed engines (no TTL, no decay)
+	n   int
 }
 
-func newMemtable(rows, dims int) *memtable {
-	return &memtable{m: vec.NewMatrix(rows, dims), w: make([]float64, rows)}
+func newMemtable(rows, dims int, timed bool) *memtable {
+	mt := &memtable{m: vec.NewMatrix(rows, dims), w: make([]float64, rows), seq: make([]uint64, rows)}
+	if timed {
+		mt.t = make([]int64, rows)
+	}
+	return mt
+}
+
+// find returns the row holding the point with the given sequence number.
+func (b *memtable) find(id uint64) (int, bool) {
+	if b == nil || b.n == 0 {
+		return 0, false
+	}
+	lo, hi := 0, b.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.seq[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= b.n || b.seq[lo] != id {
+		return 0, false
+	}
+	return lo, true
+}
+
+// removeAt deletes row i, shifting the tail down to preserve insertion
+// order (and therefore the ascending seq invariant). Only legal on the
+// active memtable — the sealing buffer is scanned concurrently without
+// the lock and must never be mutated.
+func (b *memtable) removeAt(i int) {
+	tail := b.n - i - 1
+	if tail > 0 {
+		d := b.m.Cols
+		copy(b.m.Data[i*d:(i+tail)*d], b.m.Data[(i+1)*d:(i+1+tail)*d])
+		copy(b.w[i:i+tail], b.w[i+1:b.n])
+		copy(b.seq[i:i+tail], b.seq[i+1:b.n])
+		if b.t != nil {
+			copy(b.t[i:i+tail], b.t[i+1:b.n])
+		}
+	}
+	b.n--
+}
+
+// run names the buffer's filled prefix for the segment layer.
+func (b *memtable) run() segment.MemRun {
+	if b == nil {
+		return segment.MemRun{}
+	}
+	return segment.MemRun{M: b.m, W: b.w, N: b.n, Seqs: b.seq, Times: b.t}
 }
 
 // dynShared is the mutable dataset state shared by every clone of one
@@ -77,9 +137,26 @@ type dynShared struct {
 
 	autoCompact bool
 
+	// ttl > 0 expires points that many nanoseconds after insertion
+	// (enforced lazily at seal/compaction); halfLife > 0 decays every
+	// weight by half per that many nanoseconds. Either makes the engine
+	// "timed": memtables then stamp per-row insert times from now().
+	ttl      int64
+	halfLife float64
+	now      func() int64
+
 	dims int // fixed by the first insert (or a load); 0 = undetermined
 
 	man *segment.Manifest
+
+	// nextSeq numbers every inserted point (ids start at 1); tombs holds
+	// one tombstone per deleted-but-not-yet-compacted point, keyed by id.
+	// Every live tombstone's point sits in exactly one manifest segment
+	// (memtable deletes are physical; sealing-buffer deletes become
+	// segment rows when the seal installs), so compactions consume them.
+	nextSeq uint64
+	tombs   map[uint64]tombstone
+	deletes int
 
 	// mem receives inserts; sealing is non-nil while its rows are being
 	// built into a segment (queries still scan it); spare is the recycled
@@ -99,6 +176,37 @@ type dynShared struct {
 	seals       int
 	compactions int
 	compactErr  error
+}
+
+// tombstone is the exact mass of one deleted point that still sits inside
+// an immutable segment (or the sealing buffer): weight and coordinates as
+// stored where it was found, plus the decay reference instant that weight
+// is scaled to. Queries subtract w·2^(−(T−ref)/halfLife)·K(q,p) from both
+// global bounds — the same algebra with which the live copy contributes,
+// so the cancellation is exact at any query time and any compaction
+// rebasing (rescaling a weight from ref to ref' multiplies both sides by
+// the same factor).
+type tombstone struct {
+	w   float64
+	ref int64
+	p   []float64
+}
+
+// ErrPointNotFound is returned by Delete when no live point has the given
+// id: it was never assigned, already deleted, expired away, or absorbed
+// into a lossy coreset segment (whose rows are no longer addressable).
+var ErrPointNotFound = errors.New("karl: point not found")
+
+// timed reports whether rows carry insert timestamps.
+func (sh *dynShared) timed() bool { return sh.ttl > 0 || sh.halfLife > 0 }
+
+// decayAt returns the factor rebasing a weight scaled to ref onto query
+// instant now: 2^(−(now−ref)/halfLife), or 1 when decay is off.
+func (sh *dynShared) decayAt(now, ref int64) float64 {
+	if sh.halfLife <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(now-ref) / sh.halfLife)
 }
 
 // NewDynamic creates an empty dynamic engine. Index options (WithIndex,
@@ -130,6 +238,12 @@ func NewDynamic(kern Kernel, opts ...Option) (*DynamicEngine, error) {
 	if err := policy.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.ttl < 0 {
+		return nil, fmt.Errorf("karl: ttl must be non-negative, got %v", cfg.ttl)
+	}
+	if cfg.halfLife < 0 {
+		return nil, fmt.Errorf("karl: decay half-life must be non-negative, got %v", cfg.halfLife)
+	}
 	sh := &dynShared{
 		kern:        kern,
 		method:      methodOf(cfg.method),
@@ -138,8 +252,16 @@ func NewDynamic(kern Kernel, opts ...Option) (*DynamicEngine, error) {
 		policy:      policy,
 		coldSeed:    cfg.coresetSeed,
 		autoCompact: !cfg.noAutoCompact,
+		ttl:         int64(cfg.ttl),
+		halfLife:    float64(cfg.halfLife),
+		now:         cfg.clock,
 		man:         &segment.Manifest{},
 		nextID:      1,
+		nextSeq:     1,
+		tombs:       map[uint64]tombstone{},
+	}
+	if sh.now == nil {
+		sh.now = func() int64 { return time.Now().UnixNano() }
 	}
 	sh.cond = sync.NewCond(&sh.mu)
 	return newDynamicView(sh)
@@ -162,14 +284,15 @@ func (d *DynamicEngine) Clone() *DynamicEngine {
 	return c
 }
 
-// Len returns the number of points currently represented (all segments
-// plus buffered inserts).
+// Len returns the number of points currently represented: all segments
+// plus buffered inserts, minus pending tombstones (each tombstone cancels
+// exactly one stored row). TTL-expired points still count until a seal or
+// compaction physically drops them.
 func (d *DynamicEngine) Len() int {
 	sh := d.sh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	n := sh.man.Len() + sh.mem.len() + sh.sealing.len()
-	return n
+	return sh.man.Len() + sh.mem.len() + sh.sealing.len() - len(sh.tombs)
 }
 
 // Dims returns the dataset dimensionality (0 before the first insert).
@@ -191,21 +314,46 @@ func (d *DynamicEngine) WeightMass() (pos, neg float64) {
 	sh := d.sh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var nowT int64
+	if sh.timed() {
+		nowT = sh.now()
+	}
+	decayed := sh.halfLife > 0
 	for _, s := range sh.man.Segs {
 		r := s.Tree.Root()
-		pos += r.Pos.W
-		neg += r.Neg.W
+		scale := 1.0
+		if decayed {
+			scale = sh.decayAt(nowT, s.TimeRef)
+		}
+		pos += r.Pos.W * scale
+		neg += r.Neg.W * scale
 	}
 	for _, mt := range []*memtable{sh.mem, sh.sealing} {
 		if mt == nil {
 			continue
 		}
 		for i := 0; i < mt.n; i++ {
-			if w := mt.w[i]; w >= 0 {
+			w := mt.w[i]
+			if decayed {
+				w *= sh.decayAt(nowT, mt.t[i])
+			}
+			if w >= 0 {
 				pos += w
 			} else {
 				neg -= w
 			}
+		}
+	}
+	// Tombstones cancel mass they still shadow inside segments.
+	for _, tb := range sh.tombs {
+		w := tb.w
+		if decayed {
+			w *= sh.decayAt(nowT, tb.ref)
+		}
+		if w >= 0 {
+			pos -= w
+		} else {
+			neg += w
 		}
 	}
 	return pos, neg
@@ -252,6 +400,32 @@ func (d *DynamicEngine) Compactions() int {
 	return sh.compactions
 }
 
+// Tombstones reports how many deletes are pending physical removal —
+// points whose mass every query currently subtracts exactly, awaiting a
+// compaction over their segment.
+func (d *DynamicEngine) Tombstones() int {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.tombs)
+}
+
+// Deletes reports how many points have been deleted over the engine's
+// lifetime (memtable removals and tombstones alike).
+func (d *DynamicEngine) Deletes() int {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.deletes
+}
+
+// TTL returns the configured point lifetime (0 = points never expire).
+func (d *DynamicEngine) TTL() time.Duration { return time.Duration(d.sh.ttl) }
+
+// DecayHalfLife returns the configured weight-decay half-life (0 = no
+// decay).
+func (d *DynamicEngine) DecayHalfLife() time.Duration { return time.Duration(d.sh.halfLife) }
+
 // SegmentInfo describes one immutable segment of the current manifest.
 type SegmentInfo struct {
 	// ID is the segment's stable identity (assigned at seal/merge time).
@@ -278,13 +452,10 @@ func (d *DynamicEngine) Segments() []SegmentInfo {
 	return out
 }
 
-// Insert adds one weighted point. The first insert fixes the
-// dimensionality. NaN or ±Inf coordinates and weights are rejected: a
-// single non-finite value would silently poison every aggregate the
-// engine answers afterwards. Steady-state inserts are allocation-free;
-// an insert that fills the memtable builds the new segment synchronously
-// (off the query path — concurrent queries are never blocked by it).
-func (d *DynamicEngine) Insert(p []float64, w float64) error {
+// validateInsert rejects empty points and NaN or ±Inf coordinates and
+// weights: a single non-finite value would silently poison every
+// aggregate the engine answers afterwards.
+func validateInsert(p []float64, w float64) error {
 	if len(p) == 0 {
 		return errors.New("karl: empty point")
 	}
@@ -296,6 +467,139 @@ func (d *DynamicEngine) Insert(p []float64, w float64) error {
 	if math.IsNaN(w) || math.IsInf(w, 0) {
 		return fmt.Errorf("karl: weight is %v; weights must be finite", w)
 	}
+	return nil
+}
+
+// Insert adds one weighted point, discarding its id; use InsertID when
+// the point may need deleting later. The first insert fixes the
+// dimensionality. Steady-state inserts are allocation-free; an insert
+// that fills the memtable builds the new segment synchronously (off the
+// query path — concurrent queries are never blocked by it).
+func (d *DynamicEngine) Insert(p []float64, w float64) error {
+	_, err := d.InsertID(p, w)
+	return err
+}
+
+// InsertID adds one weighted point and returns its id — a stable handle
+// (ids start at 1 and never recycle) that Delete accepts for as long as
+// the point lives.
+func (d *DynamicEngine) InsertID(p []float64, w float64) (uint64, error) {
+	if err := validateInsert(p, w); err != nil {
+		return 0, err
+	}
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.insertReadyLocked(len(p)); err != nil {
+		return 0, err
+	}
+	return sh.insertRowLocked(p, w)
+}
+
+// InsertBulk adds many points with optional parallel weights (nil = unit)
+// in one lock acquisition, returning their ids. Validation is
+// all-or-nothing and happens BEFORE any buffer is touched: a NaN in the
+// last point rejects the whole batch with the engine state unchanged,
+// never with a prefix of the batch silently landed.
+func (d *DynamicEngine) InsertBulk(points [][]float64, weights []float64) ([]uint64, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	if weights != nil && len(weights) != len(points) {
+		return nil, fmt.Errorf("karl: %d weights for %d points", len(weights), len(points))
+	}
+	dims := len(points[0])
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("karl: point %d has %d dims, point 0 has %d", i, len(p), dims)
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if err := validateInsert(p, w); err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+	}
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.insertReadyLocked(dims); err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, len(points))
+	for i, p := range points {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		id, err := sh.insertRowLocked(p, w)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// insertReadyLocked performs the per-call insert gating: closed and
+// background-error checks plus fixing or checking the dimensionality.
+func (sh *dynShared) insertReadyLocked(dims int) error {
+	if sh.closed {
+		return errors.New("karl: engine is closed")
+	}
+	if err := sh.compactErrLocked(); err != nil {
+		return err
+	}
+	if sh.dims == 0 {
+		sh.dims = dims
+	}
+	if dims != sh.dims {
+		return fmt.Errorf("karl: point has %d dims, engine has %d", dims, sh.dims)
+	}
+	return nil
+}
+
+// insertRowLocked lands one already-validated row in the memtable,
+// sealing when it fills. Called with mu held; may release it while
+// waiting for room or sealing.
+func (sh *dynShared) insertRowLocked(p []float64, w float64) (uint64, error) {
+	// Wait until the memtable has room (a seal may be draining it) and no
+	// full compaction is snapshotting it.
+	for sh.draining || (sh.mem != nil && sh.mem.n >= sh.policy.SealSize) {
+		sh.cond.Wait()
+		if sh.closed {
+			return 0, errors.New("karl: engine is closed")
+		}
+	}
+	if sh.mem == nil {
+		sh.mem = newMemtable(sh.policy.SealSize, sh.dims, sh.timed())
+	}
+	id := sh.nextSeq
+	sh.nextSeq++
+	mt := sh.mem
+	copy(mt.m.Row(mt.n), p)
+	mt.w[mt.n] = w
+	mt.seq[mt.n] = id
+	if mt.t != nil {
+		mt.t[mt.n] = sh.now()
+	}
+	mt.n++
+	if mt.n >= sh.policy.SealSize {
+		return id, sh.sealLocked()
+	}
+	return id, nil
+}
+
+// Delete removes the point with the given id (as returned by InsertID or
+// InsertBulk) and returns ErrPointNotFound when no live point has it.
+// A point still in the active memtable is removed physically; a point in
+// the sealing buffer or a sealed segment gets a TOMBSTONE — its exact
+// mass is subtracted from both global bounds of every query (so answers
+// reflect the delete immediately and the ε/τ guarantees stay anchored to
+// the true post-delete total) until a compaction touching its segment
+// physically drops the row and consumes the tombstone.
+func (d *DynamicEngine) Delete(id uint64) error {
 	sh := d.sh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -305,30 +609,51 @@ func (d *DynamicEngine) Insert(p []float64, w float64) error {
 	if err := sh.compactErrLocked(); err != nil {
 		return err
 	}
-	if sh.dims == 0 {
-		sh.dims = len(p)
-	}
-	if len(p) != sh.dims {
-		return fmt.Errorf("karl: point has %d dims, engine has %d", len(p), sh.dims)
-	}
-	// Wait until the memtable has room (a seal may be draining it) and no
-	// full compaction is snapshotting it.
-	for sh.draining || (sh.mem != nil && sh.mem.n >= sh.policy.SealSize) {
+	// A full compaction snapshots the memtable without the lock; wait it
+	// out before mutating anything.
+	for sh.draining {
 		sh.cond.Wait()
 		if sh.closed {
 			return errors.New("karl: engine is closed")
 		}
 	}
-	if sh.mem == nil {
-		sh.mem = newMemtable(sh.policy.SealSize, sh.dims)
+	if id == 0 || id >= sh.nextSeq {
+		return ErrPointNotFound
 	}
-	copy(sh.mem.m.Row(sh.mem.n), p)
-	sh.mem.w[sh.mem.n] = w
-	sh.mem.n++
-	if sh.mem.n >= sh.policy.SealSize {
-		return sh.sealLocked()
+	if _, dead := sh.tombs[id]; dead {
+		return ErrPointNotFound // already deleted, tombstone pending
 	}
-	return nil
+	if i, ok := sh.mem.find(id); ok {
+		sh.mem.removeAt(i)
+		sh.deletes++
+		return nil
+	}
+	if b := sh.sealing; b != nil {
+		if i, ok := b.find(id); ok {
+			// The sealing buffer is being indexed concurrently without the
+			// lock: never mutate it. The row lands in a segment when the
+			// seal installs; the tombstone keeps cancelling it exactly.
+			var ref int64
+			if b.t != nil {
+				ref = b.t[i]
+			}
+			sh.tombs[id] = tombstone{w: b.w[i], ref: ref, p: append([]float64(nil), b.m.Row(i)...)}
+			sh.deletes++
+			return nil
+		}
+	}
+	for _, s := range sh.man.Segs {
+		if row, ok := s.Find(id); ok {
+			w := 1.0
+			if s.Tree.Weights != nil {
+				w = s.Tree.Weights[row]
+			}
+			sh.tombs[id] = tombstone{w: w, ref: s.TimeRef, p: append([]float64(nil), s.Tree.Points.Row(row)...)}
+			sh.deletes++
+			return nil
+		}
+	}
+	return ErrPointNotFound
 }
 
 // sealLocked drains the full memtable into a new immutable segment. It is
@@ -349,13 +674,27 @@ func (sh *dynShared) sealLocked() error {
 			sh.mem = sh.spare
 			sh.spare = nil
 		} else {
-			sh.mem = newMemtable(sh.policy.SealSize, sh.dims)
+			sh.mem = newMemtable(sh.policy.SealSize, sh.dims, sh.timed())
 		}
 		id := sh.nextID
 		sh.nextID++
 		buf := sh.sealing
+		run := buf.run()
+		var ref int64
+		var dropped []uint64
+		if sh.timed() {
+			nowT := sh.now()
+			if sh.halfLife > 0 {
+				ref = nowT // the new segment's decay reference instant
+			}
+			run, dropped = sh.sealRunLocked(buf, nowT, ref)
+		}
 		sh.mu.Unlock()
-		seg, err := segment.Seal(buf.m, buf.w, buf.n, sh.bcfg, id)
+		var seg *segment.Segment
+		var err error
+		if run.N > 0 {
+			seg, err = segment.Seal(run, ref, sh.bcfg, id)
+		}
 		sh.mu.Lock()
 		sh.sealing = nil
 		if err != nil {
@@ -364,7 +703,15 @@ func (sh *dynShared) sealLocked() error {
 			sh.cond.Broadcast()
 			return fmt.Errorf("karl: sealing memtable: %w", err)
 		}
-		sh.man = sh.man.WithSealed(seg)
+		if seg != nil {
+			sh.man = sh.man.WithSealed(seg)
+		}
+		// Rows the seal expired away can carry tombstones placed while the
+		// build ran; the row and its tombstone vanish together here, so
+		// the subtraction never outlives the mass it cancels.
+		for _, sq := range dropped {
+			delete(sh.tombs, sq)
+		}
 		sh.seals++
 		buf.n = 0
 		sh.spare = buf
@@ -372,6 +719,57 @@ func (sh *dynShared) sealLocked() error {
 		sh.cond.Broadcast()
 	}
 	return nil
+}
+
+// sealRunLocked prepares a timed seal's input: drops rows past the TTL
+// cutoff and rescales surviving weights onto the decay reference ref,
+// copying into fresh buffers when anything changes (the shared sealing
+// buffer is scanned by concurrent queries and must stay untouched).
+// Returns the run to seal and the seqs of the dropped rows. Called with
+// mu held; the plain untimed path never reaches here and stays
+// allocation-free.
+func (sh *dynShared) sealRunLocked(buf *memtable, nowT, ref int64) (segment.MemRun, []uint64) {
+	var cutoff int64
+	if sh.ttl > 0 {
+		cutoff = nowT - sh.ttl
+	}
+	kept := 0
+	for i := 0; i < buf.n; i++ {
+		if cutoff != 0 && buf.t[i] < cutoff {
+			continue
+		}
+		kept++
+	}
+	if kept == buf.n && sh.halfLife <= 0 {
+		return buf.run(), nil // nothing expired, no decay: zero-copy
+	}
+	var run segment.MemRun
+	var dropped []uint64
+	if kept > 0 {
+		run = segment.MemRun{
+			M: vec.NewMatrix(kept, buf.m.Cols), W: make([]float64, kept),
+			Seqs: make([]uint64, kept), Times: make([]int64, kept), N: kept,
+		}
+	}
+	j := 0
+	for i := 0; i < buf.n; i++ {
+		if cutoff != 0 && buf.t[i] < cutoff {
+			dropped = append(dropped, buf.seq[i])
+			continue
+		}
+		copy(run.M.Row(j), buf.m.Row(i))
+		w := buf.w[i]
+		if sh.halfLife > 0 {
+			// Rebase the raw (as-inserted) weight from its own insert
+			// instant onto the segment's shared reference.
+			w *= sh.decayAt(ref, buf.t[i])
+		}
+		run.W[j] = w
+		run.Seqs[j] = buf.seq[i]
+		run.Times[j] = buf.t[i]
+		j++
+	}
+	return run, dropped
 }
 
 // maybeCompactLocked starts one background tiered merge if the policy
@@ -388,15 +786,52 @@ func (sh *dynShared) maybeCompactLocked() {
 	segs := sh.man.Select(ids)
 	id := sh.nextID
 	sh.nextID++
-	go sh.compactSegments(ids, segs, id)
+	opts, consumed := sh.mergeOptsLocked(segs)
+	go sh.compactSegments(ids, segs, id, opts, consumed)
+}
+
+// mergeOptsLocked assembles, under the lock, the mutations a merge over
+// the given input segments applies: the pending tombstones whose points
+// live in one of the inputs (those rows are dropped and the tombstones
+// consumed when the merge installs), the TTL expiry cutoff, and the decay
+// rebase onto the merge instant. Tombstones placed after this snapshot
+// stay pending — the merged output keeps their rows, so the subtraction
+// still cancels live mass and a later compaction collects them.
+func (sh *dynShared) mergeOptsLocked(segs []*segment.Segment) (segment.MergeOpts, []uint64) {
+	var opts segment.MergeOpts
+	var nowT int64
+	if sh.timed() {
+		nowT = sh.now()
+	}
+	if sh.ttl > 0 {
+		opts.ExpireBefore = nowT - sh.ttl
+	}
+	if sh.halfLife > 0 {
+		opts.HalfLife = sh.halfLife
+		opts.NewRef = nowT
+	}
+	var consumed []uint64
+	for seq := range sh.tombs {
+		for _, s := range segs {
+			if _, ok := s.Find(seq); ok {
+				if opts.Drop == nil {
+					opts.Drop = make(map[uint64]bool, len(sh.tombs))
+				}
+				opts.Drop[seq] = true
+				consumed = append(consumed, seq)
+				break
+			}
+		}
+	}
+	return opts, consumed
 }
 
 // compactSegments merges the planned segments off the query and insert
 // paths and swaps the result in atomically. Queries started before the
 // swap keep refining over the old snapshot.
-func (sh *dynShared) compactSegments(ids []uint64, segs []*segment.Segment, id uint64) {
-	merged, err := segment.Merge(segs, nil, nil, 0, sh.bcfg, id)
-	if err == nil && sh.policy.ColdEps > 0 && merged.Len() >= sh.policy.ColdMin {
+func (sh *dynShared) compactSegments(ids []uint64, segs []*segment.Segment, id uint64, opts segment.MergeOpts, consumed []uint64) {
+	merged, err := segment.Merge(segs, segment.MemRun{}, opts, sh.bcfg, id)
+	if err == nil && merged != nil && sh.policy.ColdEps > 0 && merged.Len() >= sh.policy.ColdMin {
 		// Cold tier: compress large merged segments into a provable-error
 		// coreset. Mixed-sign segments are kept lossless (Compress rejects
 		// Type III).
@@ -410,6 +845,9 @@ func (sh *dynShared) compactSegments(ids []uint64, segs []*segment.Segment, id u
 		sh.compactErr = err
 	} else {
 		sh.man = sh.man.WithReplaced(ids, merged)
+		for _, seq := range consumed {
+			delete(sh.tombs, seq)
+		}
 		sh.compactions++
 		sh.maybeCompactLocked() // cascade into the next tier if due
 	}
@@ -428,10 +866,14 @@ func (sh *dynShared) compactErrLocked() error {
 }
 
 // Compact merges every segment AND the memtable into one segment,
-// restoring per-segment insertion order oldest-first — the result is
-// bitwise identical to a from-scratch static build over the full insert
-// stream. Inserts block for the duration; queries proceed on the old
-// snapshot and switch to the compacted manifest atomically.
+// restoring per-segment insertion order oldest-first, physically dropping
+// every tombstoned and TTL-expired row, and (under decay) rebasing all
+// weights onto the compaction instant. Without deletes, TTL or decay the
+// result is bitwise identical to a from-scratch static build over the
+// full insert stream; with deletes it is bitwise identical to a static
+// build over the never-deleted survivors in insertion order. Inserts and
+// deletes block for the duration; queries proceed on the old snapshot and
+// switch to the compacted manifest atomically.
 func (d *DynamicEngine) Compact() error {
 	sh := d.sh
 	sh.mu.Lock()
@@ -443,25 +885,36 @@ func (d *DynamicEngine) Compact() error {
 		return err
 	}
 	memN := sh.mem.len()
-	if sh.man.Len()+memN == 0 || (len(sh.man.Segs) == 1 && memN == 0) {
+	if sh.man.Len()+memN == 0 {
 		sh.mu.Unlock()
-		return nil // already fully compact (or empty)
+		return nil // empty
 	}
-	sh.draining = true // blocks inserts, seals and background merges
+	if len(sh.man.Segs) == 1 && memN == 0 && len(sh.tombs) == 0 && sh.ttl == 0 {
+		// One segment, nothing buffered, no pending deletes, no window to
+		// enforce: already fully compact. (Pending tombstones or a TTL
+		// force the merge so dead rows are physically dropped.)
+		sh.mu.Unlock()
+		return nil
+	}
+	sh.draining = true // blocks inserts, deletes, seals and background merges
 	segs := sh.man.Segs
-	var memM *vec.Matrix
-	var memW []float64
-	if memN > 0 {
-		memM, memW = sh.mem.m, sh.mem.w
-	}
+	run := sh.mem.run()
 	id := sh.nextID
 	sh.nextID++
+	opts, consumed := sh.mergeOptsLocked(segs)
 	sh.mu.Unlock()
-	merged, err := segment.Merge(segs, memM, memW, memN, sh.bcfg, id)
+	merged, err := segment.Merge(segs, run, opts, sh.bcfg, id)
 	sh.mu.Lock()
 	sh.draining = false
 	if err == nil {
-		sh.man = &segment.Manifest{Epoch: sh.man.Epoch + 1, Segs: []*segment.Segment{merged}}
+		man := &segment.Manifest{Epoch: sh.man.Epoch + 1}
+		if merged != nil {
+			man.Segs = []*segment.Segment{merged}
+		}
+		sh.man = man
+		for _, seq := range consumed {
+			delete(sh.tombs, seq)
+		}
 		sh.compactions++
 		if sh.mem != nil {
 			sh.mem.n = 0 // absorbed into the merged segment
@@ -487,9 +940,13 @@ func (d *DynamicEngine) Close() error {
 }
 
 // snapshot grabs, under the lock, everything one query needs: the current
-// manifest and the exact contribution of the buffered points (memtable
-// plus any buffer currently being sealed) together with how many points
-// that scan covered.
+// manifest, the exact contribution of the buffered points (memtable plus
+// any buffer currently being sealed) MINUS the exact mass of every
+// pending tombstone — both folded the same way into the base term that
+// tightens both global bounds, so ε/τ certificates hold relative to the
+// true post-delete total — together with how many points that scan
+// covered. Under decay it also refills this clone's per-segment scale
+// scratch for the query instant.
 func (d *DynamicEngine) snapshot(q []float64) (man *segment.Manifest, base float64, scanned int, err error) {
 	sh := d.sh
 	sh.mu.Lock()
@@ -502,30 +959,57 @@ func (d *DynamicEngine) snapshot(q []float64) (man *segment.Manifest, base float
 		return nil, 0, 0, fmt.Errorf("karl: query has %d dims, engine has %d", len(q), sh.dims)
 	}
 	p := kernel.Params(sh.kern)
+	var nowT int64
+	if sh.timed() {
+		nowT = sh.now()
+	}
+	decayed := sh.halfLife > 0
 	for _, b := range [2]*memtable{sh.mem, sh.sealing} {
 		if b == nil {
 			continue
 		}
 		for i := 0; i < b.n; i++ {
-			base += b.w[i] * p.Eval(q, b.m.Row(i))
+			w := b.w[i]
+			if decayed {
+				w *= sh.decayAt(nowT, b.t[i])
+			}
+			base += w * p.Eval(q, b.m.Row(i))
 		}
 		scanned += b.n
+	}
+	for _, tb := range sh.tombs {
+		w := tb.w
+		if decayed {
+			w *= sh.decayAt(nowT, tb.ref)
+		}
+		base -= w * p.Eval(q, tb.p)
+		scanned++
+	}
+	if decayed {
+		d.scales = d.scales[:0]
+		for _, s := range sh.man.Segs {
+			d.scales = append(d.scales, sh.decayAt(nowT, s.TimeRef))
+		}
 	}
 	return sh.man, base, scanned, nil
 }
 
 // arm points this clone's forest at the manifest snapshot, reusing the
 // existing segment set when the epoch is unchanged (the steady-state path:
-// no allocation, no re-validation).
+// no allocation, no re-validation). Under decay the per-segment scales
+// are re-installed every query — the clock has moved — but the slice is
+// this clone's reused scratch, so steady state still allocates nothing.
 func (d *DynamicEngine) arm(man *segment.Manifest) error {
-	if d.fSet && d.fEpoch == man.Epoch {
-		return nil
+	if !d.fSet || d.fEpoch != man.Epoch {
+		if err := d.f.SetTrees(man.Trees()); err != nil {
+			return err
+		}
+		d.fEpoch, d.fSet = man.Epoch, true
 	}
-	if err := d.f.SetTrees(man.Trees()); err != nil {
-		return err
+	if d.sh.halfLife > 0 {
+		return d.f.SetScales(d.scales)
 	}
-	d.fEpoch, d.fSet = man.Epoch, true
-	return nil
+	return d.f.SetScales(nil)
 }
 
 // Aggregate computes the exact aggregate over all current points.

@@ -41,6 +41,14 @@ type Forest struct {
 	trees []*index.Tree
 	dims  int
 
+	// scales, when non-nil, multiplies every contribution of segment i —
+	// leaf evaluations and node bounds alike — by scales[i]. This is the
+	// lazy exponential-decay hook: a decayed weight set w_i·λ has node
+	// aggregates (W,a,b)·λ, so one positive scalar per segment rescales
+	// the whole tree without touching it. nil (the default) is the
+	// dispatch-free fast path.
+	scales []float64
+
 	// Per-query scratch, reused across queries.
 	qc       bound.QueryCtx
 	queue    pqueue.Queue[fentry]
@@ -85,6 +93,11 @@ func (f *Forest) SetTrees(trees []*index.Tree) error {
 	}
 	f.trees = trees
 	f.dims = dims
+	if f.scales != nil && len(f.scales) != len(trees) {
+		// Stale scale set from a previous segment snapshot; the caller
+		// re-installs fresh scales per query when decay is on.
+		f.scales = nil
+	}
 	if cap(f.segStats) < len(trees) {
 		f.segStats = make([]Stats, len(trees))
 	} else {
@@ -95,6 +108,21 @@ func (f *Forest) SetTrees(trees []*index.Tree) error {
 
 // Trees returns the current segment set (read-only by convention).
 func (f *Forest) Trees() []*index.Tree { return f.trees }
+
+// SetScales installs per-segment positive multipliers on every bound and
+// leaf evaluation, index-aligned with the segment set — the decayed-weight
+// view λ_i·F_i(q). The slice is retained, not copied, and is typically
+// refilled by the caller before every query (the scale of a decaying
+// segment changes with the clock). nil restores the unscaled fast path.
+// Scales must be positive: a negative scale would flip the lower/upper
+// bound order.
+func (f *Forest) SetScales(s []float64) error {
+	if s != nil && len(s) != len(f.trees) {
+		return fmt.Errorf("core: %d scales for %d segments", len(s), len(f.trees))
+	}
+	f.scales = s
+	return nil
+}
 
 // Kernel returns the forest's kernel parameters.
 func (f *Forest) Kernel() kernel.Params { return f.kern }
@@ -138,10 +166,20 @@ func (f *Forest) score(ti, ni int32, st *Stats) (lb, ub float64) {
 	n := t.Node(ni)
 	if f.atFrontier(n) {
 		v := f.rows(f.qc.Q, f.qc.Norm2, t.Points, t.Norms, t.Weights, int(n.Start), int(n.End))
+		if f.scales != nil {
+			v *= f.scales[ti]
+		}
 		st.PointsScanned += n.Count()
 		return v, v
 	}
 	lb, ub = bound.NodeBounds(f.method, f.kern, &f.qc, n)
+	if f.scales != nil {
+		// Positive scale: preserves bound order and exactness of the
+		// lb ≤ λ·F_node ≤ ub sandwich.
+		s := f.scales[ti]
+		lb *= s
+		ub *= s
+	}
 	f.queue.Push(fentry{ti, ni, lb, ub}, ub-lb)
 	return lb, ub
 }
@@ -247,8 +285,12 @@ func (f *Forest) Exact(q []float64, base float64) (float64, Stats, error) {
 	}
 	v := base
 	n2 := vec.Norm2(q)
-	for _, t := range f.trees {
-		v += f.rows(q, n2, t.Points, t.Norms, t.Weights, 0, t.Len())
+	for i, t := range f.trees {
+		seg := f.rows(q, n2, t.Points, t.Norms, t.Weights, 0, t.Len())
+		if f.scales != nil {
+			seg *= f.scales[i]
+		}
+		v += seg
 		stats.PointsScanned += t.Len()
 	}
 	stats.LB, stats.UB = v, v

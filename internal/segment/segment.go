@@ -26,6 +26,7 @@ package segment
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"karl/internal/balltree"
 	"karl/internal/coreset"
@@ -61,15 +62,71 @@ func (c BuildConfig) Build(m *vec.Matrix, w []float64) (*index.Tree, error) {
 // slice of the insert stream. Coreset marks a lossy compacted segment
 // whose points are a provable-error sketch of the originals; Eps is the
 // accumulated normalized-error bound of every compression it went through.
+//
+// Seqs, when non-nil, carries the global point sequence numbers of the
+// segment's rows in INSERTION order (ascending — segments cover contiguous
+// runs of the insert stream), which is what makes individual points
+// addressable for deletion. Coreset segments drop Seqs: their rows no
+// longer correspond 1:1 to inserts. Times (parallel to Seqs, UnixNano)
+// records insert timestamps for TTL expiry; nil on untimed engines.
+// TimeRef is the instant the stored weights are scaled to under
+// exponential decay (0 when decay is off): the live weight of row i at
+// query time T is Weights[i]·2^(−(T−TimeRef)/halflife).
 type Segment struct {
 	Tree    *index.Tree
 	ID      uint64
 	Coreset bool
 	Eps     float64
+
+	Seqs    []uint64
+	Times   []int64
+	TimeRef int64
+
+	// inv maps insertion-order position -> leaf-storage row (the inverse
+	// of Tree.PointID), built by New when Seqs is present so Find can
+	// binary-search Seqs and land on the stored row.
+	inv []int32
+}
+
+// New assembles a segment from an already-built tree and its provenance.
+// seqs and times are retained, not copied; callers hand over slices they
+// will not mutate. It is the single construction path shared by Seal,
+// Merge, Compress and the persistence loader.
+func New(tree *index.Tree, id uint64, coreset bool, eps float64, seqs []uint64, times []int64, timeRef int64) *Segment {
+	s := &Segment{Tree: tree, ID: id, Coreset: coreset, Eps: eps, Seqs: seqs, Times: times, TimeRef: timeRef}
+	if seqs != nil {
+		s.inv = make([]int32, tree.Len())
+		for storage, input := range tree.PointID {
+			s.inv[input] = int32(storage)
+		}
+	}
+	return s
 }
 
 // Len returns the number of points the segment stores.
 func (s *Segment) Len() int { return s.Tree.Len() }
+
+// Find returns the leaf-storage row holding the point with the given
+// sequence number, or false when the segment does not track sequence
+// numbers (coresets, legacy loads) or does not contain it.
+func (s *Segment) Find(seq uint64) (int, bool) {
+	if len(s.Seqs) == 0 {
+		return 0, false
+	}
+	lo, hi := 0, len(s.Seqs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.Seqs[mid] < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(s.Seqs) || s.Seqs[lo] != seq {
+		return 0, false
+	}
+	return int(s.inv[lo]), true
+}
 
 // Manifest is an immutable snapshot of the segment set, ordered
 // oldest-first. Epoch increases with every swap, so executors can detect
@@ -109,14 +166,16 @@ func (m *Manifest) WithSealed(seg *Segment) *Manifest {
 
 // WithReplaced returns a new manifest where the segments whose IDs appear
 // in ids are removed and merged takes the position of the oldest of them.
-// Segments sealed after the compaction snapshot are untouched.
+// Segments sealed after the compaction snapshot are untouched. A nil
+// merged segment removes the inputs without a replacement — the case
+// where every input row was tombstoned or expired away.
 func (m *Manifest) WithReplaced(ids []uint64, merged *Segment) *Manifest {
 	replace := make(map[uint64]bool, len(ids))
 	for _, id := range ids {
 		replace[id] = true
 	}
 	segs := make([]*Segment, 0, len(m.Segs))
-	placed := false
+	placed := merged == nil
 	for _, s := range m.Segs {
 		if replace[s.ID] {
 			if !placed {
@@ -133,26 +192,47 @@ func (m *Manifest) WithReplaced(ids []uint64, merged *Segment) *Manifest {
 	return &Manifest{Epoch: m.Epoch + 1, Segs: segs}
 }
 
-// Seal builds a small immutable segment from the first n rows of a
-// memtable buffer (insertion order) and its parallel weights. The buffer
-// is only read — the builders reorder through a permutation array and the
-// tree keeps its own leaf-ordered copy — so the caller may let concurrent
+// MemRun names the first N rows of a memtable buffer: points, parallel
+// weights (nil = unit), and the optional per-row sequence numbers and
+// insert timestamps that make the rows deletable and expirable.
+type MemRun struct {
+	M     *vec.Matrix
+	W     []float64
+	N     int
+	Seqs  []uint64
+	Times []int64
+}
+
+// Seal builds a small immutable segment from a memtable run (insertion
+// order). The buffers are only read — the builders reorder through a
+// permutation array and the tree keeps its own leaf-ordered copy, and the
+// Seqs/Times prefixes are copied — so the caller may let concurrent
 // queries scan the same rows while the seal runs, and may recycle the
-// buffer once Seal returns.
-func Seal(buf *vec.Matrix, w []float64, n int, cfg BuildConfig, id uint64) (*Segment, error) {
+// buffers once Seal returns. timeRef stamps the decay reference instant
+// the run's weights are scaled to (0 when decay is off).
+func Seal(mem MemRun, timeRef int64, cfg BuildConfig, id uint64) (*Segment, error) {
+	n := mem.N
 	if n <= 0 {
 		return nil, errors.New("segment: sealing an empty memtable")
 	}
-	view := &vec.Matrix{Data: buf.Data[:n*buf.Cols], Rows: n, Cols: buf.Cols}
+	view := &vec.Matrix{Data: mem.M.Data[:n*mem.M.Cols], Rows: n, Cols: mem.M.Cols}
 	var wv []float64
-	if w != nil {
-		wv = w[:n]
+	if mem.W != nil {
+		wv = mem.W[:n]
 	}
 	tree, err := cfg.Build(view, wv)
 	if err != nil {
 		return nil, err
 	}
-	return &Segment{Tree: tree, ID: id}, nil
+	var seqs []uint64
+	if mem.Seqs != nil {
+		seqs = append([]uint64(nil), mem.Seqs[:n]...)
+	}
+	var times []int64
+	if mem.Times != nil {
+		times = append([]int64(nil), mem.Times[:n]...)
+	}
+	return New(tree, id, false, 0, seqs, times, timeRef), nil
 }
 
 // restoreOrder appends the segment's points and weights to dst/dw in the
@@ -174,14 +254,52 @@ func restoreOrder(s *Segment, dst *vec.Matrix, dw []float64, row int) int {
 	return row + n
 }
 
+// MergeOpts carries the mutations a merge applies while rewriting its
+// inputs — the only place dead points are physically removed.
+type MergeOpts struct {
+	// Drop removes points whose sequence numbers appear here (tombstone
+	// consumption). Rows of segments without Seqs cannot be dropped.
+	Drop map[uint64]bool
+	// ExpireBefore removes rows whose insert time is before this instant
+	// (TTL expiry); 0 disables. Rows without timestamps never expire.
+	ExpireBefore int64
+	// HalfLife (nanoseconds) and NewRef rescale every surviving weight
+	// from its input's decay reference to NewRef:
+	// w' = w·2^(−(NewRef−ref)/HalfLife). HalfLife 0 disables and the
+	// output keeps TimeRef 0.
+	HalfLife float64
+	NewRef   int64
+}
+
+// scaleTo returns the decay factor rebasing a weight from ref to NewRef.
+func (o MergeOpts) scaleTo(ref int64) float64 {
+	if o.HalfLife <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(o.NewRef-ref) / o.HalfLife)
+}
+
+// keep reports whether the row with the given identity survives the merge.
+func (o MergeOpts) keep(seq uint64, hasSeq bool, t int64, hasTime bool) bool {
+	if hasSeq && o.Drop[seq] {
+		return false
+	}
+	if o.ExpireBefore != 0 && hasTime && t < o.ExpireBefore {
+		return false
+	}
+	return true
+}
+
 // Merge concatenates the segments' points oldest-first, each restored to
-// its insertion order, and builds one segment over the union. mem, mw and
-// memN optionally append a trailing memtable run (the full-compaction
-// path); pass nil/0 for pure segment merges. The merged segment carries
-// the provenance of its inputs: it is a coreset iff any input was, with
-// the accumulated Eps.
-func Merge(segs []*Segment, mem *vec.Matrix, mw []float64, memN int, cfg BuildConfig, id uint64) (*Segment, error) {
-	total := memN
+// its insertion order, drops the rows opts tombstones or expires, and
+// builds one segment over the survivors. mem optionally appends a trailing
+// memtable run (the full-compaction path); pass a zero MemRun for pure
+// segment merges. The merged segment carries the provenance of its
+// inputs: it is a coreset iff any input was, with the accumulated Eps,
+// and it tracks sequence numbers iff every input did. A merge whose every
+// row is dropped returns (nil, nil): the inputs simply disappear.
+func Merge(segs []*Segment, mem MemRun, opts MergeOpts, cfg BuildConfig, id uint64) (*Segment, error) {
+	total := mem.N
 	for _, s := range segs {
 		total += s.Len()
 	}
@@ -192,16 +310,20 @@ func Merge(segs []*Segment, mem *vec.Matrix, mw []float64, memN int, cfg BuildCo
 	if len(segs) > 0 {
 		dims = segs[0].Tree.Dims()
 	} else {
-		dims = mem.Cols
+		dims = mem.M.Cols
 	}
-	m := vec.NewMatrix(total, dims)
-	w := make([]float64, total)
-	row := 0
+	tracked := mem.N == 0 || mem.Seqs != nil
+	timed := mem.N == 0 || mem.Times != nil
 	isCoreset := false
 	eps := 0.0
-	hasWeights := memN > 0 && mw != nil
+	hasWeights := mem.N > 0 && mem.W != nil
 	for _, s := range segs {
-		row = restoreOrder(s, m, w, row)
+		if s.Seqs == nil {
+			tracked = false
+		}
+		if s.Times == nil {
+			timed = false
+		}
 		if s.Coreset {
 			isCoreset = true
 			eps += s.Eps
@@ -210,14 +332,66 @@ func Merge(segs []*Segment, mem *vec.Matrix, mw []float64, memN int, cfg BuildCo
 			hasWeights = true
 		}
 	}
-	for i := 0; i < memN; i++ {
-		copy(m.Row(row), mem.Row(i))
-		if mw != nil {
-			w[row] = mw[i]
-		} else {
-			w[row] = 1
+	if opts.HalfLife > 0 {
+		// Rescaled weights are no longer unit even for Type I inputs.
+		hasWeights = true
+	}
+	m := vec.NewMatrix(total, dims)
+	w := make([]float64, total)
+	var seqs []uint64
+	if tracked {
+		seqs = make([]uint64, total)
+	}
+	var times []int64
+	if tracked && timed {
+		times = make([]int64, total)
+	}
+	row := 0
+	for _, s := range segs {
+		row = mergeAppend(s, opts, m, w, seqs, times, row)
+	}
+	memScaleTimed := opts.HalfLife > 0 && mem.Times != nil
+	for i := 0; i < mem.N; i++ {
+		var seq uint64
+		if mem.Seqs != nil {
+			seq = mem.Seqs[i]
+		}
+		var ts int64
+		if mem.Times != nil {
+			ts = mem.Times[i]
+		}
+		if !opts.keep(seq, mem.Seqs != nil, ts, mem.Times != nil) {
+			continue
+		}
+		copy(m.Row(row), mem.M.Row(i))
+		wv := 1.0
+		if mem.W != nil {
+			wv = mem.W[i]
+		}
+		if memScaleTimed {
+			// Memtable weights are raw (as inserted); each row decays from
+			// its own insert instant.
+			wv *= opts.scaleTo(ts)
+		}
+		w[row] = wv
+		if seqs != nil {
+			seqs[row] = seq
+		}
+		if times != nil {
+			times[row] = ts
 		}
 		row++
+	}
+	if row == 0 {
+		return nil, nil // every row tombstoned or expired
+	}
+	m = &vec.Matrix{Data: m.Data[:row*dims], Rows: row, Cols: dims}
+	w = w[:row]
+	if seqs != nil {
+		seqs = seqs[:row]
+	}
+	if times != nil {
+		times = times[:row]
 	}
 	// Drop the materialized unit weights when every input was unweighted,
 	// so a full merge reproduces a monolithic unit-weight build exactly.
@@ -228,7 +402,61 @@ func Merge(segs []*Segment, mem *vec.Matrix, mw []float64, memN int, cfg BuildCo
 	if err != nil {
 		return nil, err
 	}
-	return &Segment{Tree: tree, ID: id, Coreset: isCoreset, Eps: eps}, nil
+	var ref int64
+	if opts.HalfLife > 0 {
+		ref = opts.NewRef
+	}
+	return New(tree, id, isCoreset, eps, seqs, times, ref), nil
+}
+
+// mergeAppend restores one segment to insertion order, filters it through
+// opts, rescales its weights to the merge's decay reference, and appends
+// the survivors at dst row `row`, returning the next free row.
+func mergeAppend(s *Segment, opts MergeOpts, dst *vec.Matrix, dw []float64, dseqs []uint64, dtimes []int64, row int) int {
+	t := s.Tree
+	n := t.Len()
+	scale := opts.scaleTo(s.TimeRef)
+	// pos[input] is the output slot of each surviving insertion-order
+	// position, so the leaf-order scatter below lands rows directly.
+	pos := make([]int32, n)
+	kept := 0
+	for input := 0; input < n; input++ {
+		var seq uint64
+		if s.Seqs != nil {
+			seq = s.Seqs[input]
+		}
+		var ts int64
+		if s.Times != nil {
+			ts = s.Times[input]
+		}
+		if opts.keep(seq, s.Seqs != nil, ts, s.Times != nil) {
+			pos[input] = int32(kept)
+			kept++
+		} else {
+			pos[input] = -1
+		}
+	}
+	for storage := 0; storage < n; storage++ {
+		input := int(t.PointID[storage])
+		p := pos[input]
+		if p < 0 {
+			continue
+		}
+		r := row + int(p)
+		copy(dst.Row(r), t.Points.Row(storage))
+		wv := 1.0
+		if t.Weights != nil {
+			wv = t.Weights[storage]
+		}
+		dw[r] = wv * scale
+		if dseqs != nil {
+			dseqs[r] = s.Seqs[input]
+		}
+		if dtimes != nil {
+			dtimes[r] = s.Times[input]
+		}
+	}
+	return row + kept
 }
 
 // Compress reduces a segment to a provable-error coreset with normalized
@@ -254,7 +482,11 @@ func Compress(s *Segment, kern kernel.Params, eps float64, seed int64, cfg Build
 	if err != nil {
 		return nil, err
 	}
-	return &Segment{Tree: tree, ID: id, Coreset: true, Eps: s.Eps + sk.Eps}, nil
+	// Coreset rows no longer correspond 1:1 to inserts: sequence numbers
+	// and timestamps are dropped (the rows become undeletable and
+	// unexpirable), but the decay reference carries over — the sketch's
+	// weights approximate the input's, which were scaled to TimeRef.
+	return New(tree, id, true, s.Eps+sk.Eps, nil, nil, s.TimeRef), nil
 }
 
 // Policy is the geometric tiering compaction policy. Segments are binned

@@ -30,7 +30,7 @@ func sealRun(t *testing.T, pts *vec.Matrix, w []float64, start, end int, id uint
 	if w != nil {
 		bw = append([]float64(nil), w[start:end]...)
 	}
-	seg, err := Seal(buf, bw, end-start, cfg(), id)
+	seg, err := Seal(MemRun{M: buf, W: bw, N: end - start}, 0, cfg(), id)
 	if err != nil {
 		t.Fatalf("Seal: %v", err)
 	}
@@ -43,7 +43,7 @@ func TestSealDoesNotMutateBuffer(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	buf := randMatrix(rng, 100, 3)
 	snap := append([]float64(nil), buf.Data...)
-	if _, err := Seal(buf, nil, 64, cfg(), 1); err != nil {
+	if _, err := Seal(MemRun{M: buf, N: 64}, 0, cfg(), 1); err != nil {
 		t.Fatalf("Seal: %v", err)
 	}
 	for i, v := range buf.Data {
@@ -82,13 +82,13 @@ func TestMergeBitwiseEqualsMonolithic(t *testing.T) {
 				if w != nil {
 					bw = append([]float64(nil), w[cuts[s]:cuts[s+1]]...)
 				}
-				seg, err := Seal(buf, bw, cuts[s+1]-cuts[s], c, uint64(s))
+				seg, err := Seal(MemRun{M: buf, W: bw, N: cuts[s+1] - cuts[s]}, 0, c, uint64(s))
 				if err != nil {
 					t.Fatalf("Seal: %v", err)
 				}
 				segs = append(segs, seg)
 			}
-			merged, err := Merge(segs, nil, nil, 0, c, 99)
+			merged, err := Merge(segs, MemRun{}, MergeOpts{}, c, 99)
 			if err != nil {
 				t.Fatalf("Merge: %v", err)
 			}
@@ -133,7 +133,7 @@ func TestMergeWithMemtableRun(t *testing.T) {
 	segB := sealRun(t, pts, nil, 80, 150, 2)
 	mem := vec.NewMatrix(64, d)
 	copy(mem.Data, pts.Data[150*d:n*d])
-	merged, err := Merge([]*Segment{segA, segB}, mem, nil, n-150, cfg(), 3)
+	merged, err := Merge([]*Segment{segA, segB}, MemRun{M: mem, N: n - 150}, MergeOpts{}, cfg(), 3)
 	if err != nil {
 		t.Fatalf("Merge: %v", err)
 	}
@@ -172,7 +172,7 @@ func TestManifestOps(t *testing.T) {
 	if len(m.Segs) != 0 {
 		t.Fatalf("WithSealed mutated receiver")
 	}
-	merged, err := Merge(m1.Select([]uint64{1, 2}), nil, nil, 0, cfg(), 4)
+	merged, err := Merge(m1.Select([]uint64{1, 2}), MemRun{}, MergeOpts{}, cfg(), 4)
 	if err != nil {
 		t.Fatalf("Merge: %v", err)
 	}

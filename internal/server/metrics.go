@@ -51,6 +51,7 @@ type metrics struct {
 	bounds      endpointMetrics
 	batch       endpointMetrics
 	insert      endpointMetrics
+	del         endpointMetrics
 
 	tierHits   atomic.Int64
 	tierMisses atomic.Int64
@@ -113,6 +114,10 @@ type MutableStats struct {
 	Compactions int `json:"compactions"`
 	// Points is the total dataset size.
 	Points int `json:"points"`
+	// Tombstones is the number of pending deletes not yet compacted away;
+	// Deletes counts all deletions over the engine's lifetime.
+	Tombstones int `json:"tombstones"`
+	Deletes    int `json:"deletes"`
 }
 
 // StatsResponse is the GET /v1/stats body. Tier is present only when the

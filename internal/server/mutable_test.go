@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"karl"
 )
@@ -107,10 +109,19 @@ func TestInsertEndpointRejectsBadBodies(t *testing.T) {
 			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, b)
 		}
 	}
-	// A rejected point mid-bulk reports the partial landing.
+}
+
+func TestInsertEndpointIsAllOrNothing(t *testing.T) {
+	// A batch with a bad point mid-way is rejected wholesale: the valid
+	// prefix must not land (the engine validates before mutating).
+	d, ts := testMutableServer(t)
+	before := d.Len()
 	resp, b := post(t, ts, "/v1/insert", InsertRequest{Points: [][]float64{{9, 9}, {1}}})
-	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(b), "1 of 2 inserted") {
-		t.Fatalf("partial insert not reported: %d %s", resp.StatusCode, b)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(b), "point 1") {
+		t.Fatalf("bad batch not rejected: %d %s", resp.StatusCode, b)
+	}
+	if got := d.Len(); got != before {
+		t.Fatalf("rejected batch landed points: len %d want %d", got, before)
 	}
 }
 
@@ -239,3 +250,159 @@ func TestMutableConcurrentInsertAndQuery(t *testing.T) {
 }
 
 func ptr(v float64) *float64 { return &v }
+
+// del issues a DELETE request with a JSON body.
+func del(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+func TestDeleteEndpoint(t *testing.T) {
+	d, ts := testMutableServer(t, karl.WithSealSize(8), karl.WithAutoCompaction(false))
+	pts := make([][]float64, 20)
+	for i := range pts {
+		pts[i] = []float64{float64(i) / 20, 0.5}
+	}
+	resp, body := post(t, ts, "/v1/insert", InsertRequest{Points: pts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %s", body)
+	}
+	var ir InsertResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.IDs) != 20 {
+		t.Fatalf("got %d ids, want 20", len(ir.IDs))
+	}
+
+	// Single delete by returned ID: the point is sealed, so it becomes a
+	// tombstone rather than shrinking a segment.
+	resp, body = del(t, ts, "/v1/point", DeleteRequest{ID: ir.IDs[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d %s", resp.StatusCode, body)
+	}
+	var dr DeleteResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Deleted != 1 || dr.Len != 19 {
+		t.Fatalf("delete response %+v", dr)
+	}
+	if d.Len() != 19 {
+		t.Fatalf("engine Len = %d, want 19", d.Len())
+	}
+
+	// Double delete and unknown IDs are 404.
+	for name, id := range map[string]uint64{
+		"double delete": ir.IDs[0],
+		"never issued":  1 << 40,
+	} {
+		resp, body = del(t, ts, "/v1/point", DeleteRequest{ID: id})
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, body)
+		}
+	}
+
+	// Bulk delete; a mid-batch 404 reports the partial landing.
+	resp, body = del(t, ts, "/v1/point", DeleteRequest{IDs: ir.IDs[1:4]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk delete: %d %s", resp.StatusCode, body)
+	}
+	resp, body = del(t, ts, "/v1/point", DeleteRequest{IDs: []uint64{ir.IDs[4], ir.IDs[4]}})
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "1 of 2 deleted") {
+		t.Fatalf("partial bulk delete not reported: %d %s", resp.StatusCode, body)
+	}
+
+	// Malformed bodies.
+	for name, body := range map[string]DeleteRequest{
+		"empty":      {},
+		"both forms": {ID: ir.IDs[5], IDs: []uint64{ir.IDs[6]}},
+	} {
+		resp, b := del(t, ts, "/v1/point", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, b)
+		}
+	}
+
+	// Tombstones and lifetime deletes show up in /v1/stats and /v1/info.
+	hresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if st.Mutable == nil || st.Mutable.Deletes != 5 || st.Mutable.Tombstones != d.Tombstones() {
+		t.Fatalf("mutable stats %+v (engine tombstones %d)", st.Mutable, d.Tombstones())
+	}
+	if st.Endpoints["delete"].Requests == 0 || st.Endpoints["delete"].Errors == 0 {
+		t.Fatalf("delete endpoint metrics %+v", st.Endpoints["delete"])
+	}
+	hresp, err = http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info InfoResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if info.Tombstones != d.Tombstones() || info.Points != 15 {
+		t.Fatalf("info %+v (engine tombstones %d)", info, d.Tombstones())
+	}
+}
+
+func TestDeleteOnStaticServerIs404(t *testing.T) {
+	s, _ := New(testEngine(t))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, _ := del(t, ts, "/v1/point", DeleteRequest{ID: 1})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete on static server: status %d", resp.StatusCode)
+	}
+}
+
+func TestMutableInfoReportsWindowAndDecay(t *testing.T) {
+	d, err := karl.NewDynamic(karl.Gaussian(5), karl.WithTTL(time.Minute), karl.WithDecayHalfLife(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewMutable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.WindowSeconds != 60 || info.HalfLifeSeconds != 30 {
+		t.Fatalf("info window/decay %+v", info)
+	}
+}

@@ -146,8 +146,8 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 }
 
 // NewMutable builds a server around a dynamic (segmented) engine: the
-// query endpoints of New plus POST /v1/insert, with segment and manifest
-// epoch introspection in /v1/info and /v1/stats. The sketch tier is not
+// query endpoints of New plus POST /v1/insert and DELETE /v1/point, with
+// segment and manifest epoch introspection in /v1/info and /v1/stats. The sketch tier is not
 // supported — a static coreset cannot track a growing dataset.
 func NewMutable(d *karl.DynamicEngine, opts ...Option) (*Server, error) {
 	if d == nil {
@@ -175,6 +175,7 @@ func NewMutable(d *karl.DynamicEngine, opts ...Option) (*Server, error) {
 	}
 	s.routes()
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.mux.HandleFunc("DELETE /v1/point", s.handleDelete)
 	s.warm()
 	return s, nil
 }
@@ -271,6 +272,13 @@ type InfoResponse struct {
 	SketchEps    float64 `json:"sketch_eps,omitempty"`
 	Mutable      bool    `json:"mutable,omitempty"`
 	Segments     int     `json:"segments,omitempty"`
+	// WindowSeconds is the sliding-window TTL (0 = points never expire) and
+	// HalfLifeSeconds the exponential weight-decay half-life (0 = no decay);
+	// both only for dynamic serving. Tombstones is the number of pending
+	// (not yet compacted-away) deletes.
+	WindowSeconds   float64 `json:"window_seconds,omitempty"`
+	HalfLifeSeconds float64 `json:"halflife_seconds,omitempty"`
+	Tombstones      int     `json:"tombstones,omitempty"`
 }
 
 // InsertRequest is the POST /v1/insert body: either one point ("p" with
@@ -283,13 +291,35 @@ type InsertRequest struct {
 	Weights []float64   `json:"weights,omitempty"`
 }
 
-// InsertResponse reports a successful insert: how many points landed, the
-// dataset size afterwards, and the manifest epoch (which advances when the
-// insert triggered a seal or compaction).
+// InsertResponse reports a successful insert: the assigned point IDs (in
+// input order, usable with DELETE /v1/point), the dataset size afterwards,
+// and the manifest epoch (which advances when the insert triggered a seal
+// or compaction). Inserts are all-or-nothing: a rejected request lands no
+// points.
 type InsertResponse struct {
-	Inserted int    `json:"inserted"`
-	Len      int    `json:"len"`
-	Epoch    uint64 `json:"epoch"`
+	Inserted int      `json:"inserted"`
+	IDs      []uint64 `json:"ids"`
+	Len      int      `json:"len"`
+	Epoch    uint64   `json:"epoch"`
+}
+
+// DeleteRequest is the DELETE /v1/point body: either one point ID ("id")
+// or a bulk form ("ids"). Exactly one form is required. IDs are the
+// sequence numbers InsertResponse returned.
+type DeleteRequest struct {
+	ID  uint64   `json:"id,omitempty"`
+	IDs []uint64 `json:"ids,omitempty"`
+}
+
+// DeleteResponse reports how many points were removed, the live dataset
+// size afterwards, and how many tombstones are pending compaction. Bulk
+// deletes are sequential, not transactional: on error the response names
+// the failing ID and how many earlier IDs already landed.
+type DeleteResponse struct {
+	Deleted    int    `json:"deleted"`
+	Len        int    `json:"len"`
+	Tombstones int    `json:"tombstones"`
+	Epoch      uint64 `json:"epoch"`
 }
 
 // QueryRequest is the shared request body; Tau is used by /threshold, and
@@ -369,6 +399,9 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	if s.dyn != nil {
 		resp.Mutable = true
 		resp.Segments = len(s.dyn.Segments())
+		resp.WindowSeconds = s.dyn.TTL().Seconds()
+		resp.HalfLifeSeconds = s.dyn.DecayHalfLife().Seconds()
+		resp.Tombstones = s.dyn.Tombstones()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -395,6 +428,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.dyn != nil {
 		resp.Endpoints["insert"] = s.met.insert.snapshot()
+		resp.Endpoints["delete"] = s.met.del.snapshot()
 		resp.Mutable = &MutableStats{
 			Epoch:       s.dyn.Epoch(),
 			ServedEpoch: s.pool.servedEpoch.Load(),
@@ -403,6 +437,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Seals:       s.dyn.Seals(),
 			Compactions: s.dyn.Compactions(),
 			Points:      s.dyn.Len(),
+			Tombstones:  s.dyn.Tombstones(),
+			Deletes:     s.dyn.Deletes(),
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -540,25 +576,67 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		fail(w, m, errors.New(`provide "p" (single point) or "points" (bulk)`))
 		return
 	}
-	for i, p := range points {
-		wt := 1.0
-		if weights != nil {
-			wt = weights[i]
-		}
-		if err := s.dyn.Insert(p, wt); err != nil {
+	// InsertBulk validates the whole batch before touching the engine, so a
+	// rejected request lands no points — no partial-batch state to report.
+	ids, err := s.dyn.InsertBulk(points, weights)
+	if err != nil {
+		fail(w, m, err)
+		return
+	}
+	m.record(len(ids), karl.Stats{})
+	writeJSON(w, http.StatusOK, InsertResponse{
+		Inserted: len(ids),
+		IDs:      ids,
+		Len:      s.dyn.Len(),
+		Epoch:    s.dyn.Epoch(),
+	})
+}
+
+// handleDelete removes points by ID. Memtable points vanish physically;
+// sealed points become tombstones that queries subtract exactly until a
+// compaction drops the dead rows. An unknown, already-deleted, or
+// coreset-compressed ID is a 404.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	m := &s.met.del
+	m.requests.Add(1)
+	var req DeleteRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, m, err)
+		return
+	}
+	var ids []uint64
+	switch {
+	case req.ID != 0 && req.IDs != nil:
+		fail(w, m, errors.New(`"id" and "ids" are mutually exclusive`))
+		return
+	case req.ID != 0:
+		ids = []uint64{req.ID}
+	case len(req.IDs) != 0:
+		ids = req.IDs
+	default:
+		fail(w, m, errors.New(`provide "id" (single) or "ids" (bulk)`))
+		return
+	}
+	for i, id := range ids {
+		if err := s.dyn.Delete(id); err != nil {
 			m.errors.Add(1)
-			// Points before i are already in; report the partial landing.
-			writeJSON(w, http.StatusBadRequest, errorResponse{
-				fmt.Sprintf("point %d: %v (%d of %d inserted)", i, err, i, len(points)),
+			status := errStatus(err)
+			if errors.Is(err, karl.ErrPointNotFound) {
+				status = http.StatusNotFound
+			}
+			// IDs before i are already gone; report the partial landing.
+			writeJSON(w, status, errorResponse{
+				fmt.Sprintf("id %d: %v (%d of %d deleted)", id, err, i, len(ids)),
 			})
 			return
 		}
 	}
-	m.record(len(points), karl.Stats{})
-	writeJSON(w, http.StatusOK, InsertResponse{
-		Inserted: len(points),
-		Len:      s.dyn.Len(),
-		Epoch:    s.dyn.Epoch(),
+	m.record(len(ids), karl.Stats{})
+	writeJSON(w, http.StatusOK, DeleteResponse{
+		Deleted:    len(ids),
+		Len:        s.dyn.Len(),
+		Tombstones: s.dyn.Tombstones(),
+		Epoch:      s.dyn.Epoch(),
 	})
 }
 

@@ -30,6 +30,7 @@ package karl
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"karl/internal/balltree"
 	"karl/internal/bound"
@@ -114,6 +115,9 @@ type buildConfig struct {
 	noAutoCompact bool
 	coldEps       float64
 	coldMin       int
+	ttl           time.Duration
+	halfLife      time.Duration
+	clock         func() int64
 }
 
 // defaultBuildConfig is the configuration Build starts from.
@@ -153,6 +157,33 @@ func WithCompactionFanout(f int) Option { return func(c *buildConfig) { c.fanout
 // per seal until Compact is called explicitly. Build ignores it.
 func WithAutoCompaction(on bool) Option {
 	return func(c *buildConfig) { c.noAutoCompact = !on }
+}
+
+// WithTTL gives a dynamic engine a sliding time window: every point
+// expires ttl after its insertion. Expiry is enforced lazily — expired
+// points are physically dropped when their run is sealed or compacted,
+// so enforcement cost is amortized into work the engine does anyway and
+// queries between compactions may still see recently-expired points.
+// Call Compact to force the window exact. Build ignores it.
+func WithTTL(ttl time.Duration) Option {
+	return func(c *buildConfig) { c.ttl = ttl }
+}
+
+// WithDecayHalfLife makes every point's weight decay exponentially with
+// age: a point inserted at time t contributes w·2^(−(T−t)/halfLife) at
+// query time T. Decay is evaluated lazily — sealed segments carry one
+// decay reference instant and queries rescale their aggregates by a
+// single per-segment scalar, so no index is ever rebuilt to age its
+// weights (decayed sets are a positive-scaled Type II variant of their
+// originals). Build ignores it.
+func WithDecayHalfLife(halfLife time.Duration) Option {
+	return func(c *buildConfig) { c.halfLife = halfLife }
+}
+
+// withClock overrides the engine's time source (UnixNano); tests use it
+// to drive TTL expiry and decay deterministically.
+func withClock(now func() int64) Option {
+	return func(c *buildConfig) { c.clock = now }
 }
 
 // WithColdCompaction makes a dynamic engine's background compaction

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"time"
 
 	"karl/internal/index"
 	"karl/internal/segment"
@@ -37,7 +39,14 @@ import (
 //	    carry optional shard provenance (Engine.Shard) — gob leaves the
 //	    field absent on old files and ignores it in old readers, so the
 //	    version is unchanged.
-const persistVersion = 5
+//	6 — the dynamic stream gains mutability state: per-row sequence
+//	    numbers and insert timestamps (per segment and for the memtable),
+//	    pending delete tombstones, the point-id counter, and the TTL /
+//	    decay configuration with each segment's decay reference instant.
+//	    Static payloads are unchanged. v5 dynamic files still load with
+//	    synthesized consecutive sequence numbers (their points become
+//	    deletable); v1–v4 static files load as before.
+const persistVersion = 6
 
 // oldestReadableVersion is the earliest format this build still decodes.
 const oldestReadableVersion = 1
@@ -293,12 +302,17 @@ func ReadSVM(r io.Reader) (*SVM, error) {
 }
 
 // segmentPayload is the wire form of one manifest segment: a v4-style
-// flat-index payload plus the segment's identity and coreset provenance.
+// flat-index payload plus the segment's identity and coreset provenance,
+// and (v6) its per-row sequence numbers and insert timestamps in
+// insertion order with the decay reference instant.
 type segmentPayload struct {
 	Engine  enginePayload
 	ID      uint64
 	Coreset bool
 	Eps     float64
+	Seqs    []uint64 // v6+; nil for coresets and legacy loads
+	Times   []int64  // v6+; nil on untimed engines
+	TimeRef int64    // v6+
 }
 
 // dynamicPayload is the gob wire format for a DynamicEngine (format v5):
@@ -324,6 +338,20 @@ type dynamicPayload struct {
 	Segments    []segmentPayload
 	MemPoints   []float64 // row-major Dims-wide memtable rows
 	MemWeights  []float64 // parallel to MemPoints rows
+
+	// Mutability state (v6+). Tombstones are stored sorted by sequence
+	// number: TombPts holds their coordinates as Dims-wide rows parallel
+	// to TombSeqs/TombW/TombRef.
+	TTL      int64 // nanoseconds; 0 = no expiry
+	HalfLife int64 // nanoseconds; 0 = no decay
+	NextSeq  uint64
+	Deletes  int
+	MemSeqs  []uint64 // parallel to MemPoints rows
+	MemTimes []int64  // parallel to MemPoints rows; nil on untimed engines
+	TombSeqs []uint64
+	TombW    []float64
+	TombRef  []int64
+	TombPts  []float64
 }
 
 // WriteTo serializes the dynamic engine — manifest, memtable and policy —
@@ -360,6 +388,10 @@ func (d *DynamicEngine) WriteTo(w io.Writer) (int64, error) {
 		NextID:      sh.nextID,
 		Seals:       sh.seals,
 		Compactions: sh.compactions,
+		TTL:         sh.ttl,
+		HalfLife:    int64(sh.halfLife),
+		NextSeq:     sh.nextSeq,
+		Deletes:     sh.deletes,
 	}
 	p.Segments = make([]segmentPayload, len(sh.man.Segs))
 	for i, s := range sh.man.Segs {
@@ -368,6 +400,9 @@ func (d *DynamicEngine) WriteTo(w io.Writer) (int64, error) {
 			ID:      s.ID,
 			Coreset: s.Coreset,
 			Eps:     s.Eps,
+			Seqs:    append([]uint64(nil), s.Seqs...),
+			Times:   append([]int64(nil), s.Times...),
+			TimeRef: s.TimeRef,
 		}
 	}
 	if n := sh.mem.len(); n > 0 {
@@ -375,6 +410,28 @@ func (d *DynamicEngine) WriteTo(w io.Writer) (int64, error) {
 		copy(p.MemPoints, sh.mem.m.Data[:n*sh.dims])
 		p.MemWeights = make([]float64, n)
 		copy(p.MemWeights, sh.mem.w[:n])
+		p.MemSeqs = make([]uint64, n)
+		copy(p.MemSeqs, sh.mem.seq[:n])
+		if sh.mem.t != nil {
+			p.MemTimes = make([]int64, n)
+			copy(p.MemTimes, sh.mem.t[:n])
+		}
+	}
+	if len(sh.tombs) > 0 {
+		p.TombSeqs = make([]uint64, 0, len(sh.tombs))
+		for seq := range sh.tombs {
+			p.TombSeqs = append(p.TombSeqs, seq)
+		}
+		sort.Slice(p.TombSeqs, func(i, j int) bool { return p.TombSeqs[i] < p.TombSeqs[j] })
+		p.TombW = make([]float64, len(p.TombSeqs))
+		p.TombRef = make([]int64, len(p.TombSeqs))
+		p.TombPts = make([]float64, 0, len(p.TombSeqs)*sh.dims)
+		for i, seq := range p.TombSeqs {
+			tb := sh.tombs[seq]
+			p.TombW[i] = tb.w
+			p.TombRef[i] = tb.ref
+			p.TombPts = append(p.TombPts, tb.p...)
+		}
 	}
 	sh.mu.Unlock()
 	cw := &countWriter{w: w}
@@ -410,6 +467,9 @@ func ReadDynamic(r io.Reader) (*DynamicEngine, error) {
 	if err := p.Kernel.Validate(); err != nil {
 		return nil, fmt.Errorf("karl: corrupt dynamic engine payload: %w", err)
 	}
+	if p.TTL < 0 || p.HalfLife < 0 {
+		return nil, errors.New("karl: corrupt dynamic engine payload (negative ttl or half-life)")
+	}
 	memN := 0
 	if len(p.MemPoints) > 0 {
 		if p.Dims < 1 || len(p.MemPoints)%p.Dims != 0 {
@@ -419,6 +479,16 @@ func ReadDynamic(r io.Reader) (*DynamicEngine, error) {
 		if len(p.MemWeights) != memN {
 			return nil, errors.New("karl: corrupt dynamic engine payload (memtable weights)")
 		}
+		if p.Version >= 6 && len(p.MemSeqs) != memN {
+			return nil, errors.New("karl: corrupt dynamic engine payload (memtable seqs)")
+		}
+		if p.MemTimes != nil && len(p.MemTimes) != memN {
+			return nil, errors.New("karl: corrupt dynamic engine payload (memtable times)")
+		}
+	}
+	timed := p.TTL > 0 || p.HalfLife > 0
+	if timed && memN > 0 && p.MemTimes == nil {
+		return nil, errors.New("karl: corrupt dynamic engine payload (timed engine without memtable times)")
 	}
 	sh := &dynShared{
 		kern:        p.Kernel,
@@ -427,13 +497,23 @@ func ReadDynamic(r io.Reader) (*DynamicEngine, error) {
 		policy:      policy,
 		coldSeed:    p.ColdSeed,
 		autoCompact: p.AutoCompact,
+		ttl:         p.TTL,
+		halfLife:    float64(p.HalfLife),
+		now:         func() int64 { return time.Now().UnixNano() },
 		dims:        p.Dims,
 		nextID:      p.NextID,
+		nextSeq:     p.NextSeq,
+		deletes:     p.Deletes,
 		seals:       p.Seals,
 		compactions: p.Compactions,
+		tombs:       map[uint64]tombstone{},
 	}
 	sh.cond = sync.NewCond(&sh.mu)
 	man := &segment.Manifest{Epoch: p.Epoch, Segs: make([]*segment.Segment, len(p.Segments))}
+	// v5 files predate sequence numbers: synthesize consecutive ids over
+	// the stored stream (segments oldest-first, memtable last), making the
+	// loaded points deletable.
+	synth := uint64(0)
 	for i, sp := range p.Segments {
 		tree, err := sp.Engine.restoreTree()
 		if err != nil {
@@ -442,7 +522,32 @@ func ReadDynamic(r io.Reader) (*DynamicEngine, error) {
 		if p.Dims != 0 && tree.Dims() != p.Dims {
 			return nil, fmt.Errorf("karl: corrupt dynamic engine payload: segment %d has %d dims, engine has %d", i, tree.Dims(), p.Dims)
 		}
-		man.Segs[i] = &segment.Segment{Tree: tree, ID: sp.ID, Coreset: sp.Coreset, Eps: sp.Eps}
+		seqs, times := sp.Seqs, sp.Times
+		if p.Version < 6 && !sp.Coreset {
+			seqs = make([]uint64, tree.Len())
+			for j := range seqs {
+				synth++
+				seqs[j] = synth
+			}
+			times = nil
+		}
+		if seqs != nil {
+			if len(seqs) != tree.Len() {
+				return nil, fmt.Errorf("karl: corrupt dynamic engine payload: segment %d has %d seqs for %d points", i, len(seqs), tree.Len())
+			}
+			for j := 1; j < len(seqs); j++ {
+				if seqs[j] <= seqs[j-1] {
+					return nil, fmt.Errorf("karl: corrupt dynamic engine payload: segment %d seqs not ascending", i)
+				}
+			}
+		}
+		if times != nil && len(times) != tree.Len() {
+			return nil, fmt.Errorf("karl: corrupt dynamic engine payload: segment %d has %d times for %d points", i, len(times), tree.Len())
+		}
+		if times != nil && seqs == nil {
+			return nil, fmt.Errorf("karl: corrupt dynamic engine payload: segment %d has times without seqs", i)
+		}
+		man.Segs[i] = segment.New(tree, sp.ID, sp.Coreset, sp.Eps, seqs, times, sp.TimeRef)
 	}
 	sh.man = man
 	if memN > 0 {
@@ -450,10 +555,48 @@ func ReadDynamic(r io.Reader) (*DynamicEngine, error) {
 		if memN > rows {
 			rows = memN
 		}
-		sh.mem = newMemtable(rows, p.Dims)
+		sh.mem = newMemtable(rows, p.Dims, timed)
 		copy(sh.mem.m.Data, p.MemPoints)
 		copy(sh.mem.w, p.MemWeights)
+		if p.Version >= 6 {
+			copy(sh.mem.seq, p.MemSeqs)
+		} else {
+			for j := 0; j < memN; j++ {
+				synth++
+				sh.mem.seq[j] = synth
+			}
+		}
+		if sh.mem.t != nil && p.MemTimes != nil {
+			copy(sh.mem.t, p.MemTimes)
+		}
+		for j := 1; j < memN; j++ {
+			if sh.mem.seq[j] <= sh.mem.seq[j-1] {
+				return nil, errors.New("karl: corrupt dynamic engine payload (memtable seqs not ascending)")
+			}
+		}
 		sh.mem.n = memN
+	}
+	if p.Version < 6 {
+		sh.nextSeq = synth + 1
+	}
+	if sh.nextSeq == 0 {
+		sh.nextSeq = 1
+	}
+	// Tombstones (v6+): parallel arrays sorted by seq.
+	nt := len(p.TombSeqs)
+	if len(p.TombW) != nt || len(p.TombRef) != nt || len(p.TombPts) != nt*p.Dims {
+		return nil, errors.New("karl: corrupt dynamic engine payload (tombstones)")
+	}
+	for i := 0; i < nt; i++ {
+		seq := p.TombSeqs[i]
+		if seq == 0 || seq >= sh.nextSeq {
+			return nil, errors.New("karl: corrupt dynamic engine payload (tombstone seq out of range)")
+		}
+		if _, dup := sh.tombs[seq]; dup {
+			return nil, errors.New("karl: corrupt dynamic engine payload (duplicate tombstone)")
+		}
+		pt := append([]float64(nil), p.TombPts[i*p.Dims:(i+1)*p.Dims]...)
+		sh.tombs[seq] = tombstone{w: p.TombW[i], ref: p.TombRef[i], p: pt}
 	}
 	return newDynamicView(sh)
 }

@@ -1,0 +1,273 @@
+package karl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// -update regenerates the golden persistence fixtures under
+// testdata/persist/. Run it after an intentional format change; committed
+// goldens from older versions must never be regenerated (they pin what
+// real old files look like).
+var updateGolden = flag.Bool("update", false, "regenerate golden persistence fixtures")
+
+const goldenDir = "testdata/persist"
+
+// goldenStaticEngine deterministically builds the static engine every
+// static fixture serializes. Changing it invalidates the fixtures.
+func goldenStaticEngine(t testing.TB) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(613))
+	pts := cloud(rng, 96, 3)
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = 0.25 + rng.Float64()
+	}
+	eng, err := Build(pts, Gaussian(1.8), WithWeights(w), WithIndex(BallTree, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// goldenDynamicEngine deterministically builds the dynamic engine the
+// v5/v6 dynamic fixtures serialize: several sealed segments, a partial
+// memtable, and (for mutable true-ups) a fixed fake clock so timestamps
+// are reproducible. v6 additionally carries tombstones, a TTL window and
+// a decay half-life.
+func goldenDynamicEngine(t testing.TB, mutable bool) *DynamicEngine {
+	t.Helper()
+	opts := []Option{
+		WithIndex(KDTree, 8),
+		WithSealSize(32),
+		WithAutoCompaction(false),
+		withClock(func() int64 { return 1_700_000_000_000_000_000 }),
+	}
+	if mutable {
+		opts = append(opts,
+			WithTTL(time.Hour),
+			WithDecayHalfLife(30*time.Minute),
+		)
+	}
+	d, err := NewDynamic(Gaussian(2.2), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(617))
+	var ids []uint64
+	for i := 0; i < 100; i++ {
+		id, err := d.InsertID([]float64{rng.Float64(), rng.Float64()}, 0.5+rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if mutable {
+		// One memtable delete (physical) and two sealed deletes
+		// (tombstones), so the fixture carries live mutability state.
+		for _, id := range []uint64{ids[99], ids[3], ids[40]} {
+			if err := d.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+// downgradeDynamicPayload strips a v6 dynamic payload to the v5 wire
+// image: no sequence numbers, timestamps, tombstones or window/decay
+// policy — exactly what a file written by the previous release contains.
+func downgradeDynamicPayload(p dynamicPayload) dynamicPayload {
+	p.Version = 5
+	p.TTL, p.HalfLife, p.NextSeq, p.Deletes = 0, 0, 0, 0
+	p.MemSeqs, p.MemTimes = nil, nil
+	p.TombSeqs, p.TombW, p.TombRef, p.TombPts = nil, nil, nil, nil
+	for i := range p.Segments {
+		p.Segments[i].Seqs = nil
+		p.Segments[i].Times = nil
+		p.Segments[i].TimeRef = 0
+	}
+	return p
+}
+
+// goldenBytes renders every fixture from the deterministic builders.
+func goldenBytes(t testing.TB) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	enc := func(name string, payload any) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = buf.Bytes()
+	}
+
+	eng := goldenStaticEngine(t)
+	for v := 1; v <= 3; v++ {
+		enc(fmt.Sprintf("v%d_static.bin", v), legacyPayload(eng.payload(), v))
+	}
+	p4 := eng.payload()
+	p4.Version = 4
+	enc("v4_static.bin", p4)
+	enc("v6_static.bin", eng.payload())
+
+	dyn := goldenDynamicEngine(t, false)
+	var buf bytes.Buffer
+	if _, err := dyn.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dp dynamicPayload
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&dp); err != nil {
+		t.Fatal(err)
+	}
+	enc("v5_dynamic.bin", downgradeDynamicPayload(dp))
+
+	mdyn := goldenDynamicEngine(t, true)
+	var mbuf bytes.Buffer
+	if _, err := mdyn.WriteTo(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	out["v6_dynamic.bin"] = mbuf.Bytes()
+	return out
+}
+
+// TestGoldenFixturesCurrent regenerates the fixtures with -update and
+// otherwise verifies the committed bytes still match what this build
+// would write — catching accidental wire-format drift (field renames,
+// encoding-order changes) that version-bump discipline would miss.
+func TestGoldenFixturesCurrent(t *testing.T) {
+	want := goldenBytes(t)
+	if *updateGolden {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, b := range want {
+			if err := os.WriteFile(filepath.Join(goldenDir, name), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("regenerated %d fixtures", len(want))
+		return
+	}
+	for name, b := range want {
+		got, err := os.ReadFile(filepath.Join(goldenDir, name))
+		if err != nil {
+			t.Fatalf("%s: %v (run: go test -run TestGoldenFixturesCurrent -update)", name, err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Errorf("%s: committed fixture differs from what this build writes (format drift without a version bump?)", name)
+		}
+	}
+}
+
+// TestGoldenStaticFixturesLoad pins backward compatibility end to end:
+// every committed static fixture v1..v6 loads through ReadEngine and
+// answers match the freshly built reference within tolerance (bitwise for
+// v4+, which reconstruct the flat index instead of rebuilding).
+func TestGoldenStaticFixturesLoad(t *testing.T) {
+	ref := goldenStaticEngine(t)
+	q := []float64{0.45, 0.55, 0.5}
+	want, err := ref.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"v1_static.bin", "v2_static.bin", "v3_static.bin",
+		"v4_static.bin", "v6_static.bin",
+	} {
+		raw, err := os.ReadFile(filepath.Join(goldenDir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		eng, err := ReadEngine(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s rejected: %v", name, err)
+		}
+		if eng.Len() != ref.Len() || eng.Dims() != ref.Dims() || eng.Kernel() != ref.Kernel() {
+			t.Fatalf("%s: shape/kernel changed", name)
+		}
+		got, err := eng.Aggregate(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		exact := name >= "v4" // v4_static.bin and v6_static.bin
+		if exact && got != want {
+			t.Errorf("%s: not bitwise: %v vs %v", name, got, want)
+		}
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("%s: diverged: %v vs %v", name, got, want)
+		}
+	}
+}
+
+// TestGoldenDynamicFixturesLoad pins the dynamic stream: the v5 fixture
+// (no mutability state) loads with synthesized sequence numbers and its
+// points are deletable; the v6 fixture restores tombstones, TTL and decay
+// policy and round-trips bitwise.
+func TestGoldenDynamicFixturesLoad(t *testing.T) {
+	q := []float64{0.5, 0.5}
+
+	raw, err := os.ReadFile(filepath.Join(goldenDir, "v5_dynamic.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5, err := ReadDynamic(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v5 fixture rejected: %v", err)
+	}
+	ref := goldenDynamicEngine(t, false)
+	want, _ := ref.Aggregate(q)
+	got, err := d5.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("v5 load not bitwise: %v vs %v", got, want)
+	}
+	// Synthesized IDs make legacy points deletable: ID 1 is the oldest
+	// sealed point.
+	before, _ := d5.Aggregate(q)
+	if err := d5.Delete(1); err != nil {
+		t.Fatalf("delete of synthesized id: %v", err)
+	}
+	after, _ := d5.Aggregate(q)
+	if after >= before {
+		t.Fatalf("delete had no effect: %v -> %v", before, after)
+	}
+
+	raw, err = os.ReadFile(filepath.Join(goldenDir, "v6_dynamic.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d6, err := ReadDynamic(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v6 fixture rejected: %v", err)
+	}
+	mref := goldenDynamicEngine(t, true)
+	if d6.Len() != mref.Len() || d6.Tombstones() != mref.Tombstones() ||
+		d6.Deletes() != mref.Deletes() || d6.TTL() != mref.TTL() ||
+		d6.DecayHalfLife() != mref.DecayHalfLife() {
+		t.Fatalf("v6 load dropped mutability state: len %d/%d tombs %d/%d deletes %d/%d",
+			d6.Len(), mref.Len(), d6.Tombstones(), mref.Tombstones(), d6.Deletes(), mref.Deletes())
+	}
+	// The loaded engine has the default wall clock; pin it back to the
+	// fixture's instant via a round trip through a re-serialized engine is
+	// not possible, so compare against the reference only through values
+	// that are clock-independent at the fixture's frozen instant: a fresh
+	// WriteTo must be byte-identical (same manifest, memtable, tombstones).
+	var rt bytes.Buffer
+	if _, err := d6.WriteTo(&rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rt.Bytes(), raw) {
+		t.Fatal("v6 fixture does not round-trip bitwise")
+	}
+}
