@@ -19,6 +19,13 @@ func (e *Engine) BatchThreshold(queries [][]float64, tau float64, workers int) (
 // the whole batch (Iterations, NodesExpanded and PointsScanned accumulate
 // across queries; the LB/UB fields are per-query quantities and stay zero).
 func (e *Engine) BatchThresholdStats(queries [][]float64, tau float64, workers int) ([]bool, Stats, error) {
+	if err := validateBatchQueries(queries, e.Dims()); err != nil {
+		return nil, Stats{}, err
+	}
+	if e.useDual(len(queries)) {
+		return e.dualThreshold(queries, tau, workers)
+	}
+	e.dualCtr.noteSequential(len(queries))
 	out := make([]bool, len(queries))
 	per := make([]Stats, len(queries))
 	err := e.batch(queries, workers, func(eng *Engine, i int) error {
@@ -38,6 +45,15 @@ func (e *Engine) BatchApproximate(queries [][]float64, eps float64, workers int)
 // BatchApproximateStats is BatchApproximate plus the summed work
 // statistics of the whole batch.
 func (e *Engine) BatchApproximateStats(queries [][]float64, eps float64, workers int) ([]float64, Stats, error) {
+	if err := validateBatchQueries(queries, e.Dims()); err != nil {
+		return nil, Stats{}, err
+	}
+	// eps ≤ 0 keeps the sequential path so its validation error surfaces
+	// with the historical per-query shape.
+	if eps > 0 && e.useDual(len(queries)) {
+		return e.dualApproximate(queries, eps, workers)
+	}
+	e.dualCtr.noteSequential(len(queries))
 	out := make([]float64, len(queries))
 	per := make([]Stats, len(queries))
 	err := e.batch(queries, workers, func(eng *Engine, i int) error {
@@ -58,6 +74,16 @@ func (e *Engine) BatchAggregate(queries [][]float64, workers int) ([]float64, er
 // the whole batch (every query scans all points, so PointsScanned is
 // len(queries)·Len for a successful batch).
 func (e *Engine) BatchAggregateStats(queries [][]float64, workers int) ([]float64, Stats, error) {
+	if err := validateBatchQueries(queries, e.Dims()); err != nil {
+		return nil, Stats{}, err
+	}
+	// Exact aggregation scans every point per query regardless of grouping,
+	// so the dual path runs only when explicitly forced (where it matches
+	// the sequential results bitwise).
+	if e.batchExec == BatchDualTree && len(queries) > 0 {
+		return e.dualAggregate(queries, workers)
+	}
+	e.dualCtr.noteSequential(len(queries))
 	out := make([]float64, len(queries))
 	per := make([]Stats, len(queries))
 	err := e.batch(queries, workers, func(eng *Engine, i int) error {

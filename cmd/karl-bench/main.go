@@ -8,6 +8,8 @@
 //	karl-bench -run all -scale 0.05 -queries 500 -maxn 50000
 //	karl-bench -mutable -maxn 20000 -mixratio 9
 //	karl-bench -mutable -maxn 20000 -delevery 10 -window 1h -decay-halflife 30m
+//	karl-bench -batch 4096 -maxn 20000
+//	karl-bench -batch 4096 -mutable -seal 512
 //
 // Experiment IDs follow DESIGN.md §4 (fig1, fig6, fig7, fig9..fig13, tab7,
 // tab8, tab9, tab10). Larger -scale/-queries values approach the paper's
@@ -22,6 +24,12 @@
 // (tombstone + compaction reclamation on the hot path); -window and
 // -decay-halflife exercise sliding-window TTL expiry and exponential
 // weight decay.
+//
+// -batch N times one N-query approximate batch through the sequential and
+// dual-tree batch executors side by side, reporting amortized per-query
+// p50/p99 latency and batch throughput for each; add -mutable to run the
+// comparison against the segmented dynamic engine instead of a static
+// index.
 package main
 
 import (
@@ -50,10 +58,11 @@ func main() {
 		dims    = flag.String("dims", "", "comma-separated Fig.12 dimensionality sweep (e.g. 32,64,128,256)")
 
 		mutable  = flag.Bool("mutable", false, "run the mutable-serving mixed-workload benchmark instead of a paper experiment")
+		batch    = flag.Int("batch", 0, "benchmark N-query batches through the sequential and dual-tree executors (combine with -mutable for the segmented engine)")
 		mixRatio = flag.Int("mixratio", 9, "queries per insert in the -mutable stream (9 = 90/10 query/insert)")
 		sealSize = flag.Int("seal", 512, "memtable seal threshold for -mutable")
 		fanout   = flag.Int("fanout", 4, "compaction fanout for -mutable")
-		eps      = flag.Float64("eps", 0.1, "relative error budget for -mutable approximate queries")
+		eps      = flag.Float64("eps", 0.1, "relative error budget for -mutable/-batch approximate queries")
 		delEvery = flag.Int("delevery", 0, "issue one delete of a random live point per this many -mutable inserts (0 = no deletes)")
 		window   = flag.Duration("window", 0, "sliding-window TTL for -mutable: points older than this expire at seal/compaction (0 = keep forever)")
 		halfLife = flag.Duration("decay-halflife", 0, "exponential weight-decay half-life for -mutable points (0 = no decay)")
@@ -66,6 +75,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *batch != 0 {
+		cfg := batchBenchConfig{
+			n: *maxN, batch: *batch, sealSize: *sealSize, fanout: *fanout,
+			eps: *eps, seed: *seed, mutable: *mutable, window: *window, halfLife: *halfLife,
+		}
+		if err := runBatchBench(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *mutable {
 		cfg := mutableBenchConfig{
 			n: *maxN, mixRatio: *mixRatio, sealSize: *sealSize, fanout: *fanout,
@@ -125,16 +145,19 @@ func validateFlags() error {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	modes := 0
-	for _, m := range []string{"run", "list", "mutable"} {
+	for _, m := range []string{"run", "list", "mutable", "batch"} {
 		if set[m] {
 			modes++
 		}
 	}
+	if set["mutable"] && set["batch"] {
+		modes-- // -batch composes with -mutable: batch queries against the segmented engine
+	}
 	if modes == 0 {
-		return errors.New("pick a mode: -run <id>, -list, or -mutable")
+		return errors.New("pick a mode: -run <id>, -list, -mutable, or -batch <n>")
 	}
 	if modes > 1 {
-		return errors.New("-run, -list and -mutable are mutually exclusive: pick one mode")
+		return errors.New("-run, -list, -mutable and -batch are mutually exclusive: pick one mode (-batch may combine with -mutable)")
 	}
 
 	var wrong []string
@@ -149,6 +172,12 @@ func validateFlags() error {
 	case set["list"]:
 		reject("-run", "scale", "maxn", "queries", "tunesample", "seed", "dims")
 		reject("-mutable", "mixratio", "seal", "fanout", "eps", "delevery", "window", "decay-halflife")
+	case set["batch"]:
+		reject("-run", "scale", "queries", "tunesample", "dims")
+		reject("a -mutable stream", "mixratio", "delevery")
+		if !set["mutable"] {
+			reject("-mutable", "seal", "fanout", "window", "decay-halflife")
+		}
 	case set["mutable"]:
 		reject("-run", "scale", "queries", "tunesample", "dims")
 	default: // -run
@@ -167,6 +196,125 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	}
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i]
+}
+
+// clusterPoints generates the mutable/batch benchmarks' synthetic n×dim
+// dataset: five Gaussian clusters spaced 0.18 apart along the diagonal.
+func clusterPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		base := float64(i%5) * 0.18
+		for j := range p {
+			p[j] = base + rng.NormFloat64()*0.04
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// batchBenchConfig bundles the -batch workload knobs.
+type batchBenchConfig struct {
+	n, batch, sealSize, fanout int
+	eps                        float64
+	seed                       int64
+	mutable                    bool
+	window, halfLife           time.Duration
+}
+
+// runBatchBench answers the same N-query approximate batch through the
+// forced-sequential and forced-dual-tree executors and reports amortized
+// per-query latency quantiles plus batch throughput, so the dual-tree
+// cutover can be judged on the target workload shape. Both executors run
+// single-worker: the comparison isolates shared bound refinement from
+// clone parallelism.
+func runBatchBench(cfg batchBenchConfig) error {
+	if cfg.batch < 1 {
+		return fmt.Errorf("-batch %d: batch size must be positive", cfg.batch)
+	}
+	if cfg.n < 2 {
+		return fmt.Errorf("-maxn %d too small", cfg.n)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	const dim = 8
+	pts := clusterPoints(rng, cfg.n, dim)
+	queries := make([][]float64, cfg.batch)
+	for i := range queries {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = 0.2 + rng.Float64()*0.2
+		}
+		queries[i] = q
+	}
+
+	type batcher interface {
+		BatchApproximate(queries [][]float64, eps float64, workers int) ([]float64, error)
+	}
+	build := func(exec karl.BatchExecutor) (batcher, error) {
+		if !cfg.mutable {
+			return karl.Build(pts, karl.Gaussian(20), karl.WithBatchExecutor(exec))
+		}
+		opts := []karl.Option{
+			karl.WithSealSize(cfg.sealSize), karl.WithCompactionFanout(cfg.fanout),
+			karl.WithBatchExecutor(exec),
+		}
+		if cfg.window > 0 {
+			opts = append(opts, karl.WithTTL(cfg.window))
+		}
+		if cfg.halfLife > 0 {
+			opts = append(opts, karl.WithDecayHalfLife(cfg.halfLife))
+		}
+		d, err := karl.NewDynamic(karl.Gaussian(20), opts...)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.InsertBulk(pts, nil); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+
+	const rounds = 7
+	kind := "static"
+	if cfg.mutable {
+		kind = "segmented"
+	}
+	fmt.Printf("batch executor benchmark (%s engine): n=%d dim=%d batch=%d eps=%g rounds=%d workers=1\n",
+		kind, cfg.n, dim, cfg.batch, cfg.eps, rounds)
+	var tput [2]float64
+	for i, ex := range []struct {
+		name string
+		exec karl.BatchExecutor
+	}{
+		{"sequential", karl.BatchSequential},
+		{"dual-tree", karl.BatchDualTree},
+	} {
+		eng, err := build(ex.exec)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.BatchApproximate(queries, cfg.eps, 1); err != nil { // warmup
+			return err
+		}
+		lat := make([]time.Duration, 0, rounds)
+		var total time.Duration
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			if _, err := eng.BatchApproximate(queries, cfg.eps, 1); err != nil {
+				return err
+			}
+			elapsed := time.Since(t0)
+			total += elapsed
+			lat = append(lat, elapsed/time.Duration(cfg.batch))
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		tput[i] = float64(rounds*cfg.batch) / total.Seconds()
+		fmt.Printf("  %-10s per-query p50=%v p99=%v  throughput: %.0f queries/sec (batch wall %v)\n",
+			ex.name, quantile(lat, 0.50), quantile(lat, 0.99), tput[i],
+			(total / rounds).Round(time.Microsecond))
+	}
+	fmt.Printf("  dual-tree speedup: %.2fx\n", tput[1]/tput[0])
+	return nil
 }
 
 // mutableBenchConfig bundles the -mutable workload knobs.
@@ -190,15 +338,7 @@ func runMutableBench(cfg mutableBenchConfig) error {
 	}
 	rng := rand.New(rand.NewSource(cfg.seed))
 	const dim = 8
-	pts := make([][]float64, n)
-	for i := range pts {
-		p := make([]float64, dim)
-		base := float64(i%5) * 0.18
-		for j := range p {
-			p[j] = base + rng.NormFloat64()*0.04
-		}
-		pts[i] = p
-	}
+	pts := clusterPoints(rng, n, dim)
 	opts := []karl.Option{karl.WithSealSize(cfg.sealSize), karl.WithCompactionFanout(cfg.fanout)}
 	if cfg.window > 0 {
 		opts = append(opts, karl.WithTTL(cfg.window))

@@ -135,6 +135,13 @@ type dynShared struct {
 	policy   segment.Policy
 	coldSeed int64
 
+	// batchExec routes the Batch* methods (dual.go); dualCtr is the
+	// batch-executor telemetry shared by every clone. Both are immutable
+	// after construction (dualCtr's fields are atomic), so they are read
+	// without mu.
+	batchExec BatchExecutor
+	dualCtr   *dualCounters
+
 	autoCompact bool
 
 	// ttl > 0 expires points that many nanoseconds after insertion
@@ -252,6 +259,8 @@ func NewDynamic(kern Kernel, opts ...Option) (*DynamicEngine, error) {
 		policy:      policy,
 		coldSeed:    cfg.coresetSeed,
 		autoCompact: !cfg.noAutoCompact,
+		batchExec:   cfg.batchExec,
+		dualCtr:     &dualCounters{},
 		ttl:         int64(cfg.ttl),
 		halfLife:    float64(cfg.halfLife),
 		now:         cfg.clock,
@@ -1098,6 +1107,13 @@ func (d *DynamicEngine) BatchThreshold(queries [][]float64, tau float64, workers
 
 // BatchThresholdStats is BatchThreshold plus summed work statistics.
 func (d *DynamicEngine) BatchThresholdStats(queries [][]float64, tau float64, workers int) ([]bool, Stats, error) {
+	if err := validateBatchQueries(queries, d.Dims()); err != nil {
+		return nil, Stats{}, err
+	}
+	if d.useDual(len(queries)) {
+		return d.dualThreshold(queries, tau, workers)
+	}
+	d.sh.dualCtr.noteSequential(len(queries))
 	out := make([]bool, len(queries))
 	per := make([]Stats, len(queries))
 	err := runBatch(d, (*DynamicEngine).Clone, len(queries), workers, func(eng *DynamicEngine, i int) error {
@@ -1116,6 +1132,13 @@ func (d *DynamicEngine) BatchApproximate(queries [][]float64, eps float64, worke
 
 // BatchApproximateStats is BatchApproximate plus summed work statistics.
 func (d *DynamicEngine) BatchApproximateStats(queries [][]float64, eps float64, workers int) ([]float64, Stats, error) {
+	if err := validateBatchQueries(queries, d.Dims()); err != nil {
+		return nil, Stats{}, err
+	}
+	if eps > 0 && d.useDual(len(queries)) {
+		return d.dualApproximate(queries, eps, workers)
+	}
+	d.sh.dualCtr.noteSequential(len(queries))
 	out := make([]float64, len(queries))
 	per := make([]Stats, len(queries))
 	err := runBatch(d, (*DynamicEngine).Clone, len(queries), workers, func(eng *DynamicEngine, i int) error {
@@ -1134,6 +1157,13 @@ func (d *DynamicEngine) BatchAggregate(queries [][]float64, workers int) ([]floa
 
 // BatchAggregateStats is BatchAggregate plus summed work statistics.
 func (d *DynamicEngine) BatchAggregateStats(queries [][]float64, workers int) ([]float64, Stats, error) {
+	if err := validateBatchQueries(queries, d.Dims()); err != nil {
+		return nil, Stats{}, err
+	}
+	if d.sh.batchExec == BatchDualTree && len(queries) > 0 && d.Len() > 0 {
+		return d.dualAggregate(queries, workers)
+	}
+	d.sh.dualCtr.noteSequential(len(queries))
 	out := make([]float64, len(queries))
 	per := make([]Stats, len(queries))
 	err := runBatch(d, (*DynamicEngine).Clone, len(queries), workers, func(eng *DynamicEngine, i int) error {

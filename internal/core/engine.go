@@ -93,6 +93,9 @@ func (e *Engine) Kernel() kernel.Params { return e.f.kern }
 // Method returns the engine's bounding method.
 func (e *Engine) Method() bound.Method { return e.f.method }
 
+// MaxDepth returns the engine's refinement depth cap (0 = unlimited).
+func (e *Engine) MaxDepth() int { return e.f.maxDepth }
+
 // Stats reports the work one query performed.
 type Stats struct {
 	// Iterations is the number of priority-queue pops (Table V steps).

@@ -130,6 +130,9 @@ func (f *Forest) Kernel() kernel.Params { return f.kern }
 // Method returns the forest's bounding method.
 func (f *Forest) Method() bound.Method { return f.method }
 
+// MaxDepth returns the forest's refinement depth cap (0 = unlimited).
+func (f *Forest) MaxDepth() int { return f.maxDepth }
+
 // SegmentStats returns the per-segment work statistics of the most recent
 // query, index-aligned with the segment set. The slice is the forest's own
 // scratch: it is valid until the next query and must not be retained.
@@ -210,16 +213,30 @@ func (c *termCond) done(lb, ub float64) bool {
 			return true
 		}
 	}
-	switch c.mode {
-	case condThreshold:
-		return lb > c.tau || ub <= c.tau
-	default:
-		if lb >= 0 {
-			return ub <= (1+c.eps)*lb
-		}
-		mid := math.Abs(lb+ub) / 2
-		return (ub-lb)*(1+c.eps) <= 2*c.eps*mid
+	if c.mode == condThreshold {
+		return CondThreshold(lb, ub, c.tau)
 	}
+	return CondApprox(lb, ub, c.eps)
+}
+
+// CondThreshold is the TKAQ stopping rule: the bounds resolve the verdict
+// as soon as the whole [lb, ub] interval falls on one side of tau. Exported
+// so alternative executors (the dual-tree batch engine) certify against the
+// exact same contract as sequential refinement.
+func CondThreshold(lb, ub, tau float64) bool {
+	return lb > tau || ub <= tau
+}
+
+// CondApprox is the ε-approximation stopping rule shared by every executor:
+// for non-negative lower bounds the classic relative gap ub ≤ (1+ε)·lb, and
+// for mixed-sign bounds a symmetric midpoint rule that guarantees the
+// returned midpoint is within ε·|answer| of the true value.
+func CondApprox(lb, ub, eps float64) bool {
+	if lb >= 0 {
+		return ub <= (1+eps)*lb
+	}
+	mid := math.Abs(lb+ub) / 2
+	return (ub-lb)*(1+eps) <= 2*eps*mid
 }
 
 // refine runs the best-first loop over all segments until cond is

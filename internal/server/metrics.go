@@ -120,11 +120,31 @@ type MutableStats struct {
 	Deletes    int `json:"deletes"`
 }
 
+// DualTreeBatchStats reports how the engines behind /v1/batch executed
+// their batches: a hit is a batch served by the dual-tree executor (one
+// shared node-pair traversal for the whole batch), a miss one served by the
+// sequential clone fan-out. The traversal counters cover hits only.
+type DualTreeBatchStats struct {
+	// Hits and Misses count non-empty batches by executor.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Queries counts queries inside dual-tree batches.
+	Queries int64 `json:"queries"`
+	// NodePairs counts (query node × reference node) group-bound
+	// computations.
+	NodePairs int64 `json:"node_pairs"`
+	// GroupCertified counts queries answered purely by group certificates;
+	// Fallbacks counts queries handed back to the sequential engine.
+	GroupCertified int64 `json:"group_certified"`
+	Fallbacks      int64 `json:"fallbacks"`
+}
+
 // StatsResponse is the GET /v1/stats body. Tier is present only when the
 // sketch tier is enabled; Mutable only for dynamic serving.
 type StatsResponse struct {
 	Pool      PoolStats                `json:"pool"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+	DualTree  *DualTreeBatchStats      `json:"dual_tree,omitempty"`
 	Tier      *TierStats               `json:"tier,omitempty"`
 	Mutable   *MutableStats            `json:"mutable,omitempty"`
 }

@@ -43,6 +43,7 @@ type queryEngine interface {
 	BatchAggregateStats(queries [][]float64, workers int) ([]float64, karl.Stats, error)
 	BatchThresholdStats(queries [][]float64, tau float64, workers int) ([]bool, karl.Stats, error)
 	BatchApproximateStats(queries [][]float64, eps float64, workers int) ([]float64, karl.Stats, error)
+	DualTreeStats() karl.DualTreeStats
 }
 
 // Server wraps an engine with an HTTP handler. All endpoints accept and
@@ -416,6 +417,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"bounds":      s.met.bounds.snapshot(),
 			"batch":       s.met.batch.snapshot(),
 		},
+		DualTree: s.dualTreeStats(),
 	}
 	if s.sketch != nil {
 		resp.Tier = &TierStats{
@@ -442,6 +444,31 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// dualTreeStats folds the engines' batch-executor telemetry into the
+// /v1/stats block: the serving pool's counters (shared by every clone, so
+// the template reads the whole pool's history) plus, when the sketch tier
+// is enabled, the coreset engine's — its batches route independently.
+func (s *Server) dualTreeStats() *DualTreeBatchStats {
+	st := s.pool.template.DualTreeStats()
+	if s.sketch != nil {
+		sk := s.sketch.template.DualTreeStats()
+		st.DualBatches += sk.DualBatches
+		st.SequentialBatches += sk.SequentialBatches
+		st.Queries += sk.Queries
+		st.NodePairs += sk.NodePairs
+		st.GroupCertified += sk.GroupCertified
+		st.Fallbacks += sk.Fallbacks
+	}
+	return &DualTreeBatchStats{
+		Hits:           int64(st.DualBatches),
+		Misses:         int64(st.SequentialBatches),
+		Queries:        int64(st.Queries),
+		NodePairs:      int64(st.NodePairs),
+		GroupCertified: int64(st.GroupCertified),
+		Fallbacks:      int64(st.Fallbacks),
+	}
 }
 
 // HealthResponse is the GET /v1/healthz body: pure liveness.

@@ -96,11 +96,12 @@ type Stats = core.Stats
 type Option func(*buildConfig)
 
 type buildConfig struct {
-	weights  []float64
-	kind     IndexKind
-	leafCap  int
-	method   Method
-	maxDepth int
+	weights   []float64
+	kind      IndexKind
+	leafCap   int
+	method    Method
+	maxDepth  int
+	batchExec BatchExecutor
 
 	// Coreset construction knobs, consulted only by BuildCoreset,
 	// Engine.Sketch and KDE.Compress (coreset.go).
@@ -203,6 +204,10 @@ type Engine struct {
 	eng  *core.Engine
 	tree *index.Tree
 	kern Kernel
+	// batchExec routes the Batch* methods (dual.go); dualCtr is the
+	// batch-executor telemetry shared by every clone.
+	batchExec BatchExecutor
+	dualCtr   *dualCounters
 	// sketch records coreset provenance when the engine indexes a reduced
 	// set (BuildCoreset / Sketch); nil for full-set engines.
 	sketch *SketchInfo
@@ -258,7 +263,7 @@ func buildMatrixCfg(m *vec.Matrix, kern Kernel, cfg buildConfig) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: eng, tree: tree, kern: kern}, nil
+	return &Engine{eng: eng, tree: tree, kern: kern, batchExec: cfg.batchExec, dualCtr: &dualCounters{}}, nil
 }
 
 // engineFromTree wraps an already-built (or reconstructed) index in an
@@ -269,7 +274,7 @@ func engineFromTree(tree *index.Tree, kern Kernel, method Method) (*Engine, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: eng, tree: tree, kern: kern}, nil
+	return &Engine{eng: eng, tree: tree, kern: kern, dualCtr: &dualCounters{}}, nil
 }
 
 func methodOf(m Method) bound.Method {
@@ -303,7 +308,8 @@ func (e *Engine) Kernel() Kernel { return e.kern }
 // Clone returns an engine that shares the index but owns its scratch
 // state, for use from another goroutine.
 func (e *Engine) Clone() *Engine {
-	return &Engine{eng: e.eng.Clone(), tree: e.tree, kern: e.kern, sketch: e.sketch, shardProv: e.shardProv}
+	return &Engine{eng: e.eng.Clone(), tree: e.tree, kern: e.kern, sketch: e.sketch, shardProv: e.shardProv,
+		batchExec: e.batchExec, dualCtr: e.dualCtr}
 }
 
 // Aggregate computes F_P(q) exactly.

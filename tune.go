@@ -69,7 +69,7 @@ func BuildAuto(points [][]float64, kern Kernel, w Workload, sample [][]float64, 
 	if winner.Candidate.Kind == index.BallTree {
 		kind = BallTree
 	}
-	return &Engine{eng: eng, tree: winner.Tree, kern: kern}, &TuneReport{
+	return &Engine{eng: eng, tree: winner.Tree, kern: kern, batchExec: cfg.batchExec, dualCtr: &dualCounters{}}, &TuneReport{
 		Kind:             kind,
 		LeafCap:          winner.Candidate.LeafCap,
 		SampleThroughput: winner.Throughput,
