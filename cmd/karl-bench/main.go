@@ -10,6 +10,7 @@
 //	karl-bench -mutable -maxn 20000 -delevery 10 -window 1h -decay-halflife 30m
 //	karl-bench -batch 4096 -maxn 20000
 //	karl-bench -batch 4096 -mutable -seal 512
+//	karl-bench -matrix -maxn 50000 -queries 200
 //
 // Experiment IDs follow DESIGN.md §4 (fig1, fig6, fig7, fig9..fig13, tab7,
 // tab8, tab9, tab10). Larger -scale/-queries values approach the paper's
@@ -30,6 +31,15 @@
 // p50/p99 latency and batch throughput for each; add -mutable to run the
 // comparison against the segmented dynamic engine instead of a static
 // index.
+//
+// -matrix sweeps the raw-speed knobs: GOMAXPROCS ∈ {1,2,4,8} × float32
+// blocked leaves on/off × three kernel families, rebuilding the engine per
+// cell (WithRefineWorkers follows GOMAXPROCS) and reporting exact and
+// approximate latency quantiles with allocs/op for each. -leaf-float32
+// enables float32 blocked leaves in the -mutable and -batch modes; in
+// -matrix it is a sweep dimension and the flag is rejected.
+//
+// All modes report steady-state allocs/op next to the latency quantiles.
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -59,6 +70,8 @@ func main() {
 
 		mutable  = flag.Bool("mutable", false, "run the mutable-serving mixed-workload benchmark instead of a paper experiment")
 		batch    = flag.Int("batch", 0, "benchmark N-query batches through the sequential and dual-tree executors (combine with -mutable for the segmented engine)")
+		matrix   = flag.Bool("matrix", false, "sweep GOMAXPROCS × float32-leaves × kernel family on single-query latency")
+		leaf32   = flag.Bool("leaf-float32", false, "store leaf points as float32 tiles in the -mutable/-batch engines")
 		mixRatio = flag.Int("mixratio", 9, "queries per insert in the -mutable stream (9 = 90/10 query/insert)")
 		sealSize = flag.Int("seal", 512, "memtable seal threshold for -mutable")
 		fanout   = flag.Int("fanout", 4, "compaction fanout for -mutable")
@@ -75,10 +88,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *matrix {
+		cfg := matrixBenchConfig{n: *maxN, queries: *queries, eps: *eps, seed: *seed}
+		if err := runMatrixBench(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *batch != 0 {
 		cfg := batchBenchConfig{
 			n: *maxN, batch: *batch, sealSize: *sealSize, fanout: *fanout,
 			eps: *eps, seed: *seed, mutable: *mutable, window: *window, halfLife: *halfLife,
+			leaf32: *leaf32,
 		}
 		if err := runBatchBench(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
@@ -90,6 +112,7 @@ func main() {
 		cfg := mutableBenchConfig{
 			n: *maxN, mixRatio: *mixRatio, sealSize: *sealSize, fanout: *fanout,
 			eps: *eps, seed: *seed, delEvery: *delEvery, window: *window, halfLife: *halfLife,
+			leaf32: *leaf32,
 		}
 		if err := runMutableBench(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
@@ -145,7 +168,7 @@ func validateFlags() error {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	modes := 0
-	for _, m := range []string{"run", "list", "mutable", "batch"} {
+	for _, m := range []string{"run", "list", "mutable", "batch", "matrix"} {
 		if set[m] {
 			modes++
 		}
@@ -154,10 +177,10 @@ func validateFlags() error {
 		modes-- // -batch composes with -mutable: batch queries against the segmented engine
 	}
 	if modes == 0 {
-		return errors.New("pick a mode: -run <id>, -list, -mutable, or -batch <n>")
+		return errors.New("pick a mode: -run <id>, -list, -mutable, -batch <n>, or -matrix")
 	}
 	if modes > 1 {
-		return errors.New("-run, -list, -mutable and -batch are mutually exclusive: pick one mode (-batch may combine with -mutable)")
+		return errors.New("-run, -list, -mutable, -batch and -matrix are mutually exclusive: pick one mode (-batch may combine with -mutable)")
 	}
 
 	var wrong []string
@@ -171,7 +194,13 @@ func validateFlags() error {
 	switch {
 	case set["list"]:
 		reject("-run", "scale", "maxn", "queries", "tunesample", "seed", "dims")
-		reject("-mutable", "mixratio", "seal", "fanout", "eps", "delevery", "window", "decay-halflife")
+		reject("-mutable", "mixratio", "seal", "fanout", "eps", "delevery", "window", "decay-halflife", "leaf-float32")
+	case set["matrix"]:
+		reject("-run", "scale", "tunesample", "dims")
+		reject("-mutable", "mixratio", "seal", "fanout", "delevery", "window", "decay-halflife")
+		if set["leaf-float32"] {
+			wrong = append(wrong, "-leaf-float32 is a -matrix sweep dimension, not a flag there")
+		}
 	case set["batch"]:
 		reject("-run", "scale", "queries", "tunesample", "dims")
 		reject("a -mutable stream", "mixratio", "delevery")
@@ -181,7 +210,7 @@ func validateFlags() error {
 	case set["mutable"]:
 		reject("-run", "scale", "queries", "tunesample", "dims")
 	default: // -run
-		reject("-mutable", "mixratio", "seal", "fanout", "eps", "delevery", "window", "decay-halflife")
+		reject("-mutable", "mixratio", "seal", "fanout", "eps", "delevery", "window", "decay-halflife", "leaf-float32")
 	}
 	if len(wrong) > 0 {
 		return errors.New(strings.Join(wrong, "; "))
@@ -196,6 +225,23 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	}
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i]
+}
+
+// mallocs reads the cumulative heap-allocation counter; the delta across a
+// measured section divided by its operation count is the allocs/op figure
+// every mode reports next to its latency quantiles.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// allocsPerOp formats a mallocs delta over an op count.
+func allocsPerOp(delta uint64, ops int) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(delta) / float64(ops)
 }
 
 // clusterPoints generates the mutable/batch benchmarks' synthetic n×dim
@@ -218,7 +264,7 @@ type batchBenchConfig struct {
 	n, batch, sealSize, fanout int
 	eps                        float64
 	seed                       int64
-	mutable                    bool
+	mutable, leaf32            bool
 	window, halfLife           time.Duration
 }
 
@@ -252,11 +298,18 @@ func runBatchBench(cfg batchBenchConfig) error {
 	}
 	build := func(exec karl.BatchExecutor) (batcher, error) {
 		if !cfg.mutable {
-			return karl.Build(pts, karl.Gaussian(20), karl.WithBatchExecutor(exec))
+			opts := []karl.Option{karl.WithBatchExecutor(exec)}
+			if cfg.leaf32 {
+				opts = append(opts, karl.WithLeafFloat32())
+			}
+			return karl.Build(pts, karl.Gaussian(20), opts...)
 		}
 		opts := []karl.Option{
 			karl.WithSealSize(cfg.sealSize), karl.WithCompactionFanout(cfg.fanout),
 			karl.WithBatchExecutor(exec),
+		}
+		if cfg.leaf32 {
+			opts = append(opts, karl.WithLeafFloat32())
 		}
 		if cfg.window > 0 {
 			opts = append(opts, karl.WithTTL(cfg.window))
@@ -279,8 +332,8 @@ func runBatchBench(cfg batchBenchConfig) error {
 	if cfg.mutable {
 		kind = "segmented"
 	}
-	fmt.Printf("batch executor benchmark (%s engine): n=%d dim=%d batch=%d eps=%g rounds=%d workers=1\n",
-		kind, cfg.n, dim, cfg.batch, cfg.eps, rounds)
+	fmt.Printf("batch executor benchmark (%s engine): n=%d dim=%d batch=%d eps=%g rounds=%d workers=1 leaf-float32=%v\n",
+		kind, cfg.n, dim, cfg.batch, cfg.eps, rounds, cfg.leaf32)
 	var tput [2]float64
 	for i, ex := range []struct {
 		name string
@@ -298,6 +351,7 @@ func runBatchBench(cfg batchBenchConfig) error {
 		}
 		lat := make([]time.Duration, 0, rounds)
 		var total time.Duration
+		m0 := mallocs()
 		for r := 0; r < rounds; r++ {
 			t0 := time.Now()
 			if _, err := eng.BatchApproximate(queries, cfg.eps, 1); err != nil {
@@ -307,10 +361,11 @@ func runBatchBench(cfg batchBenchConfig) error {
 			total += elapsed
 			lat = append(lat, elapsed/time.Duration(cfg.batch))
 		}
+		allocs := allocsPerOp(mallocs()-m0, rounds*cfg.batch)
 		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
 		tput[i] = float64(rounds*cfg.batch) / total.Seconds()
-		fmt.Printf("  %-10s per-query p50=%v p99=%v  throughput: %.0f queries/sec (batch wall %v)\n",
-			ex.name, quantile(lat, 0.50), quantile(lat, 0.99), tput[i],
+		fmt.Printf("  %-10s per-query p50=%v p99=%v allocs/op=%.1f  throughput: %.0f queries/sec (batch wall %v)\n",
+			ex.name, quantile(lat, 0.50), quantile(lat, 0.99), allocs, tput[i],
 			(total / rounds).Round(time.Microsecond))
 	}
 	fmt.Printf("  dual-tree speedup: %.2fx\n", tput[1]/tput[0])
@@ -323,6 +378,7 @@ type mutableBenchConfig struct {
 	eps                                     float64
 	seed                                    int64
 	window, halfLife                        time.Duration
+	leaf32                                  bool
 }
 
 // runMutableBench replays a mixed insert/delete/query stream against a
@@ -340,6 +396,9 @@ func runMutableBench(cfg mutableBenchConfig) error {
 	const dim = 8
 	pts := clusterPoints(rng, n, dim)
 	opts := []karl.Option{karl.WithSealSize(cfg.sealSize), karl.WithCompactionFanout(cfg.fanout)}
+	if cfg.leaf32 {
+		opts = append(opts, karl.WithLeafFloat32())
+	}
 	if cfg.window > 0 {
 		opts = append(opts, karl.WithTTL(cfg.window))
 	}
@@ -375,6 +434,7 @@ func runMutableBench(cfg mutableBenchConfig) error {
 	queryLat := make([]time.Duration, 0, (n-half)*mixRatio)
 	var deleteLat []time.Duration
 	qi := 0
+	m0 := mallocs()
 	start := time.Now()
 	for i, p := range pts[half:] {
 		t0 := time.Now()
@@ -405,6 +465,7 @@ func runMutableBench(cfg mutableBenchConfig) error {
 		}
 	}
 	elapsed := time.Since(start)
+	streamMallocs := mallocs() - m0
 
 	sort.Slice(insertLat, func(i, j int) bool { return insertLat[i] < insertLat[j] })
 	sort.Slice(queryLat, func(i, j int) bool { return queryLat[i] < queryLat[j] })
@@ -421,6 +482,9 @@ func runMutableBench(cfg mutableBenchConfig) error {
 	if cfg.halfLife > 0 {
 		fmt.Printf(" halflife=%v", cfg.halfLife)
 	}
+	if cfg.leaf32 {
+		fmt.Printf(" leaf-float32")
+	}
 	fmt.Println()
 	fmt.Printf("  inserts: %d  p50=%v  p99=%v\n",
 		len(insertLat), quantile(insertLat, 0.50), quantile(insertLat, 0.99))
@@ -430,8 +494,118 @@ func runMutableBench(cfg mutableBenchConfig) error {
 	}
 	fmt.Printf("  queries: %d  p50=%v  p99=%v\n",
 		len(queryLat), quantile(queryLat, 0.50), quantile(queryLat, 0.99))
-	fmt.Printf("  throughput: %.0f ops/sec over %v (final: %d points, %d segments, %d seals, %d compactions, %d tombstones)\n",
-		float64(ops)/elapsed.Seconds(), elapsed.Round(time.Millisecond),
+	fmt.Printf("  throughput: %.0f ops/sec, %.1f allocs/op over %v (final: %d points, %d segments, %d seals, %d compactions, %d tombstones)\n",
+		float64(ops)/elapsed.Seconds(), allocsPerOp(streamMallocs, ops),
+		elapsed.Round(time.Millisecond),
 		d.Len(), len(d.Segments()), d.Seals(), d.Compactions(), d.Tombstones())
+	return nil
+}
+
+// matrixBenchConfig bundles the -matrix sweep knobs.
+type matrixBenchConfig struct {
+	n, queries int
+	eps        float64
+	seed       int64
+}
+
+// runMatrixBench rebuilds one static engine per cell of the raw-speed
+// matrix — GOMAXPROCS ∈ {1,2,4,8} × float32 blocked leaves on/off × three
+// kernel families — and reports exact (full leaf scan) and approximate
+// (best-first refinement) per-query latency quantiles with allocs/op.
+// WithRefineWorkers follows the GOMAXPROCS value so the parallel
+// refinement pool matches the processors it may use; exact queries never
+// parallelize, so their column isolates the float32 scan speedup. On a
+// single-vCPU host the procs>1 rows measure scheduling overhead, not
+// speedup — read them next to runtime.NumCPU.
+func runMatrixBench(cfg matrixBenchConfig) error {
+	if cfg.n < 2 {
+		return fmt.Errorf("-maxn %d too small", cfg.n)
+	}
+	if cfg.queries < 1 {
+		return fmt.Errorf("-queries %d too small", cfg.queries)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	const dim = 8
+	pts := clusterPoints(rng, cfg.n, dim)
+	queries := make([][]float64, cfg.queries)
+	for i := range queries {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = 0.2 + rng.Float64()*0.2
+		}
+		queries[i] = q
+	}
+	kernels := []struct {
+		name string
+		k    karl.Kernel
+	}{
+		{"gaussian", karl.Gaussian(20)},
+		{"epanechnikov", karl.Epanechnikov(6)},
+		{"polynomial", karl.Polynomial(0.5, 1, 2)},
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	fmt.Printf("raw-speed matrix: n=%d dim=%d queries=%d eps=%g (host NumCPU=%d)\n",
+		cfg.n, dim, cfg.queries, cfg.eps, runtime.NumCPU())
+	for _, procs := range []int{1, 2, 4, 8} {
+		for _, leaf32 := range []bool{false, true} {
+			for _, kn := range kernels {
+				opts := []karl.Option{}
+				if leaf32 {
+					opts = append(opts, karl.WithLeafFloat32())
+				}
+				if procs > 1 {
+					opts = append(opts, karl.WithRefineWorkers(procs))
+				}
+				eng, err := karl.Build(pts, kn.k, opts...)
+				if err != nil {
+					return err
+				}
+				runtime.GOMAXPROCS(procs)
+				measure := func(op func(q []float64) error) ([2]time.Duration, float64, error) {
+					for i := 0; i < 3; i++ { // warmup grows scratch once
+						if err := op(queries[i%len(queries)]); err != nil {
+							return [2]time.Duration{}, 0, err
+						}
+					}
+					lat := make([]time.Duration, 0, len(queries))
+					m0 := mallocs()
+					for _, q := range queries {
+						t0 := time.Now()
+						if err := op(q); err != nil {
+							return [2]time.Duration{}, 0, err
+						}
+						lat = append(lat, time.Since(t0))
+					}
+					allocs := allocsPerOp(mallocs()-m0, len(queries))
+					sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+					return [2]time.Duration{quantile(lat, 0.50), quantile(lat, 0.99)}, allocs, nil
+				}
+				exactQ, exactAllocs, err := measure(func(q []float64) error {
+					_, err := eng.Aggregate(q)
+					return err
+				})
+				if err != nil {
+					return err
+				}
+				approxQ, approxAllocs, err := measure(func(q []float64) error {
+					_, err := eng.Approximate(q, cfg.eps)
+					return err
+				})
+				runtime.GOMAXPROCS(prevProcs)
+				if err != nil {
+					return err
+				}
+				leaf := "float64"
+				if leaf32 {
+					leaf = "float32"
+				}
+				fmt.Printf("  procs=%d leaf=%s kernel=%-12s exact p50=%v p99=%v allocs/op=%.1f  approx p50=%v p99=%v allocs/op=%.1f\n",
+					procs, leaf, kn.name,
+					exactQ[0], exactQ[1], exactAllocs,
+					approxQ[0], approxQ[1], approxAllocs)
+			}
+		}
+	}
 	return nil
 }

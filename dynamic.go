@@ -128,12 +128,13 @@ type dynShared struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	kern     Kernel
-	method   bound.Method
-	maxDepth int
-	bcfg     segment.BuildConfig
-	policy   segment.Policy
-	coldSeed int64
+	kern          Kernel
+	method        bound.Method
+	maxDepth      int
+	refineWorkers int
+	bcfg          segment.BuildConfig
+	policy        segment.Policy
+	coldSeed      int64
 
 	// batchExec routes the Batch* methods (dual.go); dualCtr is the
 	// batch-executor telemetry shared by every clone. Both are immutable
@@ -252,22 +253,23 @@ func NewDynamic(kern Kernel, opts ...Option) (*DynamicEngine, error) {
 		return nil, fmt.Errorf("karl: decay half-life must be non-negative, got %v", cfg.halfLife)
 	}
 	sh := &dynShared{
-		kern:        kern,
-		method:      methodOf(cfg.method),
-		maxDepth:    cfg.maxDepth,
-		bcfg:        segment.BuildConfig{Kind: indexKindOf(cfg.kind), LeafCap: cfg.leafCap},
-		policy:      policy,
-		coldSeed:    cfg.coresetSeed,
-		autoCompact: !cfg.noAutoCompact,
-		batchExec:   cfg.batchExec,
-		dualCtr:     &dualCounters{},
-		ttl:         int64(cfg.ttl),
-		halfLife:    float64(cfg.halfLife),
-		now:         cfg.clock,
-		man:         &segment.Manifest{},
-		nextID:      1,
-		nextSeq:     1,
-		tombs:       map[uint64]tombstone{},
+		kern:          kern,
+		method:        methodOf(cfg.method),
+		maxDepth:      cfg.maxDepth,
+		refineWorkers: cfg.refineWorkers,
+		bcfg:          segment.BuildConfig{Kind: indexKindOf(cfg.kind), LeafCap: cfg.leafCap, Leaf32: cfg.leafFloat32},
+		policy:        policy,
+		coldSeed:      cfg.coresetSeed,
+		autoCompact:   !cfg.noAutoCompact,
+		batchExec:     cfg.batchExec,
+		dualCtr:       &dualCounters{},
+		ttl:           int64(cfg.ttl),
+		halfLife:      float64(cfg.halfLife),
+		now:           cfg.clock,
+		man:           &segment.Manifest{},
+		nextID:        1,
+		nextSeq:       1,
+		tombs:         map[uint64]tombstone{},
 	}
 	if sh.now == nil {
 		sh.now = func() int64 { return time.Now().UnixNano() }
@@ -281,6 +283,9 @@ func newDynamicView(sh *dynShared) (*DynamicEngine, error) {
 	f, err := core.NewForest(kernel.Params(sh.kern), sh.method, sh.maxDepth)
 	if err != nil {
 		return nil, err
+	}
+	if sh.refineWorkers > 1 {
+		f.SetWorkers(sh.refineWorkers)
 	}
 	return &DynamicEngine{sh: sh, f: f}, nil
 }
@@ -1097,6 +1102,13 @@ func (d *DynamicEngine) SegmentStats() []Stats { return d.f.SegmentStats() }
 // for — the epoch of the last query it ran — and whether it has run one.
 // Comparing it with Epoch shows how far a pooled clone lags the dataset.
 func (d *DynamicEngine) ArmedEpoch() (uint64, bool) { return d.fEpoch, d.fSet }
+
+// FastPathQueries reports how many Threshold/Approximate queries on THIS
+// clone ran through the single-segment fast path — the restored monolithic
+// loop a query takes only when the manifest holds exactly one segment and
+// no memtable points, tombstones or decay contribute (the base term and
+// scales would otherwise change the algebra).
+func (d *DynamicEngine) FastPathQueries() int64 { return d.f.FastPathQueries() }
 
 // BatchThreshold answers the TKAQ for every query, fanning out over
 // clones when workers > 1 (≤ 0 selects GOMAXPROCS).

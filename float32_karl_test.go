@@ -1,0 +1,307 @@
+package karl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// bruteGaussian is the direct float64 oracle Σ w·exp(−γ·‖q−p‖²).
+func bruteGaussian(gamma float64, pts [][]float64, q []float64) float64 {
+	var s float64
+	for _, p := range pts {
+		var d2 float64
+		for j := range q {
+			d := q[j] - p[j]
+			d2 += d * d
+		}
+		s += math.Exp(-gamma * d2)
+	}
+	return s
+}
+
+// TestWithLeafFloat32Engine: a float32-leaf engine answers within the
+// documented rounding slack of the float64 engine over the same data, and
+// its AggregateStats bounds bracket the float64 answer.
+func TestWithLeafFloat32Engine(t *testing.T) {
+	rng := rand.New(rand.NewSource(821))
+	pts := cloud(rng, 600, 4)
+	w := make([]float64, len(pts))
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	for _, kind := range []IndexKind{KDTree, BallTree, VPTree} {
+		e64, err := Build(pts, Gaussian(3), WithWeights(w), WithIndex(kind, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e32, err := Build(pts, Gaussian(3), WithWeights(w), WithIndex(kind, 16), WithLeafFloat32())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 8; qi++ {
+			q := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+			want, err := e64.Aggregate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := e32.AggregateStats(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.LB > want || want > st.UB {
+				t.Fatalf("%v: float64 answer %v outside float32 bounds [%v, %v]", kind, want, st.LB, st.UB)
+			}
+			if rel := math.Abs(got-want) / (1 + math.Abs(want)); rel > 1e-5 {
+				t.Fatalf("%v: float32 aggregate %v too far from float64 %v", kind, got, want)
+			}
+			approx, err := e32.Approximate(q, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != 0 {
+				if rel := math.Abs(approx-want) / math.Abs(want); rel > 0.05+1e-4 {
+					t.Fatalf("%v: Approximate rel error %v on float32 path", kind, rel)
+				}
+			}
+		}
+	}
+}
+
+// TestWithRefineWorkersEngine: the option wires through Build, answers
+// satisfy the same contracts as the sequential engine, and Aggregate is
+// bitwise identical across worker counts.
+func TestWithRefineWorkersEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(822))
+	pts := cloud(rng, 3000, 5)
+	seq, err := Build(pts, Gaussian(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Build(pts, Gaussian(6), WithRefineWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := make([]float64, 5)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		a, err := seq.Aggregate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Aggregate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("Aggregate not bitwise stable across worker counts: %v vs %v", a, b)
+		}
+		for _, tau := range []float64{a * 0.8, a * 1.2} {
+			sh, err := seq.Threshold(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ph, err := par.Threshold(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh != ph {
+				t.Fatalf("Threshold verdicts diverged at τ=%v", tau)
+			}
+		}
+	}
+}
+
+// TestLeafFloat32PersistRoundTrip: the v7 flag survives a static and a
+// dynamic round trip; the tile block is rebuilt deterministically on load,
+// so answers are bitwise identical, and a loaded dynamic engine builds
+// float32 blocks for FUTURE seals too.
+func TestLeafFloat32PersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(823))
+	pts := cloud(rng, 300, 3)
+	eng, err := Build(pts, Gaussian(2.5), WithLeafFloat32(), WithIndex(BallTree, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, 0.5, 0.6}
+	want, err := eng.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := eng.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.tree.Leaf32 == nil {
+		t.Fatal("static load dropped the float32 leaf block")
+	}
+	if got, _ := loaded.Aggregate(q); got != want {
+		t.Fatalf("static round trip not bitwise: %v vs %v", got, want)
+	}
+
+	d, err := NewDynamic(Gaussian(2.5), WithLeafFloat32(), WithSealSize(64), WithAutoCompaction(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := d.Insert([]float64{rng.Float64(), rng.Float64(), rng.Float64()}, 0.5+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dwant, err := d.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dl, err := ReadDynamic(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dl.sh.bcfg.Leaf32 {
+		t.Fatal("dynamic load dropped the leaf-float32 build flag")
+	}
+	for i, s := range dl.sh.man.Segs {
+		if s.Tree.Leaf32 == nil {
+			t.Fatalf("segment %d loaded without its float32 leaf block", i)
+		}
+	}
+	if got, _ := dl.Aggregate(q); got != dwant {
+		t.Fatalf("dynamic round trip not bitwise: %v vs %v", got, dwant)
+	}
+	// A seal after the load must build the block too.
+	sealsBefore := dl.Seals()
+	for i := 0; i < 80; i++ {
+		if err := dl.Insert([]float64{rng.Float64(), rng.Float64(), rng.Float64()}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dl.Seals() <= sealsBefore {
+		t.Fatal("expected a seal after 80 inserts at seal size 64")
+	}
+	segs := dl.sh.man.Segs
+	if segs[len(segs)-1].Tree.Leaf32 == nil {
+		t.Fatal("post-load seal built a segment without its float32 leaf block")
+	}
+}
+
+// TestFastPathBypassOnMutation is the mutation-vs-fast-path race gate (run
+// under the race detector in CI): single-segment queries on clones run
+// concurrently with a delete that creates a tombstone. The fast path must
+// serve queries before the mutation, stop the moment tombstone mass enters
+// the base term, and answers must reflect the delete exactly. A decaying
+// engine (per-segment scales) must never take the fast path at all.
+func TestFastPathBypassOnMutation(t *testing.T) {
+	const n = 256
+	rng := rand.New(rand.NewSource(824))
+	pts := cloud(rng, n, 2)
+	d, err := NewDynamic(Gaussian(2), WithSealSize(n), WithAutoCompaction(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, n)
+	for i, p := range pts {
+		id, err := d.InsertID(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if d.Seals() != 1 || d.MemtableLen() != 0 || d.Tombstones() != 0 {
+		t.Fatalf("want exactly one sealed segment and an empty memtable (seals=%d mem=%d)", d.Seals(), d.MemtableLen())
+	}
+	q := []float64{0.5, 0.5}
+	want := bruteGaussian(2, pts, q)
+	if got, _ := d.Aggregate(q); math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("pre-delete aggregate %v, brute force %v", got, want)
+	}
+	before := d.FastPathQueries()
+	if _, err := d.Threshold(q, want*1.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Approximate(q, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.FastPathQueries(); got != before+2 {
+		t.Fatalf("clean single-segment queries took %d fast paths, want 2", got-before)
+	}
+
+	// Concurrent phase: clones hammer queries while the delete lands.
+	clones := make([]*DynamicEngine, 4)
+	for i := range clones {
+		clones[i] = d.Clone()
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for _, c := range clones {
+		wg.Add(1)
+		go func(c *DynamicEngine) {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := c.Approximate(q, 0.1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := d.Delete(ids[10]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if d.Tombstones() != 1 {
+		t.Fatalf("delete of a sealed point must tombstone (tombs=%d)", d.Tombstones())
+	}
+
+	// With tombstone mass in the base term, nobody takes the fast path.
+	for i, c := range clones {
+		b := c.FastPathQueries()
+		if _, err := c.Threshold(q, want*1.1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Approximate(q, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.FastPathQueries(); got != b {
+			t.Fatalf("clone %d took the fast path with a pending tombstone", i)
+		}
+	}
+	wantAfter := want - bruteGaussian(2, pts[10:11], q)
+	if got, _ := d.Aggregate(q); math.Abs(got-wantAfter) > 1e-9*(1+math.Abs(wantAfter)) {
+		t.Fatalf("post-delete aggregate %v, brute force %v", got, wantAfter)
+	}
+
+	// Decay scales: always present on a decaying engine, so the fast path
+	// must never run there — even with one clean segment.
+	dd, err := NewDynamic(Gaussian(2), WithSealSize(n), WithAutoCompaction(false),
+		WithDecayHalfLife(time.Hour), withClock(func() int64 { return 1_700_000_000_000_000_000 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if err := dd.Insert(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dd.Approximate(q, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := dd.FastPathQueries(); got != 0 {
+		t.Fatalf("decaying engine took %d fast paths, want 0", got)
+	}
+}

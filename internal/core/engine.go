@@ -54,6 +54,11 @@ func WithMethod(m bound.Method) Option { return func(e *Engine) { e.f.method = m
 // simulating the top-i-level tree of the in-situ scenario.
 func WithMaxDepth(depth int) Option { return func(e *Engine) { e.f.maxDepth = depth } }
 
+// WithWorkers enables intra-query parallel refinement with up to n
+// concurrent expansions per round (n ≤ 1 keeps the sequential loop). See
+// Forest.SetWorkers for the determinism contract.
+func WithWorkers(n int) Option { return func(e *Engine) { e.f.workers = n } }
+
 // New creates an engine over a built index.
 func New(tree *index.Tree, kern kernel.Params, opts ...Option) (*Engine, error) {
 	if tree == nil || tree.NodeCount() == 0 {
@@ -62,7 +67,10 @@ func New(tree *index.Tree, kern kernel.Params, opts ...Option) (*Engine, error) 
 	if err := kern.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{f: Forest{kern: kern, method: bound.KARL, rows: kern.RowsEvaluator()}}
+	e := &Engine{f: Forest{
+		kern: kern, method: bound.KARL,
+		rows: kern.RowsEvaluator(), rows32: kern.Rows32Evaluator(),
+	}}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -76,7 +84,10 @@ func New(tree *index.Tree, kern kernel.Params, opts ...Option) (*Engine, error) 
 // Clone returns an engine sharing the same tree and configuration but with
 // independent scratch state, for use from another goroutine.
 func (e *Engine) Clone() *Engine {
-	c := &Engine{f: Forest{kern: e.f.kern, method: e.f.method, maxDepth: e.f.maxDepth, rows: e.f.rows}}
+	c := &Engine{f: Forest{
+		kern: e.f.kern, method: e.f.method, maxDepth: e.f.maxDepth,
+		rows: e.f.rows, rows32: e.f.rows32, workers: e.f.workers,
+	}}
 	c.one = e.one
 	// The tree is already validated; SetTrees only re-derives dims and
 	// sizes the scratch.
@@ -95,6 +106,11 @@ func (e *Engine) Method() bound.Method { return e.f.method }
 
 // MaxDepth returns the engine's refinement depth cap (0 = unlimited).
 func (e *Engine) MaxDepth() int { return e.f.maxDepth }
+
+// FastPathQueries returns the number of queries served by the
+// single-segment fast path (for a static engine with sequential workers,
+// every Threshold/Approximate call).
+func (e *Engine) FastPathQueries() int64 { return e.f.fastHits }
 
 // Stats reports the work one query performed.
 type Stats struct {
@@ -125,6 +141,15 @@ func (e *Engine) Exact(q []float64) (float64, error) {
 	}
 	v, _, err := e.f.Exact(q, 0)
 	return v, err
+}
+
+// ExactStats is Exact plus the scan statistics; on the float32 leaf path
+// the stats bounds carry the documented rounding slack around the value.
+func (e *Engine) ExactStats(q []float64) (float64, Stats, error) {
+	if err := e.checkQuery(q); err != nil {
+		return 0, Stats{}, err
+	}
+	return e.f.Exact(q, 0)
 }
 
 // Threshold answers the TKAQ: whether F_P(q) > tau (Problem 1).

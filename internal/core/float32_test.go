@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl/internal/balltree"
+	"karl/internal/bound"
+	"karl/internal/index"
+	"karl/internal/kdtree"
+	"karl/internal/kernel"
+	"karl/internal/scan"
+	"karl/internal/vec"
+	"karl/internal/vptree"
+)
+
+// totalSlack32 is the worst-case float32 rounding slack a whole tree can
+// contribute to the global bounds: the Bound32Slack coefficient times the
+// root's (W, B) aggregates — the same algebra frontierEval applies per
+// node, summed over everything.
+func totalSlack32(k kernel.Params, tr *index.Tree, q []float64) float64 {
+	if tr.Leaf32 == nil {
+		return 0
+	}
+	qn := vec.Norm2(q)
+	root := tr.Root()
+	return k.Bound32Slack(tr.Dims(), qn, tr.Leaf32.MaxNorm2) *
+		((root.Pos.W+root.Neg.W)*qn + root.Pos.B + root.Neg.B)
+}
+
+// TestFloat32EquivalenceGate is the acceptance gate for the float32
+// blocked-leaf path and intra-query parallel refinement together: for
+// every index kind × weighting type (I/II/III) × kernel family × worker
+// count, against the float64 scan oracle over the ORIGINAL matrix:
+//
+//   - the final [LB, UB] always brackets the oracle (the slack keeps the
+//     certificates honest for the exact float64 answer);
+//   - Threshold verdicts agree with the oracle except when τ falls inside
+//     the rounding slack (where the bounds honestly cannot decide);
+//   - Approximate lands within ε relative error plus the rounding slack;
+//   - Exact (Aggregate) is bitwise identical across worker counts — it
+//     never parallelizes.
+func TestFloat32EquivalenceGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(815))
+	kernels := []kernel.Params{
+		kernel.NewGaussian(6),
+		kernel.NewPolynomial(0.4, 0.8, 2),
+		kernel.NewSigmoid(0.3, -0.1),
+	}
+	builders := []struct {
+		name  string
+		build func(*vec.Matrix, []float64, int) (*index.Tree, error)
+	}{
+		{"kd-tree", kdtree.Build},
+		{"ball-tree", balltree.Build},
+		{"vp-tree", vptree.Build},
+	}
+	for wt := 0; wt < 3; wt++ {
+		n := 300 + rng.Intn(300)
+		d := 2 + rng.Intn(4)
+		m := makeClustered(rng, n, d, 2, 0.05)
+		var w []float64
+		switch wt {
+		case 0: // Type I: unit weights
+		case 1: // Type II: positive weights
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.Float64() + 0.01
+			}
+		case 2: // Type III: mixed signs
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+		}
+		for _, b := range builders {
+			tr, err := b.build(m.Clone(), w, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.BuildLeaf32()
+			for _, k := range kernels {
+				sc, err := scan.NewScanner(m, w, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var exactByWorkers []float64
+				for _, workers := range []int{1, 2, 4} {
+					e, err := New(tr, k, WithMethod(bound.KARL), WithWorkers(workers))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for qi := 0; qi < 4; qi++ {
+						q := make([]float64, d)
+						for j := range q {
+							q[j] = rng.Float64()
+						}
+						want := sc.Aggregate(q)
+						slack := totalSlack32(k, tr, q)
+
+						if workers == 1 && qi == 0 {
+							ex, err := e.Exact(q)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if math.Abs(ex-want) > slack {
+								t.Fatalf("%s/%v/wt%d: Exact off by %v > slack %v",
+									b.name, k.Kind, wt, ex-want, slack)
+							}
+						}
+
+						for _, tau := range []float64{want * 0.7, want * 1.3, want + 0.5, want - 0.5} {
+							gt, st, err := e.Threshold(q, tau)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if st.LB > want || want > st.UB {
+								t.Fatalf("%s/%v/wt%d w=%d: oracle %v outside final bounds [%v, %v]",
+									b.name, k.Kind, wt, workers, want, st.LB, st.UB)
+							}
+							if gt != (want > tau) && math.Abs(want-tau) > slack {
+								t.Fatalf("%s/%v/wt%d w=%d: Threshold(τ=%v) = %v, oracle %v (gap %v > slack %v)",
+									b.name, k.Kind, wt, workers, tau, gt, want, math.Abs(want-tau), slack)
+							}
+						}
+
+						approx, ast, err := e.Approximate(q, 0.1)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if ast.LB > want+1e-12 || want > ast.UB+1e-12 {
+							t.Fatalf("%s/%v/wt%d w=%d: oracle %v outside approx bounds [%v, %v]",
+								b.name, k.Kind, wt, workers, want, ast.LB, ast.UB)
+						}
+						if math.Abs(approx-want) > 0.1*math.Abs(want)+slack+1e-12 {
+							t.Fatalf("%s/%v/wt%d w=%d: Approximate = %v, oracle %v (slack %v)",
+								b.name, k.Kind, wt, workers, approx, want, slack)
+						}
+					}
+					// Aggregate determinism across worker counts: Exact never
+					// parallelizes, so the tiled sum is bitwise stable.
+					qfix := make([]float64, d)
+					for j := range qfix {
+						qfix[j] = 0.4 + 0.02*float64(j)
+					}
+					ex, err := e.Exact(qfix)
+					if err != nil {
+						t.Fatal(err)
+					}
+					exactByWorkers = append(exactByWorkers, ex)
+				}
+				for i := 1; i < len(exactByWorkers); i++ {
+					if exactByWorkers[i] != exactByWorkers[0] {
+						t.Fatalf("%s/%v/wt%d: Exact not bitwise-stable across worker counts: %v vs %v",
+							b.name, k.Kind, wt, exactByWorkers[i], exactByWorkers[0])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFloat32ExactStatsSlack: the stats bounds of an exact aggregate over
+// a float32 tree carry the documented slack around the value and still
+// bracket the float64 oracle.
+func TestFloat32ExactStatsSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(816))
+	n, d := 500, 4
+	m := makeClustered(rng, n, d, 3, 0.05)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	tr, err := kdtree.Build(m.Clone(), w, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.BuildLeaf32()
+	k := kernel.NewGaussian(4)
+	sc, err := scan.NewScanner(m, w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		v, st, err := e.ExactStats(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sc.Aggregate(q)
+		if st.LB > want || want > st.UB {
+			t.Fatalf("oracle %v outside [%v, %v]", want, st.LB, st.UB)
+		}
+		if st.LB > v || v > st.UB {
+			t.Fatalf("value %v outside its own bounds [%v, %v]", v, st.LB, st.UB)
+		}
+		if st.UB-st.LB > 2*totalSlack32(k, tr, q)+1e-15 {
+			t.Fatalf("stats gap %v exceeds 2×slack %v", st.UB-st.LB, 2*totalSlack32(k, tr, q))
+		}
+	}
+}
+
+// TestFastPathCounter pins exactly when the single-segment fast path runs:
+// a lone tree with no scales, base term, trace or parallel workers — and
+// that the generic loop produces identical answers when it is bypassed.
+func TestFastPathCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(817))
+	n, d := 400, 3
+	m := makeClustered(rng, n, d, 2, 0.05)
+	tr, err := kdtree.Build(m.Clone(), nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.NewGaussian(5)
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = rng.Float64()
+	}
+
+	e, err := New(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := e.Exact(q)
+	tau := exact * 1.1
+	if e.FastPathQueries() != 0 {
+		t.Fatal("counter must start at zero")
+	}
+	hot, st, err := e.Threshold(q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Approximate(q, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.FastPathQueries(); got != 2 {
+		t.Fatalf("static single-tree engine served %d fast-path queries, want 2", got)
+	}
+	if _, err := e.Exact(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.FastPathQueries(); got != 2 {
+		t.Fatalf("Exact must not route through refinement (counter %d)", got)
+	}
+
+	// The generic loop (forced here via a unit scale) must agree with the
+	// fast path bitwise: same arithmetic, same expansion order.
+	f, err := NewForest(k, bound.KARL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetTrees([]*index.Tree{tr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetScales([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	ghot, gst, err := f.Threshold(q, tau, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FastPathQueries() != 0 {
+		t.Fatal("scaled query must bypass the fast path")
+	}
+	if ghot != hot || gst.LB != st.LB || gst.UB != st.UB {
+		t.Fatalf("generic loop diverged from fast path: %v [%v,%v] vs %v [%v,%v]",
+			ghot, gst.LB, gst.UB, hot, st.LB, st.UB)
+	}
+
+	// Base term, parallel workers and traces all bypass too.
+	if err := f.SetScales(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Threshold(q, tau, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if f.FastPathQueries() != 0 {
+		t.Fatal("base term must bypass the fast path")
+	}
+	f.SetWorkers(4)
+	if _, _, err := f.Threshold(q, tau, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.FastPathQueries() != 0 {
+		t.Fatal("parallel refinement must bypass the fast path")
+	}
+	f.SetWorkers(1)
+	if _, err := f.TraceThreshold(q, tau, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.FastPathQueries() != 0 {
+		t.Fatal("bound traces must bypass the fast path")
+	}
+	if _, _, err := f.Threshold(q, tau, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.FastPathQueries() != 1 {
+		t.Fatal("plain single-segment query must take the fast path")
+	}
+}

@@ -49,9 +49,31 @@ type Forest struct {
 	// dispatch-free fast path.
 	scales []float64
 
+	// Float32 blocked-leaf state. rows32 is the dispatch-free tiled
+	// evaluator; any32/maxNorm2 are derived from the segment set by
+	// SetTrees; q32 and slack32c are per-query scratch filled by prep32.
+	rows32   kernel.Rows32Func
+	any32    bool
+	maxNorm2 float64
+	q32      []float32
+	slack32c float64
+
+	// workers configures intra-query parallel refinement: when > 1 (and
+	// the query carries no bound trace) refinement expands up to that many
+	// frontier entries concurrently per round. 0 or 1 keeps the sequential
+	// loop. See parallel.go for the merge protocol.
+	workers  int
+	parTasks []fentry
+	parRes   []parResult
+
+	// fastHits counts queries served by the single-segment fast path
+	// (refineOne) — observability for tests and benchmarks.
+	fastHits int64
+
 	// Per-query scratch, reused across queries.
 	qc       bound.QueryCtx
 	queue    pqueue.Queue[fentry]
+	fastQ    pqueue.Queue[sentry]
 	segStats []Stats
 }
 
@@ -64,6 +86,14 @@ type fentry struct {
 	lb, ub float64
 }
 
+// sentry is the single-segment fast-path queue entry: fentry without the
+// segment index, so the restored monolithic loop carries no per-pop
+// segment indirection.
+type sentry struct {
+	ni     int32
+	lb, ub float64
+}
+
 // NewForest creates a segmented executor for the given kernel and bounding
 // method with no segments attached; call SetTrees before querying.
 // maxDepth > 0 truncates refinement at that depth in every segment (the
@@ -72,7 +102,10 @@ func NewForest(kern kernel.Params, method bound.Method, maxDepth int) (*Forest, 
 	if err := kern.Validate(); err != nil {
 		return nil, err
 	}
-	return &Forest{kern: kern, method: method, maxDepth: maxDepth, rows: kern.RowsEvaluator()}, nil
+	return &Forest{
+		kern: kern, method: method, maxDepth: maxDepth,
+		rows: kern.RowsEvaluator(), rows32: kern.Rows32Evaluator(),
+	}, nil
 }
 
 // SetTrees installs the ordered segment set the next queries run over. The
@@ -93,6 +126,15 @@ func (f *Forest) SetTrees(trees []*index.Tree) error {
 	}
 	f.trees = trees
 	f.dims = dims
+	f.any32, f.maxNorm2 = false, 0
+	for _, t := range trees {
+		if t.Leaf32 != nil {
+			f.any32 = true
+			if t.Leaf32.MaxNorm2 > f.maxNorm2 {
+				f.maxNorm2 = t.Leaf32.MaxNorm2
+			}
+		}
+	}
 	if f.scales != nil && len(f.scales) != len(trees) {
 		// Stale scale set from a previous segment snapshot; the caller
 		// re-installs fresh scales per query when decay is on.
@@ -162,18 +204,53 @@ func (f *Forest) atFrontier(n *index.Node) bool {
 	return n.IsLeaf() || (f.maxDepth > 0 && int(n.Depth) >= f.maxDepth)
 }
 
-// score bounds the node ni of segment ti, queueing it for refinement
-// unless it is a frontier node, in which case it is evaluated exactly.
-func (f *Forest) score(ti, ni int32, st *Stats) (lb, ub float64) {
+// prep32 arms the per-query float32 state: the converted query vector and
+// the rounding-slack coefficient the frontier bounds fold in. Called once
+// per query when any segment carries a float32 leaf block.
+func (f *Forest) prep32(q []float64, qNorm2 float64) {
+	if cap(f.q32) < len(q) {
+		f.q32 = make([]float32, len(q))
+	}
+	f.q32 = f.q32[:len(q)]
+	for i, v := range q {
+		f.q32[i] = float32(v)
+	}
+	f.slack32c = f.kern.Bound32Slack(len(q), qNorm2, f.maxNorm2)
+}
+
+// frontierEval evaluates a frontier node of tree t exactly and returns its
+// bound contribution. On the float64 path the contribution is a point
+// [v, v]; on the float32 tiled path it is [v−slack, v+slack] where slack
+// bounds the single-precision dot-product rounding via the node's (W, B)
+// aggregates — so the global bounds stay valid for the exact float64
+// answer and the ε/τ certificates are untouched.
+func (f *Forest) frontierEval(t *index.Tree, n *index.Node, st *Stats) (lb, ub float64) {
+	st.PointsScanned += n.Count()
+	if blk := t.Leaf32; blk != nil {
+		v := f.rows32(f.q32, f.qc.Norm2, blk, t.Norms, t.Weights, int(n.Start), int(n.End))
+		slack := f.slack32c * ((n.Pos.W+n.Neg.W)*f.qc.Norm2 + n.Pos.B + n.Neg.B)
+		return v - slack, v + slack
+	}
+	v := f.rows(f.qc.Q, f.qc.Norm2, t.Points, t.Norms, t.Weights, int(n.Start), int(n.End))
+	return v, v
+}
+
+// boundEval bounds the node ni of segment ti without touching the shared
+// queue: frontier nodes are evaluated exactly, internal nodes get their
+// linear bounds. frontier reports which case ran (internal nodes must be
+// queued by the caller). It only reads forest state, so parallel workers
+// may call it concurrently with per-worker st.
+func (f *Forest) boundEval(ti, ni int32, st *Stats) (lb, ub float64, frontier bool) {
 	t := f.trees[ti]
 	n := t.Node(ni)
 	if f.atFrontier(n) {
-		v := f.rows(f.qc.Q, f.qc.Norm2, t.Points, t.Norms, t.Weights, int(n.Start), int(n.End))
+		lb, ub = f.frontierEval(t, n, st)
 		if f.scales != nil {
-			v *= f.scales[ti]
+			s := f.scales[ti]
+			lb *= s
+			ub *= s
 		}
-		st.PointsScanned += n.Count()
-		return v, v
+		return lb, ub, true
 	}
 	lb, ub = bound.NodeBounds(f.method, f.kern, &f.qc, n)
 	if f.scales != nil {
@@ -183,7 +260,16 @@ func (f *Forest) score(ti, ni int32, st *Stats) (lb, ub float64) {
 		lb *= s
 		ub *= s
 	}
-	f.queue.Push(fentry{ti, ni, lb, ub}, ub-lb)
+	return lb, ub, false
+}
+
+// score bounds the node ni of segment ti, queueing it for refinement
+// unless it is a frontier node, in which case it is evaluated exactly.
+func (f *Forest) score(ti, ni int32, st *Stats) (lb, ub float64) {
+	lb, ub, frontier := f.boundEval(ti, ni, st)
+	if !frontier {
+		f.queue.Push(fentry{ti, ni, lb, ub}, ub-lb)
+	}
 	return lb, ub
 }
 
@@ -246,10 +332,18 @@ func CondApprox(lb, ub, eps float64) bool {
 // every iteration.
 func (f *Forest) refine(q []float64, base float64, cond *termCond, trace func(lb, ub float64)) (lb, ub float64) {
 	f.qc.Set(q)
-	f.queue.Reset()
+	if f.any32 {
+		f.prep32(q, f.qc.Norm2)
+	}
 	for i := range f.segStats {
 		f.segStats[i] = Stats{}
 	}
+	// Single-segment fast path: one tree, no decay scales, no exact base
+	// term, no trace, no parallel pool — the restored monolithic loop.
+	if len(f.trees) == 1 && f.scales == nil && base == 0 && trace == nil && f.workers <= 1 {
+		return f.refineOne(cond)
+	}
+	f.queue.Reset()
 	lb, ub = base, base
 	for ti := range f.trees {
 		l, u := f.score(int32(ti), 0, &f.segStats[ti])
@@ -258,6 +352,9 @@ func (f *Forest) refine(q []float64, base float64, cond *termCond, trace func(lb
 	}
 	if trace != nil {
 		trace(lb, ub)
+	}
+	if f.workers > 1 && trace == nil {
+		return f.refinePar(lb, ub, cond)
 	}
 	for !cond.done(lb, ub) {
 		en, _, ok := f.queue.Pop()
@@ -281,6 +378,62 @@ func (f *Forest) refine(q []float64, base float64, cond *termCond, trace func(lb
 	return lb, ub
 }
 
+// scoreOne is score specialized for the single-segment fast path: no
+// segment indirection, no scale branch, entries go to the lighter sentry
+// queue.
+func (f *Forest) scoreOne(t *index.Tree, ni int32, st *Stats) (lb, ub float64) {
+	n := t.Node(ni)
+	if f.atFrontier(n) {
+		return f.frontierEval(t, n, st)
+	}
+	lb, ub = bound.NodeBounds(f.method, f.kern, &f.qc, n)
+	f.fastQ.Push(sentry{ni, lb, ub}, ub-lb)
+	return lb, ub
+}
+
+// refineOne is the single-segment refinement loop — the PR-3 zero-alloc
+// engine loop, dispatched to by refine when a Forest holds exactly one
+// tree and no memtable base, tombstones or decay scales apply. The only
+// differences from the generic loop are the slimmer queue entry (no
+// segment index) and the absence of the scale and base-term branches.
+func (f *Forest) refineOne(cond *termCond) (lb, ub float64) {
+	f.fastHits++
+	t := f.trees[0]
+	st := &f.segStats[0]
+	f.fastQ.Reset()
+	lb, ub = f.scoreOne(t, 0, st)
+	for !cond.done(lb, ub) {
+		en, _, ok := f.fastQ.Pop()
+		if !ok {
+			return lb, ub // bounds are exact
+		}
+		st.Iterations++
+		st.NodesExpanded++
+		right := t.Node(en.ni).Right
+		llb, lub := f.scoreOne(t, t.Left(en.ni), st)
+		rlb, rub := f.scoreOne(t, right, st)
+		lb += llb + rlb - en.lb
+		ub += lub + rub - en.ub
+	}
+	return lb, ub
+}
+
+// FastPathQueries returns the number of queries this forest served through
+// the single-segment fast path since construction.
+func (f *Forest) FastPathQueries() int64 { return f.fastHits }
+
+// SetWorkers configures intra-query parallel refinement: n > 1 expands up
+// to n frontier entries concurrently per refinement round; n ≤ 1 restores
+// the sequential loop (the default). Answers are deterministic for a
+// fixed n: the certification decision is taken at a single merge point
+// and workers only tighten bounds. Exact/Aggregate never parallelizes, so
+// aggregate answers are bitwise-identical across worker counts.
+func (f *Forest) SetWorkers(n int) { f.workers = n }
+
+// Workers returns the configured intra-query parallelism (≤ 1 means
+// sequential).
+func (f *Forest) Workers() int { return f.workers }
+
 // total sums the per-segment work of the last query into one Stats (the
 // LB/UB fields are left for the caller, which knows the global bounds).
 func (f *Forest) total() Stats {
@@ -295,6 +448,10 @@ func (f *Forest) total() Stats {
 
 // Exact computes the exact aggregate over every segment plus the base term
 // through the same contiguous range primitive leaf refinement uses.
+// Segments carrying a float32 leaf block are scanned through their tiles —
+// the returned value is then the tiled sum (deterministic, identical
+// across worker counts since Exact never parallelizes) and the stats
+// bounds widen by the documented rounding slack.
 func (f *Forest) Exact(q []float64, base float64) (float64, Stats, error) {
 	var stats Stats
 	if err := f.checkQuery(q); err != nil {
@@ -302,15 +459,28 @@ func (f *Forest) Exact(q []float64, base float64) (float64, Stats, error) {
 	}
 	v := base
 	n2 := vec.Norm2(q)
+	slack := 0.0
+	if f.any32 {
+		f.prep32(q, n2)
+	}
 	for i, t := range f.trees {
-		seg := f.rows(q, n2, t.Points, t.Norms, t.Weights, 0, t.Len())
+		var seg, sl float64
+		if t.Leaf32 != nil {
+			seg = f.rows32(f.q32, n2, t.Leaf32, t.Norms, t.Weights, 0, t.Len())
+			root := t.Root()
+			sl = f.slack32c * ((root.Pos.W+root.Neg.W)*n2 + root.Pos.B + root.Neg.B)
+		} else {
+			seg = f.rows(q, n2, t.Points, t.Norms, t.Weights, 0, t.Len())
+		}
 		if f.scales != nil {
 			seg *= f.scales[i]
+			sl *= f.scales[i]
 		}
 		v += seg
+		slack += sl
 		stats.PointsScanned += t.Len()
 	}
-	stats.LB, stats.UB = v, v
+	stats.LB, stats.UB = v-slack, v+slack
 	return v, stats, nil
 }
 

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Intra-query parallel refinement (Forest.SetWorkers / core.WithWorkers).
+//
+// The sequential loop pops ONE widest-gap entry per iteration and replaces
+// its contribution with its children's. The parallel loop generalizes the
+// iteration to a ROUND: the coordinator pops up to `workers` entries in
+// deterministic (priority) order, hands them to a small work-stealing pool
+// that expands each independently — node bounds and leaf evaluations only
+// read forest state — and then merges the per-entry bound deltas back into
+// the global bounds in slot order before pushing child entries, again in
+// slot order. Consequences:
+//
+//   - Determinism: pop order, merge order and push order are all functions
+//     of the queue state alone, not of goroutine scheduling, so for a
+//     fixed worker count every query returns bit-identical bounds. (The
+//     interleaving of pushes differs from the sequential loop's, so
+//     answers can differ between worker counts within the certificate —
+//     but never within one.)
+//   - Single certification point: the termination condition is probed only
+//     by the coordinator after a round's merge completes, never inside a
+//     worker, so the certificate logic is exactly the sequential one.
+//   - Workers only tighten: an expansion replaces a node's [lb,ub] with
+//     the children's sum, which the bound functions guarantee is nested,
+//     so every merge monotonically shrinks the global gap.
+//
+// The pool spawns workers-1 goroutines per refinement call (the
+// coordinator steals alongside them); parallel refinement targets queries
+// whose refinement runs long enough to amortize that, which is exactly
+// when it is worth turning on.
+
+// parResult carries one expansion's outcome back to the merge point.
+type parResult struct {
+	lb, ub float64   // summed children contributions
+	push   [2]fentry // child entries to enqueue (first pushN valid)
+	pushN  int
+	stats  Stats // work counters, merged into the segment's stats
+}
+
+// expand replaces entry en's bound contribution with its children's,
+// without touching shared mutable state: results land in res only.
+func (f *Forest) expand(en fentry, res *parResult) {
+	*res = parResult{}
+	res.stats.Iterations = 1
+	res.stats.NodesExpanded = 1
+	t := f.trees[en.ti]
+	right := t.Node(en.ni).Right
+	left := t.Left(en.ni)
+	llb, lub, lfront := f.boundEval(en.ti, left, &res.stats)
+	rlb, rub, rfront := f.boundEval(en.ti, right, &res.stats)
+	res.lb = llb + rlb - en.lb
+	res.ub = lub + rub - en.ub
+	if !lfront {
+		res.push[res.pushN] = fentry{en.ti, left, llb, lub}
+		res.pushN++
+	}
+	if !rfront {
+		res.push[res.pushN] = fentry{en.ti, right, rlb, rub}
+		res.pushN++
+	}
+}
+
+// refinePar continues refinement from the scored roots using round-based
+// parallel expansion. The queue and global bounds have been initialized by
+// refine; rounds run until the termination condition holds or the queue
+// drains (bounds exact).
+func (f *Forest) refinePar(lb, ub float64, cond *termCond) (float64, float64) {
+	if cap(f.parTasks) < f.workers {
+		f.parTasks = make([]fentry, 0, f.workers)
+		f.parRes = make([]parResult, f.workers)
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		started bool
+		roundCh chan struct{}
+		doneCh  chan struct{}
+	)
+	drain := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(f.parTasks) {
+				return
+			}
+			f.expand(f.parTasks[i], &f.parRes[i])
+		}
+	}
+	defer func() {
+		if started {
+			close(roundCh)
+			<-doneCh
+		}
+	}()
+	for !cond.done(lb, ub) {
+		// Pop this round's batch in priority order. A thin queue yields a
+		// short round — still correct, just less parallel.
+		f.parTasks = f.parTasks[:0]
+		for len(f.parTasks) < f.workers {
+			en, _, ok := f.queue.Pop()
+			if !ok {
+				break
+			}
+			f.parTasks = append(f.parTasks, en)
+		}
+		if len(f.parTasks) == 0 {
+			return lb, ub // bounds are exact
+		}
+		next.Store(0)
+		if len(f.parTasks) > 1 {
+			if !started {
+				// Lazy pool start: workers-1 helpers, each waking once per
+				// round; the coordinator drains alongside them.
+				started = true
+				roundCh = make(chan struct{})
+				doneCh = make(chan struct{})
+				var alive sync.WaitGroup
+				for w := 1; w < f.workers; w++ {
+					alive.Add(1)
+					go func() {
+						defer alive.Done()
+						for range roundCh {
+							drain()
+							wg.Done()
+						}
+					}()
+				}
+				go func() { alive.Wait(); close(doneCh) }()
+			}
+			wg.Add(f.workers - 1)
+			for w := 1; w < f.workers; w++ {
+				roundCh <- struct{}{}
+			}
+			drain()
+			wg.Wait()
+		} else {
+			drain()
+		}
+		// Merge point: apply deltas and push children in slot order — the
+		// only writer of bounds, queue and stats is this goroutine.
+		for i := range f.parTasks {
+			res := &f.parRes[i]
+			lb += res.lb
+			ub += res.ub
+			st := &f.segStats[f.parTasks[i].ti]
+			st.Iterations += res.stats.Iterations
+			st.NodesExpanded += res.stats.NodesExpanded
+			st.PointsScanned += res.stats.PointsScanned
+			for p := 0; p < res.pushN; p++ {
+				en := res.push[p]
+				f.queue.Push(en, en.ub-en.lb)
+			}
+		}
+	}
+	return lb, ub
+}

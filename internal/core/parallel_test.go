@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"karl/internal/bound"
+	"karl/internal/kdtree"
+	"karl/internal/kernel"
+	"karl/internal/scan"
+)
+
+// TestParallelDeterminism: for a fixed worker count, repeated runs of the
+// same query return bit-identical bounds and verdicts — pop, merge and
+// push order are functions of queue state alone, never of goroutine
+// scheduling. Exercised at several worker counts, under the race detector
+// in CI.
+func TestParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(818))
+	n, d := 8000, 6
+	m := makeClustered(rng, n, d, 4, 0.03)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	tr, err := kdtree.Build(m.Clone(), w, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.NewGaussian(8)
+	sc, err := scan.NewScanner(m, w, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 6)
+	for qi := range queries {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		queries[qi] = q
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		e, err := New(tr, k, WithMethod(bound.KARL), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			want := sc.Aggregate(q)
+			tau := want * 0.9
+			var first Stats
+			var firstHot bool
+			for rep := 0; rep < 3; rep++ {
+				hot, st, err := e.Threshold(q, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want < st.LB || want > st.UB {
+					t.Fatalf("workers=%d: oracle %v outside [%v, %v]", workers, want, st.LB, st.UB)
+				}
+				if rep == 0 {
+					first, firstHot = st, hot
+					continue
+				}
+				if hot != firstHot || st.LB != first.LB || st.UB != first.UB ||
+					st.Iterations != first.Iterations || st.NodesExpanded != first.NodesExpanded ||
+					st.PointsScanned != first.PointsScanned {
+					t.Fatalf("workers=%d: run %d diverged: %+v vs %+v", workers, rep, st, first)
+				}
+			}
+			approx, _, err := e.Approximate(q, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != 0 {
+				if rel := math.Abs(approx-want) / math.Abs(want); rel > 0.05+1e-9 {
+					t.Fatalf("workers=%d: Approximate rel error %v", workers, rel)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialCertificates: parallel refinement may stop
+// at different (tighter or equally valid) bounds than the sequential loop,
+// but verdicts and approximations must satisfy the same contracts, and a
+// drained queue must produce the exact answer regardless of worker count.
+func TestParallelMatchesSequentialCertificates(t *testing.T) {
+	rng := rand.New(rand.NewSource(819))
+	n, d := 3000, 4
+	m := makeClustered(rng, n, d, 3, 0.05)
+	tr, err := kdtree.Build(m.Clone(), nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.NewGaussian(6)
+	sc, err := scan.NewScanner(m, nil, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := New(tr, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(tr, k, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		want := sc.Aggregate(q)
+		for _, tau := range []float64{want * 0.5, want * 0.99, want * 1.01, want * 2} {
+			if math.Abs(want-tau) < 1e-9*(1+math.Abs(want)) {
+				continue
+			}
+			sh, _, err := seq.Threshold(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ph, _, err := par.Threshold(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh != ph || sh != (want > tau) {
+				t.Fatalf("verdicts diverged at τ=%v: seq %v par %v oracle %v", tau, sh, ph, want > tau)
+			}
+		}
+	}
+}
+
+// TestParallelWorkersClones: cloned engines carry the worker setting and
+// may run concurrently — each clone owns its scratch and pool.
+func TestParallelWorkersClones(t *testing.T) {
+	rng := rand.New(rand.NewSource(820))
+	n, d := 4000, 5
+	m := makeClustered(rng, n, d, 3, 0.04)
+	tr, err := kdtree.Build(m.Clone(), nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(tr, kernel.NewGaussian(7), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = rng.Float64()
+	}
+	exact, _ := e.Exact(q)
+	tau := exact * 1.05
+	wantHot, wantSt, err := e.Threshold(q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errClone := errors.New("clone diverged from parent")
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := e.Clone()
+			if c.f.Workers() != 4 {
+				errs <- errClone
+				return
+			}
+			for i := 0; i < 20; i++ {
+				hot, st, err := c.Threshold(q, tau)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if hot != wantHot || st.LB != wantSt.LB || st.UB != wantSt.UB {
+					errs <- errClone
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

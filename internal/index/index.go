@@ -152,10 +152,21 @@ type Tree struct {
 	LeafCap int
 	Height  int // number of levels; a single root-leaf tree has height 1
 
+	// Leaf32, when non-nil, is the tiled float32 mirror of Points built by
+	// BuildLeaf32. Leaf evaluation streams through it on the opt-in
+	// single-precision path; bounds, aggregates and Norms stay float64. It
+	// is derived data: persistence stores only a flag and rebuilds it.
+	Leaf32 *vec.Block32
+
 	// aggBlock is the packed backing array for every node's Pos.A (first
 	// half) and, when negative weights exist, Neg.A (second half).
 	aggBlock []float64
 }
+
+// BuildLeaf32 builds (or rebuilds) the tiled float32 mirror of the tree's
+// leaf-ordered points. Call after Finish or Reconstruct; the conversion is
+// deterministic, so rebuilding on load reproduces the block bitwise.
+func (t *Tree) BuildLeaf32() { t.Leaf32 = vec.NewBlock32(t.Points) }
 
 // Root returns the root node.
 func (t *Tree) Root() *Node { return &t.Nodes[0] }

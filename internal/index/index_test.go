@@ -341,3 +341,41 @@ func manualTreeOfKind(kind Kind) *Tree {
 	tr.Finish(idx)
 	return tr
 }
+
+// TestBuildLeaf32 pins the derived float32 tile block: it mirrors the
+// leaf-ordered storage exactly (every coordinate is float32(v) of the
+// stored float64), carries the tree's maximum squared norm, and rebuilding
+// it is deterministic (the persistence layer relies on that to reconstruct
+// a WithLeafFloat32 engine bitwise from the stored float64 points).
+func TestBuildLeaf32(t *testing.T) {
+	tr := buildManualTree()
+	tr.BuildLeaf32()
+	if tr.Leaf32 == nil {
+		t.Fatal("BuildLeaf32 left Leaf32 nil")
+	}
+	blk := tr.Leaf32
+	if blk.Rows != tr.Len() || blk.Cols != tr.Dims() {
+		t.Fatalf("block shape %dx%d, tree %dx%d", blk.Rows, blk.Cols, tr.Len(), tr.Dims())
+	}
+	wantMax := 0.0
+	for r := 0; r < tr.Len(); r++ {
+		if tr.Norms[r] > wantMax {
+			wantMax = tr.Norms[r]
+		}
+		for j := 0; j < tr.Dims(); j++ {
+			if got, want := blk.At(r, j), float32(tr.Points.Row(r)[j]); got != want {
+				t.Fatalf("Leaf32.At(%d,%d) = %v, want %v", r, j, got, want)
+			}
+		}
+	}
+	if blk.MaxNorm2 != wantMax {
+		t.Fatalf("MaxNorm2 = %v, want %v", blk.MaxNorm2, wantMax)
+	}
+	first := append([]float32(nil), blk.Data...)
+	tr.BuildLeaf32()
+	for i, v := range tr.Leaf32.Data {
+		if v != first[i] {
+			t.Fatalf("rebuild not deterministic at %d", i)
+		}
+	}
+}

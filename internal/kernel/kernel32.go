@@ -1,0 +1,225 @@
+package kernel
+
+import (
+	"math"
+
+	"karl/internal/vec"
+)
+
+// This file is the float32 counterpart of RowsFunc: leaf evaluation over
+// the tiled single-precision mirror (vec.Block32) that WithLeafFloat32
+// builds. Only the coordinates and the dot-product accumulation are
+// single precision — per-row squared norms, weights, the outer kernel
+// function and the running aggregate stay float64, so the only error the
+// tiles introduce is the rounding of q·p. Bound32Slack turns that
+// rounding into an explicit certificate slack computable in O(1) from a
+// node's existing (W, B) aggregates, which the engine folds into the
+// frontier bounds: the float32 path reports bounds that are valid for the
+// exact float64 answer.
+
+// Rows32Func evaluates Σ w_i·K(q, p_i) over rows [start,end) of a float32
+// tile block. q32 is the caller-converted float32 query, qNorm2 the exact
+// float64 ‖q‖², norms the float64 per-row squared norms of the *original*
+// float64 points (so the fused distance form only carries dot-product
+// rounding). weights may be nil (w_i = 1).
+type Rows32Func func(q32 []float32, qNorm2 float64, blk *vec.Block32, norms, weights []float64, start, end int) float64
+
+// Rows32Evaluator returns the specialized Rows32Func for these parameters;
+// like RowsEvaluator, kernel dispatch happens exactly once here and the
+// returned function is cached by the engine.
+func (p Params) Rows32Evaluator() Rows32Func {
+	gamma, beta := p.Gamma, p.Beta
+	switch p.Kind {
+	case Gaussian:
+		return distance32Rows(func(d2 float64) float64 { return math.Exp(-gamma * d2) }, gamma)
+	case Epanechnikov:
+		return distance32Rows(func(d2 float64) float64 {
+			if x := gamma * d2; x < 1 {
+				return 1 - x
+			}
+			return 0
+		}, gamma)
+	case Quartic:
+		return distance32Rows(func(d2 float64) float64 {
+			if x := gamma * d2; x < 1 {
+				u := 1 - x
+				return u * u
+			}
+			return 0
+		}, gamma)
+	case Sigmoid:
+		return dot32Rows(func(dot float64) float64 { return math.Tanh(gamma*dot + beta) })
+	case Polynomial:
+		deg := p.Degree
+		return dot32Rows(func(dot float64) float64 { return powInt(gamma*dot+beta, deg) })
+	default:
+		panic("kernel: unknown kind")
+	}
+}
+
+// laneDot32 computes the float32 dot product of q32 with tiled row r
+// (stride-TileRows access) — the scalar fallback for rows outside a full
+// tile.
+func laneDot32(q32 []float32, data []float32, r, cols int) float64 {
+	off := (r/vec.TileRows)*vec.TileRows*cols + r%vec.TileRows
+	var d float32
+	for j := 0; j < cols; j++ {
+		d += q32[j] * data[off+j*vec.TileRows]
+	}
+	return float64(d)
+}
+
+// tileDots32 computes the eight lane dot products of one full tile. The
+// tile body is bounds-check free (the re-slice pins an 8-element window)
+// and the eight accumulators are independent, so the loop compiles to
+// contiguous 8-wide multiply-adds.
+func tileDots32(q32 []float32, data []float32, base, cols int, dots *[vec.TileRows]float32) {
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	for j := 0; j < cols; j++ {
+		qj := q32[j]
+		row := data[base+j*vec.TileRows : base+j*vec.TileRows+vec.TileRows : base+j*vec.TileRows+vec.TileRows]
+		s0 += qj * row[0]
+		s1 += qj * row[1]
+		s2 += qj * row[2]
+		s3 += qj * row[3]
+		s4 += qj * row[4]
+		s5 += qj * row[5]
+		s6 += qj * row[6]
+		s7 += qj * row[7]
+	}
+	dots[0], dots[1], dots[2], dots[3] = s0, s1, s2, s3
+	dots[4], dots[5], dots[6], dots[7] = s4, s5, s6, s7
+}
+
+// distance32Rows builds the tiled evaluator for distance-based kernels
+// using the fused form ‖q−p‖² = ‖q‖² − 2·q·p + ‖p‖² with the dot in
+// float32 and everything else float64.
+func distance32Rows(outer func(d2 float64) float64, _ float64) Rows32Func {
+	return func(q32 []float32, qNorm2 float64, blk *vec.Block32, norms, weights []float64, start, end int) float64 {
+		var s float64
+		cols := blk.Cols
+		data := blk.Data
+		var dots [vec.TileRows]float32
+		i := start
+		// Head: scalar lanes up to the first tile boundary.
+		for ; i < end && i%vec.TileRows != 0; i++ {
+			d2 := qNorm2 - 2*laneDot32(q32, data, i, cols) + norms[i]
+			if d2 < 0 {
+				d2 = 0 // guard float cancellation
+			}
+			if weights == nil {
+				s += outer(d2)
+			} else {
+				s += weights[i] * outer(d2)
+			}
+		}
+		// Body: full tiles. The distance assembly runs as its own pass over
+		// a pinned 8-element window so it vectorizes independently of the
+		// scalar outer-function loop that follows.
+		var d2s [vec.TileRows]float64
+		for ; i+vec.TileRows <= end; i += vec.TileRows {
+			tileDots32(q32, data, (i/vec.TileRows)*vec.TileRows*cols, cols, &dots)
+			nrm := norms[i : i+vec.TileRows : i+vec.TileRows]
+			for l := 0; l < vec.TileRows; l++ {
+				d2 := qNorm2 - 2*float64(dots[l]) + nrm[l]
+				if d2 < 0 {
+					d2 = 0 // guard float cancellation
+				}
+				d2s[l] = d2
+			}
+			if weights == nil {
+				for l := 0; l < vec.TileRows; l++ {
+					s += outer(d2s[l])
+				}
+			} else {
+				wts := weights[i : i+vec.TileRows : i+vec.TileRows]
+				for l := 0; l < vec.TileRows; l++ {
+					s += wts[l] * outer(d2s[l])
+				}
+			}
+		}
+		// Tail: scalar lanes of the final partial tile.
+		for ; i < end; i++ {
+			d2 := qNorm2 - 2*laneDot32(q32, data, i, cols) + norms[i]
+			if d2 < 0 {
+				d2 = 0
+			}
+			if weights == nil {
+				s += outer(d2)
+			} else {
+				s += weights[i] * outer(d2)
+			}
+		}
+		return s
+	}
+}
+
+// dot32Rows builds the tiled evaluator for dot-product kernels.
+func dot32Rows(outer func(dot float64) float64) Rows32Func {
+	return func(q32 []float32, _ float64, blk *vec.Block32, _, weights []float64, start, end int) float64 {
+		var s float64
+		cols := blk.Cols
+		data := blk.Data
+		var dots [vec.TileRows]float32
+		i := start
+		for ; i < end && i%vec.TileRows != 0; i++ {
+			if weights == nil {
+				s += outer(laneDot32(q32, data, i, cols))
+			} else {
+				s += weights[i] * outer(laneDot32(q32, data, i, cols))
+			}
+		}
+		for ; i+vec.TileRows <= end; i += vec.TileRows {
+			tileDots32(q32, data, (i/vec.TileRows)*vec.TileRows*cols, cols, &dots)
+			for l := 0; l < vec.TileRows; l++ {
+				if weights == nil {
+					s += outer(float64(dots[l]))
+				} else {
+					s += weights[i+l] * outer(float64(dots[l]))
+				}
+			}
+		}
+		for ; i < end; i++ {
+			if weights == nil {
+				s += outer(laneDot32(q32, data, i, cols))
+			} else {
+				s += weights[i] * outer(laneDot32(q32, data, i, cols))
+			}
+		}
+		return s
+	}
+}
+
+// Bound32Slack returns the coefficient c of the float32 leaf-evaluation
+// error bound
+//
+//	|F32(node) − F64(node)| ≤ c · (W·‖q‖² + B)
+//
+// where W = Σ|w_i| and B = Σ|w_i|·‖p_i‖² are the node aggregates the
+// index already maintains. Derivation: the only single-precision quantity
+// is the dot product q·p, whose error is at most
+// (d+2)·2⁻²⁴·‖q‖·‖p‖ (one rounding each for the q and p conversions plus
+// ≤ d for the float32 accumulation); via 2·‖q‖·‖p‖ ≤ ‖q‖²+‖p‖² the scalar
+// argument of the kernel then moves by at most γ·(d+2)·2⁻²⁴·(‖q‖²+‖p‖²)
+// (both the γ·d² and γ·q·p+β forms carry the dot with weight γ and 2·γ
+// respectively — the 2 is absorbed by the Cauchy–Schwarz step for the
+// distance form and by the safety factor below for the dot form), and the
+// kernel value by at most Lip times that, with Lip the Lipschitz constant
+// of the outer function over the reachable scalar range: 1 for Gaussian
+// (|−e⁻ˣ| ≤ 1 on x ≥ 0), 1 for Epanechnikov, 2 for quartic, 1 for
+// sigmoid, and deg·max|x|^(deg−1) for polynomial, where max|x| is bounded
+// via the query norm and maxNorm2, the largest ‖p‖² in the tiled block.
+// Summing |w_i|·ΔK_i over the node gives the bound above. The returned c
+// carries a 2× safety factor on top of the algebra.
+func (p Params) Bound32Slack(dims int, qNorm2, maxNorm2 float64) float64 {
+	errC := float64(dims+4) * 0x1p-24
+	lip := 1.0
+	switch p.Kind {
+	case Quartic:
+		lip = 2
+	case Polynomial:
+		xmax := p.Gamma*math.Sqrt(qNorm2*maxNorm2) + math.Abs(p.Beta) + 1
+		lip = float64(p.Degree) * powInt(xmax, p.Degree-1)
+	}
+	return 2 * lip * p.Gamma * errC
+}

@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl/internal/vec"
+)
+
+// rows64Ref evaluates Σ w_i·K(q,p_i) over a range with the float64
+// evaluator — the reference the tiled float32 path is checked against.
+func rows64Ref(p Params, q []float64, m *vec.Matrix, norms, w []float64, start, end int) float64 {
+	return p.RowsEvaluator()(q, vec.Norm2(q), m, norms, w, start, end)
+}
+
+// slackBudget is the engine's frontier slack for a row range:
+// Bound32Slack(d, ‖q‖², maxNorm2) · (W·‖q‖² + B) with W = Σ|w_i| and
+// B = Σ|w_i|·‖p_i‖² — exactly what Forest.frontierEval folds into the
+// bounds via the node aggregates.
+func slackBudget(p Params, q []float64, blk *vec.Block32, norms, w []float64, start, end int) float64 {
+	var W, B float64
+	for i := start; i < end; i++ {
+		aw := 1.0
+		if w != nil {
+			aw = math.Abs(w[i])
+		}
+		W += aw
+		B += aw * norms[i]
+	}
+	return p.Bound32Slack(blk.Cols, vec.Norm2(q), blk.MaxNorm2) * (W*vec.Norm2(q) + B)
+}
+
+// TestRows32WithinSlack is the certificate the float32 leaf path rests on:
+// for every kernel family and weighting type, over ranges of every
+// head/body/tail alignment, the tiled float32 sum differs from the float64
+// sum by no more than the slack the engine widens its bounds by.
+func TestRows32WithinSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(812))
+	kernels := []Params{
+		NewGaussian(4),
+		NewEpanechnikov(0.8),
+		NewQuartic(0.6),
+		NewSigmoid(0.35, -0.2),
+		NewPolynomial(0.4, 0.7, 3),
+	}
+	for _, n := range []int{1, 5, 8, 13, 40, 200} {
+		d := 1 + rng.Intn(9)
+		m := vec.NewMatrix(n, d)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		norms := make([]float64, n)
+		for i := 0; i < n; i++ {
+			norms[i] = vec.Norm2(m.Row(i))
+		}
+		blk := vec.NewBlock32(m)
+		weightings := [][]float64{nil}
+		wpos := make([]float64, n)
+		wmix := make([]float64, n)
+		for i := 0; i < n; i++ {
+			wpos[i] = rng.Float64() + 0.05
+			wmix[i] = rng.NormFloat64()
+		}
+		weightings = append(weightings, wpos, wmix)
+		q := make([]float64, d)
+		q32 := make([]float32, d)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+			q32[j] = float32(q[j])
+		}
+		for _, p := range kernels {
+			ev32 := p.Rows32Evaluator()
+			for _, w := range weightings {
+				// Ranges exercising head-only, tail-only, straddling and
+				// full-block alignments.
+				ranges := [][2]int{{0, n}, {0, n / 2}, {n / 2, n}, {n / 3, 2 * n / 3}}
+				for _, r := range ranges {
+					start, end := r[0], r[1]
+					if start >= end {
+						continue
+					}
+					got := ev32(q32, vec.Norm2(q), blk, norms, w, start, end)
+					want := rows64Ref(p, q, m, norms, w, start, end)
+					slack := slackBudget(p, q, blk, norms, w, start, end)
+					if math.Abs(got-want) > slack {
+						t.Fatalf("%v n=%d d=%d w=%v range=[%d,%d): |%v - %v| = %v > slack %v",
+							p.Kind, n, d, w != nil, start, end, got, want, math.Abs(got-want), slack)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRows32RangeAdditivity: summing two adjacent ranges must equal the
+// full range exactly when the split lands on a tile boundary (the body
+// loop is then identical), which the engine relies on when leaves abut.
+func TestRows32TileBoundarySplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(813))
+	n, d := 64, 4
+	m := vec.NewMatrix(n, d)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	norms := make([]float64, n)
+	for i := 0; i < n; i++ {
+		norms[i] = vec.Norm2(m.Row(i))
+	}
+	blk := vec.NewBlock32(m)
+	q := make([]float64, d)
+	q32 := make([]float32, d)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+		q32[j] = float32(q[j])
+	}
+	p := NewGaussian(2)
+	ev := p.Rows32Evaluator()
+	full := ev(q32, vec.Norm2(q), blk, norms, nil, 0, n)
+	split := ev(q32, vec.Norm2(q), blk, norms, nil, 0, 32) + ev(q32, vec.Norm2(q), blk, norms, nil, 32, n)
+	if math.Abs(full-split) > 1e-12*(1+math.Abs(full)) {
+		t.Fatalf("tile-boundary split diverged: %v vs %v", full, split)
+	}
+}
+
+// TestBound32SlackMonotone pins basic sanity of the slack coefficient: it
+// is positive, grows with dimensionality, and for the polynomial kernel
+// grows with the reachable scalar range.
+func TestBound32SlackMonotone(t *testing.T) {
+	g := NewGaussian(3)
+	if g.Bound32Slack(4, 1, 1) <= 0 {
+		t.Fatal("slack must be positive")
+	}
+	if g.Bound32Slack(16, 1, 1) <= g.Bound32Slack(4, 1, 1) {
+		t.Fatal("slack must grow with dims")
+	}
+	p := NewPolynomial(0.5, 0.1, 4)
+	if p.Bound32Slack(4, 100, 100) <= p.Bound32Slack(4, 1, 1) {
+		t.Fatal("polynomial slack must grow with the scalar range")
+	}
+}

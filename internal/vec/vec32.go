@@ -1,0 +1,106 @@
+package vec
+
+import "fmt"
+
+// This file holds the float32 primitives behind the blocked-leaf fast
+// path: 4-way unrolled dot/norm kernels mirroring their float64
+// counterparts, and Block32, the tiled single-precision mirror of a
+// row-major matrix that leaf scans stream through.
+
+// checkLen32 panics when two float32 vectors disagree in length.
+func checkLen32(a, b []float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// Dot32 returns the inner product a·b in float32 arithmetic, 4-way
+// unrolled with independent accumulators like Dot.
+func Dot32(a, b []float32) float32 {
+	checkLen32(a, b)
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Norm232 returns the squared Euclidean norm ‖a‖² in float32 arithmetic.
+func Norm232(a []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * a[i]
+		s1 += a[i+1] * a[i+1]
+		s2 += a[i+2] * a[i+2]
+		s3 += a[i+3] * a[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * a[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// TileRows is the row count of one Block32 tile. Eight float32 lanes fill
+// two 16-byte SSE registers (one AVX register), and the lane-major layout
+// below makes the tile inner loop a contiguous stream of independent
+// multiply-adds.
+const TileRows = 8
+
+// Block32 is the tiled float32 mirror of a row-major float64 matrix.
+// Rows are grouped into tiles of TileRows; within tile t, coordinate j of
+// lane l (global row t·TileRows+l) lives at
+//
+//	Data[t·TileRows·Cols + j·TileRows + l]
+//
+// i.e. each tile is stored coordinate-major, so evaluating one query
+// coordinate against all eight rows of a tile touches eight contiguous
+// floats. Pad lanes of the final partial tile are zero-filled.
+//
+// MaxNorm2 is the maximum double-precision ‖p‖² over the source rows; the
+// kernel layer uses it to bound the scalar range of dot-product kernels
+// when computing the float32 rounding slack.
+type Block32 struct {
+	Data     []float32
+	Rows     int
+	Cols     int
+	MaxNorm2 float64
+}
+
+// NewBlock32 converts a matrix into its tiled float32 mirror. The
+// float64→float32 conversion is deterministic (round to nearest even), so
+// rebuilding a block from the same matrix reproduces it bitwise.
+func NewBlock32(m *Matrix) *Block32 {
+	tiles := (m.Rows + TileRows - 1) / TileRows
+	b := &Block32{
+		Data: make([]float32, tiles*TileRows*m.Cols),
+		Rows: m.Rows,
+		Cols: m.Cols,
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		off := (r/TileRows)*TileRows*m.Cols + r%TileRows
+		n2 := Norm2(row)
+		if n2 > b.MaxNorm2 {
+			b.MaxNorm2 = n2
+		}
+		for j, v := range row {
+			b.Data[off+j*TileRows] = float32(v)
+		}
+	}
+	return b
+}
+
+// At returns the float32 coordinate j of row r (test/verification helper;
+// hot paths index Data directly).
+func (b *Block32) At(r, j int) float32 {
+	return b.Data[(r/TileRows)*TileRows*b.Cols+j*TileRows+r%TileRows]
+}

@@ -1,0 +1,135 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refDot32 is the float64 reference for Dot32: the exact (to double
+// precision) inner product of the float32 inputs. The unrolled float32
+// sum may differ from it by at most the classic n·eps32 accumulation
+// bound over the absolute sum.
+func refDot32(a, b []float32) (v, absSum float64) {
+	for i := range a {
+		p := float64(a[i]) * float64(b[i])
+		v += p
+		absSum += math.Abs(p)
+	}
+	return v, absSum
+}
+
+// TestDot32Quick cross-checks the unrolled float32 dot product against a
+// float64 reference over random vectors of random lengths: the error must
+// stay within the (n+2)·2⁻²⁴ accumulation bound on the absolute sum —
+// about one float32 ulp per accumulated term.
+func TestDot32Quick(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(67)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		want, absSum := refDot32(a, b)
+		got := float64(Dot32(a, b))
+		tol := float64(n+2) * 0x1p-24 * (absSum + 1e-30)
+		if math.Abs(got-want) > tol {
+			t.Fatalf("n=%d: Dot32 = %v, reference %v (Δ %v > tol %v)", n, got, want, got-want, tol)
+		}
+	}
+}
+
+// TestNorm232Quick is the same cross-check for the squared norm, plus the
+// invariant that a squared norm is never negative.
+func TestNorm232Quick(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := make([]float32, len(raw))
+		for i, v := range raw {
+			a[i] = float32(math.Remainder(v, 1e3)) // keep magnitudes sane
+		}
+		var want, absSum float64
+		for _, v := range a {
+			p := float64(v) * float64(v)
+			want += p
+			absSum += p
+		}
+		got := float64(Norm232(a))
+		if got < 0 {
+			return false
+		}
+		tol := float64(len(a)+2) * 0x1p-24 * (absSum + 1e-30)
+		return math.Abs(got-want) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(809))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDot32MismatchPanics pins the dimension contract shared with Dot.
+func TestDot32MismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Dot32(make([]float32, 3), make([]float32, 4))
+}
+
+// TestBlock32Layout verifies the tiled layout contract end to end: every
+// (row, col) lands at Data[t·8·Cols + j·8 + l], pad lanes of the final
+// partial tile are zero, the conversion is round-to-nearest (bitwise equal
+// to float32(v)), and MaxNorm2 is the double-precision maximum row norm.
+func TestBlock32Layout(t *testing.T) {
+	rng := rand.New(rand.NewSource(810))
+	for _, rows := range []int{1, 7, 8, 9, 16, 23, 64} {
+		for _, cols := range []int{1, 3, 5} {
+			m := NewMatrix(rows, cols)
+			for i := range m.Data {
+				m.Data[i] = rng.NormFloat64() * 3
+			}
+			b := NewBlock32(m)
+			if b.Rows != rows || b.Cols != cols {
+				t.Fatalf("%dx%d: block shape %dx%d", rows, cols, b.Rows, b.Cols)
+			}
+			tiles := (rows + TileRows - 1) / TileRows
+			if len(b.Data) != tiles*TileRows*cols {
+				t.Fatalf("%dx%d: data length %d, want %d", rows, cols, len(b.Data), tiles*TileRows*cols)
+			}
+			wantMax := 0.0
+			for r := 0; r < rows; r++ {
+				n2 := Norm2(m.Row(r))
+				if n2 > wantMax {
+					wantMax = n2
+				}
+				for j := 0; j < cols; j++ {
+					if got, want := b.At(r, j), float32(m.Row(r)[j]); got != want {
+						t.Fatalf("%dx%d: At(%d,%d) = %v, want %v", rows, cols, r, j, got, want)
+					}
+				}
+			}
+			if b.MaxNorm2 != wantMax {
+				t.Fatalf("%dx%d: MaxNorm2 = %v, want %v", rows, cols, b.MaxNorm2, wantMax)
+			}
+			// Pad lanes: rows ≥ Rows inside the last tile must read zero in
+			// every coordinate.
+			for r := rows; r < tiles*TileRows; r++ {
+				for j := 0; j < cols; j++ {
+					if v := b.Data[(r/TileRows)*TileRows*cols+j*TileRows+r%TileRows]; v != 0 {
+						t.Fatalf("%dx%d: pad lane (%d,%d) = %v, want 0", rows, cols, r, j, v)
+					}
+				}
+			}
+			// Determinism: rebuilding from the same matrix is bitwise equal.
+			b2 := NewBlock32(m)
+			for i := range b.Data {
+				if b.Data[i] != b2.Data[i] {
+					t.Fatalf("%dx%d: rebuild differs at %d", rows, cols, i)
+				}
+			}
+		}
+	}
+}

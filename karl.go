@@ -96,12 +96,14 @@ type Stats = core.Stats
 type Option func(*buildConfig)
 
 type buildConfig struct {
-	weights   []float64
-	kind      IndexKind
-	leafCap   int
-	method    Method
-	maxDepth  int
-	batchExec BatchExecutor
+	weights       []float64
+	kind          IndexKind
+	leafCap       int
+	method        Method
+	maxDepth      int
+	batchExec     BatchExecutor
+	leafFloat32   bool
+	refineWorkers int
 
 	// Coreset construction knobs, consulted only by BuildCoreset,
 	// Engine.Sketch and KDE.Compress (coreset.go).
@@ -138,6 +140,28 @@ func WithIndex(kind IndexKind, leafCap int) Option {
 
 // WithMethod selects the bounding method (default MethodKARL).
 func WithMethod(m Method) Option { return func(c *buildConfig) { c.method = m } }
+
+// WithLeafFloat32 stores an additional float32 tiled mirror of the
+// leaf-ordered points (8 rows × dim tiles) and routes leaf evaluation
+// through it. Bounds, node aggregates and certificates stay float64: the
+// single-precision rounding of the dot products is folded into the bound
+// clamp as an explicit slack, so Threshold/Approximate answers still
+// satisfy their ε/τ contracts relative to the exact float64 aggregate.
+// Aggregate returns the deterministic tiled sum (within the same slack of
+// the float64 value). Costs ~half the point storage again in memory; buys
+// a denser, auto-vectorizable leaf scan. Applies to Build, NewDynamic and
+// the engines loaded from files written by either.
+func WithLeafFloat32() Option { return func(c *buildConfig) { c.leafFloat32 = true } }
+
+// WithRefineWorkers enables intra-query parallel refinement: up to n
+// priority-queue entries are expanded concurrently per refinement round
+// (n ≤ 1, the default, keeps the sequential loop). Answers are
+// deterministic for a fixed n — the certification decision is taken at a
+// single merge point — and Aggregate is bitwise-identical across worker
+// counts. Useful for long individual queries when GOMAXPROCS > 1; for
+// many small queries prefer the Batch* methods, which parallelize across
+// queries instead.
+func WithRefineWorkers(n int) Option { return func(c *buildConfig) { c.refineWorkers = n } }
 
 // withMaxDepth truncates refinement depth; used by the in-situ tuner.
 func withMaxDepth(d int) Option { return func(c *buildConfig) { c.maxDepth = d } }
@@ -255,9 +279,15 @@ func buildMatrixCfg(m *vec.Matrix, kern Kernel, cfg buildConfig) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
+	if cfg.leafFloat32 {
+		tree.BuildLeaf32()
+	}
 	coreOpts := []core.Option{core.WithMethod(methodOf(cfg.method))}
 	if cfg.maxDepth > 0 {
 		coreOpts = append(coreOpts, core.WithMaxDepth(cfg.maxDepth))
+	}
+	if cfg.refineWorkers > 1 {
+		coreOpts = append(coreOpts, core.WithWorkers(cfg.refineWorkers))
 	}
 	eng, err := core.New(tree, kern, coreOpts...)
 	if err != nil {
@@ -316,14 +346,11 @@ func (e *Engine) Clone() *Engine {
 func (e *Engine) Aggregate(q []float64) (float64, error) { return e.eng.Exact(q) }
 
 // AggregateStats is Aggregate plus the per-query work statistics. An exact
-// aggregation scans every indexed point, so PointsScanned equals Len and
-// both bounds equal the returned value.
+// aggregation scans every indexed point, so PointsScanned equals Len; the
+// bounds equal the returned value except on the float32 leaf path, where
+// they widen by the documented rounding slack.
 func (e *Engine) AggregateStats(q []float64) (float64, Stats, error) {
-	v, err := e.eng.Exact(q)
-	if err != nil {
-		return 0, Stats{}, err
-	}
-	return v, Stats{PointsScanned: e.Len(), LB: v, UB: v}, nil
+	return e.eng.ExactStats(q)
 }
 
 // Threshold answers the TKAQ: whether F_P(q) > tau.

@@ -46,7 +46,14 @@ import (
 //	    Static payloads are unchanged. v5 dynamic files still load with
 //	    synthesized consecutive sequence numbers (their points become
 //	    deletable); v1–v4 static files load as before.
-const persistVersion = 6
+//	7 — records the WithLeafFloat32 setting: static payloads (and each
+//	    segment payload) carry a LeafFloat32 flag, and the dynamic stream
+//	    additionally records it as build configuration for future seals.
+//	    The float32 tile block itself is derived data — loading rebuilds
+//	    it deterministically from the stored float64 points, so answers
+//	    are identical to the saved engine's. v1–v6 files load with the
+//	    flag off.
+const persistVersion = 7
 
 // oldestReadableVersion is the earliest format this build still decodes.
 const oldestReadableVersion = 1
@@ -79,6 +86,11 @@ type enginePayload struct {
 	Method  Method
 	Sketch  *sketchProvenance // nil for full-set engines
 	Shard   *shardWire        // nil for unpartitioned engines
+
+	// LeafFloat32 (v7+) records that the engine was built with
+	// WithLeafFloat32. The tile block is derived data: loading rebuilds it
+	// from the float64 points, so old readers simply ignore the flag.
+	LeafFloat32 bool
 
 	// Flat index layout (v4+): storage row -> original row, the DFS-preorder
 	// node arrays, and every node's bounding-volume parameters packed by
@@ -160,20 +172,21 @@ func treePayload(tree *index.Tree, kern Kernel, method Method) enginePayload {
 	pointID := make([]int32, len(tree.PointID))
 	copy(pointID, tree.PointID)
 	return enginePayload{
-		Version:   persistVersion,
-		Dims:      tree.Dims(),
-		Points:    pts,
-		Weights:   w,
-		Kernel:    kern,
-		Kind:      kind,
-		LeafCap:   tree.LeafCap,
-		Method:    method,
-		PointID:   pointID,
-		NodeStart: nodeStart,
-		NodeEnd:   nodeEnd,
-		NodeRight: nodeRight,
-		NodeDepth: nodeDepth,
-		VolData:   tree.FlattenVolumes(),
+		Version:     persistVersion,
+		Dims:        tree.Dims(),
+		Points:      pts,
+		Weights:     w,
+		Kernel:      kern,
+		Kind:        kind,
+		LeafCap:     tree.LeafCap,
+		Method:      method,
+		LeafFloat32: tree.Leaf32 != nil,
+		PointID:     pointID,
+		NodeStart:   nodeStart,
+		NodeEnd:     nodeEnd,
+		NodeRight:   nodeRight,
+		NodeDepth:   nodeDepth,
+		VolData:     tree.FlattenVolumes(),
 	}
 }
 
@@ -191,6 +204,9 @@ func (p enginePayload) restoreTree() (*index.Tree, error) {
 		p.NodeStart, p.NodeEnd, p.NodeRight, p.NodeDepth, p.VolData, p.LeafCap)
 	if err != nil {
 		return nil, fmt.Errorf("karl: corrupt engine payload: %w", err)
+	}
+	if p.LeafFloat32 {
+		tree.BuildLeaf32()
 	}
 	return tree, nil
 }
@@ -352,6 +368,11 @@ type dynamicPayload struct {
 	TombW    []float64
 	TombRef  []int64
 	TombPts  []float64
+
+	// LeafFloat32 (v7+): the engine was configured with WithLeafFloat32,
+	// so future seals build float32 tile blocks too. Each segment payload
+	// carries its own flag for reconstruction.
+	LeafFloat32 bool
 }
 
 // WriteTo serializes the dynamic engine — manifest, memtable and policy —
@@ -392,6 +413,7 @@ func (d *DynamicEngine) WriteTo(w io.Writer) (int64, error) {
 		HalfLife:    int64(sh.halfLife),
 		NextSeq:     sh.nextSeq,
 		Deletes:     sh.deletes,
+		LeafFloat32: sh.bcfg.Leaf32,
 	}
 	p.Segments = make([]segmentPayload, len(sh.man.Segs))
 	for i, s := range sh.man.Segs {
@@ -493,7 +515,7 @@ func ReadDynamic(r io.Reader) (*DynamicEngine, error) {
 	sh := &dynShared{
 		kern:        p.Kernel,
 		method:      methodOf(p.Method),
-		bcfg:        segment.BuildConfig{Kind: indexKindOf(p.Kind), LeafCap: p.LeafCap},
+		bcfg:        segment.BuildConfig{Kind: indexKindOf(p.Kind), LeafCap: p.LeafCap, Leaf32: p.LeafFloat32},
 		policy:      policy,
 		coldSeed:    p.ColdSeed,
 		autoCompact: p.AutoCompact,

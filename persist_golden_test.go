@@ -22,8 +22,10 @@ var updateGolden = flag.Bool("update", false, "regenerate golden persistence fix
 const goldenDir = "testdata/persist"
 
 // goldenStaticEngine deterministically builds the static engine every
-// static fixture serializes. Changing it invalidates the fixtures.
-func goldenStaticEngine(t testing.TB) *Engine {
+// static fixture serializes. Changing it invalidates the fixtures. The
+// v7 fixture passes WithLeafFloat32 so the flag-bearing wire image is
+// pinned too.
+func goldenStaticEngine(t testing.TB, extra ...Option) *Engine {
 	t.Helper()
 	rng := rand.New(rand.NewSource(613))
 	pts := cloud(rng, 96, 3)
@@ -31,7 +33,8 @@ func goldenStaticEngine(t testing.TB) *Engine {
 	for i := range w {
 		w[i] = 0.25 + rng.Float64()
 	}
-	eng, err := Build(pts, Gaussian(1.8), WithWeights(w), WithIndex(BallTree, 16))
+	opts := append([]Option{WithWeights(w), WithIndex(BallTree, 16)}, extra...)
+	eng, err := Build(pts, Gaussian(1.8), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,9 +42,9 @@ func goldenStaticEngine(t testing.TB) *Engine {
 }
 
 // goldenDynamicEngine deterministically builds the dynamic engine the
-// v5/v6 dynamic fixtures serialize: several sealed segments, a partial
+// v5/v6/v7 dynamic fixtures serialize: several sealed segments, a partial
 // memtable, and (for mutable true-ups) a fixed fake clock so timestamps
-// are reproducible. v6 additionally carries tombstones, a TTL window and
+// are reproducible. v6+ additionally carries tombstones, a TTL window and
 // a decay half-life.
 func goldenDynamicEngine(t testing.TB, mutable bool) *DynamicEngine {
 	t.Helper()
@@ -82,10 +85,12 @@ func goldenDynamicEngine(t testing.TB, mutable bool) *DynamicEngine {
 	return d
 }
 
-// downgradeDynamicPayload strips a v6 dynamic payload to the v5 wire
-// image: no sequence numbers, timestamps, tombstones or window/decay
-// policy — exactly what a file written by the previous release contains.
+// downgradeDynamicPayload strips a current dynamic payload to the v5 wire
+// image: no sequence numbers, timestamps, tombstones, window/decay policy
+// or leaf-float32 flag — exactly what a file written by the v5 release
+// contains.
 func downgradeDynamicPayload(p dynamicPayload) dynamicPayload {
+	p = downgradeDynamicPayloadV6(p)
 	p.Version = 5
 	p.TTL, p.HalfLife, p.NextSeq, p.Deletes = 0, 0, 0, 0
 	p.MemSeqs, p.MemTimes = nil, nil
@@ -95,6 +100,22 @@ func downgradeDynamicPayload(p dynamicPayload) dynamicPayload {
 		p.Segments[i].Times = nil
 		p.Segments[i].TimeRef = 0
 	}
+	return p
+}
+
+// downgradeDynamicPayloadV6 strips a v7 dynamic payload to the v6 wire
+// image: same mutability state, no leaf-float32 flag (per segment or
+// engine-wide).
+func downgradeDynamicPayloadV6(p dynamicPayload) dynamicPayload {
+	p.Version = 6
+	p.LeafFloat32 = false
+	segs := make([]segmentPayload, len(p.Segments))
+	copy(segs, p.Segments)
+	for i := range segs {
+		segs[i].Engine.Version = 6
+		segs[i].Engine.LeafFloat32 = false
+	}
+	p.Segments = segs
 	return p
 }
 
@@ -117,7 +138,10 @@ func goldenBytes(t testing.TB) map[string][]byte {
 	p4 := eng.payload()
 	p4.Version = 4
 	enc("v4_static.bin", p4)
-	enc("v6_static.bin", eng.payload())
+	p6 := eng.payload()
+	p6.Version = 6
+	enc("v6_static.bin", p6)
+	enc("v7_static.bin", goldenStaticEngine(t, WithLeafFloat32()).payload())
 
 	dyn := goldenDynamicEngine(t, false)
 	var buf bytes.Buffer
@@ -135,7 +159,12 @@ func goldenBytes(t testing.TB) map[string][]byte {
 	if _, err := mdyn.WriteTo(&mbuf); err != nil {
 		t.Fatal(err)
 	}
-	out["v6_dynamic.bin"] = mbuf.Bytes()
+	out["v7_dynamic.bin"] = mbuf.Bytes()
+	var mdp dynamicPayload
+	if err := gob.NewDecoder(bytes.NewReader(mbuf.Bytes())).Decode(&mdp); err != nil {
+		t.Fatal(err)
+	}
+	enc("v6_dynamic.bin", downgradeDynamicPayloadV6(mdp))
 	return out
 }
 
@@ -169,9 +198,12 @@ func TestGoldenFixturesCurrent(t *testing.T) {
 }
 
 // TestGoldenStaticFixturesLoad pins backward compatibility end to end:
-// every committed static fixture v1..v6 loads through ReadEngine and
+// every committed static fixture v1..v7 loads through ReadEngine and
 // answers match the freshly built reference within tolerance (bitwise for
-// v4+, which reconstruct the flat index instead of rebuilding).
+// v4+, which reconstruct the flat index instead of rebuilding). The v7
+// fixture carries the leaf-float32 flag, so it is compared bitwise to a
+// fresh WithLeafFloat32 build and must come back with its tile block
+// rebuilt.
 func TestGoldenStaticFixturesLoad(t *testing.T) {
 	ref := goldenStaticEngine(t)
 	q := []float64{0.45, 0.55, 0.5}
@@ -179,9 +211,14 @@ func TestGoldenStaticFixturesLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ref32 := goldenStaticEngine(t, WithLeafFloat32())
+	want32, err := ref32.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, name := range []string{
 		"v1_static.bin", "v2_static.bin", "v3_static.bin",
-		"v4_static.bin", "v6_static.bin",
+		"v4_static.bin", "v6_static.bin", "v7_static.bin",
 	} {
 		raw, err := os.ReadFile(filepath.Join(goldenDir, name))
 		if err != nil {
@@ -198,20 +235,29 @@ func TestGoldenStaticFixturesLoad(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		exact := name >= "v4" // v4_static.bin and v6_static.bin
-		if exact && got != want {
-			t.Errorf("%s: not bitwise: %v vs %v", name, got, want)
+		wantHere := want
+		if name == "v7_static.bin" {
+			if eng.tree.Leaf32 == nil {
+				t.Fatalf("%s: leaf-float32 block not rebuilt on load", name)
+			}
+			wantHere = want32
+		} else if eng.tree.Leaf32 != nil {
+			t.Fatalf("%s: unexpected leaf-float32 block", name)
 		}
-		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
-			t.Errorf("%s: diverged: %v vs %v", name, got, want)
+		exact := name >= "v4" // v4+ reconstruct the index instead of rebuilding
+		if exact && got != wantHere {
+			t.Errorf("%s: not bitwise: %v vs %v", name, got, wantHere)
+		}
+		if math.Abs(got-wantHere) > 1e-9*(1+math.Abs(wantHere)) {
+			t.Errorf("%s: diverged: %v vs %v", name, got, wantHere)
 		}
 	}
 }
 
 // TestGoldenDynamicFixturesLoad pins the dynamic stream: the v5 fixture
 // (no mutability state) loads with synthesized sequence numbers and its
-// points are deletable; the v6 fixture restores tombstones, TTL and decay
-// policy and round-trips bitwise.
+// points are deletable; the v6 and v7 fixtures restore tombstones, TTL and
+// decay policy, and rewrite bitwise as the current format.
 func TestGoldenDynamicFixturesLoad(t *testing.T) {
 	q := []float64{0.5, 0.5}
 
@@ -243,31 +289,38 @@ func TestGoldenDynamicFixturesLoad(t *testing.T) {
 		t.Fatalf("delete had no effect: %v -> %v", before, after)
 	}
 
-	raw, err = os.ReadFile(filepath.Join(goldenDir, "v6_dynamic.bin"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	d6, err := ReadDynamic(bytes.NewReader(raw))
-	if err != nil {
-		t.Fatalf("v6 fixture rejected: %v", err)
-	}
+	// The loaded engine has the default wall clock; pinning it back to the
+	// fixture's instant is not possible, so mutability state is compared
+	// through clock-independent values: counts, policy, and a fresh
+	// WriteTo. The v6 fixture rewrites as the current (v7) format — which
+	// must be byte-identical to the v7 fixture of the same engine — and
+	// the v7 fixture round-trips bitwise.
 	mref := goldenDynamicEngine(t, true)
-	if d6.Len() != mref.Len() || d6.Tombstones() != mref.Tombstones() ||
-		d6.Deletes() != mref.Deletes() || d6.TTL() != mref.TTL() ||
-		d6.DecayHalfLife() != mref.DecayHalfLife() {
-		t.Fatalf("v6 load dropped mutability state: len %d/%d tombs %d/%d deletes %d/%d",
-			d6.Len(), mref.Len(), d6.Tombstones(), mref.Tombstones(), d6.Deletes(), mref.Deletes())
-	}
-	// The loaded engine has the default wall clock; pin it back to the
-	// fixture's instant via a round trip through a re-serialized engine is
-	// not possible, so compare against the reference only through values
-	// that are clock-independent at the fixture's frozen instant: a fresh
-	// WriteTo must be byte-identical (same manifest, memtable, tombstones).
-	var rt bytes.Buffer
-	if _, err := d6.WriteTo(&rt); err != nil {
+	raw7, err := os.ReadFile(filepath.Join(goldenDir, "v7_dynamic.bin"))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(rt.Bytes(), raw) {
-		t.Fatal("v6 fixture does not round-trip bitwise")
+	for _, name := range []string{"v6_dynamic.bin", "v7_dynamic.bin"} {
+		raw, err := os.ReadFile(filepath.Join(goldenDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ReadDynamic(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s rejected: %v", name, err)
+		}
+		if d.Len() != mref.Len() || d.Tombstones() != mref.Tombstones() ||
+			d.Deletes() != mref.Deletes() || d.TTL() != mref.TTL() ||
+			d.DecayHalfLife() != mref.DecayHalfLife() {
+			t.Fatalf("%s load dropped mutability state: len %d/%d tombs %d/%d deletes %d/%d",
+				name, d.Len(), mref.Len(), d.Tombstones(), mref.Tombstones(), d.Deletes(), mref.Deletes())
+		}
+		var rt bytes.Buffer
+		if _, err := d.WriteTo(&rt); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rt.Bytes(), raw7) {
+			t.Fatalf("%s does not rewrite to the current format bitwise", name)
+		}
 	}
 }

@@ -142,7 +142,7 @@ func TestReadEngineRejectsBadVersion(t *testing.T) {
 	}
 	// The error must name the offending version and the readable range, so
 	// operators can tell a stale binary from a corrupt file.
-	for _, want := range []string{"version 99", "1 through 6"} {
+	for _, want := range []string{"version 99", "1 through 7"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("version error %q does not mention %q", err, want)
 		}
