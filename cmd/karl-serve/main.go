@@ -54,6 +54,20 @@
 // per-shard latency/error/retry/hedge counters in GET /v1/stats, and
 // degrades to explicit partial results ("partial": true with the
 // covered-weight fraction) when shards are unreachable.
+//
+// Combining -coordinator with -mutable serves a writable cluster: each
+// shard must itself be a -mutable karl-serve, and the coordinator routes
+// POST /v1/insert and DELETE /v1/point to the owning shard through a
+// -partition manifest (hash slots over any shard count, or kd which must
+// start from exactly one shard). Returned point ids are cluster-global.
+// -manifest persists membership epochs across restarts of the shards'
+// routing table:
+//
+//	karl-serve -coordinator -mutable -partition hash \
+//	    -shards http://s0:8080,http://s1:8080 -manifest cluster.manifest
+//
+// Replicas are not supported in writable mode — a write must land on the
+// owning shard, not a stale copy.
 package main
 
 import (
@@ -74,6 +88,7 @@ import (
 	"karl"
 	"karl/internal/cluster"
 	"karl/internal/server"
+	"karl/internal/shard"
 )
 
 func main() {
@@ -89,23 +104,32 @@ func main() {
 		fanout   = flag.Int("fanout", 0, "compaction fanout for -mutable (0 = library default)")
 		window   = flag.Duration("window", 0, "sliding-window TTL for -mutable: points older than this expire at seal/compaction (0 = keep forever)")
 		halfLife = flag.Duration("decay-halflife", 0, "exponential weight-decay half-life for -mutable: a point's weight halves every interval (0 = no decay)")
+		refine   = flag.Int("refine-workers", 0, "intra-query parallel refinement width per request (0/1 = sequential); usage is reported under \"refine\" in GET /v1/stats")
 		readTO   = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle-connection timeout")
 		headerTO = flag.Duration("read-header-timeout", 5*time.Second, "HTTP header read timeout (slowloris guard)")
 		drainTO  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain timeout")
 
-		coordinator = flag.Bool("coordinator", false, "serve as a scatter-gather coordinator over remote shards (-shards)")
-		shardAddrs  = flag.String("shards", "", "comma-separated shard base URLs for -coordinator; append |url replicas per shard")
+		coordinator = flag.Bool("coordinator", false, "serve as a scatter-gather coordinator over remote shards (-shards); add -mutable for routed writes")
+		shardAddrs  = flag.String("shards", "", "comma-separated shard base URLs for -coordinator; append |url replicas per shard (read-only mode)")
 		shardTO     = flag.Duration("shard-timeout", 2*time.Second, "per-shard attempt timeout for -coordinator")
+		partition   = flag.String("partition", "hash", "write-routing partitioner for -coordinator -mutable: hash or kd")
+		manifest    = flag.String("manifest", "", "manifest persistence path for -coordinator -mutable (epoch-versioned; empty = in-memory only)")
 	)
 	flag.Parse()
+	if err := validateFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "karl-serve: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *coordinator {
-		if *model != "" || *points != "" || *mutable || *sketch > 0 {
-			log.Fatal("karl-serve: -coordinator is mutually exclusive with -model, -points, -mutable and -sketch-eps")
+		if *mutable {
+			serveWritableCoordinator(*shardAddrs, *addr, *partition, *manifest,
+				*shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
+		} else {
+			serveCoordinator(*shardAddrs, *addr, *shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
 		}
-		serveCoordinator(*shardAddrs, *addr, *shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
 		return
 	}
 
@@ -115,6 +139,9 @@ func main() {
 	}
 	if *sketch > 0 {
 		opts = append(opts, server.WithSketchTier(*sketch))
+	}
+	if *refine > 1 {
+		opts = append(opts, server.WithRefineWorkers(*refine))
 	}
 
 	var srv *server.Server
@@ -160,6 +187,55 @@ func main() {
 	}
 
 	run(srv, banner, *addr, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
+}
+
+// validateFlags rejects contradictory invocations up front: flags that
+// belong to a different serving mode fail immediately with an error
+// naming the owner, instead of being silently ignored (or failing deep
+// inside engine construction).
+func validateFlags() error {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return validateFlagSet(set)
+}
+
+// validateFlagSet holds the flag-ownership table: given the set of flags
+// present on the command line, it returns an error naming every flag
+// that belongs to a different serving mode.
+func validateFlagSet(set map[string]bool) error {
+
+	var wrong []string
+	reject := func(mode string, names ...string) {
+		for _, name := range names {
+			if set[name] {
+				wrong = append(wrong, fmt.Sprintf("-%s only applies to %s", name, mode))
+			}
+		}
+	}
+	switch {
+	case set["coordinator"]:
+		// The coordinator serves no data itself; engine-shaping flags
+		// belong on the shard processes (writable mode included — each
+		// shard is its own -mutable karl-serve).
+		reject("a shard process, not -coordinator",
+			"model", "points", "gamma", "pool", "sketch-eps",
+			"seal-size", "fanout", "window", "decay-halflife", "refine-workers")
+		if !set["mutable"] {
+			reject("-coordinator -mutable", "partition", "manifest")
+		}
+	default:
+		reject("-coordinator", "shards", "shard-timeout", "partition", "manifest")
+		if !set["mutable"] {
+			reject("-mutable", "seal-size", "fanout", "window", "decay-halflife")
+		}
+		if set["mutable"] {
+			reject("an immutable engine (-model/-points without -mutable)", "sketch-eps")
+		}
+	}
+	if len(wrong) > 0 {
+		return errors.New(strings.Join(wrong, "; "))
+	}
+	return nil
 }
 
 // run serves the handler until SIGINT/SIGTERM, then drains.
@@ -210,6 +286,43 @@ func serveCoordinator(shardAddrs, addr string, shardTO, readTO, writeTO, idleTO,
 	banner := fmt.Sprintf("coordinating %d points (%d dims, %s kernel) across %d shards on %s",
 		co.Points(), co.Dims(), co.KernelName(), co.NumShards(), addr)
 	run(cluster.NewHTTPServer(co), banner, addr, readTO, writeTO, idleTO, headerTO, drainTO)
+}
+
+// serveWritableCoordinator builds the write-routing front end over
+// remote mutable shards and serves its HTTP surface. Splitting needs a
+// spawner for fresh shard processes, which a static -shards list cannot
+// provide, so automatic splits are disabled here; membership still
+// persists through -manifest.
+func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath string, shardTO, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
+	kind, err := shard.ParseKind(partition)
+	if err != nil {
+		log.Fatalf("karl-serve: -partition: %v", err)
+	}
+	specs, err := parseShards(shardAddrs)
+	if err != nil {
+		log.Fatalf("karl-serve: %v", err)
+	}
+	shards := make([]cluster.WritableShard, len(specs))
+	for i, spec := range specs {
+		if len(spec.Replicas) > 0 {
+			log.Fatalf("karl-serve: -shards replicas (|url) are not supported with -mutable: writes must land on the owning shard")
+		}
+		hs, ok := spec.Client.(*cluster.HTTPShard)
+		if !ok {
+			log.Fatalf("karl-serve: writable coordinator needs HTTP shards")
+		}
+		shards[i] = cluster.WritableShard{Name: hs.Name(), Client: hs}
+	}
+	co, err := cluster.NewWritable(context.Background(), kind, shards, nil, cluster.WritableConfig{
+		Config:       cluster.Config{Timeout: shardTO},
+		ManifestPath: manifestPath,
+	})
+	if err != nil {
+		log.Fatalf("karl-serve: %v", err)
+	}
+	banner := fmt.Sprintf("coordinating writable cluster: %d points (%d dims, %s kernel) across %d shards (%s partition, epoch %d) on %s",
+		co.Points(), co.Dims(), co.KernelName(), co.NumShards(), kind, co.Epoch(), addr)
+	run(cluster.NewWritableHTTPServer(co), banner, addr, readTO, writeTO, idleTO, headerTO, drainTO)
 }
 
 // parseShards parses "-shards url[|replica...],url[|replica...]".

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseShards(t *testing.T) {
 	specs, err := parseShards("http://a:8080, http://b:8080|http://b2:8080 ,http://c:8080/")
@@ -25,5 +28,54 @@ func TestParseShards(t *testing.T) {
 	}
 	if _, err := parseShards("http://a:8080,,http://c:8080"); err == nil {
 		t.Fatal("empty entry should fail")
+	}
+}
+
+// TestValidateFlagSet pins the flag-ownership table: every serving mode
+// rejects flags owned by a different mode with an error naming the
+// owner, and accepts its own flags.
+func TestValidateFlagSet(t *testing.T) {
+	cases := []struct {
+		name string
+		set  []string
+		want []string // substrings the error must contain; empty = no error
+	}{
+		{"plain model", []string{"model", "addr", "pool"}, nil},
+		{"mutable", []string{"mutable", "gamma", "seal-size", "window"}, nil},
+		{"coordinator", []string{"coordinator", "shards", "shard-timeout"}, nil},
+		{"writable coordinator", []string{"coordinator", "mutable", "shards", "partition", "manifest"}, nil},
+		{"engine flags on coordinator", []string{"coordinator", "shards", "gamma", "refine-workers"},
+			[]string{"-gamma only applies to a shard process", "-refine-workers only applies to a shard process"}},
+		{"partition without mutable", []string{"coordinator", "shards", "partition"},
+			[]string{"-partition only applies to -coordinator -mutable"}},
+		{"shards without coordinator", []string{"model", "shards"},
+			[]string{"-shards only applies to -coordinator"}},
+		{"mutable flags without mutable", []string{"model", "seal-size", "decay-halflife"},
+			[]string{"-seal-size only applies to -mutable", "-decay-halflife only applies to -mutable"}},
+		{"sketch tier on mutable", []string{"mutable", "sketch-eps"},
+			[]string{"-sketch-eps only applies to an immutable engine"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := map[string]bool{}
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			err := validateFlagSet(set)
+			if len(tc.want) == 0 {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error mentioning %v", tc.want)
+			}
+			for _, sub := range tc.want {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("error %q missing %q", err, sub)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,211 @@
+package karl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"karl/internal/segment"
+)
+
+// NextSeq returns the id the next insert will be assigned. After a Split,
+// the moved engine continues from the same counter, so the value at split
+// time is the fence separating inherited ids (strictly below it, assigned
+// by an ancestor engine) from native ones — what the cluster layer's
+// delete routing needs to chase a point across splits.
+func (d *DynamicEngine) NextSeq() uint64 {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.nextSeq
+}
+
+// SplitPlane proposes a balanced axis-aligned cut over the live points:
+// the median value of the widest dimension, adjusted so neither side is
+// empty. Points with p[dim] >= cut form the moving half. It fails when
+// the dataset is empty, a single point, or degenerate (all points
+// identical), in which case no axis cut can separate anything.
+func (d *DynamicEngine) SplitPlane() (dim int, cut float64, err error) {
+	sh := d.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.dims == 0 {
+		return 0, 0, errors.New("karl: split plane over an empty engine")
+	}
+	lo := make([]float64, sh.dims)
+	hi := make([]float64, sh.dims)
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	var vals []float64
+	scan := func(p []float64) {
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	for _, s := range sh.man.Segs {
+		pts := s.Tree.Points
+		for r := 0; r < pts.Rows; r++ {
+			scan(pts.Row(r))
+		}
+	}
+	for _, mt := range []*memtable{sh.mem, sh.sealing} {
+		if mt == nil {
+			continue
+		}
+		for i := 0; i < mt.n; i++ {
+			scan(mt.m.Row(i))
+		}
+	}
+	dim, width := 0, -1.0
+	for j := range lo {
+		if w := hi[j] - lo[j]; w > width {
+			dim, width = j, w
+		}
+	}
+	if width <= 0 {
+		return 0, 0, errors.New("karl: split plane: all points identical")
+	}
+	for _, s := range sh.man.Segs {
+		pts := s.Tree.Points
+		for r := 0; r < pts.Rows; r++ {
+			vals = append(vals, pts.Row(r)[dim])
+		}
+	}
+	for _, mt := range []*memtable{sh.mem, sh.sealing} {
+		if mt == nil {
+			continue
+		}
+		for i := 0; i < mt.n; i++ {
+			vals = append(vals, mt.m.Row(i)[dim])
+		}
+	}
+	sort.Float64s(vals)
+	cut = vals[len(vals)/2]
+	if cut == vals[0] {
+		// Everything at or below the median ties the minimum: advance to
+		// the first strictly larger value so the lower side is non-empty.
+		i := sort.SearchFloat64s(vals, cut)
+		for i < len(vals) && vals[i] == cut {
+			i++
+		}
+		if i == len(vals) {
+			return 0, 0, errors.New("karl: split plane: degenerate on the widest dimension")
+		}
+		cut = vals[i]
+	}
+	return dim, cut, nil
+}
+
+// Split extracts every live point for which pred(point) is true into a
+// NEW dynamic engine with the same kernel, index and maintenance
+// configuration, removing those points from the receiver — the engine
+// half of a cluster shard split. Both sides are rebuilt as single sealed
+// segments (the receiver's manifest advances one epoch, exactly like a
+// full Compact), pending tombstones and TTL-expired rows are physically
+// dropped on the way, and sequence numbers, insert times and decay state
+// travel with the moved rows, so ids remain valid on whichever side their
+// point landed. The moved engine continues the receiver's id counter from
+// the split instant: ids it assigns later never collide with inherited
+// ones.
+//
+// Inserts and deletes block for the duration; queries on existing clones
+// proceed over the old snapshot and switch atomically, the same contract
+// as Compact.
+func (d *DynamicEngine) Split(pred func(p []float64) bool) (MutableEngine, error) {
+	if pred == nil {
+		return nil, errors.New("karl: nil split predicate")
+	}
+	sh := d.sh
+	sh.mu.Lock()
+	for sh.compacting || sh.sealing != nil || sh.draining {
+		sh.cond.Wait()
+	}
+	if sh.closed {
+		sh.mu.Unlock()
+		return nil, errors.New("karl: engine is closed")
+	}
+	if err := sh.compactErrLocked(); err != nil {
+		sh.mu.Unlock()
+		return nil, err
+	}
+	if sh.man.Len()+sh.mem.len() == 0 {
+		// Nothing to move: hand back an empty sibling sharing the config.
+		moved, err := newDynamicView(sh.emptySiblingLocked())
+		sh.mu.Unlock()
+		return moved, err
+	}
+	sh.draining = true // blocks inserts, deletes, seals and background merges
+	segs := sh.man.Segs
+	run := sh.mem.run()
+	keepID := sh.nextID
+	sh.nextID++
+	opts, consumed := sh.mergeOptsLocked(segs)
+	sh.mu.Unlock()
+
+	keepSeg, moveSeg, err := segment.Divide(segs, run, opts, pred, sh.bcfg, keepID, 1)
+
+	sh.mu.Lock()
+	sh.draining = false
+	if err != nil {
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("karl: split: %w", err)
+	}
+	man := &segment.Manifest{Epoch: sh.man.Epoch + 1}
+	if keepSeg != nil {
+		man.Segs = []*segment.Segment{keepSeg}
+	}
+	sh.man = man
+	for _, seq := range consumed {
+		delete(sh.tombs, seq)
+	}
+	sh.compactions++
+	if sh.mem != nil {
+		sh.mem.n = 0 // absorbed into the divide
+	}
+	msh := sh.emptySiblingLocked()
+	if moveSeg != nil {
+		msh.man = &segment.Manifest{Epoch: 1, Segs: []*segment.Segment{moveSeg}}
+		msh.nextID = 2
+	}
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	return newDynamicView(msh)
+}
+
+// emptySiblingLocked creates fresh shared state with the receiver's
+// configuration, dimensionality and id counter — the shell a split's
+// moved half is installed into. Called with sh.mu held.
+func (sh *dynShared) emptySiblingLocked() *dynShared {
+	m := &dynShared{
+		kern:          sh.kern,
+		method:        sh.method,
+		maxDepth:      sh.maxDepth,
+		refineWorkers: sh.refineWorkers,
+		bcfg:          sh.bcfg,
+		policy:        sh.policy,
+		coldSeed:      sh.coldSeed,
+		autoCompact:   sh.autoCompact,
+		batchExec:     sh.batchExec,
+		dualCtr:       &dualCounters{},
+		ttl:           sh.ttl,
+		halfLife:      sh.halfLife,
+		now:           sh.now,
+		dims:          sh.dims,
+		man:           &segment.Manifest{},
+		nextID:        1,
+		nextSeq:       sh.nextSeq,
+		tombs:         map[uint64]tombstone{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}

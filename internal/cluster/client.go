@@ -36,6 +36,7 @@ import (
 
 	"karl"
 	"karl/internal/server"
+	"karl/internal/shard"
 )
 
 // ShardInfo describes one shard's slice of the dataset: cardinality,
@@ -79,44 +80,84 @@ type ShardClient interface {
 	Healthy(ctx context.Context) error
 }
 
-// LocalShard serves one in-process *karl.Engine as a shard: the
-// core-parallel single-box backend. Engine clones are pooled so concurrent
-// (including hedged) calls each refine on private scratch over the shared
-// index.
-type LocalShard struct {
-	name string
-	pool sync.Pool
-	info ShardInfo
+// SplitResult is one completed shard split as seen by the coordinator:
+// the rule actually applied (with any shard-chosen kd plane filled in),
+// the moved half as an engine persistence stream ready to install
+// elsewhere, and the id fence at the split instant — the new member's
+// BaseSeq, below which ids may refer to inherited points.
+type SplitResult struct {
+	Rule   shard.SplitRule
+	Moved  []byte
+	Fence  uint64
+	Points int
+	// WPos/WNeg are the moved half's weight masses — the new member's
+	// advisory mass for coverage accounting when it cannot be spawned.
+	WPos, WNeg float64
 }
 
-// NewLocalShard wraps an engine as a shard client.
-func NewLocalShard(name string, eng *karl.Engine) *LocalShard {
-	wpos, wneg := eng.WeightMass()
-	k := eng.Kernel()
-	s := &LocalShard{
-		name: name,
-		info: ShardInfo{
-			Points: eng.Len(),
-			Dims:   eng.Dims(),
-			Kernel: k.Kind.String(),
-			Gamma:  k.Gamma,
-			WPos:   wpos,
-			WNeg:   wneg,
-		},
-	}
-	s.pool.New = func() any { return eng.Clone() }
+// MutableShardClient extends ShardClient with the write path of a
+// writable shard: routed inserts, deletes by engine-local id, and the
+// shard side of a split (segment shipping).
+type MutableShardClient interface {
+	ShardClient
+	// Insert adds points (nil weights = unit) and returns their
+	// engine-local ids, in input order.
+	Insert(ctx context.Context, points [][]float64, weights []float64) ([]uint64, error)
+	// Delete removes the point with the given engine-local id. A missing
+	// id reports karl.ErrPointNotFound (wrapped), which the coordinator's
+	// lineage fallback relies on.
+	Delete(ctx context.Context, id uint64) error
+	// SplitOut extracts the half matching the rule into a serialized
+	// engine. auto lets a kd shard choose its own balanced plane; the
+	// returned Rule is always the one actually applied.
+	SplitOut(ctx context.Context, rule shard.SplitRule, auto bool) (SplitResult, error)
+}
+
+// LocalShard serves one in-process engine as a shard: the core-parallel
+// single-box backend. Engine clones are pooled so concurrent (including
+// hedged) calls each refine on private scratch over the shared dataset.
+// Wrapping a mutable engine (NewLocalMutableShard) adds the write path;
+// Info is computed live either way, so it tracks inserts and splits.
+type LocalShard struct {
+	name string
+	eng  karl.QueryEngine
+	mut  karl.MutableEngine // nil for read-only shards
+	pool sync.Pool
+}
+
+// NewLocalShard wraps a query engine as a read-only shard client.
+func NewLocalShard(name string, eng karl.QueryEngine) *LocalShard {
+	s := &LocalShard{name: name, eng: eng}
+	s.pool.New = func() any { return eng.CloneQuery() }
+	return s
+}
+
+// NewLocalMutableShard wraps a mutable engine as a writable shard client.
+func NewLocalMutableShard(name string, eng karl.MutableEngine) *LocalShard {
+	s := NewLocalShard(name, eng)
+	s.mut = eng
 	return s
 }
 
 // Name implements ShardClient.
 func (s *LocalShard) Name() string { return s.name }
 
-// Info implements ShardClient.
+// Info implements ShardClient. It reads the live engine, so a mutable
+// shard's cardinality and weight masses track its writes.
 func (s *LocalShard) Info(ctx context.Context) (ShardInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return ShardInfo{}, err
 	}
-	return s.info, nil
+	wpos, wneg := s.eng.WeightMass()
+	k := s.eng.Kernel()
+	return ShardInfo{
+		Points: s.eng.Len(),
+		Dims:   s.eng.Dims(),
+		Kernel: k.Kind.String(),
+		Gamma:  k.Gamma,
+		WPos:   wpos,
+		WNeg:   wneg,
+	}, nil
 }
 
 // Healthy implements ShardClient; an in-process engine is always ready.
@@ -127,9 +168,10 @@ func (s *LocalShard) Aggregate(ctx context.Context, q []float64) (float64, error
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	eng := s.pool.Get().(*karl.Engine)
+	eng := s.pool.Get().(karl.QueryEngine)
 	defer s.pool.Put(eng)
-	return eng.Aggregate(q)
+	v, _, err := eng.AggregateStats(q)
+	return v, err
 }
 
 // Bounds implements ShardClient. In-process refinement is not
@@ -140,7 +182,7 @@ func (s *LocalShard) Bounds(ctx context.Context, q []float64, eps float64) (Boun
 	if err := ctx.Err(); err != nil {
 		return Bounds{}, err
 	}
-	eng := s.pool.Get().(*karl.Engine)
+	eng := s.pool.Get().(karl.QueryEngine)
 	defer s.pool.Put(eng)
 	if eps > 0 {
 		v, st, err := eng.ApproximateStats(q, eps)
@@ -149,11 +191,75 @@ func (s *LocalShard) Bounds(ctx context.Context, q []float64, eps float64) (Boun
 		}
 		return Bounds{Value: v, LB: st.LB, UB: st.UB}, nil
 	}
-	v, err := eng.Aggregate(q)
+	v, _, err := eng.AggregateStats(q)
 	if err != nil {
 		return Bounds{}, err
 	}
 	return Bounds{Value: v, LB: v, UB: v}, nil
+}
+
+// errReadOnly reports a write against a shard without a mutable engine.
+func (s *LocalShard) errReadOnly() error {
+	return fmt.Errorf("cluster: shard %s is read-only", s.name)
+}
+
+// Insert implements MutableShardClient.
+func (s *LocalShard) Insert(ctx context.Context, points [][]float64, weights []float64) ([]uint64, error) {
+	if s.mut == nil {
+		return nil, s.errReadOnly()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.mut.InsertBulk(points, weights)
+}
+
+// Delete implements MutableShardClient.
+func (s *LocalShard) Delete(ctx context.Context, id uint64) error {
+	if s.mut == nil {
+		return s.errReadOnly()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return s.mut.Delete(id)
+}
+
+// SplitOut implements MutableShardClient: the in-process form of segment
+// shipping. The moved half still travels through the engine persistence
+// format, so local and remote splits exercise the same wire unit.
+func (s *LocalShard) SplitOut(ctx context.Context, rule shard.SplitRule, auto bool) (SplitResult, error) {
+	if s.mut == nil {
+		return SplitResult{}, s.errReadOnly()
+	}
+	if err := ctx.Err(); err != nil {
+		return SplitResult{}, err
+	}
+	if auto && rule.Kind == shard.KDSplit {
+		dim, cut, err := s.mut.SplitPlane()
+		if err != nil {
+			return SplitResult{}, fmt.Errorf("cluster: shard %s: %w: %w", s.name, errRejected, err)
+		}
+		rule.Dim, rule.Cut = dim, cut
+	}
+	pred, err := rule.Pred()
+	if err != nil {
+		return SplitResult{}, fmt.Errorf("%w: %w", errRejected, err)
+	}
+	moved, err := s.mut.Split(pred)
+	if err != nil {
+		// Engine splits are atomic: an error means nothing moved.
+		return SplitResult{}, fmt.Errorf("cluster: shard %s: %w: %w", s.name, errRejected, err)
+	}
+	var buf bytes.Buffer
+	if _, err := moved.WriteTo(&buf); err != nil {
+		return SplitResult{}, fmt.Errorf("cluster: shard %s: serializing moved half: %w", s.name, err)
+	}
+	wpos, wneg := moved.WeightMass()
+	return SplitResult{
+		Rule: rule, Moved: buf.Bytes(), Fence: moved.NextSeq(),
+		Points: moved.Len(), WPos: wpos, WNeg: wneg,
+	}, nil
 }
 
 // HTTPShard speaks to a remote karl-serve instance over its JSON /v1/*
@@ -236,6 +342,67 @@ func (s *HTTPShard) Bounds(ctx context.Context, q []float64, eps float64) (Bound
 	return Bounds{Value: resp.Value, LB: resp.LB, UB: resp.UB}, nil
 }
 
+// Insert implements MutableShardClient via POST /v1/insert.
+func (s *HTTPShard) Insert(ctx context.Context, points [][]float64, weights []float64) ([]uint64, error) {
+	var resp server.InsertResponse
+	if err := s.post(ctx, "/v1/insert", server.InsertRequest{Points: points, Weights: weights}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Delete implements MutableShardClient via DELETE /v1/point. A 404 maps
+// to karl.ErrPointNotFound so the coordinator's lineage fallback can
+// chase split-moved points.
+func (s *HTTPShard) Delete(ctx context.Context, id uint64) error {
+	payload, err := json.Marshal(server.DeleteRequest{ID: id})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, s.base+"/v1/point", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp server.DeleteResponse
+	return s.do(req, &resp)
+}
+
+// SplitOut implements MutableShardClient via POST /v1/split. auto omits
+// the kd plane so the shard chooses its own (the applied rule comes back
+// in the response).
+func (s *HTTPShard) SplitOut(ctx context.Context, rule shard.SplitRule, auto bool) (SplitResult, error) {
+	req := server.SplitRequest{Kind: rule.Kind.String()}
+	switch rule.Kind {
+	case shard.Hash:
+		req.NumSlots, req.Slots = rule.NumSlots, rule.Slots
+	case shard.KDSplit:
+		if !auto {
+			dim, cut := rule.Dim, rule.Cut
+			req.Dim, req.Cut = &dim, &cut
+		}
+	}
+	var resp server.SplitResponse
+	if err := s.post(ctx, "/v1/split", req, &resp); err != nil {
+		return SplitResult{}, err
+	}
+	kind, err := shard.ParseKind(resp.Kind)
+	if err != nil {
+		return SplitResult{}, fmt.Errorf("cluster: shard %s: %w", s.base, err)
+	}
+	return SplitResult{
+		Rule: shard.SplitRule{
+			Kind: kind, Dim: resp.Dim, Cut: resp.Cut,
+			NumSlots: resp.NumSlots, Slots: resp.Slots,
+		},
+		Moved:  resp.Moved,
+		Fence:  resp.NextSeq,
+		Points: resp.MovedPoints,
+		WPos:   resp.MovedWPos,
+		WNeg:   resp.MovedWNeg,
+	}, nil
+}
+
 func (s *HTTPShard) get(ctx context.Context, path string, dst any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+path, nil)
 	if err != nil {
@@ -273,10 +440,22 @@ func (s *HTTPShard) do(req *http.Request, dst any) error {
 		var envelope struct {
 			Error string `json:"error"`
 		}
+		msg := fmt.Sprintf("HTTP %d", resp.StatusCode)
 		if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
-			return fmt.Errorf("cluster: shard %s: %s (HTTP %d)", s.base, envelope.Error, resp.StatusCode)
+			msg = fmt.Sprintf("%s (HTTP %d)", envelope.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("cluster: shard %s: HTTP %d", s.base, resp.StatusCode)
+		if resp.StatusCode == http.StatusNotFound {
+			// The server 404s unknown point ids; surface the sentinel so
+			// delete routing can distinguish "not here" from "shard broken".
+			return fmt.Errorf("cluster: shard %s: %s: %w: %w", s.base, msg, errRejected, karl.ErrPointNotFound)
+		}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// A 4xx means the server rejected the request before any side
+			// effect — the split orchestrator relies on this to tell a clean
+			// refusal from an ambiguous transport failure.
+			return fmt.Errorf("cluster: shard %s: %s: %w", s.base, msg, errRejected)
+		}
+		return fmt.Errorf("cluster: shard %s: %s", s.base, msg)
 	}
 	if err := json.Unmarshal(body, dst); err != nil {
 		return fmt.Errorf("cluster: shard %s: decode response: %w", s.base, err)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,16 +9,34 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"karl"
 	"karl/internal/server"
 )
 
-// HTTPServer exposes a Coordinator over the same /v1/* JSON surface as a
+// QueryCoordinator is the read surface the HTTP facade serves. Both the
+// fixed-membership Coordinator and the WritableCoordinator implement it,
+// so one facade covers static and writable clusters.
+type QueryCoordinator interface {
+	Dims() int
+	Points() int
+	KernelName() string
+	Gamma() float64
+	NumShards() int
+	Stats() []ShardStats
+	Health(ctx context.Context) []ShardHealth
+	Aggregate(ctx context.Context, q []float64) (Result, error)
+	Threshold(ctx context.Context, q []float64, tau float64) (ThresholdResult, error)
+	Approximate(ctx context.Context, q []float64, eps float64) (Result, error)
+}
+
+// HTTPServer exposes a coordinator over the same /v1/* JSON surface as a
 // single-node karl-serve, so clients scale from one box to a cluster
 // without changing their request shapes. Degraded-mode answers carry the
 // partial contract ("partial": true plus the covered-weight fraction); an
 // indeterminate threshold verdict is a 503, not a guess.
 type HTTPServer struct {
-	co      *Coordinator
+	co      QueryCoordinator
+	wco     *WritableCoordinator // non-nil for writable clusters
 	mux     *http.ServeMux
 	maxBody int64
 
@@ -29,7 +48,7 @@ type HTTPServer struct {
 const defaultMaxBody = 32 << 20
 
 // NewHTTPServer wraps a coordinator in an HTTP handler.
-func NewHTTPServer(co *Coordinator) *HTTPServer {
+func NewHTTPServer(co QueryCoordinator) *HTTPServer {
 	s := &HTTPServer{co: co, mux: http.NewServeMux(), maxBody: defaultMaxBody}
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -41,26 +60,59 @@ func NewHTTPServer(co *Coordinator) *HTTPServer {
 	return s
 }
 
+// NewWritableHTTPServer wraps a writable coordinator: the read surface of
+// NewHTTPServer plus POST /v1/insert and DELETE /v1/point, both routed
+// through the cluster manifest to the owning member.
+func NewWritableHTTPServer(co *WritableCoordinator) *HTTPServer {
+	s := NewHTTPServer(co)
+	s.wco = co
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.mux.HandleFunc("DELETE /v1/point", s.handleDelete)
+	return s
+}
+
 // ServeHTTP implements http.Handler.
 func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// ClusterInfoResponse is the coordinator's GET /v1/info body.
+// ClusterInfoResponse is the coordinator's GET /v1/info body. Writable,
+// Epoch and Splits are set only for writable clusters.
 type ClusterInfoResponse struct {
-	Points int     `json:"points"`
-	Dims   int     `json:"dims"`
-	Kernel string  `json:"kernel"`
-	Gamma  float64 `json:"gamma"`
-	Shards int     `json:"shards"`
+	Points   int     `json:"points"`
+	Dims     int     `json:"dims"`
+	Kernel   string  `json:"kernel"`
+	Gamma    float64 `json:"gamma"`
+	Shards   int     `json:"shards"`
+	Writable bool    `json:"writable,omitempty"`
+	Epoch    uint64  `json:"epoch,omitempty"`
+	Splits   int64   `json:"splits,omitempty"`
 }
 
 // ClusterStatsResponse is the coordinator's GET /v1/stats body:
 // coordinator-level request counters plus per-shard latency/error/
-// retry/hedge counters.
+// retry/hedge counters. Epoch, Splits and Rescatters are reported only
+// for writable clusters.
 type ClusterStatsResponse struct {
-	Requests int64        `json:"requests"`
-	Errors   int64        `json:"errors"`
-	Partials int64        `json:"partials"`
-	Shards   []ShardStats `json:"shards"`
+	Requests   int64        `json:"requests"`
+	Errors     int64        `json:"errors"`
+	Partials   int64        `json:"partials"`
+	Shards     []ShardStats `json:"shards"`
+	Epoch      uint64       `json:"epoch,omitempty"`
+	Splits     int64        `json:"splits,omitempty"`
+	Rescatters int64        `json:"rescatters,omitempty"`
+}
+
+// ClusterInsertResponse reports a routed insert: cluster-global point ids
+// in input order and the manifest epoch the insert landed under.
+type ClusterInsertResponse struct {
+	Inserted int      `json:"inserted"`
+	IDs      []uint64 `json:"ids"`
+	Epoch    uint64   `json:"epoch"`
+}
+
+// ClusterDeleteResponse reports a routed delete.
+type ClusterDeleteResponse struct {
+	Deleted int    `json:"deleted"`
+	Epoch   uint64 `json:"epoch"`
 }
 
 // ClusterValueResponse is a value answer plus the degradation contract.
@@ -120,22 +172,116 @@ func (s *HTTPServer) decode(w http.ResponseWriter, r *http.Request, dst any) err
 
 func (s *HTTPServer) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	s.requests.Add(1)
-	writeJSON(w, http.StatusOK, ClusterInfoResponse{
+	resp := ClusterInfoResponse{
 		Points: s.co.Points(),
 		Dims:   s.co.Dims(),
 		Kernel: s.co.KernelName(),
 		Gamma:  s.co.Gamma(),
 		Shards: s.co.NumShards(),
-	})
+	}
+	if s.wco != nil {
+		resp.Writable = true
+		resp.Epoch = s.wco.Epoch()
+		resp.Splits = s.wco.Splits()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, ClusterStatsResponse{
+	resp := ClusterStatsResponse{
 		Requests: s.requests.Load(),
 		Errors:   s.errors.Load(),
 		Partials: s.partials.Load(),
 		Shards:   s.co.Stats(),
+	}
+	if s.wco != nil {
+		resp.Epoch = s.wco.Epoch()
+		resp.Splits = s.wco.Splits()
+		resp.Rescatters = s.wco.Rescatters()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleInsert routes points through the manifest to their owning
+// members. The request body is the single-node InsertRequest (one point
+// or bulk); the returned ids are cluster-global.
+func (s *HTTPServer) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req server.InsertRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var points [][]float64
+	var weights []float64
+	switch {
+	case req.P != nil && req.Points != nil:
+		s.fail(w, http.StatusBadRequest, errors.New(`"p" and "points" are mutually exclusive`))
+		return
+	case req.P != nil:
+		wt := 1.0
+		if req.W != nil {
+			wt = *req.W
+		}
+		points, weights = [][]float64{req.P}, []float64{wt}
+	case req.Points != nil:
+		if req.Weights != nil && len(req.Weights) != len(req.Points) {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("%d weights for %d points", len(req.Weights), len(req.Points)))
+			return
+		}
+		points, weights = req.Points, req.Weights
+	default:
+		s.fail(w, http.StatusBadRequest, errors.New(`provide "p" (single point) or "points" (bulk)`))
+		return
+	}
+	ids, err := s.wco.Insert(r.Context(), points, weights)
+	if err != nil {
+		s.fail(w, s.queryStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ClusterInsertResponse{
+		Inserted: len(ids),
+		IDs:      ids,
+		Epoch:    s.wco.Epoch(),
 	})
+}
+
+// handleDelete routes a delete by cluster-global id, chasing split
+// lineage when the owning member no longer holds the point.
+func (s *HTTPServer) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req server.DeleteRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var ids []uint64
+	switch {
+	case req.ID != 0 && req.IDs != nil:
+		s.fail(w, http.StatusBadRequest, errors.New(`"id" and "ids" are mutually exclusive`))
+		return
+	case req.ID != 0:
+		ids = []uint64{req.ID}
+	case len(req.IDs) != 0:
+		ids = req.IDs
+	default:
+		s.fail(w, http.StatusBadRequest, errors.New(`provide "id" (single) or "ids" (bulk)`))
+		return
+	}
+	for i, id := range ids {
+		if err := s.wco.Delete(r.Context(), id); err != nil {
+			status := s.queryStatus(err)
+			if errors.Is(err, karl.ErrPointNotFound) {
+				status = http.StatusNotFound
+			}
+			s.errors.Add(1)
+			writeJSON(w, status, errorResponse{
+				fmt.Sprintf("id %d: %v (%d of %d deleted)", id, err, i, len(ids)),
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, ClusterDeleteResponse{Deleted: len(ids), Epoch: s.wco.Epoch()})
 }
 
 func (s *HTTPServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -238,10 +384,11 @@ func (s *HTTPServer) respond(w http.ResponseWriter, res Result) {
 }
 
 // queryStatus maps coordinator errors to HTTP statuses: indeterminate
-// verdicts and total shard loss are upstream availability problems (503),
-// everything else is a bad request.
+// verdicts, total shard loss, and queries that kept straddling membership
+// changes are upstream availability problems (503), everything else is a
+// bad request.
 func (s *HTTPServer) queryStatus(err error) int {
-	if errors.Is(err, ErrIndeterminate) || errors.Is(err, ErrUnavailable) {
+	if errors.Is(err, ErrIndeterminate) || errors.Is(err, ErrUnavailable) || errors.Is(err, ErrEpochChanged) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest

@@ -1,0 +1,701 @@
+// The writable cluster: a coordinator that owns dynamic membership and
+// routes the WRITE path — inserts and deletes travel through an
+// epoch-versioned shard.Manifest to the owning member, and a member whose
+// weight mass outgrows its peers is split, shipping half its points to a
+// freshly spawned member as a standard engine persistence stream.
+//
+// Reads reuse the immutable Coordinator unchanged: every membership epoch
+// owns one read coordinator over that epoch's client set, swapped in
+// atomically. A seqlock-style generation counter brackets membership
+// changes so a query that straddles one (and could therefore mix
+// pre-split and post-split shard snapshots into one sum) is detected and
+// re-scattered against the new membership instead of returning a
+// silently incomplete answer.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"karl"
+	"karl/internal/shard"
+)
+
+// errRejected marks a shard request the shard refused before any side
+// effect (validation failure, 4xx). Its absence from a failed split makes
+// the failure ambiguous — the shard may or may not have applied it.
+var errRejected = errors.New("cluster: request rejected by shard")
+
+// ErrEpochChanged reports a query that straddled repeated membership
+// changes: every re-scatter attempt saw the manifest epoch advance under
+// it. The caller may simply retry.
+var ErrEpochChanged = errors.New("cluster: membership changed during query")
+
+// gidSeqBits splits a cluster-global point id into (member, sequence):
+// the high 16 bits carry the member id, the low 48 the engine-local
+// sequence number the member assigned.
+const gidSeqBits = 48
+
+// EncodeID packs a member id and an engine-local point id into one
+// cluster-global id.
+func EncodeID(member, seq uint64) (uint64, error) {
+	if member == 0 || member >= 1<<(64-gidSeqBits) {
+		return 0, fmt.Errorf("cluster: member id %d outside [1,%d)", member, 1<<(64-gidSeqBits))
+	}
+	if seq >= 1<<gidSeqBits {
+		return 0, fmt.Errorf("cluster: local point id %d overflows %d bits", seq, gidSeqBits)
+	}
+	return member<<gidSeqBits | seq, nil
+}
+
+// DecodeID unpacks a cluster-global point id.
+func DecodeID(gid uint64) (member, seq uint64) {
+	return gid >> gidSeqBits, gid & (1<<gidSeqBits - 1)
+}
+
+// SpawnFunc creates the engine/serving backend for a freshly split-off
+// member and returns its client. moved is the new member's dataset as an
+// engine persistence stream (karl.ReadDynamic decodes it). A SpawnFunc
+// failure does not abort the split — the points already left the source —
+// so the member is recorded in the manifest as unreachable and queries
+// degrade to the partial/indeterminate contract until the operator
+// recovers it from the persisted stream.
+type SpawnFunc func(ctx context.Context, member shard.Member, moved []byte) (MutableShardClient, error)
+
+// WritableConfig tunes the writable coordinator on top of the read
+// Config. The zero value picks production defaults.
+type WritableConfig struct {
+	Config
+	// SplitFactor triggers an automatic split when a member's live weight
+	// mass exceeds this multiple of the mean mass of its peers (default 4).
+	// A single-member cluster always qualifies once it reaches
+	// MinSplitPoints.
+	SplitFactor float64
+	// MaxShards caps membership growth (default 16; hash routing is
+	// additionally capped by the slot space).
+	MaxShards int
+	// MinSplitPoints is the minimum cardinality before a member may split
+	// (default 256) — splitting tiny shards buys nothing.
+	MinSplitPoints int
+	// ManifestPath, when non-empty, persists the manifest after every
+	// membership change (atomic temp+rename). A file already holding an
+	// epoch at or ahead of the one being written is rejected with
+	// shard.ErrStaleManifest — two coordinators fighting over one path.
+	ManifestPath string
+	// EpochRetries bounds how often a query is re-scattered after
+	// straddling a membership change before ErrEpochChanged (default 2).
+	EpochRetries int
+}
+
+func (c WritableConfig) withDefaults() WritableConfig {
+	c.Config = c.Config.withDefaults()
+	if c.SplitFactor <= 0 {
+		c.SplitFactor = 4
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 16
+	}
+	if c.MinSplitPoints <= 0 {
+		c.MinSplitPoints = 256
+	}
+	if c.EpochRetries <= 0 {
+		c.EpochRetries = 2
+	}
+	return c
+}
+
+// WritableShard names one founding member of a writable cluster.
+type WritableShard struct {
+	Name   string
+	Client MutableShardClient
+}
+
+// membership is one immutable epoch of the cluster: the routing manifest,
+// the mutable clients by member id (absent entries are unreachable
+// members), and a read coordinator built over exactly this client set.
+type membership struct {
+	man     *shard.Manifest
+	clients map[uint64]MutableShardClient
+	co      *Coordinator
+}
+
+// WritableCoordinator routes writes through a dynamic manifest and serves
+// reads through the current epoch's Coordinator. Writes and membership
+// changes serialize on mu; reads are lock-free against an atomic
+// membership snapshot, guarded by the gen seqlock.
+type WritableCoordinator struct {
+	cfg   WritableConfig
+	spawn SpawnFunc
+
+	mu     sync.Mutex // serializes writes, splits, membership installs
+	nextID uint64     // next member id to assign
+
+	// gen is even between membership changes and odd while one is in
+	// flight; a query whose start and end generations differ (or that
+	// starts on an odd one) re-scatters.
+	gen atomic.Uint64
+	mem atomic.Pointer[membership]
+
+	splits     atomic.Int64
+	rescatters atomic.Int64
+}
+
+// NewWritable founds a writable cluster over the given members with
+// routing kind `kind` (hash slots, or a kd tree which must start from
+// exactly one member and grows by splits). A nil spawn disables
+// splitting entirely — automatic and forced.
+func NewWritable(ctx context.Context, kind shard.Kind, shards []WritableShard, spawn SpawnFunc, cfg WritableConfig) (*WritableCoordinator, error) {
+	cfg = cfg.withDefaults()
+	members := make([]shard.Member, len(shards))
+	clients := make(map[uint64]MutableShardClient, len(shards))
+	for i, sp := range shards {
+		if sp.Client == nil {
+			return nil, fmt.Errorf("cluster: founding shard %d has no client", i)
+		}
+		id := uint64(i + 1)
+		name := sp.Name
+		if name == "" {
+			name = sp.Client.Name()
+		}
+		members[i] = shard.Member{ID: id, Name: name}
+		clients[id] = sp.Client
+	}
+	man, err := shard.NewManifest(kind, members)
+	if err != nil {
+		return nil, err
+	}
+	w := &WritableCoordinator{cfg: cfg, spawn: spawn, nextID: uint64(len(shards) + 1)}
+	m, err := w.buildMembership(ctx, man, clients)
+	if err != nil {
+		return nil, err
+	}
+	w.mem.Store(m)
+	if err := w.persist(man); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// buildMembership assembles one epoch: advisory member stats refreshed
+// from live Infos, a read coordinator over the client set (unreachable
+// members get a down stub so their mass stays in the coverage
+// denominator), and the clients map as given.
+func (w *WritableCoordinator) buildMembership(ctx context.Context, man *shard.Manifest, clients map[uint64]MutableShardClient) (*membership, error) {
+	// Refresh advisory stats and capture the dataset identity from any
+	// live member, so down stubs present consistent Info.
+	var proto ShardInfo
+	infos := make(map[uint64]ShardInfo, len(clients))
+	for id, c := range clients {
+		ictx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
+		info, err := c.Info(ictx)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: member %d (%s): %w", id, c.Name(), err)
+		}
+		infos[id] = info
+		if info.Dims != 0 {
+			proto = info
+		}
+	}
+	if proto.Kernel == "" {
+		for _, info := range infos {
+			proto = info
+			break
+		}
+	}
+	specs := make([]Shard, len(man.Members))
+	for i := range man.Members {
+		mb := &man.Members[i]
+		if info, ok := infos[mb.ID]; ok {
+			mb.Points, mb.WPos, mb.WNeg = info.Points, info.WPos, info.WNeg
+			specs[i] = Shard{Client: clients[mb.ID]}
+			continue
+		}
+		// Unreachable member: a stub whose Info carries the manifest's
+		// advisory masses keeps its mass in wTotal, so every answer that
+		// misses it is flagged partial with honest coverage — never
+		// silently complete.
+		specs[i] = Shard{Client: downShard{name: mb.Name, info: ShardInfo{
+			Points: mb.Points, Dims: proto.Dims, Kernel: proto.Kernel,
+			Gamma: proto.Gamma, WPos: mb.WPos, WNeg: mb.WNeg,
+		}}}
+	}
+	co, err := New(ctx, specs, w.cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	return &membership{man: man, clients: clients, co: co}, nil
+}
+
+// downShard is the client stub for a member that is recorded in the
+// manifest but has no reachable engine (spawn failed, or it was
+// quarantined after an ambiguous split). Info answers from the advisory
+// snapshot; everything else fails.
+type downShard struct {
+	name string
+	info ShardInfo
+}
+
+func (d downShard) Name() string { return d.name }
+func (d downShard) Info(ctx context.Context) (ShardInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return ShardInfo{}, err
+	}
+	return d.info, nil
+}
+func (d downShard) Healthy(context.Context) error {
+	return fmt.Errorf("cluster: member %s is unreachable", d.name)
+}
+func (d downShard) Aggregate(context.Context, []float64) (float64, error) {
+	return 0, fmt.Errorf("cluster: member %s is unreachable", d.name)
+}
+func (d downShard) Bounds(context.Context, []float64, float64) (Bounds, error) {
+	return Bounds{}, fmt.Errorf("cluster: member %s is unreachable", d.name)
+}
+
+// install publishes a new membership under the seqlock: gen goes odd,
+// the snapshot swaps, gen goes even. Callers hold w.mu.
+func (w *WritableCoordinator) install(m *membership) {
+	w.gen.Add(1) // odd: queries in flight will re-scatter
+	w.mem.Store(m)
+	w.gen.Add(1) // even again
+}
+
+// persist writes the manifest to the configured path (atomic
+// temp+rename), refusing to regress an epoch already on disk.
+func (w *WritableCoordinator) persist(man *shard.Manifest) error {
+	if w.cfg.ManifestPath == "" {
+		return nil
+	}
+	if prev, err := LoadManifest(w.cfg.ManifestPath); err == nil && man.Epoch <= prev.Epoch {
+		return fmt.Errorf("%w: disk has epoch %d, refusing to write epoch %d",
+			shard.ErrStaleManifest, prev.Epoch, man.Epoch)
+	}
+	tmp := w.cfg.ManifestPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cluster: persisting manifest: %w", err)
+	}
+	if _, err := man.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: persisting manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: persisting manifest: %w", err)
+	}
+	if err := os.Rename(tmp, w.cfg.ManifestPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: persisting manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads and validates a persisted cluster manifest.
+func LoadManifest(path string) (*shard.Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return shard.ReadManifest(f)
+}
+
+// Manifest returns a copy of the current routing manifest.
+func (w *WritableCoordinator) Manifest() *shard.Manifest { return w.mem.Load().man.Clone() }
+
+// Dims reports the dataset dimensionality (0 until the first insert when
+// founded over empty shards).
+func (w *WritableCoordinator) Dims() int { return w.mem.Load().co.Dims() }
+
+// Points reports the total point count as of the current epoch's
+// construction.
+func (w *WritableCoordinator) Points() int { return w.mem.Load().co.Points() }
+
+// KernelName reports the shared kernel name.
+func (w *WritableCoordinator) KernelName() string { return w.mem.Load().co.KernelName() }
+
+// Gamma reports the shared kernel bandwidth parameter.
+func (w *WritableCoordinator) Gamma() float64 { return w.mem.Load().co.Gamma() }
+
+// Epoch returns the current manifest epoch.
+func (w *WritableCoordinator) Epoch() uint64 { return w.mem.Load().man.Epoch }
+
+// NumShards returns the current member count (including unreachable
+// members).
+func (w *WritableCoordinator) NumShards() int { return len(w.mem.Load().man.Members) }
+
+// Splits returns how many shard splits have completed.
+func (w *WritableCoordinator) Splits() int64 { return w.splits.Load() }
+
+// Rescatters returns how many queries were re-scattered after straddling
+// a membership change.
+func (w *WritableCoordinator) Rescatters() int64 { return w.rescatters.Load() }
+
+// Stats snapshots the current epoch's per-shard robustness counters.
+func (w *WritableCoordinator) Stats() []ShardStats { return w.mem.Load().co.Stats() }
+
+// Health probes the current members.
+func (w *WritableCoordinator) Health(ctx context.Context) []ShardHealth {
+	return w.mem.Load().co.Health(ctx)
+}
+
+// Insert routes points to their owning members via the manifest and
+// returns cluster-global ids (member ⊕ engine-local id), in input order.
+// Inserts are serialized with membership changes; per-member batches are
+// all-or-nothing but the cross-member request is not transactional — an
+// error names how many points already landed. A successful insert may
+// trigger an automatic shard split (spawn configured, weight imbalance
+// over SplitFactor); split failures never fail the insert.
+func (w *WritableCoordinator) Insert(ctx context.Context, points [][]float64, weights []float64) ([]uint64, error) {
+	if len(points) == 0 {
+		return nil, errors.New("cluster: empty insert")
+	}
+	if weights != nil && len(weights) != len(points) {
+		return nil, fmt.Errorf("cluster: %d weights for %d points", len(weights), len(points))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.mem.Load()
+
+	// Group per owning member, preserving input order within each group.
+	groups := map[uint64][]int{}
+	var order []uint64
+	for i, p := range points {
+		id := m.man.Route(p)
+		if _, seen := groups[id]; !seen {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], i)
+	}
+	ids := make([]uint64, len(points))
+	landed := 0
+	for _, mid := range order {
+		idxs := groups[mid]
+		c := m.clients[mid]
+		if c == nil {
+			return nil, fmt.Errorf("cluster: member %d (%s) is unreachable (%d of %d points landed)",
+				mid, m.man.Member(mid).Name, landed, len(points))
+		}
+		pts := make([][]float64, len(idxs))
+		var ws []float64
+		if weights != nil {
+			ws = make([]float64, len(idxs))
+		}
+		for j, i := range idxs {
+			pts[j] = points[i]
+			if weights != nil {
+				ws[j] = weights[i]
+			}
+		}
+		local, err := c.Insert(ctx, pts, ws)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: member %d (%s): %w (%d of %d points landed)",
+				mid, c.Name(), err, landed, len(points))
+		}
+		if len(local) != len(idxs) {
+			return nil, fmt.Errorf("cluster: member %d returned %d ids for %d points", mid, len(local), len(idxs))
+		}
+		for j, i := range idxs {
+			gid, err := EncodeID(mid, local[j])
+			if err != nil {
+				return nil, err
+			}
+			ids[i] = gid
+		}
+		landed += len(idxs)
+	}
+	if m.co.dims == 0 {
+		// The founding members were empty; the read coordinator pinned
+		// dims at 0. Rebuild it now that the dataset has a dimensionality.
+		if m2, err := w.buildMembership(ctx, m.man, m.clients); err == nil {
+			w.install(m2)
+			m = m2
+		}
+	}
+	w.maybeSplitLocked(ctx)
+	return ids, nil
+}
+
+// Delete removes the point with the given cluster-global id. The id
+// routes to the member that assigned it; if that member no longer holds
+// the point, the delete chases the split lineage — only descendants whose
+// BaseSeq fence admits the sequence number can have inherited it, so a
+// fresh point with a recycled-looking id on an unrelated member is never
+// touched.
+func (w *WritableCoordinator) Delete(ctx context.Context, gid uint64) error {
+	mid, seq := DecodeID(gid)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := w.mem.Load()
+	if m.man.Member(mid) == nil {
+		return fmt.Errorf("cluster: point %d names unknown member %d: %w", gid, mid, karl.ErrPointNotFound)
+	}
+	unreachable := false
+	for _, cand := range lineageCandidates(m.man, mid, seq) {
+		c := m.clients[cand]
+		if c == nil {
+			unreachable = true
+			continue
+		}
+		err := c.Delete(ctx, seq)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, karl.ErrPointNotFound) {
+			return err
+		}
+	}
+	if unreachable {
+		return fmt.Errorf("cluster: point %d may live on an unreachable member: %w", gid, ErrUnavailable)
+	}
+	return fmt.Errorf("cluster: point %d: %w", gid, karl.ErrPointNotFound)
+}
+
+// lineageCandidates returns the members that could hold the point
+// (member mid, sequence seq), starting with mid itself and following
+// split lineage: a descendant can only have inherited the point if it
+// split off after the point existed, i.e. seq < descendant.BaseSeq.
+func lineageCandidates(man *shard.Manifest, mid, seq uint64) []uint64 {
+	out := []uint64{mid}
+	in := map[uint64]bool{mid: true}
+	// Members are appended in split order, so one forward pass reaches
+	// descendants before their own descendants.
+	for _, mb := range man.Members {
+		if !in[mb.ID] && in[mb.Parent] && seq < mb.BaseSeq {
+			in[mb.ID] = true
+			out = append(out, mb.ID)
+		}
+	}
+	return out
+}
+
+// maybeSplitLocked runs the automatic split trigger: the heaviest member
+// splits when its live weight mass exceeds SplitFactor times the mean of
+// its peers (a lone member always qualifies), it holds at least
+// MinSplitPoints points, and the membership has room. Failures are
+// swallowed — splitting is maintenance, not a write-path obligation.
+func (w *WritableCoordinator) maybeSplitLocked(ctx context.Context) {
+	if w.spawn == nil {
+		return
+	}
+	m := w.mem.Load()
+	if len(m.man.Members) >= w.cfg.MaxShards {
+		return
+	}
+	var heavy uint64
+	var heavyW, totalW float64
+	heavyPts, alive := 0, 0
+	for id, c := range m.clients {
+		ictx, cancel := context.WithTimeout(ctx, w.cfg.Timeout)
+		info, err := c.Info(ictx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		alive++
+		wgt := info.Weight()
+		totalW += wgt
+		if heavy == 0 || wgt > heavyW {
+			heavy, heavyW, heavyPts = id, wgt, info.Points
+		}
+	}
+	if heavy == 0 || heavyPts < w.cfg.MinSplitPoints {
+		return
+	}
+	if alive > 1 {
+		peerMean := (totalW - heavyW) / float64(alive-1)
+		if heavyW <= w.cfg.SplitFactor*peerMean {
+			return
+		}
+	}
+	_ = w.splitLocked(ctx, heavy)
+}
+
+// Split forces a split of the given member (tests, operational
+// rebalancing). It respects MaxShards but not the weight trigger.
+func (w *WritableCoordinator) Split(ctx context.Context, memberID uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.mem.Load().man.Members) >= w.cfg.MaxShards {
+		return fmt.Errorf("cluster: membership already at MaxShards (%d)", w.cfg.MaxShards)
+	}
+	return w.splitLocked(ctx, memberID)
+}
+
+// splitLocked executes one shard split under w.mu:
+//
+//  1. derive the split rule (move half the member's hash slots, or let a
+//     kd member choose its own balanced plane),
+//  2. SplitOut — the member atomically extracts the moving half and ships
+//     it back as a persistence stream,
+//  3. spawn the new member's engine from the stream,
+//  4. apply the rule to the manifest (epoch+1, lineage recorded) and
+//     install the new membership.
+//
+// A clean shard-side refusal (errRejected) aborts with nothing changed.
+// An ambiguous failure — the split may or may not have been applied, but
+// the moved half is not in hand — quarantines the source member: its
+// client is dropped so every future answer that would need its (now
+// unknowable) contents is flagged partial/indeterminate instead of being
+// silently wrong. A spawn failure records the new member as unreachable
+// for the same reason; its dataset survives in the persisted stream the
+// spawner received.
+func (w *WritableCoordinator) splitLocked(ctx context.Context, srcID uint64) error {
+	if w.spawn == nil {
+		return errors.New("cluster: no spawner configured")
+	}
+	m := w.mem.Load()
+	src := m.clients[srcID]
+	if src == nil {
+		return fmt.Errorf("cluster: member %d has no reachable client", srcID)
+	}
+	var rule shard.SplitRule
+	auto := false
+	switch m.man.Kind {
+	case shard.Hash:
+		slots := m.man.MemberSlots(srcID)
+		if len(slots) < 2 {
+			return fmt.Errorf("cluster: member %d owns %d hash slots, cannot split", srcID, len(slots))
+		}
+		rule = shard.SplitRule{Kind: shard.Hash, NumSlots: m.man.NumSlots, Slots: slots[len(slots)/2:]}
+	case shard.KDSplit:
+		rule = shard.SplitRule{Kind: shard.KDSplit}
+		auto = true
+	default:
+		return fmt.Errorf("cluster: unknown routing kind %v", m.man.Kind)
+	}
+
+	res, err := src.SplitOut(ctx, rule, auto)
+	if err != nil {
+		if errors.Is(err, errRejected) {
+			return err // clean refusal: nothing moved, membership unchanged
+		}
+		return errors.Join(err, w.quarantineLocked(ctx, srcID))
+	}
+
+	newID := w.nextID
+	w.nextID++
+	member := shard.Member{
+		ID:      newID,
+		Name:    fmt.Sprintf("%s/split-%d", src.Name(), newID),
+		BaseSeq: res.Fence,
+		Points:  res.Points,
+		WPos:    res.WPos,
+		WNeg:    res.WNeg,
+	}
+	man2, err := m.man.ApplySplit(srcID, member, res.Rule)
+	if err != nil {
+		// The points already left the source; quarantining it keeps the
+		// accounting honest even on this (programmer-error) path.
+		return errors.Join(err, w.quarantineLocked(ctx, srcID))
+	}
+	clients2 := make(map[uint64]MutableShardClient, len(m.clients)+1)
+	for id, c := range m.clients {
+		clients2[id] = c
+	}
+	var spawnErr error
+	if client, err := w.spawn(ctx, member, res.Moved); err != nil {
+		spawnErr = fmt.Errorf("cluster: spawning member %d: %w", newID, err)
+	} else {
+		clients2[newID] = client
+	}
+	m2, err := w.buildMembership(ctx, man2, clients2)
+	if err != nil {
+		return errors.Join(spawnErr, err)
+	}
+	w.install(m2)
+	w.splits.Add(1)
+	if err := w.persist(man2); err != nil {
+		return errors.Join(spawnErr, err)
+	}
+	return spawnErr
+}
+
+// quarantineLocked drops a member's client after an ambiguous failure:
+// the member stays in the manifest (mass accounted, routing unchanged)
+// but is treated as unreachable, and the epoch advances so in-flight
+// queries re-scatter onto the degraded membership.
+func (w *WritableCoordinator) quarantineLocked(ctx context.Context, id uint64) error {
+	m := w.mem.Load()
+	clients2 := make(map[uint64]MutableShardClient, len(m.clients))
+	for cid, c := range m.clients {
+		if cid != id {
+			clients2[cid] = c
+		}
+	}
+	man2 := m.man.Clone()
+	man2.Epoch++
+	m2, err := w.buildMembership(ctx, man2, clients2)
+	if err != nil {
+		return err
+	}
+	w.install(m2)
+	return w.persist(man2)
+}
+
+// snapshot returns the current membership under an even generation,
+// waiting out an in-flight membership change (bounded by ctx).
+func (w *WritableCoordinator) snapshot(ctx context.Context) (*membership, uint64, error) {
+	for {
+		g := w.gen.Load()
+		if g%2 == 0 {
+			m := w.mem.Load()
+			if w.gen.Load() == g {
+				return m, g, nil
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// query runs fn against a consistent membership snapshot, re-scattering
+// when the generation advanced underneath it — the straddle could have
+// mixed pre- and post-split shard states into one sum.
+func query[T any](ctx context.Context, w *WritableCoordinator, fn func(*Coordinator) (T, error)) (T, error) {
+	var zero T
+	for attempt := 0; ; attempt++ {
+		m, g, err := w.snapshot(ctx)
+		if err != nil {
+			return zero, err
+		}
+		v, err := fn(m.co)
+		if w.gen.Load() == g {
+			return v, err
+		}
+		w.rescatters.Add(1)
+		if attempt >= w.cfg.EpochRetries {
+			return zero, fmt.Errorf("%w: %d re-scatters exhausted (epoch now %d)",
+				ErrEpochChanged, attempt+1, w.Epoch())
+		}
+	}
+}
+
+// Aggregate computes F_P(q) exactly over the current membership; see
+// Coordinator.Aggregate for the degradation contract.
+func (w *WritableCoordinator) Aggregate(ctx context.Context, q []float64) (Result, error) {
+	return query(ctx, w, func(co *Coordinator) (Result, error) { return co.Aggregate(ctx, q) })
+}
+
+// Threshold decides F_P(q) > τ over the current membership; see
+// Coordinator.Threshold.
+func (w *WritableCoordinator) Threshold(ctx context.Context, q []float64, tau float64) (ThresholdResult, error) {
+	return query(ctx, w, func(co *Coordinator) (ThresholdResult, error) { return co.Threshold(ctx, q, tau) })
+}
+
+// Approximate computes F_P(q) to relative error eps over the current
+// membership; see Coordinator.Approximate.
+func (w *WritableCoordinator) Approximate(ctx context.Context, q []float64, eps float64) (Result, error) {
+	return query(ctx, w, func(co *Coordinator) (Result, error) { return co.Approximate(ctx, q, eps) })
+}

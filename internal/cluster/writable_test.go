@@ -1,0 +1,625 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"karl"
+	"karl/internal/server"
+	"karl/internal/shard"
+)
+
+// newDynEngine builds an empty dynamic engine with a small seal size so
+// mutation streams exercise real multi-segment manifests.
+func newDynEngine(t testing.TB, kern karl.Kernel, kind karl.IndexKind) *karl.DynamicEngine {
+	t.Helper()
+	d, err := karl.NewDynamic(kern, karl.WithIndex(kind, 16), karl.WithSealSize(64))
+	if err != nil {
+		t.Fatalf("NewDynamic: %v", err)
+	}
+	return d
+}
+
+// localSpawn installs a split-off member in-process: the moved half
+// arrives as a persistence stream (the same wire unit a remote spawner
+// would receive) and comes back as a local mutable shard.
+func localSpawn(_ context.Context, member shard.Member, moved []byte) (MutableShardClient, error) {
+	d, err := karl.ReadDynamic(bytes.NewReader(moved))
+	if err != nil {
+		return nil, err
+	}
+	return NewLocalMutableShard(member.Name, d), nil
+}
+
+// foundWritable builds an n-member hash-routed writable cluster over
+// local mutable shards and returns it with the underlying engines.
+func foundWritable(t testing.TB, n int, kern karl.Kernel, kind karl.IndexKind, spawn SpawnFunc, cfg WritableConfig) (*WritableCoordinator, []*karl.DynamicEngine) {
+	t.Helper()
+	engines := make([]*karl.DynamicEngine, n)
+	founders := make([]WritableShard, n)
+	for i := range founders {
+		engines[i] = newDynEngine(t, kern, kind)
+		name := fmt.Sprintf("shard-%d", i)
+		founders[i] = WritableShard{Name: name, Client: NewLocalMutableShard(name, engines[i])}
+	}
+	wco, err := NewWritable(context.Background(), shard.Hash, founders, spawn, cfg)
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+	return wco, engines
+}
+
+func mustInsert(t *testing.T, wco *WritableCoordinator, pts [][]float64, w []float64) []uint64 {
+	t.Helper()
+	ids, err := wco.Insert(context.Background(), pts, w)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	return ids
+}
+
+// TestWritableEquivalence is the writable acceptance gate: after any
+// interleaving of routed inserts, deletes and a shard split, a 4-shard
+// writable coordinator must answer with the same ε/τ contracts as one
+// monolithic DynamicEngine fed the identical mutation stream — across
+// index structures, query types and kernels.
+func TestWritableEquivalence(t *testing.T) {
+	kinds := map[string]karl.IndexKind{"kd": karl.KDTree, "ball": karl.BallTree, "vp": karl.VPTree}
+	kernels := map[string]karl.Kernel{
+		"gaussian":     karl.Gaussian(0.5),
+		"epanechnikov": karl.Epanechnikov(0.2),
+		"sigmoid":      karl.Sigmoid(0.05, 0.1),
+	}
+	const eps = 0.05
+	ctx := context.Background()
+	for kindName, kind := range kinds {
+		for _, typ := range []string{"I", "II", "III"} {
+			for kernName, kern := range kernels {
+				t.Run(fmt.Sprintf("%s/%s/%s", kindName, typ, kernName), func(t *testing.T) {
+					wco, _ := foundWritable(t, 4, kern, kind, localSpawn, WritableConfig{})
+					mono := newDynEngine(t, kern, kind)
+
+					// Wave 1: bulk insert, then a delete pass.
+					pts1, w1 := dataset(360, 3, 7, typ)
+					gids := mustInsert(t, wco, pts1, w1)
+					mids, err := mono.InsertBulk(pts1, w1)
+					if err != nil {
+						t.Fatalf("mono.InsertBulk: %v", err)
+					}
+					for i := range pts1 {
+						if i%7 != 0 {
+							continue
+						}
+						if err := wco.Delete(ctx, gids[i]); err != nil {
+							t.Fatalf("Delete(%d): %v", gids[i], err)
+						}
+						if err := mono.Delete(mids[i]); err != nil {
+							t.Fatalf("mono.Delete(%d): %v", mids[i], err)
+						}
+					}
+
+					// Split member 1; half its hash slots (and their points)
+					// move to a freshly spawned fifth member.
+					if err := wco.Split(ctx, 1); err != nil {
+						t.Fatalf("Split: %v", err)
+					}
+					if wco.NumShards() != 5 {
+						t.Fatalf("NumShards = %d after split, want 5", wco.NumShards())
+					}
+
+					// Wave 2: more inserts over the grown membership, then
+					// deletes mixing pre-split ids (which chase the split
+					// lineage) with post-split ones.
+					pts2, w2 := dataset(120, 3, 8, typ)
+					gids2 := mustInsert(t, wco, pts2, w2)
+					mids2, err := mono.InsertBulk(pts2, w2)
+					if err != nil {
+						t.Fatalf("mono.InsertBulk: %v", err)
+					}
+					for i := range pts1 {
+						if i%7 == 0 || i%11 != 3 {
+							continue
+						}
+						if err := wco.Delete(ctx, gids[i]); err != nil {
+							t.Fatalf("post-split Delete(%d): %v", gids[i], err)
+						}
+						if err := mono.Delete(mids[i]); err != nil {
+							t.Fatalf("mono.Delete(%d): %v", mids[i], err)
+						}
+					}
+					for i := range pts2 {
+						if i%5 != 1 {
+							continue
+						}
+						if err := wco.Delete(ctx, gids2[i]); err != nil {
+							t.Fatalf("Delete(%d): %v", gids2[i], err)
+						}
+						if err := mono.Delete(mids2[i]); err != nil {
+							t.Fatalf("mono.Delete(%d): %v", mids2[i], err)
+						}
+					}
+
+					queries, _ := dataset(5, 3, 11, "I")
+					for qi, q := range queries {
+						exact, _, err := mono.AggregateStats(q)
+						if err != nil {
+							t.Fatalf("mono.Aggregate: %v", err)
+						}
+						scale := math.Max(math.Abs(exact), 1)
+
+						res, err := wco.Aggregate(ctx, q)
+						if err != nil {
+							t.Fatalf("q%d: Aggregate: %v", qi, err)
+						}
+						if res.Partial || res.Covered != 1 {
+							t.Fatalf("q%d: unexpected partial result %+v", qi, res)
+						}
+						if diff := math.Abs(res.Value - exact); diff > 1e-9*scale {
+							t.Errorf("q%d: aggregate %v, want %v (diff %g)", qi, res.Value, exact, diff)
+						}
+
+						margin := math.Max(0.05*math.Abs(exact), 1e-3)
+						for _, tau := range []float64{exact - margin, exact + margin} {
+							tr, err := wco.Threshold(ctx, q, tau)
+							if err != nil {
+								t.Fatalf("q%d: Threshold(%v): %v", qi, tau, err)
+							}
+							if want := exact > tau; tr.Over != want {
+								t.Errorf("q%d: threshold(%v) = %v, want %v (exact %v)", qi, tau, tr.Over, want, exact)
+							}
+						}
+
+						ar, err := wco.Approximate(ctx, q, eps)
+						if err != nil {
+							t.Fatalf("q%d: Approximate: %v", qi, err)
+						}
+						if tol := eps*math.Abs(exact) + 1e-9*scale; math.Abs(ar.Value-exact) > tol {
+							t.Errorf("q%d: approximate %v outside ±%g of %v", qi, ar.Value, tol, exact)
+						}
+						if ar.LB-1e-9*scale > exact || ar.UB+1e-9*scale < exact {
+							t.Errorf("q%d: exact %v outside certified [%v, %v]", qi, exact, ar.LB, ar.UB)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWritableIDRouting pins the cluster-global id scheme: ids decode to
+// the member that assigned them, deletes of moved points chase lineage,
+// and deleting a missing or twice-deleted id reports ErrPointNotFound.
+func TestWritableIDRouting(t *testing.T) {
+	ctx := context.Background()
+	wco, _ := foundWritable(t, 2, karl.Gaussian(1), karl.KDTree, localSpawn, WritableConfig{})
+	pts, _ := dataset(100, 2, 3, "I")
+	gids := mustInsert(t, wco, pts, nil)
+	for i, gid := range gids {
+		mid, _ := DecodeID(gid)
+		if wco.Manifest().Member(mid) == nil {
+			t.Fatalf("id %d of point %d names unknown member %d", gid, i, mid)
+		}
+		if want := wco.Manifest().Route(pts[i]); mid != want {
+			t.Fatalf("point %d landed on member %d, routing says %d", i, mid, want)
+		}
+	}
+	if err := wco.Delete(ctx, gids[0]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := wco.Delete(ctx, gids[0]); !errors.Is(err, karl.ErrPointNotFound) {
+		t.Fatalf("double delete: err = %v, want ErrPointNotFound", err)
+	}
+	// An id naming a member that was never part of the cluster.
+	bogus, err := EncodeID(99, 1)
+	if err != nil {
+		t.Fatalf("EncodeID: %v", err)
+	}
+	if err := wco.Delete(ctx, bogus); !errors.Is(err, karl.ErrPointNotFound) {
+		t.Fatalf("bogus member delete: err = %v, want ErrPointNotFound", err)
+	}
+	if _, err := EncodeID(1, 1<<48); err == nil {
+		t.Fatal("sequence overflowing the id fence must be rejected")
+	}
+}
+
+// TestWritableKDGrowth grows a kd-routed cluster from a single founding
+// member by automatic splits and checks that routing, lineage deletes and
+// answers stay consistent with a monolithic engine.
+func TestWritableKDGrowth(t *testing.T) {
+	ctx := context.Background()
+	kern := karl.Gaussian(0.5)
+	root := newDynEngine(t, kern, karl.KDTree)
+	wco, err := NewWritable(ctx, shard.KDSplit,
+		[]WritableShard{{Name: "root", Client: NewLocalMutableShard("root", root)}},
+		localSpawn, WritableConfig{MinSplitPoints: 64, SplitFactor: 2})
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+	mono := newDynEngine(t, kern, karl.KDTree)
+
+	pts, w := dataset(400, 3, 37, "II")
+	gids := mustInsert(t, wco, pts, w)
+	mids, err := mono.InsertBulk(pts, w)
+	if err != nil {
+		t.Fatalf("mono.InsertBulk: %v", err)
+	}
+	if wco.NumShards() < 2 || wco.Splits() < 1 {
+		t.Fatalf("automatic kd split did not fire: shards=%d splits=%d", wco.NumShards(), wco.Splits())
+	}
+	if wco.Epoch() < 2 {
+		t.Fatalf("epoch = %d after a split, want >= 2", wco.Epoch())
+	}
+
+	// Every pre-split id must still delete, wherever its point moved.
+	for i := range pts {
+		if i%3 != 0 {
+			continue
+		}
+		if err := wco.Delete(ctx, gids[i]); err != nil {
+			t.Fatalf("lineage delete of %d: %v", gids[i], err)
+		}
+		if err := mono.Delete(mids[i]); err != nil {
+			t.Fatalf("mono.Delete: %v", err)
+		}
+	}
+	pts2, w2 := dataset(150, 3, 38, "II")
+	mustInsert(t, wco, pts2, w2)
+	if _, err := mono.InsertBulk(pts2, w2); err != nil {
+		t.Fatalf("mono.InsertBulk: %v", err)
+	}
+
+	queries, _ := dataset(4, 3, 39, "I")
+	for qi, q := range queries {
+		exact, _, err := mono.AggregateStats(q)
+		if err != nil {
+			t.Fatalf("mono.Aggregate: %v", err)
+		}
+		res, err := wco.Aggregate(ctx, q)
+		if err != nil {
+			t.Fatalf("q%d: Aggregate: %v", qi, err)
+		}
+		if res.Partial {
+			t.Fatalf("q%d: unexpected partial result %+v", qi, res)
+		}
+		if diff := math.Abs(res.Value - exact); diff > 1e-9*math.Max(math.Abs(exact), 1) {
+			t.Errorf("q%d: aggregate %v, want %v", qi, res.Value, exact)
+		}
+	}
+}
+
+// TestWritableChaosMidSplit is the split-safety acceptance test: a shard
+// killed mid-split leaves the coordinator unable to know whether the
+// split was applied, so the member is quarantined and every answer that
+// would need its contents degrades to the partial/indeterminate contract
+// — never a silently wrong value, even after the shard comes back.
+func TestWritableChaosMidSplit(t *testing.T) {
+	ctx := context.Background()
+	kern := karl.Gaussian(0.5)
+	engines := make([]*karl.DynamicEngine, 2)
+	switches := make([]*downableHandler, 2)
+	founders := make([]WritableShard, 2)
+	for i := range founders {
+		engines[i] = newDynEngine(t, kern, karl.KDTree)
+		srv, err := server.NewMutable(engines[i])
+		if err != nil {
+			t.Fatalf("server.NewMutable: %v", err)
+		}
+		switches[i] = &downableHandler{inner: srv}
+		ts := httptest.NewServer(switches[i])
+		t.Cleanup(ts.Close)
+		founders[i] = WritableShard{Name: fmt.Sprintf("h%d", i), Client: NewHTTPShard(ts.URL)}
+	}
+	wco, err := NewWritable(ctx, shard.Hash, founders, localSpawn,
+		WritableConfig{Config: Config{Timeout: 2 * time.Second, Backoff: time.Millisecond}})
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+	pts, w := dataset(400, 3, 41, "II")
+	mustInsert(t, wco, pts, w)
+
+	q := []float64{0.2, -0.1, 0.5}
+	exactOf := func(d *karl.DynamicEngine) float64 {
+		v, _, err := d.AggregateStats(q)
+		if err != nil {
+			t.Fatalf("engine aggregate: %v", err)
+		}
+		return v
+	}
+	res, err := wco.Aggregate(ctx, q)
+	if err != nil || res.Partial {
+		t.Fatalf("healthy aggregate: res=%+v err=%v", res, err)
+	}
+	aliveF, deadF := exactOf(engines[0]), exactOf(engines[1])
+	if diff := math.Abs(res.Value - (aliveF + deadF)); diff > 1e-9 {
+		t.Fatalf("healthy value %v, want %v", res.Value, aliveF+deadF)
+	}
+	alivePos, aliveNeg := engines[0].WeightMass()
+	deadPos, deadNeg := engines[1].WeightMass()
+	aliveW, deadW := alivePos+aliveNeg, deadPos+deadNeg
+
+	// Kill member 2, then ask it to split: the response is lost, the
+	// coordinator cannot know whether the shard applied the extraction.
+	epoch0 := wco.Epoch()
+	switches[1].down.Store(true)
+	if err := wco.Split(ctx, 2); err == nil {
+		t.Fatal("split against a dead shard must fail")
+	}
+	if wco.Epoch() != epoch0+1 {
+		t.Fatalf("ambiguous split failure must advance the epoch: %d -> %d", epoch0, wco.Epoch())
+	}
+	if wco.NumShards() != 2 {
+		t.Fatalf("quarantine must not change membership size: %d", wco.NumShards())
+	}
+
+	// Aggregate: explicit partial covering exactly the live mass.
+	res, err = wco.Aggregate(ctx, q)
+	if err != nil {
+		t.Fatalf("degraded aggregate: %v", err)
+	}
+	if !res.Partial || len(res.Failed) != 1 {
+		t.Fatalf("degraded aggregate should be partial with one failed member: %+v", res)
+	}
+	if want := aliveW / (aliveW + deadW); math.Abs(res.Covered-want) > 1e-9 {
+		t.Fatalf("covered = %v, want %v", res.Covered, want)
+	}
+	if math.Abs(res.Value-aliveF) > 1e-9*math.Max(math.Abs(aliveF), 1) {
+		t.Fatalf("partial value %v, want live mass %v", res.Value, aliveF)
+	}
+
+	// Threshold inside the quarantined member's a-priori interval: any
+	// verdict would be a guess.
+	if _, err := wco.Threshold(ctx, q, aliveF+deadW/2); !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("risky threshold: err = %v, want ErrIndeterminate", err)
+	}
+	// Threshold the live shards already clear: decidable despite the loss.
+	tr, err := wco.Threshold(ctx, q, aliveF/2)
+	if err != nil {
+		t.Fatalf("safe threshold: %v", err)
+	}
+	if !tr.Over {
+		t.Fatalf("safe threshold should decide over: %+v", tr)
+	}
+
+	// Reviving the process does not lift the quarantine — its contents are
+	// permanently unknowable (it may or may not have applied the split).
+	switches[1].down.Store(false)
+	res, err = wco.Aggregate(ctx, q)
+	if err != nil {
+		t.Fatalf("post-revival aggregate: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("a revived quarantined member must stay out of the answers")
+	}
+
+	// Writes that route to the quarantined member are refused loudly.
+	more, _ := dataset(50, 3, 43, "I")
+	if _, err := wco.Insert(ctx, more, nil); err == nil {
+		t.Fatal("insert routing to a quarantined member must fail")
+	}
+}
+
+// TestWritableSplitCleanRefusal pins the other failure class: a shard
+// that REJECTS a split (degenerate data, HTTP 409) has provably applied
+// no side effect, so the membership and the answers stay exactly as
+// they were.
+func TestWritableSplitCleanRefusal(t *testing.T) {
+	ctx := context.Background()
+	d := newDynEngine(t, karl.Gaussian(1), karl.KDTree)
+	srv, err := server.NewMutable(d)
+	if err != nil {
+		t.Fatalf("server.NewMutable: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	wco, err := NewWritable(ctx, shard.KDSplit,
+		[]WritableShard{{Name: "solo", Client: NewHTTPShard(ts.URL)}},
+		localSpawn, WritableConfig{})
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+	// Fifty copies of one point: no axis cut can separate them.
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{1, 2}
+	}
+	mustInsert(t, wco, pts, nil)
+
+	epoch0 := wco.Epoch()
+	if err := wco.Split(ctx, 1); err == nil {
+		t.Fatal("splitting degenerate data must fail")
+	}
+	if wco.Epoch() != epoch0 {
+		t.Fatalf("clean refusal must not advance the epoch: %d -> %d", epoch0, wco.Epoch())
+	}
+	if wco.NumShards() != 1 {
+		t.Fatalf("clean refusal must not change membership: %d members", wco.NumShards())
+	}
+	res, err := wco.Aggregate(ctx, []float64{1, 2})
+	if err != nil || res.Partial {
+		t.Fatalf("after clean refusal: res=%+v err=%v", res, err)
+	}
+	if math.Abs(res.Value-50) > 1e-9 {
+		t.Fatalf("value %v, want 50 (fifty unit weights at the query point)", res.Value)
+	}
+}
+
+// TestWritableManifestPersistence checks the epoch-versioned manifest
+// file: every membership change lands on disk, the persisted routing
+// agrees with the live one, and a second coordinator founding onto the
+// same path is refused as stale.
+func TestWritableManifestPersistence(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "cluster.manifest")
+	engines := make([]*karl.DynamicEngine, 2)
+	founders := make([]WritableShard, 2)
+	for i := range founders {
+		engines[i] = newDynEngine(t, karl.Gaussian(1), karl.KDTree)
+		name := fmt.Sprintf("m%d", i)
+		founders[i] = WritableShard{Name: name, Client: NewLocalMutableShard(name, engines[i])}
+	}
+	wco, err := NewWritable(ctx, shard.Hash, founders, localSpawn, WritableConfig{ManifestPath: path})
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+	pts, _ := dataset(300, 2, 47, "I")
+	mustInsert(t, wco, pts, nil)
+	if err := wco.Split(ctx, 1); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+
+	man, err := LoadManifest(path)
+	if err != nil {
+		t.Fatalf("LoadManifest: %v", err)
+	}
+	if man.Epoch != wco.Epoch() {
+		t.Fatalf("persisted epoch %d, live epoch %d", man.Epoch, wco.Epoch())
+	}
+	if len(man.Members) != 3 {
+		t.Fatalf("persisted members = %d, want 3", len(man.Members))
+	}
+	live := wco.Manifest()
+	probes, _ := dataset(50, 2, 48, "I")
+	for _, p := range probes {
+		if man.Route(p) != live.Route(p) {
+			t.Fatalf("persisted and live manifests route %v differently", p)
+		}
+	}
+
+	// A fresh coordinator founding over the same path would write epoch 1
+	// behind the on-disk epoch 2 — refused as stale.
+	fresh := []WritableShard{{Name: "f", Client: NewLocalMutableShard("f", newDynEngine(t, karl.Gaussian(1), karl.KDTree))}}
+	if _, err := NewWritable(ctx, shard.Hash, fresh, nil, WritableConfig{ManifestPath: path}); !errors.Is(err, shard.ErrStaleManifest) {
+		t.Fatalf("founding onto a newer manifest: err = %v, want ErrStaleManifest", err)
+	}
+}
+
+// doJSON drives the writable facade with raw HTTP.
+func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestWritableHTTPSurface drives the coordinator's writable HTTP facade:
+// routed inserts and deletes next to the read surface, with cluster-global
+// ids on the wire.
+func TestWritableHTTPSurface(t *testing.T) {
+	wco, engines := foundWritable(t, 2, karl.Gaussian(1), karl.KDTree, localSpawn, WritableConfig{})
+	front := httptest.NewServer(NewWritableHTTPServer(wco))
+	t.Cleanup(front.Close)
+
+	pts, _ := dataset(60, 2, 51, "I")
+	status, body := doJSON(t, http.MethodPost, front.URL+"/v1/insert", map[string]any{"points": pts})
+	if status != http.StatusOK {
+		t.Fatalf("insert status %d: %s", status, body)
+	}
+	var ins ClusterInsertResponse
+	if err := json.Unmarshal(body, &ins); err != nil {
+		t.Fatalf("decode insert response: %v", err)
+	}
+	if ins.Inserted != len(pts) || len(ins.IDs) != len(pts) || ins.Epoch == 0 {
+		t.Fatalf("insert response %+v", ins)
+	}
+
+	status, body = doJSON(t, http.MethodGet, front.URL+"/v1/info", nil)
+	if status != http.StatusOK {
+		t.Fatalf("info status %d", status)
+	}
+	var info ClusterInfoResponse
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("decode info: %v", err)
+	}
+	if !info.Writable || info.Points != len(pts) || info.Dims != 2 {
+		t.Fatalf("info %+v", info)
+	}
+
+	q := []float64{0.1, -0.2}
+	var want float64
+	for _, d := range engines {
+		v, _, err := d.AggregateStats(q)
+		if err != nil {
+			t.Fatalf("engine aggregate: %v", err)
+		}
+		want += v
+	}
+	status, body = doJSON(t, http.MethodPost, front.URL+"/v1/aggregate", map[string]any{"q": q})
+	if status != http.StatusOK {
+		t.Fatalf("aggregate status %d: %s", status, body)
+	}
+	var val ClusterValueResponse
+	if err := json.Unmarshal(body, &val); err != nil {
+		t.Fatalf("decode aggregate: %v", err)
+	}
+	if math.Abs(val.Value-want) > 1e-9 {
+		t.Fatalf("aggregate %v, want %v", val.Value, want)
+	}
+
+	status, body = doJSON(t, http.MethodDelete, front.URL+"/v1/point", map[string]any{"id": ins.IDs[0]})
+	if status != http.StatusOK {
+		t.Fatalf("delete status %d: %s", status, body)
+	}
+	var del ClusterDeleteResponse
+	if err := json.Unmarshal(body, &del); err != nil {
+		t.Fatalf("decode delete: %v", err)
+	}
+	if del.Deleted != 1 {
+		t.Fatalf("delete response %+v", del)
+	}
+	if status, _ = doJSON(t, http.MethodDelete, front.URL+"/v1/point", map[string]any{"id": ins.IDs[0]}); status != http.StatusNotFound {
+		t.Fatalf("double delete status %d, want 404", status)
+	}
+	if status, _ = doJSON(t, http.MethodPost, front.URL+"/v1/insert", map[string]any{}); status != http.StatusBadRequest {
+		t.Fatalf("empty insert status %d, want 400", status)
+	}
+	if status, _ = doJSON(t, http.MethodPost, front.URL+"/v1/insert",
+		map[string]any{"p": []float64{1, 2}, "points": pts}); status != http.StatusBadRequest {
+		t.Fatalf("ambiguous insert status %d, want 400", status)
+	}
+}
+
+// BenchmarkClusterInsertHeavy is the CI smoke number for the write path:
+// bulk inserts routed through a 4-shard hash coordinator, with automatic
+// splitting armed.
+func BenchmarkClusterInsertHeavy(b *testing.B) {
+	wco, _ := foundWritable(b, 4, karl.Gaussian(0.5), karl.KDTree, localSpawn,
+		WritableConfig{MinSplitPoints: 1 << 20})
+	pts, w := dataset(256, 5, 61, "II")
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wco.Insert(ctx, pts, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

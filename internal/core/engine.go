@@ -95,6 +95,12 @@ func (e *Engine) Clone() *Engine {
 	return c
 }
 
+// SetWorkers overrides the intra-query parallel refinement width for this
+// engine view (n ≤ 1 restores the sequential loop) — the post-construction
+// form of WithWorkers, for pools that arm clones per request. See
+// Forest.SetWorkers for the determinism contract.
+func (e *Engine) SetWorkers(n int) { e.f.SetWorkers(n) }
+
 // Tree exposes the underlying index (read-only by convention).
 func (e *Engine) Tree() *index.Tree { return e.one[0] }
 

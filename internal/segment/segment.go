@@ -300,15 +300,27 @@ func (o MergeOpts) keep(seq uint64, hasSeq bool, t int64, hasTime bool) bool {
 	return true
 }
 
-// Merge concatenates the segments' points oldest-first, each restored to
-// its insertion order, drops the rows opts tombstones or expires, and
-// builds one segment over the survivors. mem optionally appends a trailing
-// memtable run (the full-compaction path); pass a zero MemRun for pure
-// segment merges. The merged segment carries the provenance of its
-// inputs: it is a coreset iff any input was, with the accumulated Eps,
-// and it tracks sequence numbers iff every input did. A merge whose every
-// row is dropped returns (nil, nil): the inputs simply disappear.
-func Merge(segs []*Segment, mem MemRun, opts MergeOpts, cfg BuildConfig, id uint64) (*Segment, error) {
+// gathered is the flat row image a merge or divide collects before
+// building: every surviving input row restored to insertion order
+// (segments oldest-first, then the memtable run), weights rescaled onto
+// the shared decay reference, plus the provenance the output segment(s)
+// inherit.
+type gathered struct {
+	m     *vec.Matrix
+	w     []float64 // nil when every input was unweighted and no decay ran
+	seqs  []uint64  // nil when any input lost sequence tracking
+	times []int64
+	rows  int
+
+	isCoreset bool
+	eps       float64
+	ref       int64 // the output decay reference (0 when decay is off)
+}
+
+// gather restores and filters the inputs of a merge or divide into one
+// flat insertion-ordered row image. A result with rows == 0 means every
+// input row was tombstoned or expired.
+func gather(segs []*Segment, mem MemRun, opts MergeOpts) (*gathered, error) {
 	total := mem.N
 	for _, s := range segs {
 		total += s.Len()
@@ -392,31 +404,119 @@ func Merge(segs []*Segment, mem MemRun, opts MergeOpts, cfg BuildConfig, id uint
 		}
 		row++
 	}
+	g := &gathered{rows: row, isCoreset: isCoreset, eps: eps}
+	if opts.HalfLife > 0 {
+		g.ref = opts.NewRef
+	}
 	if row == 0 {
-		return nil, nil // every row tombstoned or expired
+		return g, nil
 	}
-	m = &vec.Matrix{Data: m.Data[:row*dims], Rows: row, Cols: dims}
-	w = w[:row]
-	if seqs != nil {
-		seqs = seqs[:row]
-	}
-	if times != nil {
-		times = times[:row]
-	}
+	g.m = &vec.Matrix{Data: m.Data[:row*dims], Rows: row, Cols: dims}
 	// Drop the materialized unit weights when every input was unweighted,
 	// so a full merge reproduces a monolithic unit-weight build exactly.
-	if !hasWeights {
-		w = nil
+	if hasWeights {
+		g.w = w[:row]
+	}
+	if seqs != nil {
+		g.seqs = seqs[:row]
+	}
+	if times != nil {
+		g.times = times[:row]
+	}
+	return g, nil
+}
+
+// build indexes the gathered rows selected by sel (nil = all) as one
+// segment with the given id, preserving their relative order.
+func (g *gathered) build(sel []int, cfg BuildConfig, id uint64) (*Segment, error) {
+	m, w, seqs, times := g.m, g.w, g.seqs, g.times
+	if sel != nil {
+		m = vec.NewMatrix(len(sel), g.m.Cols)
+		if g.w != nil {
+			w = make([]float64, len(sel))
+		}
+		if g.seqs != nil {
+			seqs = make([]uint64, len(sel))
+		}
+		if g.times != nil {
+			times = make([]int64, len(sel))
+		}
+		for i, r := range sel {
+			copy(m.Row(i), g.m.Row(r))
+			if w != nil {
+				w[i] = g.w[r]
+			}
+			if seqs != nil {
+				seqs[i] = g.seqs[r]
+			}
+			if times != nil {
+				times[i] = g.times[r]
+			}
+		}
 	}
 	tree, err := cfg.Build(m, w)
 	if err != nil {
 		return nil, err
 	}
-	var ref int64
-	if opts.HalfLife > 0 {
-		ref = opts.NewRef
+	return New(tree, id, g.isCoreset, g.eps, seqs, times, g.ref), nil
+}
+
+// Merge concatenates the segments' points oldest-first, each restored to
+// its insertion order, drops the rows opts tombstones or expires, and
+// builds one segment over the survivors. mem optionally appends a trailing
+// memtable run (the full-compaction path); pass a zero MemRun for pure
+// segment merges. The merged segment carries the provenance of its
+// inputs: it is a coreset iff any input was, with the accumulated Eps,
+// and it tracks sequence numbers iff every input did. A merge whose every
+// row is dropped returns (nil, nil): the inputs simply disappear.
+func Merge(segs []*Segment, mem MemRun, opts MergeOpts, cfg BuildConfig, id uint64) (*Segment, error) {
+	g, err := gather(segs, mem, opts)
+	if err != nil {
+		return nil, err
 	}
-	return New(tree, id, isCoreset, eps, seqs, times, ref), nil
+	if g.rows == 0 {
+		return nil, nil // every row tombstoned or expired
+	}
+	return g.build(nil, cfg, id)
+}
+
+// Divide is the splitting counterpart of Merge — the segment-shipping
+// primitive behind cluster shard splits. It gathers the inputs exactly
+// like Merge (insertion order restored, tombstoned and expired rows
+// dropped, weights rebased onto the shared decay reference), then routes
+// every surviving row by pred over its coordinates: rows with pred false
+// build the KEEP segment (id keepID), rows with pred true the MOVE
+// segment (id moveID). Either side may come back nil when pred sent
+// nothing its way. Relative insertion order is preserved within each
+// side, so both halves remain valid sealed segments whose sequence
+// numbers keep resolving.
+func Divide(segs []*Segment, mem MemRun, opts MergeOpts, pred func(p []float64) bool, cfg BuildConfig, keepID, moveID uint64) (keep, move *Segment, err error) {
+	g, err := gather(segs, mem, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if g.rows == 0 {
+		return nil, nil, nil
+	}
+	var keepSel, moveSel []int
+	for r := 0; r < g.rows; r++ {
+		if pred(g.m.Row(r)) {
+			moveSel = append(moveSel, r)
+		} else {
+			keepSel = append(keepSel, r)
+		}
+	}
+	if len(keepSel) > 0 {
+		if keep, err = g.build(keepSel, cfg, keepID); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(moveSel) > 0 {
+		if move, err = g.build(moveSel, cfg, moveID); err != nil {
+			return nil, nil, err
+		}
+	}
+	return keep, move, nil
 }
 
 // mergeAppend restores one segment to insertion order, filters it through

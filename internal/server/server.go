@@ -19,6 +19,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,24 +27,25 @@ import (
 	"net/http"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"karl"
+	"karl/internal/shard"
 )
 
-// queryEngine is the query surface the server needs from an engine; both
-// the static *karl.Engine and the mutable *karl.DynamicEngine provide it.
-type queryEngine interface {
-	Len() int
-	Dims() int
-	Kernel() karl.Kernel
-	WeightMass() (pos, neg float64)
-	AggregateStats(q []float64) (float64, karl.Stats, error)
-	ThresholdStats(q []float64, tau float64) (bool, karl.Stats, error)
-	ApproximateStats(q []float64, eps float64) (float64, karl.Stats, error)
-	BatchAggregateStats(queries [][]float64, workers int) ([]float64, karl.Stats, error)
-	BatchThresholdStats(queries [][]float64, tau float64, workers int) ([]bool, karl.Stats, error)
-	BatchApproximateStats(queries [][]float64, eps float64, workers int) ([]float64, karl.Stats, error)
-	DualTreeStats() karl.DualTreeStats
+// lsmStats is the optional deep-introspection surface a segmented engine
+// exposes beyond karl.MutableEngine: manifest shape and maintenance
+// counters for /v1/info and /v1/stats. *karl.DynamicEngine provides it;
+// a mutable engine without it simply reports zeros there.
+type lsmStats interface {
+	Segments() []karl.SegmentInfo
+	MemtableLen() int
+	Seals() int
+	Compactions() int
+	Tombstones() int
+	Deletes() int
+	TTL() time.Duration
+	DecayHalfLife() time.Duration
 }
 
 // Server wraps an engine with an HTTP handler. All endpoints accept and
@@ -55,9 +57,17 @@ type Server struct {
 	dims    int
 	maxBody int64
 
-	// dyn is set by NewMutable: the engine the insert endpoint feeds and
-	// the segment/epoch introspection source. nil for static serving.
-	dyn *karl.DynamicEngine
+	// refineWorkers > 1 arms every pooled clone with intra-query parallel
+	// refinement of that width (karl.WithRefineWorkers wired into the
+	// per-request path); single-query endpoints served this way count in
+	// the /v1/stats refine block.
+	refineWorkers int
+
+	// dyn is set by NewMutable: the engine the write endpoints feed. lsm
+	// is its optional introspection surface (nil when the engine lacks
+	// it). Both nil for static serving.
+	dyn karl.MutableEngine
+	lsm lsmStats
 
 	// Sketch tier (nil pools when disabled): a coreset engine with
 	// normalized error bound sketchEps serves /v1/approximate requests
@@ -73,9 +83,10 @@ type Server struct {
 type Option func(*config)
 
 type config struct {
-	poolSize  int
-	sketchEps float64
-	maxBody   int64
+	poolSize      int
+	sketchEps     float64
+	maxBody       int64
+	refineWorkers int
 }
 
 // defaultMaxBody bounds POST request bodies when WithMaxBodyBytes is not
@@ -91,6 +102,13 @@ func WithPoolSize(n int) Option { return func(c *config) { c.poolSize = n } }
 // WithMaxBodyBytes bounds every POST request body (default 32 MiB).
 // Oversized bodies are rejected with 413 before they can exhaust memory.
 func WithMaxBodyBytes(n int64) Option { return func(c *config) { c.maxBody = n } }
+
+// WithRefineWorkers arms every pooled clone with intra-query parallel
+// refinement of width n (n ≤ 1 keeps the sequential loop) — the serving
+// form of karl.WithRefineWorkers, applied on the per-request path since
+// each request refines on its own clone. Single-query endpoints served
+// with parallel refinement are counted in the /v1/stats refine block.
+func WithRefineWorkers(n int) Option { return func(c *config) { c.refineWorkers = n } }
 
 // WithSketchTier enables tiered serving: at construction the engine is
 // sketched down to a coreset (karl.Engine.Sketch) with normalized error
@@ -123,10 +141,11 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("server: max body bytes %d out of range", cfg.maxBody)
 	}
 	s := &Server{
-		pool:    newEnginePool(eng, func() queryEngine { return eng.Clone() }, cfg.poolSize),
-		mux:     http.NewServeMux(),
-		dims:    eng.Dims(),
-		maxBody: cfg.maxBody,
+		pool:          newEnginePool(eng, cloneFunc(eng, cfg.refineWorkers), cfg.poolSize),
+		mux:           http.NewServeMux(),
+		dims:          eng.Dims(),
+		maxBody:       cfg.maxBody,
+		refineWorkers: cfg.refineWorkers,
 	}
 	if cfg.sketchEps != 0 {
 		if !isFinite(cfg.sketchEps) || cfg.sketchEps <= 0 || cfg.sketchEps >= 1 {
@@ -137,7 +156,7 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 			return nil, fmt.Errorf("server: sketch tier: %w", err)
 		}
 		info, _ := skEng.SketchInfo()
-		s.sketch = newEnginePool(skEng, func() queryEngine { return skEng.Clone() }, cfg.poolSize)
+		s.sketch = newEnginePool(skEng, cloneFunc(skEng, cfg.refineWorkers), cfg.poolSize)
 		s.sketchEps = info.Eps
 		s.sketchLen = skEng.Len()
 	}
@@ -146,11 +165,12 @@ func New(eng *karl.Engine, opts ...Option) (*Server, error) {
 	return s, nil
 }
 
-// NewMutable builds a server around a dynamic (segmented) engine: the
-// query endpoints of New plus POST /v1/insert and DELETE /v1/point, with
-// segment and manifest epoch introspection in /v1/info and /v1/stats. The sketch tier is not
+// NewMutable builds a server around a mutable (segmented) engine: the
+// query endpoints of New plus POST /v1/insert, DELETE /v1/point and POST
+// /v1/split, with segment and manifest epoch introspection in /v1/info
+// and /v1/stats when the engine exposes it. The sketch tier is not
 // supported — a static coreset cannot track a growing dataset.
-func NewMutable(d *karl.DynamicEngine, opts ...Option) (*Server, error) {
+func NewMutable(d karl.MutableEngine, opts ...Option) (*Server, error) {
 	if d == nil {
 		return nil, errors.New("server: nil engine")
 	}
@@ -168,17 +188,35 @@ func NewMutable(d *karl.DynamicEngine, opts ...Option) (*Server, error) {
 		return nil, errors.New("server: sketch tier requires a static engine")
 	}
 	s := &Server{
-		pool:    newEnginePool(d, func() queryEngine { return d.Clone() }, cfg.poolSize),
-		mux:     http.NewServeMux(),
-		dims:    d.Dims(),
-		dyn:     d,
-		maxBody: cfg.maxBody,
+		pool:          newEnginePool(d, cloneFunc(d, cfg.refineWorkers), cfg.poolSize),
+		mux:           http.NewServeMux(),
+		dims:          d.Dims(),
+		dyn:           d,
+		maxBody:       cfg.maxBody,
+		refineWorkers: cfg.refineWorkers,
 	}
+	s.lsm, _ = d.(lsmStats)
 	s.routes()
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("DELETE /v1/point", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/split", s.handleSplit)
 	s.warm()
 	return s, nil
+}
+
+// cloneFunc builds the pool's clone factory: a fresh query view of the
+// template, armed with the server's refine-worker override when one is
+// configured.
+func cloneFunc(template karl.QueryEngine, workers int) func() karl.QueryEngine {
+	return func() karl.QueryEngine {
+		c := template.CloneQuery()
+		if workers > 1 {
+			if rw, ok := c.(interface{ SetRefineWorkers(int) }); ok {
+				rw.SetRefineWorkers(workers)
+			}
+		}
+		return c
+	}
 }
 
 // warm seeds the clone pools with one ready clone each, so the first
@@ -213,18 +251,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // manifest epoch any released clone had armed — how current the pool's
 // executors are relative to the advancing dataset.
 type enginePool struct {
-	template    queryEngine
-	clone       func() queryEngine
-	idle        chan queryEngine
+	template    karl.QueryEngine
+	clone       func() karl.QueryEngine
+	idle        chan karl.QueryEngine
 	clones      atomic.Int64
 	servedEpoch atomic.Uint64
 }
 
-func newEnginePool(template queryEngine, clone func() queryEngine, size int) *enginePool {
-	return &enginePool{template: template, clone: clone, idle: make(chan queryEngine, size)}
+func newEnginePool(template karl.QueryEngine, clone func() karl.QueryEngine, size int) *enginePool {
+	return &enginePool{template: template, clone: clone, idle: make(chan karl.QueryEngine, size)}
 }
 
-func (p *enginePool) acquire() queryEngine {
+func (p *enginePool) acquire() karl.QueryEngine {
 	select {
 	case e := <-p.idle:
 		return e
@@ -234,8 +272,8 @@ func (p *enginePool) acquire() queryEngine {
 	}
 }
 
-func (p *enginePool) release(e queryEngine) {
-	if d, ok := e.(*karl.DynamicEngine); ok {
+func (p *enginePool) release(e karl.QueryEngine) {
+	if d, ok := e.(interface{ ArmedEpoch() (uint64, bool) }); ok {
 		if epoch, armed := d.ArmedEpoch(); armed {
 			for {
 				cur := p.servedEpoch.Load()
@@ -399,10 +437,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.dyn != nil {
 		resp.Mutable = true
-		resp.Segments = len(s.dyn.Segments())
-		resp.WindowSeconds = s.dyn.TTL().Seconds()
-		resp.HalfLifeSeconds = s.dyn.DecayHalfLife().Seconds()
-		resp.Tombstones = s.dyn.Tombstones()
+		if s.lsm != nil {
+			resp.Segments = len(s.lsm.Segments())
+			resp.WindowSeconds = s.lsm.TTL().Seconds()
+			resp.HalfLifeSeconds = s.lsm.DecayHalfLife().Seconds()
+			resp.Tombstones = s.lsm.Tombstones()
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -428,20 +468,30 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Pool:         s.sketch.stats(),
 		}
 	}
+	if s.refineWorkers > 1 {
+		resp.Refine = &RefineStats{
+			Workers: s.refineWorkers,
+			Queries: s.met.refineQueries.Load(),
+		}
+	}
 	if s.dyn != nil {
 		resp.Endpoints["insert"] = s.met.insert.snapshot()
 		resp.Endpoints["delete"] = s.met.del.snapshot()
-		resp.Mutable = &MutableStats{
+		resp.Endpoints["split"] = s.met.split.snapshot()
+		ms := &MutableStats{
 			Epoch:       s.dyn.Epoch(),
 			ServedEpoch: s.pool.servedEpoch.Load(),
-			Segments:    len(s.dyn.Segments()),
-			MemtableLen: s.dyn.MemtableLen(),
-			Seals:       s.dyn.Seals(),
-			Compactions: s.dyn.Compactions(),
 			Points:      s.dyn.Len(),
-			Tombstones:  s.dyn.Tombstones(),
-			Deletes:     s.dyn.Deletes(),
 		}
+		if s.lsm != nil {
+			ms.Segments = len(s.lsm.Segments())
+			ms.MemtableLen = s.lsm.MemtableLen()
+			ms.Seals = s.lsm.Seals()
+			ms.Compactions = s.lsm.Compactions()
+			ms.Tombstones = s.lsm.Tombstones()
+			ms.Deletes = s.lsm.Deletes()
+		}
+		resp.Mutable = ms
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -547,7 +597,16 @@ func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.record(1, st)
+	s.countRefine()
 	writeJSON(w, http.StatusOK, BoundsResponse{Value: v, LB: st.LB, UB: st.UB})
+}
+
+// countRefine counts one single-query request served by a clone armed
+// with parallel refinement, for the /v1/stats refine block.
+func (s *Server) countRefine() {
+	if s.refineWorkers > 1 {
+		s.met.refineQueries.Add(1)
+	}
 }
 
 // validateBounds checks a /v1/bounds request: like an approximate budget,
@@ -659,11 +718,137 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	m.record(len(ids), karl.Stats{})
-	writeJSON(w, http.StatusOK, DeleteResponse{
-		Deleted:    len(ids),
-		Len:        s.dyn.Len(),
-		Tombstones: s.dyn.Tombstones(),
-		Epoch:      s.dyn.Epoch(),
+	resp := DeleteResponse{
+		Deleted: len(ids),
+		Len:     s.dyn.Len(),
+		Epoch:   s.dyn.Epoch(),
+	}
+	if s.lsm != nil {
+		resp.Tombstones = s.lsm.Tombstones()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SplitRequest is the POST /v1/split body: the routing rule whose
+// matching half should leave this shard. Kind "hash" moves the listed
+// slots of an FNV slot space ("num_slots", "slots"); kind "kd" moves the
+// p[dim] ≥ cut half — give "dim" and "cut" together, or omit both to let
+// the engine choose a balanced plane (the median of its widest
+// dimension).
+type SplitRequest struct {
+	Kind     string   `json:"kind"`
+	Dim      *int     `json:"dim,omitempty"`
+	Cut      *float64 `json:"cut,omitempty"`
+	NumSlots int      `json:"num_slots,omitempty"`
+	Slots    []uint64 `json:"slots,omitempty"`
+}
+
+// SplitResponse reports a completed split: the rule actually applied
+// (with an engine-chosen kd plane filled in), the moved half as a
+// standard engine persistence stream (base64 in JSON — segment shipping),
+// and the shard afterwards. NextSeq is the id fence at the split instant:
+// ids below it may live on either side, ids the two engines assign later
+// never collide.
+type SplitResponse struct {
+	Kind        string   `json:"kind"`
+	Dim         int      `json:"dim,omitempty"`
+	Cut         float64  `json:"cut,omitempty"`
+	NumSlots    int      `json:"num_slots,omitempty"`
+	Slots       []uint64 `json:"slots,omitempty"`
+	Moved       []byte   `json:"moved"`
+	MovedPoints int      `json:"moved_points"`
+	MovedWPos   float64  `json:"moved_wpos"`
+	MovedWNeg   float64  `json:"moved_wneg,omitempty"`
+	Len         int      `json:"len"`
+	NextSeq     uint64   `json:"next_seq"`
+	Epoch       uint64   `json:"epoch"`
+}
+
+// handleSplit extracts the half of this shard matching the posted rule
+// into a serialized engine the caller installs elsewhere — the shard side
+// of a coordinator-driven split. Writes block for the duration; queries
+// keep serving the pre-split snapshot and switch atomically.
+func (s *Server) handleSplit(w http.ResponseWriter, r *http.Request) {
+	m := &s.met.split
+	m.requests.Add(1)
+	var req SplitRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, m, err)
+		return
+	}
+	kind, err := shard.ParseKind(req.Kind)
+	if err != nil {
+		fail(w, m, err)
+		return
+	}
+	rule := shard.SplitRule{Kind: kind}
+	switch kind {
+	case shard.Hash:
+		if req.Dim != nil || req.Cut != nil {
+			fail(w, m, errors.New(`"dim"/"cut" belong to kind "kd"`))
+			return
+		}
+		if req.NumSlots <= 0 || len(req.Slots) == 0 {
+			fail(w, m, errors.New(`kind "hash" requires "num_slots" and a non-empty "slots"`))
+			return
+		}
+		rule.NumSlots, rule.Slots = req.NumSlots, req.Slots
+	case shard.KDSplit:
+		if req.NumSlots != 0 || req.Slots != nil {
+			fail(w, m, errors.New(`"num_slots"/"slots" belong to kind "hash"`))
+			return
+		}
+		switch {
+		case req.Dim != nil && req.Cut != nil:
+			if !isFinite(*req.Cut) {
+				fail(w, m, fmt.Errorf("cut must be finite, got %v", *req.Cut))
+				return
+			}
+			rule.Dim, rule.Cut = *req.Dim, *req.Cut
+		case req.Dim == nil && req.Cut == nil:
+			dim, cut, err := s.dyn.SplitPlane()
+			if err != nil {
+				// No separating plane exists (empty, single-point or
+				// degenerate data): the shard cannot split right now.
+				fail(w, m, &requestError{status: http.StatusConflict, msg: err.Error()})
+				return
+			}
+			rule.Dim, rule.Cut = dim, cut
+		default:
+			fail(w, m, errors.New(`give "dim" and "cut" together, or neither`))
+			return
+		}
+	}
+	pred, err := rule.Pred()
+	if err != nil {
+		fail(w, m, err)
+		return
+	}
+	moved, err := s.dyn.Split(pred)
+	if err != nil {
+		fail(w, m, &requestError{status: http.StatusInternalServerError, msg: err.Error()})
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := moved.WriteTo(&buf); err != nil {
+		fail(w, m, &requestError{status: http.StatusInternalServerError, msg: err.Error()})
+		return
+	}
+	m.record(moved.Len(), karl.Stats{})
+	wpos, wneg := moved.WeightMass()
+	writeJSON(w, http.StatusOK, SplitResponse{
+		Kind:        kind.String(),
+		Dim:         rule.Dim,
+		Cut:         rule.Cut,
+		NumSlots:    rule.NumSlots,
+		Slots:       rule.Slots,
+		Moved:       buf.Bytes(),
+		MovedPoints: moved.Len(),
+		MovedWPos:   wpos,
+		MovedWNeg:   wneg,
+		Len:         s.dyn.Len(),
+		NextSeq:     moved.NextSeq(),
+		Epoch:       s.dyn.Epoch(),
 	})
 }
 
@@ -682,6 +867,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.record(1, st)
+	s.countRefine()
 	writeJSON(w, http.StatusOK, ValueResponse{v})
 }
 
@@ -700,6 +886,7 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.record(1, st)
+	s.countRefine()
 	writeJSON(w, http.StatusOK, BoolResponse{over})
 }
 
@@ -729,6 +916,7 @@ func (s *Server) handleApproximate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.countTier(req.EpsNorm, sketched, 1)
 	m.record(1, st)
+	s.countRefine()
 	writeJSON(w, http.StatusOK, ValueResponse{v})
 }
 
@@ -770,7 +958,7 @@ func (s *Server) countTier(epsNorm float64, sketched bool, n int) {
 // approximateSketch serves one query from the coreset engine with the
 // leftover budget rem = ε_norm − ε_sketch. A zero leftover degrades to the
 // exact aggregate over the coreset — still a tiny scan.
-func approximateSketch(eng queryEngine, q []float64, rem float64) (float64, karl.Stats, error) {
+func approximateSketch(eng karl.QueryEngine, q []float64, rem float64) (float64, karl.Stats, error) {
 	if rem > 0 {
 		return eng.ApproximateStats(q, rem)
 	}

@@ -1,0 +1,35 @@
+package karl
+
+import (
+	"encoding/gob"
+	"io"
+	"os"
+	"testing"
+
+	"karl/internal/shard"
+)
+
+// TestMain pins the gob type-registration order before any test runs.
+// encoding/gob assigns wire type ids process-wide, in order of first use,
+// and the golden fixtures under testdata/persist embed those ids — so a
+// test that happens to serialize one payload kind before another would
+// shift the ids every later encode in the process uses and break the
+// byte-for-byte fixture comparisons, with the failure depending on which
+// tests were selected. Registering the persisted types here, in the order
+// a fresh process writing an engine file meets them, makes fixture bytes
+// independent of test selection and ordering.
+func TestMain(m *testing.M) {
+	for _, v := range []any{enginePayload{}, dynamicPayload{}} {
+		if err := gob.NewEncoder(io.Discard).Encode(v); err != nil {
+			panic(err)
+		}
+	}
+	man, err := shard.NewManifest(shard.Hash, []shard.Member{{ID: 1, Name: "pin"}})
+	if err == nil {
+		_, err = man.WriteTo(io.Discard)
+	}
+	if err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}

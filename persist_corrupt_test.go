@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"karl/internal/shard"
 )
 
 // TestReadEngineRejectsTruncated checks every truncation point of a valid
@@ -91,6 +93,50 @@ func TestReadDynamicRejectsBadVersionAndGarbage(t *testing.T) {
 	}
 	if _, err := ReadDynamic(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty stream accepted")
+	}
+}
+
+// TestClusterManifestRejectsTruncated puts the dynamic cluster manifest
+// (the writable coordinator's routing/membership file) through the same
+// truncation gauntlet as the engine streams: every prefix of a valid
+// stream must fail loudly, and the full stream must load back with the
+// epoch intact.
+func TestClusterManifestRejectsTruncated(t *testing.T) {
+	man, err := shard.NewManifest(shard.Hash, []shard.Member{
+		{ID: 1, Name: "a", Points: 90, WPos: 45.5},
+		{ID: 2, Name: "b", Points: 110, WPos: 54, WNeg: 1.5},
+		{ID: 3, Name: "c", Points: 70, WPos: 36},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := man.MemberSlots(2)
+	man, err = man.ApplySplit(2, shard.Member{ID: 4, Name: "b/split-4", BaseSeq: 111},
+		shard.SplitRule{Kind: shard.Hash, NumSlots: man.NumSlots, Slots: slots[len(slots)/2:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := man.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0, 0.1, 0.5, 0.9, 0.99} {
+		cut := int(frac * float64(len(full)))
+		if _, err := shard.ReadManifest(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("manifest truncated to %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	if _, err := shard.ReadManifest(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Fatal("manifest short by one byte accepted")
+	}
+	loaded, err := shard.ReadManifest(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("full manifest rejected: %v", err)
+	}
+	if loaded.Epoch != man.Epoch || len(loaded.Members) != len(man.Members) {
+		t.Fatalf("manifest round trip drifted: epoch %d/%d, members %d/%d",
+			loaded.Epoch, man.Epoch, len(loaded.Members), len(man.Members))
 	}
 }
 

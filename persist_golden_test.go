@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"karl/internal/shard"
 )
 
 // -update regenerates the golden persistence fixtures under
@@ -119,6 +121,28 @@ func downgradeDynamicPayloadV6(p dynamicPayload) dynamicPayload {
 	return p
 }
 
+// goldenManifest deterministically builds the cluster manifest fixture:
+// a hash-routed membership taken through one split, so the wire image
+// pins epoch, lineage and slot reassignment. Changing it invalidates the
+// fixture.
+func goldenManifest(t testing.TB) *shard.Manifest {
+	t.Helper()
+	man, err := shard.NewManifest(shard.Hash, []shard.Member{
+		{ID: 1, Name: "s0", Points: 128, WPos: 64.5},
+		{ID: 2, Name: "s1", Points: 128, WPos: 63, WNeg: 1.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := man.MemberSlots(1)
+	man, err = man.ApplySplit(1, shard.Member{ID: 3, Name: "s0/split-3", BaseSeq: 129, Points: 60, WPos: 30.25},
+		shard.SplitRule{Kind: shard.Hash, NumSlots: man.NumSlots, Slots: slots[len(slots)/2:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man
+}
+
 // goldenBytes renders every fixture from the deterministic builders.
 func goldenBytes(t testing.TB) map[string][]byte {
 	t.Helper()
@@ -165,6 +189,12 @@ func goldenBytes(t testing.TB) map[string][]byte {
 		t.Fatal(err)
 	}
 	enc("v6_dynamic.bin", downgradeDynamicPayloadV6(mdp))
+
+	var manBuf bytes.Buffer
+	if _, err := goldenManifest(t).WriteTo(&manBuf); err != nil {
+		t.Fatal(err)
+	}
+	out["manifest_v1.bin"] = manBuf.Bytes()
 	return out
 }
 
@@ -251,6 +281,42 @@ func TestGoldenStaticFixturesLoad(t *testing.T) {
 		if math.Abs(got-wantHere) > 1e-9*(1+math.Abs(wantHere)) {
 			t.Errorf("%s: diverged: %v vs %v", name, got, wantHere)
 		}
+	}
+}
+
+// TestGoldenManifestFixtureLoads pins the cluster-manifest wire format:
+// the committed fixture loads through shard.ReadManifest, matches the
+// deterministic builder field for field (epoch, lineage, routing), and
+// rewrites bitwise.
+func TestGoldenManifestFixtureLoads(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(goldenDir, "manifest_v1.bin"))
+	if err != nil {
+		t.Fatalf("%v (run: go test -run TestGoldenFixturesCurrent -update)", err)
+	}
+	man, err := shard.ReadManifest(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("manifest fixture rejected: %v", err)
+	}
+	ref := goldenManifest(t)
+	if man.Epoch != ref.Epoch || man.Kind != ref.Kind || len(man.Members) != len(ref.Members) {
+		t.Fatalf("fixture shape drifted: %+v vs %+v", man, ref)
+	}
+	if got := man.Member(3); got == nil || got.Parent != 1 || got.BaseSeq != 129 {
+		t.Fatalf("fixture lineage drifted: %+v", got)
+	}
+	rng := rand.New(rand.NewSource(619))
+	for i := 0; i < 200; i++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if man.Route(p) != ref.Route(p) {
+			t.Fatalf("fixture routes %v to %d, builder to %d", p, man.Route(p), ref.Route(p))
+		}
+	}
+	var rt bytes.Buffer
+	if _, err := man.WriteTo(&rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rt.Bytes(), raw) {
+		t.Fatal("manifest fixture does not rewrite bitwise")
 	}
 }
 
