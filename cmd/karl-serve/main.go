@@ -60,8 +60,12 @@
 // POST /v1/insert and DELETE /v1/point to the owning shard through a
 // -partition manifest (hash slots over any shard count, or kd which must
 // start from exactly one shard). Returned point ids are cluster-global.
-// -manifest persists membership epochs across restarts of the shards'
-// routing table:
+// -manifest persists the epoch-versioned routing table: when the file
+// already exists at startup the coordinator resumes from it — epoch,
+// routing and split lineage carry over, the -shards clients re-attach to
+// the persisted members by URL, and previously issued point ids keep
+// resolving; a fresh epoch-1 cluster is founded only when the file is
+// absent:
 //
 //	karl-serve -coordinator -mutable -partition hash \
 //	    -shards http://s0:8080,http://s1:8080 -manifest cluster.manifest
@@ -125,7 +129,7 @@ func main() {
 
 	if *coordinator {
 		if *mutable {
-			serveWritableCoordinator(*shardAddrs, *addr, *partition, *manifest,
+			serveWritableCoordinator(*shardAddrs, *addr, *partition, *manifest, flagWasSet("partition"),
 				*shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
 		} else {
 			serveCoordinator(*shardAddrs, *addr, *shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
@@ -187,6 +191,18 @@ func main() {
 	}
 
 	run(srv, banner, *addr, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
+}
+
+// flagWasSet reports whether a flag appeared explicitly on the command
+// line (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	found := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			found = true
+		}
+	})
+	return found
 }
 
 // validateFlags rejects contradictory invocations up front: flags that
@@ -293,7 +309,15 @@ func serveCoordinator(shardAddrs, addr string, shardTO, readTO, writeTO, idleTO,
 // spawner for fresh shard processes, which a static -shards list cannot
 // provide, so automatic splits are disabled here; membership still
 // persists through -manifest.
-func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath string, shardTO, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
+//
+// When -manifest names an existing file, the coordinator RESUMES from
+// it: the persisted epoch, routing and lineage carry over and the
+// -shards clients re-attach to the manifest's members by URL (members
+// without a reachable shard serve as unreachable, degrading answers to
+// the explicit partial contract). Only when the file is absent is a
+// fresh epoch-1 cluster founded — founding over an existing file would
+// be refused as a stale-epoch write anyway.
+func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath string, partitionSet bool, shardTO, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
 	kind, err := shard.ParseKind(partition)
 	if err != nil {
 		log.Fatalf("karl-serve: -partition: %v", err)
@@ -313,15 +337,40 @@ func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath string, 
 		}
 		shards[i] = cluster.WritableShard{Name: hs.Name(), Client: hs}
 	}
-	co, err := cluster.NewWritable(context.Background(), kind, shards, nil, cluster.WritableConfig{
+	cfg := cluster.WritableConfig{
 		Config:       cluster.Config{Timeout: shardTO},
 		ManifestPath: manifestPath,
-	})
-	if err != nil {
-		log.Fatalf("karl-serve: %v", err)
 	}
-	banner := fmt.Sprintf("coordinating writable cluster: %d points (%d dims, %s kernel) across %d shards (%s partition, epoch %d) on %s",
-		co.Points(), co.Dims(), co.KernelName(), co.NumShards(), kind, co.Epoch(), addr)
+
+	var co *cluster.WritableCoordinator
+	verb := "coordinating"
+	if manifestPath != "" {
+		man, err := cluster.LoadManifest(manifestPath)
+		switch {
+		case err == nil:
+			if partitionSet && man.Kind != kind {
+				log.Fatalf("karl-serve: -partition %s disagrees with the persisted manifest's %s routing; drop the flag to resume, or point -manifest elsewhere to found fresh", kind, man.Kind)
+			}
+			kind = man.Kind
+			co, err = cluster.ResumeWritable(context.Background(), man, shards, nil, cfg)
+			if err != nil {
+				log.Fatalf("karl-serve: resuming from %s: %v", manifestPath, err)
+			}
+			verb = "resuming"
+		case errors.Is(err, os.ErrNotExist):
+			// No manifest yet: found fresh below.
+		default:
+			log.Fatalf("karl-serve: loading manifest %s: %v", manifestPath, err)
+		}
+	}
+	if co == nil {
+		co, err = cluster.NewWritable(context.Background(), kind, shards, nil, cfg)
+		if err != nil {
+			log.Fatalf("karl-serve: %v", err)
+		}
+	}
+	banner := fmt.Sprintf("%s writable cluster: %d points (%d dims, %s kernel) across %d shards (%s partition, epoch %d) on %s",
+		verb, co.Points(), co.Dims(), co.KernelName(), co.NumShards(), kind, co.Epoch(), addr)
 	run(cluster.NewWritableHTTPServer(co), banner, addr, readTO, writeTO, idleTO, headerTO, drainTO)
 }
 

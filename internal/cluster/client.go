@@ -440,20 +440,30 @@ func (s *HTTPShard) do(req *http.Request, dst any) error {
 		var envelope struct {
 			Error string `json:"error"`
 		}
+		structured := json.Unmarshal(body, &envelope) == nil && envelope.Error != ""
 		msg := fmt.Sprintf("HTTP %d", resp.StatusCode)
-		if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+		if structured {
 			msg = fmt.Sprintf("%s (HTTP %d)", envelope.Error, resp.StatusCode)
 		}
-		if resp.StatusCode == http.StatusNotFound {
-			// The server 404s unknown point ids; surface the sentinel so
-			// delete routing can distinguish "not here" from "shard broken".
-			return fmt.Errorf("cluster: shard %s: %s: %w: %w", s.base, msg, errRejected, karl.ErrPointNotFound)
-		}
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			// A 4xx means the server rejected the request before any side
-			// effect — the split orchestrator relies on this to tell a clean
-			// refusal from an ambiguous transport failure.
-			return fmt.Errorf("cluster: shard %s: %s: %w", s.base, msg, errRejected)
+		// Only a status carrying the server's structured error envelope is
+		// a verdict FROM the karl-serve handler. A bare 404/405 comes from
+		// the route mux (a shard not running -mutable, a wrong base URL) or
+		// an intermediary — mapping it to ErrPointNotFound would let the
+		// coordinator's lineage chase swallow a misconfigured shard as
+		// "point not found", and treating it as a clean pre-side-effect
+		// refusal would be a guess about a server we evidently don't know.
+		if structured {
+			if resp.StatusCode == http.StatusNotFound {
+				// The server 404s unknown point ids; surface the sentinel so
+				// delete routing can distinguish "not here" from "shard broken".
+				return fmt.Errorf("cluster: shard %s: %s: %w: %w", s.base, msg, errRejected, karl.ErrPointNotFound)
+			}
+			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+				// A 4xx means the server rejected the request before any side
+				// effect — the split orchestrator relies on this to tell a clean
+				// refusal from an ambiguous transport failure.
+				return fmt.Errorf("cluster: shard %s: %s: %w", s.base, msg, errRejected)
+			}
 		}
 		return fmt.Errorf("cluster: shard %s: %s", s.base, msg)
 	}

@@ -109,6 +109,18 @@ type ClusterInsertResponse struct {
 	Epoch    uint64   `json:"epoch"`
 }
 
+// ClusterInsertErrorResponse reports an insert that failed mid-batch: the
+// cross-member request is not transactional, so some points may already
+// have landed. IDs is index-aligned with the request points; a non-zero
+// entry is the cluster-global id of a point that DID land (0 is never a
+// valid id), so the caller can delete the orphans or skip them on retry
+// instead of duplicating them.
+type ClusterInsertErrorResponse struct {
+	Error    string   `json:"error"`
+	Inserted int      `json:"inserted"`
+	IDs      []uint64 `json:"ids"`
+}
+
 // ClusterDeleteResponse reports a routed delete.
 type ClusterDeleteResponse struct {
 	Deleted int    `json:"deleted"`
@@ -236,6 +248,21 @@ func (s *HTTPServer) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := s.wco.Insert(r.Context(), points, weights)
 	if err != nil {
+		if len(ids) > 0 {
+			// Mid-batch failure with points already landed: report their
+			// ids so the caller can roll back or dedup a retry.
+			landed := 0
+			for _, id := range ids {
+				if id != 0 {
+					landed++
+				}
+			}
+			s.errors.Add(1)
+			writeJSON(w, s.queryStatus(err), ClusterInsertErrorResponse{
+				Error: err.Error(), Inserted: landed, IDs: ids,
+			})
+			return
+		}
 		s.fail(w, s.queryStatus(err), err)
 		return
 	}

@@ -10,7 +10,11 @@
 // changes so a query that straddles one (and could therefore mix
 // pre-split and post-split shard snapshots into one sum) is detected and
 // re-scattered against the new membership instead of returning a
-// silently incomplete answer.
+// silently incomplete answer. Crucially the counter goes odd BEFORE the
+// destructive step of a split — the SplitOut that drops the moved half
+// from the source shard — and even only once the new membership is
+// published, so reads hold (or re-scatter) across the entire window in
+// which the moved mass is in flight and owned by no queryable member.
 package cluster
 
 import (
@@ -90,6 +94,12 @@ type WritableConfig struct {
 	// EpochRetries bounds how often a query is re-scattered after
 	// straddling a membership change before ErrEpochChanged (default 2).
 	EpochRetries int
+	// SplitCheckEvery throttles the automatic split trigger: the probe
+	// (one Info round trip per member, serialized under the write lock)
+	// runs only after this many points have been inserted since the last
+	// probe — running it on every Insert would put N network round trips
+	// on every write. Default MinSplitPoints/4.
+	SplitCheckEvery int
 }
 
 func (c WritableConfig) withDefaults() WritableConfig {
@@ -105,6 +115,12 @@ func (c WritableConfig) withDefaults() WritableConfig {
 	}
 	if c.EpochRetries <= 0 {
 		c.EpochRetries = 2
+	}
+	if c.SplitCheckEvery <= 0 {
+		c.SplitCheckEvery = c.MinSplitPoints / 4
+		if c.SplitCheckEvery < 1 {
+			c.SplitCheckEvery = 1
+		}
 	}
 	return c
 }
@@ -132,8 +148,9 @@ type WritableCoordinator struct {
 	cfg   WritableConfig
 	spawn SpawnFunc
 
-	mu     sync.Mutex // serializes writes, splits, membership installs
-	nextID uint64     // next member id to assign
+	mu         sync.Mutex // serializes writes, splits, membership installs
+	nextID     uint64     // next member id to assign
+	sinceProbe int        // points inserted since the last split probe
 
 	// gen is even between membership changes and odd while one is in
 	// flight; a query whose start and end generations differ (or that
@@ -170,7 +187,7 @@ func NewWritable(ctx context.Context, kind shard.Kind, shards []WritableShard, s
 		return nil, err
 	}
 	w := &WritableCoordinator{cfg: cfg, spawn: spawn, nextID: uint64(len(shards) + 1)}
-	m, err := w.buildMembership(ctx, man, clients)
+	m, err := w.buildMembership(ctx, man, clients, false)
 	if err != nil {
 		return nil, err
 	}
@@ -181,11 +198,80 @@ func NewWritable(ctx context.Context, kind shard.Kind, shards []WritableShard, s
 	return w, nil
 }
 
+// ResumeWritable restarts a coordinator over a previously persisted
+// manifest (LoadManifest): membership, routing, lineage and the epoch all
+// come from the manifest, so cluster-global ids handed out before the
+// restart keep resolving. shards supplies clients for the members that
+// are reachable again, matched to manifest members by name (karl-serve
+// uses the shard base URL as the name, so the same -shards list
+// re-attaches). A member with no matching client — or whose client does
+// not answer — serves as an unreachable stub: its weight mass stays in
+// the coverage denominator, so answers degrade to the explicit partial
+// contract until the operator restores it. A shard whose name matches no
+// manifest member is rejected loudly: it belongs to a different cluster.
+//
+// Nothing is persisted at resume time — the manifest on disk already
+// carries this epoch, and persist refuses epoch regressions; the next
+// membership change writes epoch+1 as usual.
+func ResumeWritable(ctx context.Context, man *shard.Manifest, shards []WritableShard, spawn SpawnFunc, cfg WritableConfig) (*WritableCoordinator, error) {
+	cfg = cfg.withDefaults()
+	byName := make(map[string]uint64, len(man.Members))
+	dup := map[string]bool{}
+	next := uint64(1)
+	for _, mb := range man.Members {
+		if _, seen := byName[mb.Name]; seen {
+			dup[mb.Name] = true
+		}
+		byName[mb.Name] = mb.ID
+		if mb.ID >= next {
+			next = mb.ID + 1
+		}
+	}
+	clients := make(map[uint64]MutableShardClient, len(shards))
+	for i, sp := range shards {
+		if sp.Client == nil {
+			return nil, fmt.Errorf("cluster: resumed shard %d has no client", i)
+		}
+		name := sp.Name
+		if name == "" {
+			name = sp.Client.Name()
+		}
+		id, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("cluster: shard %q does not appear in manifest epoch %d", name, man.Epoch)
+		}
+		if dup[name] {
+			return nil, fmt.Errorf("cluster: manifest has several members named %q; cannot match a client unambiguously", name)
+		}
+		if clients[id] != nil {
+			return nil, fmt.Errorf("cluster: duplicate client for member %q", name)
+		}
+		clients[id] = sp.Client
+	}
+	w := &WritableCoordinator{cfg: cfg, spawn: spawn, nextID: next}
+	m, err := w.buildMembership(ctx, man.Clone(), clients, true)
+	if err != nil {
+		return nil, err
+	}
+	w.mem.Store(m)
+	return w, nil
+}
+
 // buildMembership assembles one epoch: advisory member stats refreshed
 // from live Infos, a read coordinator over the client set (unreachable
 // members get a down stub so their mass stays in the coverage
 // denominator), and the clients map as given.
-func (w *WritableCoordinator) buildMembership(ctx context.Context, man *shard.Manifest, clients map[uint64]MutableShardClient) (*membership, error) {
+//
+// In strict mode (founding) a client that does not answer its Info probe
+// fails the whole construction — an operator error worth surfacing
+// before serving anything. In lenient mode (membership installs while
+// the cluster is live, and resume) the member is served to the read
+// coordinator as a down stub instead, so the install always goes through
+// — critical after a split, where failing to install would leave reads
+// running against a source shard that already dropped the moved half.
+// The client itself stays in the map: the outage may be transient, and
+// writes plus the next membership build will re-probe it.
+func (w *WritableCoordinator) buildMembership(ctx context.Context, man *shard.Manifest, clients map[uint64]MutableShardClient, lenient bool) (*membership, error) {
 	// Refresh advisory stats and capture the dataset identity from any
 	// live member, so down stubs present consistent Info.
 	var proto ShardInfo
@@ -195,6 +281,9 @@ func (w *WritableCoordinator) buildMembership(ctx context.Context, man *shard.Ma
 		info, err := c.Info(ictx)
 		cancel()
 		if err != nil {
+			if lenient {
+				continue // absent from infos: served as a down stub below
+			}
 			return nil, fmt.Errorf("cluster: member %d (%s): %w", id, c.Name(), err)
 		}
 		infos[id] = info
@@ -259,7 +348,9 @@ func (d downShard) Bounds(context.Context, []float64, float64) (Bounds, error) {
 }
 
 // install publishes a new membership under the seqlock: gen goes odd,
-// the snapshot swaps, gen goes even. Callers hold w.mu.
+// the snapshot swaps, gen goes even. Callers hold w.mu and must NOT
+// already hold the generation odd (splitLocked brackets the whole split
+// itself and stores the snapshot directly).
 func (w *WritableCoordinator) install(m *membership) {
 	w.gen.Add(1) // odd: queries in flight will re-scatter
 	w.mem.Store(m)
@@ -349,10 +440,15 @@ func (w *WritableCoordinator) Health(ctx context.Context) []ShardHealth {
 // Insert routes points to their owning members via the manifest and
 // returns cluster-global ids (member ⊕ engine-local id), in input order.
 // Inserts are serialized with membership changes; per-member batches are
-// all-or-nothing but the cross-member request is not transactional — an
-// error names how many points already landed. A successful insert may
+// all-or-nothing but the cross-member request is not transactional. On a
+// mid-batch failure the error names how many points already landed AND
+// the returned slice still carries their ids: entries are non-zero
+// exactly for the points that landed (0 is never a valid cluster id —
+// member ids start at 1), so the caller can delete the orphans or skip
+// them on a retry instead of duplicating them. A successful insert may
 // trigger an automatic shard split (spawn configured, weight imbalance
-// over SplitFactor); split failures never fail the insert.
+// over SplitFactor, probed once every SplitCheckEvery inserted points);
+// split failures never fail the insert.
 func (w *WritableCoordinator) Insert(ctx context.Context, points [][]float64, weights []float64) ([]uint64, error) {
 	if len(points) == 0 {
 		return nil, errors.New("cluster: empty insert")
@@ -376,11 +472,19 @@ func (w *WritableCoordinator) Insert(ctx context.Context, points [][]float64, we
 	}
 	ids := make([]uint64, len(points))
 	landed := 0
+	// partial reports the ids assigned so far alongside a mid-batch error
+	// (nil when nothing landed — there are no orphans to report).
+	partial := func() []uint64 {
+		if landed == 0 {
+			return nil
+		}
+		return ids
+	}
 	for _, mid := range order {
 		idxs := groups[mid]
 		c := m.clients[mid]
 		if c == nil {
-			return nil, fmt.Errorf("cluster: member %d (%s) is unreachable (%d of %d points landed)",
+			return partial(), fmt.Errorf("cluster: member %d (%s) is unreachable (%d of %d points landed; non-zero returned ids name them)",
 				mid, m.man.Member(mid).Name, landed, len(points))
 		}
 		pts := make([][]float64, len(idxs))
@@ -396,30 +500,35 @@ func (w *WritableCoordinator) Insert(ctx context.Context, points [][]float64, we
 		}
 		local, err := c.Insert(ctx, pts, ws)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: member %d (%s): %w (%d of %d points landed)",
+			return partial(), fmt.Errorf("cluster: member %d (%s): %w (%d of %d points landed; non-zero returned ids name them)",
 				mid, c.Name(), err, landed, len(points))
 		}
 		if len(local) != len(idxs) {
-			return nil, fmt.Errorf("cluster: member %d returned %d ids for %d points", mid, len(local), len(idxs))
+			return partial(), fmt.Errorf("cluster: member %d returned %d ids for %d points (%d of %d points landed; non-zero returned ids name them)",
+				mid, len(local), len(idxs), landed, len(points))
 		}
 		for j, i := range idxs {
 			gid, err := EncodeID(mid, local[j])
 			if err != nil {
-				return nil, err
+				return partial(), err
 			}
 			ids[i] = gid
+			landed++
 		}
-		landed += len(idxs)
 	}
 	if m.co.dims == 0 {
 		// The founding members were empty; the read coordinator pinned
 		// dims at 0. Rebuild it now that the dataset has a dimensionality.
-		if m2, err := w.buildMembership(ctx, m.man, m.clients); err == nil {
+		if m2, err := w.buildMembership(ctx, m.man, m.clients, true); err == nil {
 			w.install(m2)
 			m = m2
 		}
 	}
-	w.maybeSplitLocked(ctx)
+	w.sinceProbe += len(points)
+	if w.sinceProbe >= w.cfg.SplitCheckEvery {
+		w.sinceProbe = 0
+		w.maybeSplitLocked(ctx)
+	}
 	return ids, nil
 }
 
@@ -480,7 +589,10 @@ func lineageCandidates(man *shard.Manifest, mid, seq uint64) []uint64 {
 // splits when its live weight mass exceeds SplitFactor times the mean of
 // its peers (a lone member always qualifies), it holds at least
 // MinSplitPoints points, and the membership has room. Failures are
-// swallowed — splitting is maintenance, not a write-path obligation.
+// swallowed — splitting is maintenance, not a write-path obligation. The
+// probe costs one Info round trip per member under the write lock, so
+// the insert path invokes it only once every SplitCheckEvery inserted
+// points rather than on every call.
 func (w *WritableCoordinator) maybeSplitLocked(ctx context.Context) {
 	if w.spawn == nil {
 		return
@@ -547,6 +659,16 @@ func (w *WritableCoordinator) Split(ctx context.Context, memberID uint64) error 
 // silently wrong. A spawn failure records the new member as unreachable
 // for the same reason; its dataset survives in the persisted stream the
 // spawner received.
+//
+// The generation counter goes odd immediately before SplitOut and even
+// only on return: from the instant the source shard drops the moved half
+// until the post-split membership is published, the moved mass belongs to
+// no queryable member, so a read that ran to completion inside that
+// window would return a silently reduced sum. Holding the seqlock odd
+// makes such reads wait (snapshot polls, bounded by their context) and
+// makes reads that started earlier re-scatter — the window can span
+// spawn/Info round trips, trading read latency during a split for the
+// never-silently-wrong contract.
 func (w *WritableCoordinator) splitLocked(ctx context.Context, srcID uint64) error {
 	if w.spawn == nil {
 		return errors.New("cluster: no spawner configured")
@@ -571,6 +693,11 @@ func (w *WritableCoordinator) splitLocked(ctx context.Context, srcID uint64) err
 	default:
 		return fmt.Errorf("cluster: unknown routing kind %v", m.man.Kind)
 	}
+
+	// Destructive step ahead: seqlock odd across the whole split so no
+	// read completes against the half-moved state (see the doc comment).
+	w.gen.Add(1)
+	defer w.gen.Add(1)
 
 	res, err := src.SplitOut(ctx, rule, auto)
 	if err != nil {
@@ -606,11 +733,17 @@ func (w *WritableCoordinator) splitLocked(ctx context.Context, srcID uint64) err
 	} else {
 		clients2[newID] = client
 	}
-	m2, err := w.buildMembership(ctx, man2, clients2)
+	// Lenient build: a member that does not answer its Info probe is
+	// served as a down stub rather than failing the install — aborting
+	// here would leave reads on a membership whose source shard already
+	// dropped the moved half.
+	m2, err := w.buildMembership(ctx, man2, clients2, true)
 	if err != nil {
 		return errors.Join(spawnErr, err)
 	}
-	w.install(m2)
+	// Published inside the odd-generation window splitLocked holds; the
+	// deferred increment makes it visible to waiting reads.
+	w.mem.Store(m2)
 	w.splits.Add(1)
 	if err := w.persist(man2); err != nil {
 		return errors.Join(spawnErr, err)
@@ -621,7 +754,9 @@ func (w *WritableCoordinator) splitLocked(ctx context.Context, srcID uint64) err
 // quarantineLocked drops a member's client after an ambiguous failure:
 // the member stays in the manifest (mass accounted, routing unchanged)
 // but is treated as unreachable, and the epoch advances so in-flight
-// queries re-scatter onto the degraded membership.
+// queries re-scatter onto the degraded membership. Callers hold both
+// w.mu and the odd-generation window of splitLocked, so the snapshot is
+// stored directly — the caller's deferred increment publishes it.
 func (w *WritableCoordinator) quarantineLocked(ctx context.Context, id uint64) error {
 	m := w.mem.Load()
 	clients2 := make(map[uint64]MutableShardClient, len(m.clients))
@@ -632,11 +767,11 @@ func (w *WritableCoordinator) quarantineLocked(ctx context.Context, id uint64) e
 	}
 	man2 := m.man.Clone()
 	man2.Epoch++
-	m2, err := w.buildMembership(ctx, man2, clients2)
+	m2, err := w.buildMembership(ctx, man2, clients2, true)
 	if err != nil {
 		return err
 	}
-	w.install(m2)
+	w.mem.Store(m2)
 	return w.persist(man2)
 }
 

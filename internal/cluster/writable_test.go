@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -621,5 +622,319 @@ func BenchmarkClusterInsertHeavy(b *testing.B) {
 		if _, err := wco.Insert(ctx, pts, w); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestWritableSplitHoldsReads pins the split-window read contract: from
+// the instant SplitOut drops the moved half out of the source shard until
+// the post-split membership is installed, the moved mass belongs to no
+// queryable member — a read that completed inside that window would
+// return a silently reduced sum. The generation seqlock must therefore
+// hold reads across the whole window (they block until their context
+// expires or the split finishes), never letting one through.
+func TestWritableSplitHoldsReads(t *testing.T) {
+	ctx := context.Background()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	spawn := func(ctx context.Context, member shard.Member, moved []byte) (MutableShardClient, error) {
+		close(entered) // SplitOut is done; the moved half is in flight
+		<-release
+		return localSpawn(ctx, member, moved)
+	}
+	wco, _ := foundWritable(t, 2, karl.Gaussian(1), karl.KDTree, spawn, WritableConfig{})
+	pts, _ := dataset(300, 2, 71, "I")
+	mustInsert(t, wco, pts, nil)
+
+	q := []float64{0.1, 0.2}
+	full, err := wco.Aggregate(ctx, q)
+	if err != nil || full.Partial {
+		t.Fatalf("pre-split aggregate: res=%+v err=%v", full, err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- wco.Split(context.Background(), 1) }()
+	<-entered
+
+	// Mid-window read: must block on the seqlock, not return a value.
+	qctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if res, err := wco.Aggregate(qctx, q); err == nil {
+		t.Fatalf("mid-split aggregate returned %+v; the source shard already dropped the moved half", res)
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-split aggregate: err = %v, want the read held until its deadline", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	res, err := wco.Aggregate(ctx, q)
+	if err != nil || res.Partial {
+		t.Fatalf("post-split aggregate: res=%+v err=%v", res, err)
+	}
+	if diff := math.Abs(res.Value - full.Value); diff > 1e-9*math.Max(math.Abs(full.Value), 1) {
+		t.Fatalf("post-split value %v, want pre-split %v", res.Value, full.Value)
+	}
+}
+
+// TestWritableResume pins the restart path: a coordinator rebuilt from
+// the persisted manifest carries the epoch, routing and split lineage
+// forward — pre-restart cluster-global ids keep resolving, answers match,
+// and the next membership change persists epoch+1 instead of tripping
+// the stale-epoch guard. Members the resumed shard list cannot reach
+// serve as unreachable, degrading answers to the explicit partial
+// contract; a shard naming no manifest member is rejected.
+func TestWritableResume(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "cluster.manifest")
+	spawned := map[string]MutableShardClient{}
+	spawn := func(ctx context.Context, member shard.Member, moved []byte) (MutableShardClient, error) {
+		c, err := localSpawn(ctx, member, moved)
+		if err == nil {
+			spawned[member.Name] = c
+		}
+		return c, err
+	}
+	engines := make([]*karl.DynamicEngine, 2)
+	founders := make([]WritableShard, 2)
+	for i := range founders {
+		engines[i] = newDynEngine(t, karl.Gaussian(1), karl.KDTree)
+		name := fmt.Sprintf("m%d", i)
+		founders[i] = WritableShard{Name: name, Client: NewLocalMutableShard(name, engines[i])}
+	}
+	wco, err := NewWritable(ctx, shard.Hash, founders, spawn, WritableConfig{ManifestPath: path})
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+	pts, _ := dataset(300, 2, 53, "I")
+	gids := mustInsert(t, wco, pts, nil)
+	if err := wco.Split(ctx, 1); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	q := []float64{0.3, -0.2}
+	want, err := wco.Aggregate(ctx, q)
+	if err != nil || want.Partial {
+		t.Fatalf("pre-restart aggregate: res=%+v err=%v", want, err)
+	}
+
+	// "Restart": rebuild from disk, re-attaching every member by name.
+	man, err := LoadManifest(path)
+	if err != nil {
+		t.Fatalf("LoadManifest: %v", err)
+	}
+	resumedShards := append([]WritableShard(nil), founders...)
+	for name, c := range spawned {
+		resumedShards = append(resumedShards, WritableShard{Name: name, Client: c})
+	}
+	re, err := ResumeWritable(ctx, man, resumedShards, spawn, WritableConfig{ManifestPath: path})
+	if err != nil {
+		t.Fatalf("ResumeWritable: %v", err)
+	}
+	if re.Epoch() != wco.Epoch() || re.NumShards() != 3 {
+		t.Fatalf("resumed epoch=%d shards=%d, want epoch=%d shards=3", re.Epoch(), re.NumShards(), wco.Epoch())
+	}
+	res, err := re.Aggregate(ctx, q)
+	if err != nil || res.Partial {
+		t.Fatalf("resumed aggregate: res=%+v err=%v", res, err)
+	}
+	if diff := math.Abs(res.Value - want.Value); diff > 1e-9*math.Max(math.Abs(want.Value), 1) {
+		t.Fatalf("resumed value %v, want %v", res.Value, want.Value)
+	}
+	// Pre-restart ids still resolve through the restored lineage.
+	if err := re.Delete(ctx, gids[0]); err != nil {
+		t.Fatalf("pre-restart id after resume: %v", err)
+	}
+	// Writes keep routing, and the next membership change advances the
+	// persisted epoch past the resumed one.
+	more, _ := dataset(50, 2, 54, "I")
+	ids2, err := re.Insert(ctx, more, nil)
+	if err != nil || len(ids2) != len(more) {
+		t.Fatalf("post-resume insert: ids=%d err=%v", len(ids2), err)
+	}
+	preSplit := re.Epoch()
+	if err := re.Split(ctx, 2); err != nil {
+		t.Fatalf("post-resume split: %v", err)
+	}
+	onDisk, err := LoadManifest(path)
+	if err != nil {
+		t.Fatalf("LoadManifest after post-resume split: %v", err)
+	}
+	if onDisk.Epoch != preSplit+1 || onDisk.Epoch != re.Epoch() {
+		t.Fatalf("post-resume split persisted epoch %d, live %d, want %d", onDisk.Epoch, re.Epoch(), preSplit+1)
+	}
+
+	// Resuming without the split-off member degrades, never lies: its
+	// mass stays in the denominator, so answers are explicitly partial.
+	part, err := ResumeWritable(ctx, man, founders, nil, WritableConfig{})
+	if err != nil {
+		t.Fatalf("ResumeWritable (degraded): %v", err)
+	}
+	pres, err := part.Aggregate(ctx, q)
+	if err != nil {
+		t.Fatalf("degraded resumed aggregate: %v", err)
+	}
+	if !pres.Partial || pres.Covered >= 1 {
+		t.Fatalf("resume missing a member must answer partial: %+v", pres)
+	}
+
+	// A client naming no manifest member belongs to a different cluster.
+	stranger := []WritableShard{{Name: "stranger", Client: founders[0].Client}}
+	if _, err := ResumeWritable(ctx, man, stranger, nil, WritableConfig{}); err == nil {
+		t.Fatal("resuming with an unknown shard name must fail")
+	}
+}
+
+// infoCountingClient counts Info probes so tests can observe the split
+// trigger's probe cadence.
+type infoCountingClient struct {
+	MutableShardClient
+	infos *atomic.Int64
+}
+
+func (c infoCountingClient) Info(ctx context.Context) (ShardInfo, error) {
+	c.infos.Add(1)
+	return c.MutableShardClient.Info(ctx)
+}
+
+// TestWritableSplitProbeThrottled pins the write-path cost model: the
+// automatic split trigger polls every member's Info under the write
+// lock, so it must run only once every SplitCheckEvery inserted points —
+// not on every Insert.
+func TestWritableSplitProbeThrottled(t *testing.T) {
+	ctx := context.Background()
+	var infos atomic.Int64
+	founders := make([]WritableShard, 2)
+	for i := range founders {
+		d := newDynEngine(t, karl.Gaussian(1), karl.KDTree)
+		// Seed each member so the dataset has a dimensionality at founding
+		// — otherwise the first inserts also pay dims-rebuild Info rounds,
+		// which are not what this test counts.
+		if err := d.Insert([]float64{float64(i), -float64(i)}, 1); err != nil {
+			t.Fatalf("seed insert: %v", err)
+		}
+		name := fmt.Sprintf("c%d", i)
+		founders[i] = WritableShard{Name: name, Client: infoCountingClient{NewLocalMutableShard(name, d), &infos}}
+	}
+	wco, err := NewWritable(ctx, shard.Hash, founders, localSpawn, WritableConfig{SplitCheckEvery: 64})
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+	base := infos.Load()
+	pts, _ := dataset(63, 2, 57, "I")
+	for _, p := range pts {
+		mustInsert(t, wco, [][]float64{p}, nil)
+	}
+	// 63 single-point inserts stay under the 64-point probe threshold: no
+	// Info probes at all on the write path.
+	if got := infos.Load() - base; got != 0 {
+		t.Fatalf("63 inserted points cost %d Info calls, want 0 (probe threshold not reached)", got)
+	}
+	mustInsert(t, wco, [][]float64{{0.5, 0.5}}, nil)
+	// The 64th point crosses the threshold: exactly one probe round (one
+	// Info per member).
+	if got := infos.Load() - base; got != 2 {
+		t.Fatalf("64th point: %d Info calls since founding, want 2 (one probe round)", got)
+	}
+}
+
+// failingInsertClient accepts everything except inserts.
+type failingInsertClient struct {
+	MutableShardClient
+}
+
+func (c failingInsertClient) Insert(context.Context, [][]float64, []float64) ([]uint64, error) {
+	return nil, errors.New("disk full")
+}
+
+// TestWritableInsertPartialIDs pins the mid-batch failure contract: the
+// cross-member insert is not transactional, so when a later member
+// fails, the ids of points that already landed on earlier members come
+// back with the error (non-zero entries — 0 is never a valid cluster
+// id), letting the caller delete the orphans or dedup a retry.
+func TestWritableInsertPartialIDs(t *testing.T) {
+	ctx := context.Background()
+	founders := []WritableShard{
+		{Name: "ok", Client: NewLocalMutableShard("ok", newDynEngine(t, karl.Gaussian(1), karl.KDTree))},
+		{Name: "bad", Client: failingInsertClient{NewLocalMutableShard("bad", newDynEngine(t, karl.Gaussian(1), karl.KDTree))}},
+	}
+	wco, err := NewWritable(ctx, shard.Hash, founders, nil, WritableConfig{})
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+	// Order the batch so the healthy member's group lands first: the
+	// router walks members in first-appearance order.
+	pts, _ := dataset(60, 2, 59, "I")
+	man := wco.Manifest()
+	var ordered [][]float64
+	for _, p := range pts {
+		if man.Route(p) == 1 {
+			ordered = append(ordered, p)
+		}
+	}
+	okCount := len(ordered)
+	for _, p := range pts {
+		if man.Route(p) == 2 {
+			ordered = append(ordered, p)
+		}
+	}
+	if okCount == 0 || okCount == len(pts) {
+		t.Fatalf("degenerate routing: %d of %d points on the healthy member", okCount, len(pts))
+	}
+	ids, err := wco.Insert(ctx, ordered, nil)
+	if err == nil {
+		t.Fatal("insert with a failing member must error")
+	}
+	if len(ids) != len(ordered) {
+		t.Fatalf("partial ids length %d, want %d", len(ids), len(ordered))
+	}
+	for i, id := range ids {
+		if i < okCount {
+			if id == 0 {
+				t.Fatalf("point %d landed on the healthy member but its id is missing", i)
+			}
+			if mid, _ := DecodeID(id); mid != 1 {
+				t.Fatalf("point %d id decodes to member %d, want 1", i, mid)
+			}
+		} else if id != 0 {
+			t.Fatalf("point %d routed to the failing member but reports id %d", i, id)
+		}
+	}
+	// The reported orphans are real: a non-zero id deletes.
+	if err := wco.Delete(ctx, ids[0]); err != nil {
+		t.Fatalf("orphan delete: %v", err)
+	}
+}
+
+// TestHTTPShardBare404 pins the 404 discrimination: only a 404 carrying
+// the server's JSON error envelope is the shard's own "unknown point id"
+// verdict. A bare 404 — an unregistered route (a shard not running
+// -mutable) or a wrong base URL — must surface as an ordinary failure,
+// not be swallowed by the coordinator's lineage chase as "point not
+// found".
+func TestHTTPShardBare404(t *testing.T) {
+	ctx := context.Background()
+	// No /v1/point route at all: the mux answers a bare text 404.
+	ts := httptest.NewServer(http.NewServeMux())
+	t.Cleanup(ts.Close)
+	err := NewHTTPShard(ts.URL).Delete(ctx, 7)
+	if err == nil {
+		t.Fatal("delete against a route-less server must fail")
+	}
+	if errors.Is(err, karl.ErrPointNotFound) {
+		t.Fatalf("bare 404 mapped to ErrPointNotFound: %v", err)
+	}
+	if errors.Is(err, errRejected) {
+		t.Fatalf("bare 404 treated as a clean shard refusal: %v", err)
+	}
+	// The genuine unknown-id 404 still carries the envelope and maps to
+	// the sentinel the lineage chase relies on.
+	srv, err := server.NewMutable(newDynEngine(t, karl.Gaussian(1), karl.KDTree))
+	if err != nil {
+		t.Fatalf("server.NewMutable: %v", err)
+	}
+	ts2 := httptest.NewServer(srv)
+	t.Cleanup(ts2.Close)
+	if err := NewHTTPShard(ts2.URL).Delete(ctx, 12345); !errors.Is(err, karl.ErrPointNotFound) {
+		t.Fatalf("enveloped 404: err = %v, want ErrPointNotFound", err)
 	}
 }
