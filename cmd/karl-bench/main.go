@@ -69,6 +69,7 @@ func main() {
 		dims    = flag.String("dims", "", "comma-separated Fig.12 dimensionality sweep (e.g. 32,64,128,256)")
 
 		mutable  = flag.Bool("mutable", false, "run the mutable-serving mixed-workload benchmark instead of a paper experiment")
+		repl     = flag.Bool("replica", false, "benchmark the replication subsystem: follower catch-up throughput, steady-state lag under writes, leader-kill failover time")
 		batch    = flag.Int("batch", 0, "benchmark N-query batches through the sequential and dual-tree executors (combine with -mutable for the segmented engine)")
 		matrix   = flag.Bool("matrix", false, "sweep GOMAXPROCS × float32-leaves × kernel family on single-query latency")
 		leaf32   = flag.Bool("leaf-float32", false, "store leaf points as float32 tiles in the -mutable/-batch engines")
@@ -91,6 +92,14 @@ func main() {
 	if *matrix {
 		cfg := matrixBenchConfig{n: *maxN, queries: *queries, eps: *eps, seed: *seed}
 		if err := runMatrixBench(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *repl {
+		cfg := replicaBenchConfig{n: *maxN, sealSize: *sealSize, fanout: *fanout, seed: *seed}
+		if err := runReplicaBench(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "karl-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -168,7 +177,7 @@ func validateFlags() error {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	modes := 0
-	for _, m := range []string{"run", "list", "mutable", "batch", "matrix"} {
+	for _, m := range []string{"run", "list", "mutable", "batch", "matrix", "replica"} {
 		if set[m] {
 			modes++
 		}
@@ -177,10 +186,10 @@ func validateFlags() error {
 		modes-- // -batch composes with -mutable: batch queries against the segmented engine
 	}
 	if modes == 0 {
-		return errors.New("pick a mode: -run <id>, -list, -mutable, -batch <n>, or -matrix")
+		return errors.New("pick a mode: -run <id>, -list, -mutable, -batch <n>, -matrix, or -replica")
 	}
 	if modes > 1 {
-		return errors.New("-run, -list, -mutable, -batch and -matrix are mutually exclusive: pick one mode (-batch may combine with -mutable)")
+		return errors.New("-run, -list, -mutable, -batch, -matrix and -replica are mutually exclusive: pick one mode (-batch may combine with -mutable)")
 	}
 
 	var wrong []string
@@ -209,6 +218,10 @@ func validateFlags() error {
 		}
 	case set["mutable"]:
 		reject("-run", "scale", "queries", "tunesample", "dims")
+	case set["replica"]:
+		reject("-run", "scale", "queries", "tunesample", "dims")
+		reject("a -mutable stream", "mixratio", "delevery", "eps",
+			"window", "decay-halflife", "leaf-float32")
 	default: // -run
 		reject("-mutable", "mixratio", "seal", "fanout", "eps", "delevery", "window", "decay-halflife", "leaf-float32")
 	}

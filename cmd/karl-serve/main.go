@@ -70,8 +70,25 @@
 //	karl-serve -coordinator -mutable -partition hash \
 //	    -shards http://s0:8080,http://s1:8080 -manifest cluster.manifest
 //
-// Replicas are not supported in writable mode — a write must land on the
-// owning shard, not a stale copy.
+// In writable mode a |url replica names a REPLICATION FOLLOWER of its
+// shard — a karl-serve started with -replica-of pointing at the leader:
+//
+//	karl-serve -mutable -replica-of http://s0:8080 -addr :8081   # follower
+//	karl-serve -coordinator -mutable \
+//	    -shards 'http://s0:8080|http://s0b:8081' -manifest cluster.manifest
+//
+// The follower bootstraps from the leader's snapshot, then pulls sealed
+// segments and the memtable tail continuously, converging to a
+// bounded-lag live copy; it refuses writes (409) until promoted. The
+// coordinator hedges and fails over reads onto caught-up followers and
+// promotes one into the member's place when its leader dies — the
+// member keeps its id, so previously issued cluster-global point ids
+// keep resolving across the failover.
+//
+// With -spawn the writable coordinator grows by process: a shard split
+// execs a fresh `karl-serve -mutable` child seeded with the moved half,
+// discovers its address via -addr-file, and registers it in the
+// manifest under its base URL.
 package main
 
 import (
@@ -81,6 +98,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -91,6 +109,7 @@ import (
 
 	"karl"
 	"karl/internal/cluster"
+	"karl/internal/replica"
 	"karl/internal/server"
 	"karl/internal/shard"
 )
@@ -116,10 +135,14 @@ func main() {
 		drainTO  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain timeout")
 
 		coordinator = flag.Bool("coordinator", false, "serve as a scatter-gather coordinator over remote shards (-shards); add -mutable for routed writes")
-		shardAddrs  = flag.String("shards", "", "comma-separated shard base URLs for -coordinator; append |url replicas per shard (read-only mode)")
+		shardAddrs  = flag.String("shards", "", "comma-separated shard base URLs for -coordinator; append |url replicas per shard (hedged reads; replication followers with -mutable)")
 		shardTO     = flag.Duration("shard-timeout", 2*time.Second, "per-shard attempt timeout for -coordinator")
 		partition   = flag.String("partition", "hash", "write-routing partitioner for -coordinator -mutable: hash or kd")
 		manifest    = flag.String("manifest", "", "manifest persistence path for -coordinator -mutable (epoch-versioned; empty = in-memory only)")
+
+		replicaOf = flag.String("replica-of", "", "serve as a replication follower of the given leader base URL (-mutable only): pull segments and tail continuously, refuse writes until promoted")
+		spawnKids = flag.Bool("spawn", false, "enable the process spawn backend for -coordinator -mutable: shard splits exec a fresh karl-serve -mutable child")
+		addrFile  = flag.String("addr-file", "", "write the actual listen address (after binding, useful with -addr :0) to this file")
 	)
 	flag.Parse()
 	if err := validateFlags(); err != nil {
@@ -129,10 +152,11 @@ func main() {
 
 	if *coordinator {
 		if *mutable {
-			serveWritableCoordinator(*shardAddrs, *addr, *partition, *manifest, flagWasSet("partition"),
+			serveWritableCoordinator(*shardAddrs, *addr, *partition, *manifest, *addrFile,
+				flagWasSet("partition"), *spawnKids,
 				*shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
 		} else {
-			serveCoordinator(*shardAddrs, *addr, *shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
+			serveCoordinator(*shardAddrs, *addr, *addrFile, *shardTO, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
 		}
 		return
 	}
@@ -154,6 +178,34 @@ func main() {
 		d, err := buildDynamic(*model, *points, *gamma, *sealSize, *fanout, *window, *halfLife)
 		if err != nil {
 			log.Fatalf("karl-serve: %v", err)
+		}
+		if *replicaOf != "" {
+			// Follower mode: the engine starts empty (validateFlags
+			// rejects -model/-points), bootstraps from the leader's
+			// snapshot, and converges through the continuous pull loop.
+			// The applier's snapshot install adopts the leader's kernel
+			// and maintenance config wholesale, so -gamma etc. need not
+			// match the leader. Writes answer 409 until promotion.
+			leader := strings.TrimRight(*replicaOf, "/")
+			a := replica.NewApplier(d, replica.NewHTTPSource(leader))
+			// The local engine was configured by this process's flags,
+			// not the leader's: bootstrap from the leader's snapshot so
+			// its kernel and maintenance config are adopted wholesale.
+			a.BootstrapFromSnapshot()
+			srv, err = server.NewMutable(d, append(opts, server.WithReplicaApplier(a))...)
+			if err != nil {
+				log.Fatalf("karl-serve: %v", err)
+			}
+			go func() {
+				// Run exits nil on promotion; the background context
+				// never ends, so any return with an error is fatal news.
+				if err := a.Run(context.Background(), 0); err != nil {
+					log.Printf("karl-serve: replication pull loop stopped: %v", err)
+				}
+			}()
+			banner = fmt.Sprintf("serving replication follower of %s on %s", leader, *addr)
+			run(srv, banner, *addr, *addrFile, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
+			return
 		}
 		srv, err = server.NewMutable(d, opts...)
 		if err != nil {
@@ -190,7 +242,7 @@ func main() {
 			eng.Len(), eng.Dims(), eng.Kernel().Kind, *addr)
 	}
 
-	run(srv, banner, *addr, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
+	run(srv, banner, *addr, *addrFile, *readTO, *writeTO, *idleTO, *headerTO, *drainTO)
 }
 
 // flagWasSet reports whether a flag appeared explicitly on the command
@@ -235,17 +287,24 @@ func validateFlagSet(set map[string]bool) error {
 		// shard is its own -mutable karl-serve).
 		reject("a shard process, not -coordinator",
 			"model", "points", "gamma", "pool", "sketch-eps",
-			"seal-size", "fanout", "window", "decay-halflife", "refine-workers")
+			"seal-size", "fanout", "window", "decay-halflife", "refine-workers",
+			"replica-of")
 		if !set["mutable"] {
-			reject("-coordinator -mutable", "partition", "manifest")
+			reject("-coordinator -mutable", "partition", "manifest", "spawn")
 		}
 	default:
 		reject("-coordinator", "shards", "shard-timeout", "partition", "manifest")
+		reject("-coordinator -mutable", "spawn")
 		if !set["mutable"] {
-			reject("-mutable", "seal-size", "fanout", "window", "decay-halflife")
+			reject("-mutable", "seal-size", "fanout", "window", "decay-halflife", "replica-of")
 		}
 		if set["mutable"] {
 			reject("an immutable engine (-model/-points without -mutable)", "sketch-eps")
+		}
+		if set["replica-of"] {
+			// A follower bootstraps from its leader's snapshot; local
+			// seeding would fork it before the first pull.
+			reject("a leader shard, not a -replica-of follower", "model", "points")
 		}
 	}
 	if len(wrong) > 0 {
@@ -254,22 +313,38 @@ func validateFlagSet(set map[string]bool) error {
 	return nil
 }
 
-// run serves the handler until SIGINT/SIGTERM, then drains.
-func run(handler http.Handler, banner, addr string, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
+// run serves the handler until SIGINT/SIGTERM, then drains. When
+// addrFile is non-empty the actual bound address is published there
+// (atomic write+rename, so a polling parent never reads a partial
+// file) — the discovery handshake for -addr :0 children started by the
+// exec spawn backend.
+func run(handler http.Handler, banner, addr, addrFile string, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
 	httpSrv := &http.Server{
-		Addr:              addr,
 		Handler:           handler,
 		ReadTimeout:       readTO,
 		WriteTimeout:      writeTO,
 		IdleTimeout:       idleTO,
 		ReadHeaderTimeout: headerTO,
 	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("karl-serve: %v", err)
+	}
+	if addrFile != "" {
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("karl-serve: writing -addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			log.Fatalf("karl-serve: writing -addr-file: %v", err)
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Print(banner)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("%s (listening on %s)", banner, ln.Addr())
 
 	select {
 	case err := <-errc:
@@ -290,7 +365,7 @@ func run(handler http.Handler, banner, addr string, readTO, writeTO, idleTO, hea
 
 // serveCoordinator builds the scatter-gather front end over remote
 // shards and serves its HTTP surface.
-func serveCoordinator(shardAddrs, addr string, shardTO, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
+func serveCoordinator(shardAddrs, addr, addrFile string, shardTO, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
 	specs, err := parseShards(shardAddrs)
 	if err != nil {
 		log.Fatalf("karl-serve: %v", err)
@@ -301,14 +376,20 @@ func serveCoordinator(shardAddrs, addr string, shardTO, readTO, writeTO, idleTO,
 	}
 	banner := fmt.Sprintf("coordinating %d points (%d dims, %s kernel) across %d shards on %s",
 		co.Points(), co.Dims(), co.KernelName(), co.NumShards(), addr)
-	run(cluster.NewHTTPServer(co), banner, addr, readTO, writeTO, idleTO, headerTO, drainTO)
+	run(cluster.NewHTTPServer(co), banner, addr, addrFile, readTO, writeTO, idleTO, headerTO, drainTO)
 }
 
 // serveWritableCoordinator builds the write-routing front end over
-// remote mutable shards and serves its HTTP surface. Splitting needs a
-// spawner for fresh shard processes, which a static -shards list cannot
-// provide, so automatic splits are disabled here; membership still
-// persists through -manifest.
+// remote mutable shards and serves its HTTP surface. With -spawn,
+// shard splits exec fresh karl-serve -mutable child processes
+// (spawnExec); without it a static -shards list cannot provide new
+// processes, so splitting is disabled. Membership persists through
+// -manifest either way.
+//
+// A |url replica on a -shards entry names a karl-serve -replica-of
+// follower of that shard: the coordinator hedges and fails over reads
+// onto it while it is caught up, and promotes it into the member's
+// place when the leader dies.
 //
 // When -manifest names an existing file, the coordinator RESUMES from
 // it: the persisted epoch, routing and lineage carry over and the
@@ -317,7 +398,7 @@ func serveCoordinator(shardAddrs, addr string, shardTO, readTO, writeTO, idleTO,
 // the explicit partial contract). Only when the file is absent is a
 // fresh epoch-1 cluster founded — founding over an existing file would
 // be refused as a stale-epoch write anyway.
-func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath string, partitionSet bool, shardTO, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
+func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath, addrFile string, partitionSet, spawnKids bool, shardTO, readTO, writeTO, idleTO, headerTO, drainTO time.Duration) {
 	kind, err := shard.ParseKind(partition)
 	if err != nil {
 		log.Fatalf("karl-serve: -partition: %v", err)
@@ -328,14 +409,22 @@ func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath string, 
 	}
 	shards := make([]cluster.WritableShard, len(specs))
 	for i, spec := range specs {
-		if len(spec.Replicas) > 0 {
-			log.Fatalf("karl-serve: -shards replicas (|url) are not supported with -mutable: writes must land on the owning shard")
-		}
 		hs, ok := spec.Client.(*cluster.HTTPShard)
 		if !ok {
 			log.Fatalf("karl-serve: writable coordinator needs HTTP shards")
 		}
 		shards[i] = cluster.WritableShard{Name: hs.Name(), Client: hs}
+		for _, rep := range spec.Replicas {
+			rhs, ok := rep.(*cluster.HTTPShard)
+			if !ok {
+				log.Fatalf("karl-serve: writable coordinator needs HTTP shards")
+			}
+			shards[i].Followers = append(shards[i].Followers, rhs)
+		}
+	}
+	var spawn cluster.SpawnFunc
+	if spawnKids {
+		spawn = spawnExec
 	}
 	cfg := cluster.WritableConfig{
 		Config:       cluster.Config{Timeout: shardTO},
@@ -352,7 +441,7 @@ func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath string, 
 				log.Fatalf("karl-serve: -partition %s disagrees with the persisted manifest's %s routing; drop the flag to resume, or point -manifest elsewhere to found fresh", kind, man.Kind)
 			}
 			kind = man.Kind
-			co, err = cluster.ResumeWritable(context.Background(), man, shards, nil, cfg)
+			co, err = cluster.ResumeWritable(context.Background(), man, shards, spawn, cfg)
 			if err != nil {
 				log.Fatalf("karl-serve: resuming from %s: %v", manifestPath, err)
 			}
@@ -364,14 +453,14 @@ func serveWritableCoordinator(shardAddrs, addr, partition, manifestPath string, 
 		}
 	}
 	if co == nil {
-		co, err = cluster.NewWritable(context.Background(), kind, shards, nil, cfg)
+		co, err = cluster.NewWritable(context.Background(), kind, shards, spawn, cfg)
 		if err != nil {
 			log.Fatalf("karl-serve: %v", err)
 		}
 	}
 	banner := fmt.Sprintf("%s writable cluster: %d points (%d dims, %s kernel) across %d shards (%s partition, epoch %d) on %s",
 		verb, co.Points(), co.Dims(), co.KernelName(), co.NumShards(), kind, co.Epoch(), addr)
-	run(cluster.NewWritableHTTPServer(co), banner, addr, readTO, writeTO, idleTO, headerTO, drainTO)
+	run(cluster.NewWritableHTTPServer(co), banner, addr, addrFile, readTO, writeTO, idleTO, headerTO, drainTO)
 }
 
 // parseShards parses "-shards url[|replica...],url[|replica...]".

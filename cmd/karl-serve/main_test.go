@@ -54,6 +54,18 @@ func TestValidateFlagSet(t *testing.T) {
 			[]string{"-seal-size only applies to -mutable", "-decay-halflife only applies to -mutable"}},
 		{"sketch tier on mutable", []string{"mutable", "sketch-eps"},
 			[]string{"-sketch-eps only applies to an immutable engine"}},
+		{"replication follower", []string{"mutable", "replica-of", "addr-file"}, nil},
+		{"spawning writable coordinator", []string{"coordinator", "mutable", "shards", "spawn", "manifest"}, nil},
+		{"replica-of without mutable", []string{"model", "replica-of"},
+			[]string{"-replica-of only applies to -mutable"}},
+		{"replica-of on coordinator", []string{"coordinator", "mutable", "shards", "replica-of"},
+			[]string{"-replica-of only applies to a shard process"}},
+		{"follower with local seed", []string{"mutable", "replica-of", "model"},
+			[]string{"-model only applies to a leader shard"}},
+		{"spawn without coordinator", []string{"mutable", "spawn"},
+			[]string{"-spawn only applies to -coordinator -mutable"}},
+		{"spawn on read-only coordinator", []string{"coordinator", "shards", "spawn"},
+			[]string{"-spawn only applies to -coordinator -mutable"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"karl"
+	"karl/internal/cluster"
+	"karl/internal/shard"
+)
+
+// TestMain doubles as the spawned child's entry point: spawnExec execs
+// the test binary with KARL_SERVE_REEXEC=1 and real karl-serve flags,
+// and we dispatch into main() before the testing framework parses the
+// command line.
+func TestMain(m *testing.M) {
+	if os.Getenv("KARL_SERVE_REEXEC") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestSpawnExecSplit exercises the exec spawn backend end to end: a
+// writable cluster founded over one real child process splits, the
+// spawner execs a second `karl-serve -mutable` child seeded with the
+// moved half, and the persisted manifest records that child under its
+// base URL — with the total kernel mass conserved across the split.
+func TestSpawnExecSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real child processes")
+	}
+	t.Cleanup(killSpawned)
+	ctx := context.Background()
+
+	d, err := karl.NewDynamic(karl.Gaussian(0.8), karl.WithSealSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if err := d.Insert(p, 0.5+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := []float64{0.25, -0.4}
+	want, err := d.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seedStream bytes.Buffer
+	if _, err := d.WriteTo(&seedStream); err != nil {
+		t.Fatal(err)
+	}
+
+	// Found the cluster over a child process started by the same spawn
+	// path a split uses, so the whole test runs against real processes.
+	seed, err := spawnExec(ctx, shard.Member{ID: 1, Name: "seed"}, seedStream.Bytes())
+	if err != nil {
+		t.Fatalf("spawning founding shard: %v", err)
+	}
+	manPath := filepath.Join(t.TempDir(), "cluster.manifest")
+	wco, err := cluster.NewWritable(ctx, shard.Hash,
+		[]cluster.WritableShard{{Client: seed}}, spawnExec,
+		cluster.WritableConfig{
+			Config:       cluster.Config{Timeout: 5 * time.Second},
+			ManifestPath: manPath,
+		})
+	if err != nil {
+		t.Fatalf("NewWritable: %v", err)
+	}
+
+	if err := wco.Split(ctx, 1); err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if n := wco.NumShards(); n != 2 {
+		t.Fatalf("NumShards = %d after split, want 2", n)
+	}
+
+	// The spawned member must be in the PERSISTED manifest under its
+	// base URL (what a later resume re-attaches by), not under the
+	// placeholder name the coordinator invented before the child's
+	// address was known.
+	man, err := cluster.LoadManifest(manPath)
+	if err != nil {
+		t.Fatalf("LoadManifest: %v", err)
+	}
+	mb := man.Member(2)
+	if mb == nil {
+		t.Fatalf("spawned member 2 missing from persisted manifest (members: %+v)", man.Members)
+	}
+	if !strings.HasPrefix(mb.Name, "http://127.0.0.1:") {
+		t.Fatalf("spawned member name = %q, want its base URL", mb.Name)
+	}
+
+	// Both members are live OS processes.
+	spawnedProcs.mu.Lock()
+	procs := append([]*os.Process(nil), spawnedProcs.procs...)
+	spawnedProcs.mu.Unlock()
+	if len(procs) != 2 {
+		t.Fatalf("spawned %d processes, want 2", len(procs))
+	}
+	for i, p := range procs {
+		if err := p.Signal(syscall.Signal(0)); err != nil {
+			t.Fatalf("spawned process %d (pid %d) not alive: %v", i, p.Pid, err)
+		}
+	}
+
+	// Mass conservation: the split moved half the points into the new
+	// child; the cluster aggregate over both processes must equal the
+	// pre-split monolithic value.
+	res, err := wco.Aggregate(ctx, q)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if res.Partial {
+		t.Fatalf("aggregate partial after split: %+v", res)
+	}
+	if math.Abs(res.Value-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("post-split aggregate = %v, want %v", res.Value, want)
+	}
+
+	// The child answers direct deletes routed by the coordinator too:
+	// insert through the cluster and delete the returned global ids.
+	pts := [][]float64{{0.1, 0.2}, {-0.3, 0.7}, {1.1, -0.2}}
+	ids, err := wco.Insert(ctx, pts, nil)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	for _, id := range ids {
+		if err := wco.Delete(ctx, id); err != nil {
+			t.Fatalf("Delete(%d): %v", id, err)
+		}
+	}
+}
+
+// spawnServe execs the test binary as a karl-serve process with the
+// given flags (plus -addr 127.0.0.1:0 and the -addr-file handshake) and
+// returns its base URL once the address is published.
+func spawnServe(t *testing.T, args ...string) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(exe, append(args, "-addr", "127.0.0.1:0", "-addr-file", addrFile)...)
+	cmd.Env = append(os.Environ(), "KARL_SERVE_REEXEC=1")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+	addr, err := waitForAddrFile(context.Background(), addrFile, spawnStartTimeout)
+	if err != nil {
+		t.Fatalf("child never published its address: %v", err)
+	}
+	return "http://" + addr
+}
+
+// TestReplicaOfProcess runs the -replica-of serving mode end to end
+// across two real processes: the follower bootstraps from the leader's
+// snapshot, converges through the pull loop, refuses writes until
+// promoted over HTTP, and accepts them afterwards.
+func TestReplicaOfProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real child processes")
+	}
+	ctx := context.Background()
+
+	leaderURL := spawnServe(t, "-mutable", "-gamma", "0.9", "-seal-size", "64")
+	leader := cluster.NewHTTPShard(leaderURL)
+	if err := waitHealthy(ctx, leader); err != nil {
+		t.Fatalf("leader never healthy: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	pts := make([][]float64, 300)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	ids, err := leader.Insert(ctx, pts, nil)
+	if err != nil {
+		t.Fatalf("leader insert: %v", err)
+	}
+	for i, id := range ids {
+		if i%9 == 2 {
+			if err := leader.Delete(ctx, id); err != nil {
+				t.Fatalf("leader delete: %v", err)
+			}
+		}
+	}
+
+	followerURL := spawnServe(t, "-mutable", "-replica-of", leaderURL)
+	follower := cluster.NewHTTPShard(followerURL)
+	if err := waitHealthy(ctx, follower); err != nil {
+		t.Fatalf("follower never healthy: %v", err)
+	}
+
+	// Converge: the pull loop ticks every 100ms. Lag() alone is not
+	// convergence — deletes advance the delete position, not the seq
+	// watermark — so compare both counters against the now-quiescent
+	// leader's status.
+	leaderSt, err := leader.ReplicaStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(spawnStartTimeout)
+	for {
+		st, err := follower.ReplicaStatus(ctx)
+		if err == nil && st.State == "live" &&
+			st.NextSeq == leaderSt.NextSeq && st.DeletePos == leaderSt.DeletePos {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up (last status %+v, err %v; leader %+v)", st, err, leaderSt)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	q := []float64{0.4, -0.15}
+	want, err := leader.Aggregate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := follower.Aggregate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("follower aggregate = %v, leader = %v", got, want)
+	}
+
+	// An unpromoted follower refuses writes — a misrouted insert must
+	// not fork it from its leader.
+	if _, err := follower.Insert(ctx, [][]float64{{0, 0}}, nil); err == nil {
+		t.Fatal("insert on unpromoted follower should fail")
+	}
+
+	if _, err := follower.Promote(ctx); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if _, err := follower.Insert(ctx, [][]float64{{0.2, 0.2}}, nil); err != nil {
+		t.Fatalf("insert on promoted follower: %v", err)
+	}
+}
+
+func waitHealthy(ctx context.Context, s *cluster.HTTPShard) error {
+	deadline := time.Now().Add(spawnStartTimeout)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := s.Healthy(hctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

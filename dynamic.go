@@ -44,10 +44,16 @@ type DynamicEngine struct {
 	sh *dynShared
 
 	// f refines over the manifest snapshot of epoch fEpoch; fSet records
-	// whether the forest has been armed at all. Query-only state, per clone.
-	f      *core.Forest
-	fEpoch uint64
-	fSet   bool
+	// whether the forest has been armed at all. Query-only state, per
+	// clone. fCfgGen is the sh.cfgGen the forest was built against: a
+	// snapshot install can replace the engine's kernel configuration
+	// under live views, and a forest carrying the old kernel parameters
+	// would silently mix kernels within one answer — snapshot() rebuilds
+	// it when the generations diverge.
+	f       *core.Forest
+	fEpoch  uint64
+	fSet    bool
+	fCfgGen uint64
 
 	// scales is this clone's per-query decay-scale scratch, refilled by
 	// snapshot for the query instant and retained by the forest; unused
@@ -166,6 +172,14 @@ type dynShared struct {
 	tombs   map[uint64]tombstone
 	deletes int
 
+	// delLog is the bounded replication delete log: the seqs of the last
+	// deletes in deletion order, so a follower polling DeletesSince can
+	// replay them. delLogBase counts entries trimmed off the head (and
+	// deletes that predate this process); a follower whose position aged
+	// past it must full-resync.
+	delLog     []uint64
+	delLogBase uint64
+
 	// mem receives inserts; sealing is non-nil while its rows are being
 	// built into a segment (queries still scan it); spare is the recycled
 	// buffer the next seal swap installs. The three rotate forever, so
@@ -184,6 +198,12 @@ type dynShared struct {
 	seals       int
 	compactions int
 	compactErr  error
+
+	// cfgGen counts replacements of the query configuration (kernel,
+	// bound method, depth) after construction — today only a replica
+	// snapshot install. Views compare it against their forest's
+	// generation and rebuild before answering.
+	cfgGen uint64
 }
 
 // tombstone is the exact mass of one deleted point that still sits inside
@@ -278,16 +298,26 @@ func NewDynamic(kern Kernel, opts ...Option) (*DynamicEngine, error) {
 	return newDynamicView(sh)
 }
 
-// newDynamicView wraps shared state in a queryable engine view.
+// newDynamicView wraps shared state in a queryable engine view. The
+// configuration is read under the lock: a clone can be created while a
+// replica snapshot install replaces the kernel, and the generation
+// recorded here is what lets snapshot() detect a forest built against
+// the superseded config.
 func newDynamicView(sh *dynShared) (*DynamicEngine, error) {
-	f, err := core.NewForest(kernel.Params(sh.kern), sh.method, sh.maxDepth)
+	sh.mu.Lock()
+	params := kernel.Params(sh.kern)
+	method, maxDepth := sh.method, sh.maxDepth
+	workers := sh.refineWorkers
+	gen := sh.cfgGen
+	sh.mu.Unlock()
+	f, err := core.NewForest(params, method, maxDepth)
 	if err != nil {
 		return nil, err
 	}
-	if sh.refineWorkers > 1 {
-		f.SetWorkers(sh.refineWorkers)
+	if workers > 1 {
+		f.SetWorkers(workers)
 	}
-	return &DynamicEngine{sh: sh, f: f}, nil
+	return &DynamicEngine{sh: sh, f: f, fCfgGen: gen}, nil
 }
 
 // Clone returns a view of the same mutable dataset with independent query
@@ -640,6 +670,7 @@ func (d *DynamicEngine) Delete(id uint64) error {
 	if i, ok := sh.mem.find(id); ok {
 		sh.mem.removeAt(i)
 		sh.deletes++
+		sh.logDeleteLocked(id)
 		return nil
 	}
 	if b := sh.sealing; b != nil {
@@ -653,6 +684,7 @@ func (d *DynamicEngine) Delete(id uint64) error {
 			}
 			sh.tombs[id] = tombstone{w: b.w[i], ref: ref, p: append([]float64(nil), b.m.Row(i)...)}
 			sh.deletes++
+			sh.logDeleteLocked(id)
 			return nil
 		}
 	}
@@ -664,6 +696,7 @@ func (d *DynamicEngine) Delete(id uint64) error {
 			}
 			sh.tombs[id] = tombstone{w: w, ref: s.TimeRef, p: append([]float64(nil), s.Tree.Points.Row(row)...)}
 			sh.deletes++
+			sh.logDeleteLocked(id)
 			return nil
 		}
 	}
@@ -971,6 +1004,20 @@ func (d *DynamicEngine) snapshot(q []float64) (man *segment.Manifest, base float
 	}
 	if len(q) != sh.dims {
 		return nil, 0, 0, fmt.Errorf("karl: query has %d dims, engine has %d", len(q), sh.dims)
+	}
+	if d.fCfgGen != sh.cfgGen {
+		// The engine's kernel configuration was replaced (snapshot
+		// install) after this view's forest was built: rebuild it so the
+		// refinement side answers with the same kernel the base term
+		// below is computed with.
+		f, err := core.NewForest(kernel.Params(sh.kern), sh.method, sh.maxDepth)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if sh.refineWorkers > 1 {
+			f.SetWorkers(sh.refineWorkers)
+		}
+		d.f, d.fCfgGen, d.fSet = f, sh.cfgGen, false
 	}
 	p := kernel.Params(sh.kern)
 	var nowT int64

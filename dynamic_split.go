@@ -176,6 +176,22 @@ func (d *DynamicEngine) Split(pred func(p []float64) bool) (MutableEngine, error
 	if moveSeg != nil {
 		msh.man = &segment.Manifest{Epoch: 1, Segs: []*segment.Segment{moveSeg}}
 		msh.nextID = 2
+		// The moved rows left this engine without individual Delete calls;
+		// a replication follower must still learn they are gone, so each
+		// shed seq enters the delete log as a deletion (and the Deletes
+		// counter, keeping DeletePos == deletes across persistence). A
+		// coreset moved half has no per-row seqs to log — poison the log
+		// instead so every follower position predates it and resyncs.
+		if moveSeg.Seqs != nil {
+			for _, seq := range moveSeg.Seqs {
+				sh.deletes++
+				sh.logDeleteLocked(seq)
+			}
+		} else {
+			sh.deletes++
+			sh.delLog = nil
+			sh.delLogBase = uint64(sh.deletes)
+		}
 	}
 	sh.cond.Broadcast()
 	sh.mu.Unlock()

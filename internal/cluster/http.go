@@ -99,6 +99,10 @@ type ClusterStatsResponse struct {
 	Epoch      uint64       `json:"epoch,omitempty"`
 	Splits     int64        `json:"splits,omitempty"`
 	Rescatters int64        `json:"rescatters,omitempty"`
+	// Cluster is the writable coordinator's membership/replication block:
+	// per-member role, quarantine state and per-follower replication lag,
+	// plus promotion and failover counters.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // ClusterInsertResponse reports a routed insert: cluster-global point ids
@@ -199,7 +203,7 @@ func (s *HTTPServer) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *HTTPServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := ClusterStatsResponse{
 		Requests: s.requests.Load(),
 		Errors:   s.errors.Load(),
@@ -210,6 +214,8 @@ func (s *HTTPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Epoch = s.wco.Epoch()
 		resp.Splits = s.wco.Splits()
 		resp.Rescatters = s.wco.Rescatters()
+		cs := s.wco.ClusterStatus(r.Context())
+		resp.Cluster = &cs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -129,6 +129,10 @@ func (c WritableConfig) withDefaults() WritableConfig {
 type WritableShard struct {
 	Name   string
 	Client MutableShardClient
+	// Followers are replication followers attached to this member: read
+	// hedge/failover targets while the member is healthy, promotion
+	// candidates when it dies. The caller owns their catch-up loops.
+	Followers []FollowerClient
 }
 
 // membership is one immutable epoch of the cluster: the routing manifest,
@@ -152,14 +156,21 @@ type WritableCoordinator struct {
 	nextID     uint64     // next member id to assign
 	sinceProbe int        // points inserted since the last split probe
 
+	// followers maps member id to its attached replication followers
+	// (guarded by mu; promotion moves a follower out of this map and into
+	// the clients of the next membership).
+	followers map[uint64][]FollowerClient
+
 	// gen is even between membership changes and odd while one is in
 	// flight; a query whose start and end generations differ (or that
 	// starts on an odd one) re-scatters.
 	gen atomic.Uint64
 	mem atomic.Pointer[membership]
 
-	splits     atomic.Int64
-	rescatters atomic.Int64
+	splits      atomic.Int64
+	rescatters  atomic.Int64
+	promotions  atomic.Int64
+	quarantines atomic.Int64
 }
 
 // NewWritable founds a writable cluster over the given members with
@@ -170,6 +181,7 @@ func NewWritable(ctx context.Context, kind shard.Kind, shards []WritableShard, s
 	cfg = cfg.withDefaults()
 	members := make([]shard.Member, len(shards))
 	clients := make(map[uint64]MutableShardClient, len(shards))
+	followers := map[uint64][]FollowerClient{}
 	for i, sp := range shards {
 		if sp.Client == nil {
 			return nil, fmt.Errorf("cluster: founding shard %d has no client", i)
@@ -181,12 +193,15 @@ func NewWritable(ctx context.Context, kind shard.Kind, shards []WritableShard, s
 		}
 		members[i] = shard.Member{ID: id, Name: name}
 		clients[id] = sp.Client
+		if len(sp.Followers) > 0 {
+			followers[id] = append([]FollowerClient(nil), sp.Followers...)
+		}
 	}
 	man, err := shard.NewManifest(kind, members)
 	if err != nil {
 		return nil, err
 	}
-	w := &WritableCoordinator{cfg: cfg, spawn: spawn, nextID: uint64(len(shards) + 1)}
+	w := &WritableCoordinator{cfg: cfg, spawn: spawn, nextID: uint64(len(shards) + 1), followers: followers}
 	m, err := w.buildMembership(ctx, man, clients, false)
 	if err != nil {
 		return nil, err
@@ -228,6 +243,7 @@ func ResumeWritable(ctx context.Context, man *shard.Manifest, shards []WritableS
 		}
 	}
 	clients := make(map[uint64]MutableShardClient, len(shards))
+	followers := map[uint64][]FollowerClient{}
 	for i, sp := range shards {
 		if sp.Client == nil {
 			return nil, fmt.Errorf("cluster: resumed shard %d has no client", i)
@@ -247,8 +263,11 @@ func ResumeWritable(ctx context.Context, man *shard.Manifest, shards []WritableS
 			return nil, fmt.Errorf("cluster: duplicate client for member %q", name)
 		}
 		clients[id] = sp.Client
+		if len(sp.Followers) > 0 {
+			followers[id] = append([]FollowerClient(nil), sp.Followers...)
+		}
 	}
-	w := &WritableCoordinator{cfg: cfg, spawn: spawn, nextID: next}
+	w := &WritableCoordinator{cfg: cfg, spawn: spawn, nextID: next, followers: followers}
 	m, err := w.buildMembership(ctx, man.Clone(), clients, true)
 	if err != nil {
 		return nil, err
@@ -300,9 +319,12 @@ func (w *WritableCoordinator) buildMembership(ctx context.Context, man *shard.Ma
 	specs := make([]Shard, len(man.Members))
 	for i := range man.Members {
 		mb := &man.Members[i]
+		// Caught-up followers join the member's replica list: read hedge
+		// targets while the leader answers, read failover when it doesn't.
+		live := w.refreshFollowers(ctx, mb)
 		if info, ok := infos[mb.ID]; ok {
 			mb.Points, mb.WPos, mb.WNeg = info.Points, info.WPos, info.WNeg
-			specs[i] = Shard{Client: clients[mb.ID]}
+			specs[i] = Shard{Client: clients[mb.ID], Replicas: live}
 			continue
 		}
 		// Unreachable member: a stub whose Info carries the manifest's
@@ -312,7 +334,7 @@ func (w *WritableCoordinator) buildMembership(ctx context.Context, man *shard.Ma
 		specs[i] = Shard{Client: downShard{name: mb.Name, info: ShardInfo{
 			Points: mb.Points, Dims: proto.Dims, Kernel: proto.Kernel,
 			Gamma: proto.Gamma, WPos: mb.WPos, WNeg: mb.WNeg,
-		}}}
+		}}, Replicas: live}
 	}
 	co, err := New(ctx, specs, w.cfg.Config)
 	if err != nil {
@@ -499,6 +521,31 @@ func (w *WritableCoordinator) Insert(ctx context.Context, points [][]float64, we
 			}
 		}
 		local, err := c.Insert(ctx, pts, ws)
+		if err != nil && !errors.Is(err, errRejected) {
+			// The member may be dead rather than refusing. Probe it, and
+			// when it is gone promote a caught-up follower into its place
+			// (same member id — routing and gid lineage are untouched) and
+			// retry this group once on the promoted client. A batch that
+			// landed just before the member died can have replicated and
+			// then be duplicated by the retry — the window is narrow (the
+			// health probe must also fail) and within the documented
+			// non-transactional insert contract.
+			hctx, hcancel := context.WithTimeout(ctx, w.cfg.Timeout)
+			herr := c.Healthy(hctx)
+			hcancel()
+			if herr != nil {
+				w.gen.Add(1)
+				perr := w.promoteLocked(ctx, mid)
+				w.gen.Add(1)
+				if perr == nil {
+					m = w.mem.Load()
+					if c2 := m.clients[mid]; c2 != nil {
+						c = c2
+						local, err = c.Insert(ctx, pts, ws)
+					}
+				}
+			}
+		}
 		if err != nil {
 			return partial(), fmt.Errorf("cluster: member %d (%s): %w (%d of %d points landed; non-zero returned ids name them)",
 				mid, c.Name(), err, landed, len(points))
@@ -704,7 +751,7 @@ func (w *WritableCoordinator) splitLocked(ctx context.Context, srcID uint64) err
 		if errors.Is(err, errRejected) {
 			return err // clean refusal: nothing moved, membership unchanged
 		}
-		return errors.Join(err, w.quarantineLocked(ctx, srcID))
+		return errors.Join(err, w.failoverLocked(ctx, srcID))
 	}
 
 	newID := w.nextID
@@ -719,9 +766,10 @@ func (w *WritableCoordinator) splitLocked(ctx context.Context, srcID uint64) err
 	}
 	man2, err := m.man.ApplySplit(srcID, member, res.Rule)
 	if err != nil {
-		// The points already left the source; quarantining it keeps the
-		// accounting honest even on this (programmer-error) path.
-		return errors.Join(err, w.quarantineLocked(ctx, srcID))
+		// The points already left the source; failing over (or
+		// quarantining) it keeps the accounting honest even on this
+		// (programmer-error) path.
+		return errors.Join(err, w.failoverLocked(ctx, srcID))
 	}
 	clients2 := make(map[uint64]MutableShardClient, len(m.clients)+1)
 	for id, c := range m.clients {
@@ -732,6 +780,15 @@ func (w *WritableCoordinator) splitLocked(ctx context.Context, srcID uint64) err
 		spawnErr = fmt.Errorf("cluster: spawning member %d: %w", newID, err)
 	} else {
 		clients2[newID] = client
+		// A process spawner only learns the child's address after it
+		// starts, so the placeholder name chosen above may not be the
+		// one the client answers to. The manifest must record the
+		// client's own name — ResumeWritable re-attaches members by
+		// name (karl-serve uses the base URL), and a name the spawner
+		// invented would orphan the member on the next restart.
+		if n := client.Name(); n != "" && n != member.Name {
+			man2.Member(newID).Name = n
+		}
 	}
 	// Lenient build: a member that does not answer its Info probe is
 	// served as a down stub rather than failing the install — aborting
@@ -772,6 +829,7 @@ func (w *WritableCoordinator) quarantineLocked(ctx context.Context, id uint64) e
 		return err
 	}
 	w.mem.Store(m2)
+	w.quarantines.Add(1)
 	return w.persist(man2)
 }
 

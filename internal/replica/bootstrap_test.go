@@ -1,0 +1,55 @@
+package replica_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"karl"
+	"karl/internal/replica"
+)
+
+// TestBootstrapFromSnapshotAdoptsConfig pins the -replica-of serving
+// contract: a follower whose engine was configured independently of its
+// leader (different kernel here) converges exactly once it bootstraps
+// from the leader's snapshot — including through views and clones built
+// before the install, which must not keep refining with the superseded
+// kernel.
+func TestBootstrapFromSnapshotAdoptsConfig(t *testing.T) {
+	leader, err := karl.NewDynamic(karl.Gaussian(0.9), karl.WithSealSize(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var ids []uint64
+	for i := 0; i < 300; i++ {
+		id, err := leader.InsertID([]float64{rng.NormFloat64(), rng.NormFloat64()}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		if i%9 == 2 {
+			if err := leader.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	follower, err := karl.NewDynamic(karl.Gaussian(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := replica.NewApplier(follower, replica.EngineSource{Eng: leader})
+	a.BootstrapFromSnapshot()
+	if err := a.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, -0.15}
+	want, _ := leader.Aggregate(q)
+	got, _ := follower.Aggregate(q)
+	if math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("follower %v leader %v", got, want)
+	}
+}

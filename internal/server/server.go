@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"karl"
+	"karl/internal/replica"
 	"karl/internal/shard"
 )
 
@@ -69,6 +70,13 @@ type Server struct {
 	dyn karl.MutableEngine
 	lsm lsmStats
 
+	// rsrc is the engine's replication export surface (nil when the
+	// engine is not a *karl.DynamicEngine); applier is set by
+	// WithReplicaApplier when this server fronts a replication follower,
+	// and gates the write endpoints until promotion.
+	rsrc    replicaSource
+	applier *replica.Applier
+
 	// Sketch tier (nil pools when disabled): a coreset engine with
 	// normalized error bound sketchEps serves /v1/approximate requests
 	// that opt into the normalized error model (eps_norm) with a budget
@@ -87,6 +95,7 @@ type config struct {
 	sketchEps     float64
 	maxBody       int64
 	refineWorkers int
+	applier       *replica.Applier
 }
 
 // defaultMaxBody bounds POST request bodies when WithMaxBodyBytes is not
@@ -196,10 +205,18 @@ func NewMutable(d karl.MutableEngine, opts ...Option) (*Server, error) {
 		refineWorkers: cfg.refineWorkers,
 	}
 	s.lsm, _ = d.(lsmStats)
+	s.applier = cfg.applier
+	s.rsrc, _ = d.(replicaSource)
+	if s.applier != nil && s.rsrc == nil {
+		return nil, errors.New("server: replica applier requires a replicating engine")
+	}
 	s.routes()
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("DELETE /v1/point", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/split", s.handleSplit)
+	if s.rsrc != nil {
+		s.replicateRoutes()
+	}
 	s.warm()
 	return s, nil
 }
@@ -627,6 +644,10 @@ func (s *Server) validateBounds(req QueryRequest) error {
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	m := &s.met.insert
 	m.requests.Add(1)
+	if !s.writeAllowed(w) {
+		m.errors.Add(1)
+		return
+	}
 	var req InsertRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		fail(w, m, err)
@@ -685,6 +706,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	m := &s.met.del
 	m.requests.Add(1)
+	if !s.writeAllowed(w) {
+		m.errors.Add(1)
+		return
+	}
 	var req DeleteRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		fail(w, m, err)
@@ -771,6 +796,10 @@ type SplitResponse struct {
 func (s *Server) handleSplit(w http.ResponseWriter, r *http.Request) {
 	m := &s.met.split
 	m.requests.Add(1)
+	if !s.writeAllowed(w) {
+		m.errors.Add(1)
+		return
+	}
 	var req SplitRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		fail(w, m, err)

@@ -35,6 +35,47 @@ func SlotOf(p []float64, numSlots int) uint64 {
 	return h.Sum64() % uint64(numSlots)
 }
 
+// Role is a member's or replica's place in the replication topology.
+// The zero value is RoleLeader so manifest_v1 members — written before
+// roles existed — load as leaders with empty replica sets.
+type Role int
+
+const (
+	// RoleLeader serves reads and owns all writes for its routing region.
+	RoleLeader Role = iota
+	// RoleFollower is a caught-up live copy: eligible for read failover
+	// and for promotion when its leader dies.
+	RoleFollower
+	// RoleCatchingUp is still streaming the leader's segments and tail;
+	// not yet eligible for reads or promotion.
+	RoleCatchingUp
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	case RoleCatchingUp:
+		return "catching-up"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Replica is one follower of a member, recorded in the manifest so a
+// resumed coordinator can re-attach it by name and so operators can see
+// the replication topology. AckedSeq is the follower's replication
+// watermark (highest leader sequence it had applied) at the last
+// membership persist — advisory, like Member.Points.
+type Replica struct {
+	Name     string
+	Role     Role
+	AckedSeq uint64
+}
+
 // Member is one shard of a dynamic cluster. IDs are assigned once and
 // never reused; lineage (Parent, BaseSeq) lets delete routing chase a
 // point that a split moved: a point id below BaseSeq may have been
@@ -56,6 +97,13 @@ type Member struct {
 	Points int
 	WPos   float64
 	WNeg   float64
+	// Role is the member's replication role. Top-level members are always
+	// leaders (followers live in Replicas); the zero value keeps
+	// manifest_v1 files loading as all-leader memberships.
+	Role Role
+	// Replicas is the member's follower set (manifest_v2; empty for
+	// manifest_v1 files).
+	Replicas []Replica
 }
 
 // RouteNode is one node of the kd routing tree. An internal node sends
@@ -138,6 +186,9 @@ func NewManifest(kind Kind, members []Member) (*Manifest, error) {
 func (m *Manifest) Clone() *Manifest {
 	c := *m
 	c.Members = append([]Member(nil), m.Members...)
+	for i := range c.Members {
+		c.Members[i].Replicas = append([]Replica(nil), c.Members[i].Replicas...)
+	}
 	c.Slots = append([]uint64(nil), m.Slots...)
 	c.Nodes = append([]RouteNode(nil), m.Nodes...)
 	return &c
@@ -283,9 +334,54 @@ func (m *Manifest) ApplySplit(from uint64, to Member, rule SplitRule) (*Manifest
 	return c, nil
 }
 
+// ApplyPromotion returns a new manifest one epoch ahead, recording that
+// the named follower of member `id` took over as its leader: the member
+// keeps its ID (so cluster-global ids gid = member<<48|seq and the
+// lineage fences keep resolving) but is re-addressed under the
+// follower's name, and the follower leaves the replica set. The old
+// leader's address is gone from the manifest — its process is dead or
+// unknowable, which is why the promotion happened.
+func (m *Manifest) ApplyPromotion(id uint64, replicaName string) (*Manifest, error) {
+	mb := m.Member(id)
+	if mb == nil {
+		return nil, fmt.Errorf("shard: promotion target member %d not in manifest", id)
+	}
+	found := -1
+	for i, r := range mb.Replicas {
+		if r.Name == replicaName {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return nil, fmt.Errorf("shard: member %d has no replica %q to promote", id, replicaName)
+	}
+	if mb.Replicas[found].Role != RoleFollower {
+		return nil, fmt.Errorf("shard: replica %q of member %d is %v, only a caught-up follower can be promoted",
+			replicaName, id, mb.Replicas[found].Role)
+	}
+	c := m.Clone()
+	cb := c.Member(id)
+	cb.Name = replicaName
+	cb.Role = RoleLeader
+	cb.Replicas = append(cb.Replicas[:found], cb.Replicas[found+1:]...)
+	c.Epoch++
+	return c, nil
+}
+
 // manifestVersion is the manifest wire-format version — its own version
-// space, independent of the engine persistence version.
-const manifestVersion = 1
+// space, independent of the engine persistence version. Version history:
+//
+//	v1: Epoch, Kind, Members (ID/Name/Parent/BaseSeq/Points/WPos/WNeg),
+//	    NumSlots/Slots, Nodes.
+//	v2: Members grow Role and Replicas (name + role + acked-seq
+//	    watermark) for the replication subsystem. v1 files still load:
+//	    roles default to leader, replica sets to empty.
+const manifestVersion = 2
+
+// oldestReadableManifestVersion is the oldest manifest version
+// ReadManifest accepts.
+const oldestReadableManifestVersion = 1
 
 // manifestPayload is the gob wire image of a Manifest.
 type manifestPayload struct {
@@ -336,8 +432,9 @@ func ReadManifest(r io.Reader) (*Manifest, error) {
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("shard: reading manifest: %w", err)
 	}
-	if p.Version != manifestVersion {
-		return nil, fmt.Errorf("shard: manifest version %d not supported (this build reads version %d)", p.Version, manifestVersion)
+	if p.Version < oldestReadableManifestVersion || p.Version > manifestVersion {
+		return nil, fmt.Errorf("shard: manifest version %d not supported (this build reads versions %d..%d)",
+			p.Version, oldestReadableManifestVersion, manifestVersion)
 	}
 	if p.Epoch == 0 {
 		return nil, errors.New("shard: manifest epoch 0 (epochs start at 1)")
@@ -370,6 +467,28 @@ func (m *Manifest) validate() error {
 	for _, mb := range m.Members {
 		if mb.Parent != 0 && !ids[mb.Parent] {
 			return fmt.Errorf("member %d has unknown parent %d", mb.ID, mb.Parent)
+		}
+	}
+	names := map[string]uint64{}
+	for _, mb := range m.Members {
+		if mb.Role != RoleLeader {
+			return fmt.Errorf("member %d has role %v (top-level members must be leaders)", mb.ID, mb.Role)
+		}
+		if prev, dup := names[mb.Name]; dup {
+			return fmt.Errorf("member %d reuses name %q of member %d", mb.ID, mb.Name, prev)
+		}
+		names[mb.Name] = mb.ID
+		for _, r := range mb.Replicas {
+			if r.Name == "" {
+				return fmt.Errorf("member %d has a replica with an empty name", mb.ID)
+			}
+			if r.Role != RoleFollower && r.Role != RoleCatchingUp {
+				return fmt.Errorf("replica %q of member %d has role %v (want follower or catching-up)", r.Name, mb.ID, r.Role)
+			}
+			if prev, dup := names[r.Name]; dup {
+				return fmt.Errorf("replica %q of member %d reuses the name of member %d", r.Name, mb.ID, prev)
+			}
+			names[r.Name] = mb.ID
 		}
 	}
 	switch m.Kind {

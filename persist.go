@@ -526,6 +526,7 @@ func ReadDynamic(r io.Reader) (*DynamicEngine, error) {
 		nextID:      p.NextID,
 		nextSeq:     p.NextSeq,
 		deletes:     p.Deletes,
+		delLogBase:  uint64(p.Deletes),
 		seals:       p.Seals,
 		compactions: p.Compactions,
 		tombs:       map[uint64]tombstone{},

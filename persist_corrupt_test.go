@@ -140,6 +140,75 @@ func TestClusterManifestRejectsTruncated(t *testing.T) {
 	}
 }
 
+// TestClusterManifestV2RejectsCorrupt puts a replica-bearing manifest
+// (format v2) through the truncation gauntlet, then checks the reader's
+// replica validation: bad roles, empty or duplicate replica names, and
+// non-leader top-level members must all fail loudly.
+func TestClusterManifestV2RejectsCorrupt(t *testing.T) {
+	build := func() *shard.Manifest {
+		man, err := shard.NewManifest(shard.Hash, []shard.Member{
+			{ID: 1, Name: "a", Points: 90, WPos: 45.5},
+			{ID: 2, Name: "b", Points: 110, WPos: 54},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		man.Members[0].Replicas = []shard.Replica{{Name: "a-f0", Role: shard.RoleFollower, AckedSeq: 90}}
+		man.Members[1].Replicas = []shard.Replica{{Name: "b-f0", Role: shard.RoleCatchingUp, AckedSeq: 12}}
+		return man
+	}
+	var buf bytes.Buffer
+	if _, err := build().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0, 0.1, 0.5, 0.9, 0.99} {
+		cut := int(frac * float64(len(full)))
+		if _, err := shard.ReadManifest(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("v2 manifest truncated to %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	if _, err := shard.ReadManifest(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Fatal("v2 manifest short by one byte accepted")
+	}
+	loaded, err := shard.ReadManifest(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("full v2 manifest rejected: %v", err)
+	}
+	if len(loaded.Members[0].Replicas) != 1 || loaded.Members[0].Replicas[0].AckedSeq != 90 {
+		t.Fatalf("v2 manifest round trip dropped replicas: %+v", loaded.Members[0])
+	}
+
+	corrupt := func(name string, mutate func(*shard.Manifest), wantSub string) {
+		t.Helper()
+		man := build()
+		mutate(man)
+		var b bytes.Buffer
+		if _, err := man.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		_, err := shard.ReadManifest(bytes.NewReader(b.Bytes()))
+		if err == nil {
+			t.Fatalf("%s: corrupt manifest accepted", name)
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+	corrupt("bad replica role",
+		func(m *shard.Manifest) { m.Members[0].Replicas[0].Role = shard.Role(9) }, "role")
+	corrupt("leader-role replica",
+		func(m *shard.Manifest) { m.Members[0].Replicas[0].Role = shard.RoleLeader }, "role")
+	corrupt("empty replica name",
+		func(m *shard.Manifest) { m.Members[0].Replicas[0].Name = "" }, "empty name")
+	corrupt("replica name collides with member",
+		func(m *shard.Manifest) { m.Members[0].Replicas[0].Name = "b" }, "reuses")
+	corrupt("replica name collides across members",
+		func(m *shard.Manifest) { m.Members[1].Replicas[0].Name = "a-f0" }, "reuses")
+	corrupt("non-leader member",
+		func(m *shard.Manifest) { m.Members[1].Role = shard.RoleFollower }, "must be leaders")
+}
+
 // TestShardProvenanceRoundTrip checks a shard engine persists its
 // partition provenance and the manifest masses agree with the reloaded
 // engines.

@@ -121,10 +121,11 @@ func downgradeDynamicPayloadV6(p dynamicPayload) dynamicPayload {
 	return p
 }
 
-// goldenManifest deterministically builds the cluster manifest fixture:
-// a hash-routed membership taken through one split, so the wire image
-// pins epoch, lineage and slot reassignment. Changing it invalidates the
-// fixture.
+// goldenManifest deterministically builds the cluster manifest the
+// frozen manifest_v1.bin fixture was generated from (when the format was
+// version 1): a hash-routed membership taken through one split, so the
+// wire image pins epoch, lineage and slot reassignment. Changing it
+// invalidates the fixtures.
 func goldenManifest(t testing.TB) *shard.Manifest {
 	t.Helper()
 	man, err := shard.NewManifest(shard.Hash, []shard.Member{
@@ -140,6 +141,18 @@ func goldenManifest(t testing.TB) *shard.Manifest {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return man
+}
+
+// goldenManifestV2 extends the v1 builder with replication topology — a
+// caught-up follower on one member, a catching-up one on the split child
+// — pinning the manifest_v2 wire image (roles, replica sets, acked-seq
+// watermarks).
+func goldenManifestV2(t testing.TB) *shard.Manifest {
+	t.Helper()
+	man := goldenManifest(t)
+	man.Members[1].Replicas = []shard.Replica{{Name: "s1-f0", Role: shard.RoleFollower, AckedSeq: 128}}
+	man.Members[2].Replicas = []shard.Replica{{Name: "s0/split-3-f0", Role: shard.RoleCatchingUp, AckedSeq: 7}}
 	return man
 }
 
@@ -190,11 +203,13 @@ func goldenBytes(t testing.TB) map[string][]byte {
 	}
 	enc("v6_dynamic.bin", downgradeDynamicPayloadV6(mdp))
 
+	// manifest_v1.bin is NOT regenerated: it was written by the format-v1
+	// build and is frozen to pin what real old files look like.
 	var manBuf bytes.Buffer
-	if _, err := goldenManifest(t).WriteTo(&manBuf); err != nil {
+	if _, err := goldenManifestV2(t).WriteTo(&manBuf); err != nil {
 		t.Fatal(err)
 	}
-	out["manifest_v1.bin"] = manBuf.Bytes()
+	out["manifest_v2.bin"] = manBuf.Bytes()
 	return out
 }
 
@@ -284,39 +299,89 @@ func TestGoldenStaticFixturesLoad(t *testing.T) {
 	}
 }
 
-// TestGoldenManifestFixtureLoads pins the cluster-manifest wire format:
-// the committed fixture loads through shard.ReadManifest, matches the
-// deterministic builder field for field (epoch, lineage, routing), and
-// rewrites bitwise.
+// TestGoldenManifestFixtureLoads pins the cluster-manifest wire format
+// across versions. The frozen manifest_v1.bin (written by the format-v1
+// build, before replication roles existed) must still load: roles
+// default to leader, replica sets stay empty, and epoch/lineage/routing
+// match the deterministic builder. The current manifest_v2.bin loads
+// with its replication topology intact and rewrites bitwise.
 func TestGoldenManifestFixtureLoads(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join(goldenDir, "manifest_v1.bin"))
 	if err != nil {
-		t.Fatalf("%v (run: go test -run TestGoldenFixturesCurrent -update)", err)
+		t.Fatalf("%v (frozen fixture missing — it must never be regenerated)", err)
 	}
 	man, err := shard.ReadManifest(bytes.NewReader(raw))
 	if err != nil {
-		t.Fatalf("manifest fixture rejected: %v", err)
+		t.Fatalf("manifest_v1 fixture rejected: %v", err)
 	}
 	ref := goldenManifest(t)
+	checkManifestMatches(t, "manifest_v1", man, ref)
+	for _, mb := range man.Members {
+		if mb.Role != shard.RoleLeader {
+			t.Fatalf("v1 member %d loaded with role %v, want defaulted leader", mb.ID, mb.Role)
+		}
+		if len(mb.Replicas) != 0 {
+			t.Fatalf("v1 member %d loaded with %d replicas, want none", mb.ID, len(mb.Replicas))
+		}
+	}
+	// A v1 file rewrites in the current format; the upgrade must preserve
+	// epoch, lineage and routing.
+	var up bytes.Buffer
+	if _, err := man.WriteTo(&up); err != nil {
+		t.Fatal(err)
+	}
+	man2, err := shard.ReadManifest(bytes.NewReader(up.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 fixture rewritten as current format rejected: %v", err)
+	}
+	checkManifestMatches(t, "manifest_v1 upgraded", man2, ref)
+
+	raw2, err := os.ReadFile(filepath.Join(goldenDir, "manifest_v2.bin"))
+	if err != nil {
+		t.Fatalf("%v (run: go test -run TestGoldenFixturesCurrent -update)", err)
+	}
+	v2, err := shard.ReadManifest(bytes.NewReader(raw2))
+	if err != nil {
+		t.Fatalf("manifest_v2 fixture rejected: %v", err)
+	}
+	ref2 := goldenManifestV2(t)
+	checkManifestMatches(t, "manifest_v2", v2, ref2)
+	for i, mb := range ref2.Members {
+		got := v2.Members[i]
+		if len(got.Replicas) != len(mb.Replicas) {
+			t.Fatalf("v2 member %d has %d replicas, want %d", mb.ID, len(got.Replicas), len(mb.Replicas))
+		}
+		for j, r := range mb.Replicas {
+			if got.Replicas[j] != r {
+				t.Fatalf("v2 member %d replica %d = %+v, want %+v", mb.ID, j, got.Replicas[j], r)
+			}
+		}
+	}
+	var rt bytes.Buffer
+	if _, err := v2.WriteTo(&rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rt.Bytes(), raw2) {
+		t.Fatal("manifest_v2 fixture does not rewrite bitwise")
+	}
+}
+
+// checkManifestMatches asserts the version-independent invariants of the
+// golden manifest builders: shape, split lineage and routing.
+func checkManifestMatches(t *testing.T, name string, man, ref *shard.Manifest) {
+	t.Helper()
 	if man.Epoch != ref.Epoch || man.Kind != ref.Kind || len(man.Members) != len(ref.Members) {
-		t.Fatalf("fixture shape drifted: %+v vs %+v", man, ref)
+		t.Fatalf("%s shape drifted: %+v vs %+v", name, man, ref)
 	}
 	if got := man.Member(3); got == nil || got.Parent != 1 || got.BaseSeq != 129 {
-		t.Fatalf("fixture lineage drifted: %+v", got)
+		t.Fatalf("%s lineage drifted: %+v", name, got)
 	}
 	rng := rand.New(rand.NewSource(619))
 	for i := 0; i < 200; i++ {
 		p := []float64{rng.NormFloat64(), rng.NormFloat64()}
 		if man.Route(p) != ref.Route(p) {
-			t.Fatalf("fixture routes %v to %d, builder to %d", p, man.Route(p), ref.Route(p))
+			t.Fatalf("%s routes %v to %d, builder to %d", name, p, man.Route(p), ref.Route(p))
 		}
-	}
-	var rt bytes.Buffer
-	if _, err := man.WriteTo(&rt); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(rt.Bytes(), raw) {
-		t.Fatal("manifest fixture does not rewrite bitwise")
 	}
 }
 
